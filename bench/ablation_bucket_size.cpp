@@ -1,0 +1,70 @@
+// Ablation (Sec 6.2, CB): the constant-size fused buffer. Sweeps the
+// engine's bucket size on a real stage-2 run and reports message counts
+// and communication volume — small buckets cost messages (latency on a
+// real network), big buckets cost memory, the volume is invariant.
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+
+#include "comm/world.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/dp_engine.hpp"
+#include "model/quad_model.hpp"
+
+using namespace zero;
+
+namespace {
+model::Batch MakeBatch(int rank, int step) {
+  model::Batch b;
+  b.rows = 1;
+  b.cols = 4;
+  for (int i = 0; i < 4; ++i) {
+    b.inputs.push_back(rank * 7 + step + i);
+    b.targets.push_back(0);
+  }
+  return b;
+}
+}  // namespace
+
+int main() {
+  const std::int64_t psi = 1 << 16;
+  const int nd = 4;
+  std::printf(
+      "== Ablation: CB bucket size, stage 2, Psi = %lld, Nd = %d ==\n\n",
+      static_cast<long long>(psi), nd);
+  Table table({"bucket elems", "messages/step", "bytes sent/rank",
+               "bucket buffer"});
+  for (std::int64_t bucket : {256, 1024, 4096, 16384, 65536}) {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::mutex mu;
+    comm::World world(nd);
+    world.Run([&](comm::RankContext& ctx) {
+      comm::Communicator dp = comm::Communicator::WholeWorld(ctx);
+      model::QuadModel m(psi, 16);
+      core::EngineConfig cfg;
+      cfg.stage = model::ZeroStage::kOsG;
+      cfg.fp16 = true;
+      cfg.bucket_elems = bucket;
+      core::ZeroDpEngine engine(cfg, m, dp, nullptr, 1);
+      (void)engine.TrainStep(MakeBatch(ctx.rank, 0));
+      const auto before = dp.stats();
+      (void)engine.TrainStep(MakeBatch(ctx.rank, 1));
+      if (ctx.rank == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        messages = dp.stats().messages_sent - before.messages_sent;
+        bytes = dp.stats().bytes_sent - before.bytes_sent;
+      }
+    });
+    table.AddRow({std::to_string(bucket), std::to_string(messages),
+                  FormatBytes(static_cast<double>(bytes)),
+                  FormatBytes(static_cast<double>(bucket) * 2)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nVolume is bucket-size invariant; message count (network latency "
+      "exposure)\nfalls as the bucket grows, while the fused buffer's "
+      "memory stays constant in\nmodel size — the Sec 6.2 balance.\n");
+  return 0;
+}

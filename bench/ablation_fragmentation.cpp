@@ -1,0 +1,102 @@
+// Ablation (Sec 3.2 / 6.3, MD): memory fragmentation from interleaved
+// tensor lifetimes, measured on the real allocator, and the contiguous
+// pre-allocation that defeats it. Reproduces the paper's observation of
+// OOM "with over 30% of memory still available" and MD's fix.
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "alloc/arena.hpp"
+#include "alloc/device_memory.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+using namespace zero;
+
+namespace {
+
+struct Outcome {
+  bool oom = false;
+  double free_fraction_at_oom = 0;
+  double fragmentation = 0;
+  std::size_t largest_free = 0;
+};
+
+// A training-iteration-shaped allocation pattern: per layer, a short-
+// lived recompute buffer and a long-lived checkpoint; at the end, one
+// big long-lived allocation (the next layer's gradient bucket).
+Outcome RunPattern(bool use_arena, int layers, std::size_t capacity,
+                   std::size_t act_bytes, std::size_t ckpt_bytes,
+                   std::size_t final_bytes) {
+  Outcome out;
+  alloc::DeviceMemory dev(capacity, "ablation", alloc::FitPolicy::kFirstFit);
+  std::vector<alloc::Allocation> checkpoints;
+  std::vector<alloc::Allocation> activations;
+  std::optional<alloc::Arena> arena;
+  if (use_arena) {
+    arena.emplace(dev, ckpt_bytes * static_cast<std::size_t>(layers),
+                  "md-arena");
+  }
+  try {
+    for (int l = 0; l < layers; ++l) {
+      activations.push_back(dev.Allocate(act_bytes));
+      if (use_arena) {
+        (void)arena->Allocate(ckpt_bytes);
+      } else {
+        checkpoints.push_back(dev.Allocate(ckpt_bytes));
+      }
+    }
+    activations.clear();  // all short-lived buffers die together
+    alloc::Allocation final_alloc = dev.Allocate(final_bytes);
+    (void)final_alloc;
+  } catch (const DeviceOomError& e) {
+    out.oom = true;
+    out.free_fraction_at_oom =
+        static_cast<double>(e.free_total()) / static_cast<double>(capacity);
+    out.largest_free = e.largest_free_block();
+  }
+  out.fragmentation = dev.Stats().ExternalFragmentation();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kCap = 64ull << 20;  // 64 MiB "device"
+  constexpr int kLayers = 12;
+  constexpr std::size_t kAct = 3ull << 20;
+  constexpr std::size_t kCkpt = 2ull << 20;
+  constexpr std::size_t kFinal = 24ull << 20;
+
+  std::printf(
+      "== Ablation: fragmentation vs MD (64 MiB device, %d layers) ==\n\n",
+      kLayers);
+  Table table({"placement", "final 24 MiB alloc", "free at OOM",
+               "largest free block", "fragmentation"});
+
+  const Outcome interleaved =
+      RunPattern(false, kLayers, kCap, kAct, kCkpt, kFinal);
+  const Outcome md = RunPattern(true, kLayers, kCap, kAct, kCkpt, kFinal);
+
+  auto row = [&](const char* name, const Outcome& o) {
+    char freec[32], frag[16];
+    std::snprintf(freec, sizeof(freec), "%.0f%% of device",
+                  o.free_fraction_at_oom * 100);
+    std::snprintf(frag, sizeof(frag), "%.0f%%", o.fragmentation * 100);
+    table.AddRow({name, o.oom ? "OOM" : "succeeds",
+                  o.oom ? freec : "-",
+                  o.oom ? FormatBytes(static_cast<double>(o.largest_free))
+                        : "-",
+                  frag});
+  };
+  row("checkpoints interleaved", interleaved);
+  row("checkpoints in MD arena", md);
+  table.Print(std::cout);
+
+  std::printf(
+      "\nPaper Sec 3.2: 'out of memory issue with over 30%% of memory "
+      "still available in\nsome extreme cases'; Sec 6.3: pre-allocated "
+      "contiguous buffers prevent it.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation (Sec 2.1): ZeRO-DP vs pipeline parallelism for fitting a 40B
+// model on 64 devices — the memory/functionality trade-off the paper's
+// related-work section argues qualitatively, quantified.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "sim/memory_model.hpp"
+#include "sim/pipeline_model.hpp"
+
+using namespace zero;
+
+int main() {
+  sim::ClusterSpec cluster;
+  model::TransformerSpec spec;
+  spec.layers = 88;
+  spec.hidden = 6144;
+  spec.heads = 32;
+
+  std::printf(
+      "== Ablation: ZeRO-DP vs pipeline parallelism, 40B model, 64 "
+      "devices ==\n\n");
+  Table table({"system", "param state/dev", "activations/dev", "total/dev",
+               "bubble", "sync-SGD?", "notes"});
+
+  // ZeRO stage 3 over 64 DP ranks, checkpointing on.
+  {
+    sim::JobConfig job;
+    job.model = spec;
+    job.gpus = 64;
+    job.mp = 1;
+    job.stage = model::ZeroStage::kOsGP;
+    job.batch_per_gpu = 1;
+    const sim::MemoryBreakdown mem = sim::EstimateMemory(cluster, job);
+    table.AddRow({"ZeRO Pos+g+p (Nd=64)", FormatBytes(mem.model_states()),
+                  FormatBytes(mem.activations()), FormatBytes(mem.total()),
+                  "0%", "yes", "1.5x DP comm volume"});
+  }
+
+  // G-Pipe, 64 stages; micro-batch count must scale with depth to hide
+  // the bubble (paper: "requires a batch size proportional to number of
+  // pipeline partitions").
+  for (int micro : {64, 256}) {
+    sim::PipelineConfig pp;
+    pp.model = spec;
+    pp.stages = 64;
+    pp.micro_batches = micro;
+    pp.micro_batch_size = 1;
+    pp.scheme = sim::PipelineScheme::kGpipe;
+    const sim::PipelineEstimate est = sim::EstimatePipeline(cluster, pp);
+    char bubble[16];
+    std::snprintf(bubble, sizeof(bubble), "%.0f%%",
+                  est.bubble_fraction * 100);
+    table.AddRow({"G-Pipe P=64, M=" + std::to_string(micro),
+                  FormatBytes(est.param_state_bytes),
+                  FormatBytes(est.activation_bytes),
+                  FormatBytes(est.total_bytes), bubble, "yes",
+                  micro >= 256 ? "needs batch ~4x depth" : "big bubble"});
+  }
+
+  // PipeDream 1F1B with weight stashing.
+  {
+    sim::PipelineConfig pp;
+    pp.model = spec;
+    pp.stages = 64;
+    pp.micro_batches = 64;
+    pp.micro_batch_size = 1;
+    pp.scheme = sim::PipelineScheme::kPipeDream;
+    const sim::PipelineEstimate est = sim::EstimatePipeline(cluster, pp);
+    char versions[32];
+    std::snprintf(versions, sizeof(versions), "%d weight versions",
+                  static_cast<int>(est.weight_versions));
+    table.AddRow({"PipeDream P=64", FormatBytes(est.param_state_bytes),
+                  FormatBytes(est.activation_bytes),
+                  FormatBytes(est.total_bytes), "0%", "NO", versions});
+  }
+
+  table.Print(std::cout);
+  std::printf(
+      "\nPaper Sec 2.1: G-Pipe hides its bubble only with batch "
+      "proportional to depth\n(inflating activation memory); PipeDream "
+      "trades the bubble for stale weight\ncopies and non-equivalent "
+      "updates. ZeRO gets the memory win with synchronous\nSGD and no "
+      "model surgery.\n");
+  return 0;
+}

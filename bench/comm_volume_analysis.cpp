@@ -1,0 +1,87 @@
+// Section 7: communication-volume analysis of ZeRO-DP, *measured* on the
+// real runtime — per-rank bytes moved per training step under each
+// stage, against the paper's 2Psi / 2Psi / 2Psi / 3Psi accounting.
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+
+#include "comm/world.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/dp_engine.hpp"
+#include "model/quad_model.hpp"
+
+using namespace zero;
+
+namespace {
+
+model::Batch MakeBatch(int rank, int step) {
+  model::Batch b;
+  b.rows = 1;
+  b.cols = 4;
+  for (int i = 0; i < 4; ++i) {
+    b.inputs.push_back(rank * 13 + step + i);
+    b.targets.push_back(0);
+  }
+  return b;
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t psi = 1 << 16;
+  const double psi_bytes = static_cast<double>(psi) * 2;  // fp16
+
+  std::printf(
+      "== Sec 7: measured per-rank DP communication volume per step "
+      "(Psi = %lld fp16 elements) ==\n\n",
+      static_cast<long long>(psi));
+  Table table({"stage", "Nd", "sent/rank", "x Psi", "paper"});
+
+  const struct {
+    model::ZeroStage stage;
+    const char* name;
+    const char* paper;
+  } stages[] = {
+      {model::ZeroStage::kNone, "baseline DP (all-reduce)", "2 Psi"},
+      {model::ZeroStage::kOs, "Pos (stage 1)", "2 Psi"},
+      {model::ZeroStage::kOsG, "Pos+g (stage 2)", "2 Psi"},
+      {model::ZeroStage::kOsGP, "Pos+g+p (stage 3)", "3 Psi"},
+  };
+
+  for (const auto& s : stages) {
+    for (int nd : {2, 4, 8}) {
+      std::uint64_t sent = 0;
+      std::mutex mu;
+      comm::World world(nd);
+      world.Run([&](comm::RankContext& ctx) {
+        comm::Communicator dp = comm::Communicator::WholeWorld(ctx);
+        model::QuadModel m(psi, 16);
+        core::EngineConfig cfg;
+        cfg.stage = s.stage;
+        cfg.fp16 = true;
+        core::ZeroDpEngine engine(cfg, m, dp, nullptr, 1);
+        (void)engine.TrainStep(MakeBatch(ctx.rank, 0));  // warm-up
+        const std::uint64_t before = dp.stats().bytes_sent;
+        (void)engine.TrainStep(MakeBatch(ctx.rank, 1));
+        if (ctx.rank == 0) {
+          std::lock_guard<std::mutex> lock(mu);
+          sent = dp.stats().bytes_sent - before;
+        }
+      });
+      char factor[16];
+      std::snprintf(factor, sizeof(factor), "%.2f",
+                    static_cast<double>(sent) / psi_bytes);
+      table.AddRow({s.name, std::to_string(nd),
+                    FormatBytes(static_cast<double>(sent)), factor,
+                    s.paper});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nRing collectives move (Nd-1)/Nd of the nominal volume, so the "
+      "measured factor\napproaches the paper's bound from below as Nd "
+      "grows. Stage 3's extra ~1 Psi is\nthe per-unit parameter "
+      "broadcast of Sec 7.2.2.\n");
+  return 0;
+}

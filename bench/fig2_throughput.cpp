@@ -1,0 +1,45 @@
+// Figure 2: per-GPU throughput and speedup, ZeRO-100B vs the Megatron
+// baseline, for 1.5B-170B models on 400 (384/256 for some baselines)
+// V100 GPUs, replaying the appendix Table 5 configurations.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/paper_configs.hpp"
+
+using namespace zero;
+
+int main() {
+  sim::ClusterSpec cluster;
+  std::printf(
+      "== Figure 2: ZeRO vs Megatron baseline throughput (Table 5 "
+      "configs) ==\n\n");
+  Table table({"model", "ZeRO TF/GPU", "base TF/GPU", "speedup",
+               "ZeRO PFlops", "base MP", "note"});
+  const auto& runs = sim::Figure2Runs();
+  for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
+    const sim::PaperRun& z = runs[i];
+    const sim::PaperRun& b = runs[i + 1];
+    const sim::ThroughputEstimate tz =
+        sim::EstimateThroughput(cluster, z.ToJob());
+    const sim::ThroughputEstimate tb =
+        sim::EstimateThroughput(cluster, b.ToJob());
+    char zc[16], bc[16], sp[16], pf[16];
+    std::snprintf(zc, sizeof(zc), "%.1f", tz.tflops_per_gpu);
+    std::snprintf(bc, sizeof(bc), "%.1f", tb.tflops_per_gpu);
+    std::snprintf(sp, sizeof(sp), "%.1fx",
+                  tz.tflops_per_gpu / tb.tflops_per_gpu);
+    std::snprintf(pf, sizeof(pf), "%.1f", tz.aggregate_pflops);
+    table.AddRow({z.label, zc, bc, sp, pf, std::to_string(b.mp),
+                  b.mp > cluster.gpus_per_node ? "base MP crosses nodes"
+                                               : ""});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nPaper shape: ZeRO sustains ~38-48 TF/GPU (15 PFlops aggregate "
+      "for 8B-100B);\nbaseline collapses to <5 TF once MP crosses the "
+      "node boundary (>40B);\nspeedup 'up to 10x' in the large-model "
+      "regime.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Figure 5: Turing-NLG (17B, trained with ZeRO-100B) validation
+// perplexity vs the previous SOTA Megatron-LM 8.3B over training.
+//
+// Scaled-down real-execution reproduction: two GPT models train on the
+// same synthetic Markov corpus with this library's runtime —
+//   "Turing proxy":   the larger model, trained with ZeRO stage 2 +
+//                     activation checkpointing across 4 DP ranks (the
+//                     ZeRO-100B configuration);
+//   "Megatron proxy": a ~2.3x smaller model, baseline DP.
+// The figure's claim under test: the bigger model that only ZeRO makes
+// trainable reaches lower perplexity at every point of the curve.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+
+#include "comm/world.hpp"
+#include "common/table.hpp"
+#include "core/dp_engine.hpp"
+#include "model/corpus.hpp"
+#include "model/gpt.hpp"
+
+using namespace zero;
+
+namespace {
+
+struct Curve {
+  std::vector<int> steps;
+  std::vector<double> perplexity;
+};
+
+Curve TrainCurve(const model::GptConfig& cfg, model::ZeroStage stage,
+                 int dp, int steps, int report_every) {
+  Curve curve;
+  std::mutex mu;
+  comm::World world(dp);
+  world.Run([&](comm::RankContext& ctx) {
+    comm::Communicator comm = comm::Communicator::WholeWorld(ctx);
+    model::GptModel gpt(cfg, {});
+    core::EngineConfig ecfg;
+    ecfg.stage = stage;
+    ecfg.fp16 = true;
+    ecfg.loss_scale = 256.0f;
+    ecfg.adam.lr = 3e-3f;
+    core::ZeroDpEngine engine(ecfg, gpt, comm, nullptr, 17);
+    model::MarkovCorpus corpus(cfg.vocab, 2, /*table_seed=*/55,
+                               static_cast<std::uint64_t>(ctx.rank));
+    for (int step = 0; step < steps; ++step) {
+      (void)engine.TrainStep(corpus.NextBatch(4, cfg.seq));
+      if ((step + 1) % report_every == 0) {
+        // Validation loss: identical batch and parameters on every rank,
+        // so every rank computes the same value (EvalLoss is collective
+        // for stage 3); rank 0 records it.
+        double val = 0;
+        const int val_batches = 4;
+        model::MarkovCorpus val_copy(cfg.vocab, 2, 55, 9999);
+        for (int b = 0; b < val_batches; ++b) {
+          val += engine.EvalLoss(val_copy.NextBatch(4, cfg.seq));
+        }
+        if (ctx.rank == 0) {
+          std::lock_guard<std::mutex> lock(mu);
+          curve.steps.push_back(step + 1);
+          curve.perplexity.push_back(std::exp(val / val_batches));
+        }
+      }
+    }
+  });
+  return curve;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Figure 5 (scaled): larger ZeRO-trained model vs smaller "
+      "baseline, perplexity over training ==\n\n");
+
+  // "Turing-NLG proxy": ~2.3x the parameters of the baseline proxy, the
+  // same ratio as 17B : 8.3B.
+  model::GptConfig big;
+  big.vocab = 17;
+  big.seq = 16;
+  big.hidden = 40;
+  big.layers = 3;
+  big.heads = 4;
+
+  model::GptConfig small = big;
+  small.hidden = 24;
+  small.layers = 2;
+
+  const int steps = 300;
+  const int every = 30;
+  const Curve turing =
+      TrainCurve(big, model::ZeroStage::kOsG, /*dp=*/4, steps, every);
+  const Curve megatron =
+      TrainCurve(small, model::ZeroStage::kNone, /*dp=*/4, steps, every);
+
+  model::GptModel big_probe(big, {});
+  model::GptModel small_probe(small, {});
+  std::printf("Turing proxy:   %lld params, ZeRO Pos+g over 4 ranks\n",
+              static_cast<long long>(big_probe.layout().total_numel()));
+  std::printf("Megatron proxy: %lld params, baseline DP over 4 ranks\n\n",
+              static_cast<long long>(small_probe.layout().total_numel()));
+
+  Table table(
+      {"step", "Turing-proxy val ppl (ZeRO)", "Megatron-proxy val ppl"});
+  for (std::size_t i = 0; i < turing.steps.size(); ++i) {
+    char a[24], b[24];
+    std::snprintf(a, sizeof(a), "%.3f", turing.perplexity[i]);
+    std::snprintf(b, sizeof(b), "%.3f", megatron.perplexity[i]);
+    table.AddRow({std::to_string(turing.steps[i]), a, b});
+  }
+  table.Print(std::cout);
+  const bool wins = turing.perplexity.back() < megatron.perplexity.back();
+  std::printf(
+      "\nFinal perplexity: ZeRO-enabled larger model %.3f vs baseline "
+      "%.3f -> larger model %s.\n"
+      "Paper: Turing-NLG 17B reaches Webtext-103 ppl 10.21, below "
+      "Megatron-LM 8.3B (Fig 5).\n",
+      turing.perplexity.back(), megatron.perplexity.back(),
+      wins ? "wins" : "DOES NOT win (unexpected)");
+  return wins ? 0 : 1;
+}

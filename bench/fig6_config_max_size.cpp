@@ -1,0 +1,43 @@
+// Figure 6: largest trainable model under ZeRO configurations C1-C5
+// (Table 3), hidden 8192, MP 16 — grown layer by layer until the memory
+// model reports OOM.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "sim/paper_configs.hpp"
+#include "sim/search.hpp"
+
+using namespace zero;
+
+namespace {
+const char* kConfigNames[] = {"", "C1: Pos+CB+MD", "C2: +Pa",
+                              "C3: Pos+g+CB+MD", "C4: Pos+g+Pa",
+                              "C5: Pos+g+Pa+cpu"};
+const char* kPaperSizes[] = {"", "40B", "60B", "(between)", "140B", "150B"};
+}  // namespace
+
+int main() {
+  sim::ClusterSpec cluster;
+  std::printf(
+      "== Figure 6: max model size under configs C1-C5 (hidden 8192, "
+      "MP 16) ==\n\n");
+  Table table({"config", "max layers", "max params", "states/GPU",
+               "ckpts/GPU", "paper"});
+  sim::JobConfig base = sim::Figure6BaseRun().ToJob();
+  for (int config = 1; config <= 5; ++config) {
+    sim::JobConfig job = sim::JobConfig::WithConfigId(base, config);
+    job.model.layers = sim::MaxLayers(cluster, job);
+    const sim::MemoryBreakdown mem = sim::EstimateMemory(cluster, job);
+    table.AddRow({kConfigNames[config], std::to_string(job.model.layers),
+                  FormatCount(static_cast<double>(job.psi())),
+                  FormatBytes(mem.model_states()),
+                  FormatBytes(mem.checkpoints), kPaperSizes[config]});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nPaper narrative: 40B (C1) -> 60B with Pa (C2) -> 140B with "
+      "Pos+g (C4) -> 150B with Pa+cpu (C5).\n");
+  return 0;
+}

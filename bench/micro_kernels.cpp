@@ -1,0 +1,102 @@
+// Micro benchmarks: compute kernels and the simulated-device allocator.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "alloc/caching_allocator.hpp"
+#include "common/half.hpp"
+#include "common/rng.hpp"
+#include "tensor/kernels.hpp"
+
+using namespace zero;
+
+namespace {
+
+std::vector<float> RandVec(std::size_t n) {
+  std::vector<float> v(n);
+  Rng rng(1);
+  for (float& x : v) x = rng.NextGaussian();
+  return v;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  auto a = RandVec(static_cast<std::size_t>(n * n));
+  auto b = RandVec(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto _ : state) {
+    tensor::Gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
+                 c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * n * n * n,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNT(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  auto a = RandVec(static_cast<std::size_t>(n * n));
+  auto b = RandVec(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto _ : state) {
+    tensor::Gemm(false, true, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
+                 c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmNT)->Arg(128);
+
+void BM_LayerNormForward(benchmark::State& state) {
+  const std::int64_t rows = 256, cols = state.range(0);
+  auto x = RandVec(static_cast<std::size_t>(rows * cols));
+  std::vector<float> gamma(static_cast<std::size_t>(cols), 1.0f);
+  std::vector<float> beta(static_cast<std::size_t>(cols), 0.0f);
+  std::vector<float> y(x.size()), mean(static_cast<std::size_t>(rows)),
+      rstd(static_cast<std::size_t>(rows));
+  for (auto _ : state) {
+    tensor::LayerNormForward(x.data(), gamma.data(), beta.data(), y.data(),
+                             mean.data(), rstd.data(), rows, cols, 1e-5f);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_LayerNormForward)->Arg(256)->Arg(1024);
+
+void BM_HalfConversion(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto src = RandVec(n);
+  std::vector<Half> mid(n);
+  std::vector<float> dst(n);
+  for (auto _ : state) {
+    FloatToHalf(src.data(), mid.data(), n);
+    HalfToFloat(mid.data(), dst.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 6);
+}
+BENCHMARK(BM_HalfConversion)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_DeviceAllocFree(benchmark::State& state) {
+  alloc::DeviceMemory dev(256ull << 20, "bench");
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    alloc::Allocation a = dev.Allocate(size);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_DeviceAllocFree)->Arg(4096)->Arg(1 << 20);
+
+void BM_CachingAllocatorReuse(benchmark::State& state) {
+  alloc::DeviceMemory dev(256ull << 20, "bench");
+  alloc::CachingAllocator cache(dev);
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    alloc::CachedBlock b = cache.Malloc(size);
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+BENCHMARK(BM_CachingAllocatorReuse)->Arg(4096)->Arg(1 << 20);
+
+}  // namespace

@@ -1,0 +1,69 @@
+// Network-simulator validation: derives the Sec 10.2 bandwidth cliff and
+// the cost model's bandwidth assumptions from first principles (ring
+// schedules over NVSwitch ports and shared node uplinks), instead of
+// assuming them.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "sim/netsim.hpp"
+
+using namespace zero;
+
+int main() {
+  sim::NetTopology topo;
+  topo.nodes = 25;
+  topo.gpus_per_node = 16;
+  topo.nvswitch_port_bw = 150e9;
+  topo.node_uplink_bw = 100e9;  // 800 Gb/s per DGX-2
+  topo.per_step_latency = 5e-6;
+  sim::NetworkSimulator net(topo);
+
+  std::printf(
+      "== Network simulator: emergent collective bandwidth on the DGX-2 "
+      "fabric ==\n\n");
+  std::printf("-- MP all-reduce bus bandwidth vs group size (512 MB) --\n");
+  Table table({"group", "layout", "bus bandwidth", "vs in-node"});
+  const double bytes = 512e6;
+  const double base =
+      net.AllReduceBusBandwidth(sim::ContiguousGroup(0, 16), bytes);
+  for (int size : {2, 4, 8, 16, 32, 64, 128}) {
+    const double bw =
+        net.AllReduceBusBandwidth(sim::ContiguousGroup(0, size), bytes);
+    char rel[16];
+    std::snprintf(rel, sizeof(rel), "%.2fx", bw / base);
+    table.AddRow({std::to_string(size),
+                  size <= 16 ? "inside one node" : "spans nodes",
+                  FormatBytes(bw) + "/s", rel});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nThe 16 -> 32 collapse is the paper's NVSwitch -> InfiniBand "
+      "cliff (Sec 10.2),\nhere produced by link contention, not "
+      "assumed.\n\n");
+
+  std::printf(
+      "-- DP rings contending for node uplinks (MP16 x DP25 grid, 128 MB "
+      "each) --\n");
+  Table dp({"concurrent DP rings", "time", "per-ring bandwidth"});
+  for (int rings_count : {1, 4, 16}) {
+    std::vector<std::vector<int>> rings;
+    for (int c = 0; c < rings_count; ++c) {
+      rings.push_back(sim::StridedGroup(c, 16, topo.nodes));
+    }
+    const double t = net.ConcurrentRingAllReduce(rings, 128e6);
+    const double per_ring =
+        2.0 * (topo.nodes - 1) / topo.nodes * 128e6 / t;
+    char tim[24];
+    std::snprintf(tim, sizeof(tim), "%.3f ms", t * 1e3);
+    dp.AddRow({std::to_string(rings_count), tim,
+               FormatBytes(per_ring) + "/s"});
+  }
+  dp.Print(std::cout);
+  std::printf(
+      "\nWith all 16 rings active, each GPU's effective DP bandwidth is "
+      "the node uplink\ndivided by 16 — the 6.25 GB/s per-GPU share the "
+      "analytic cost model uses.\n");
+  return 0;
+}

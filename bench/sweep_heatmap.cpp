@@ -1,0 +1,68 @@
+// Design-space sweep: TFlops/GPU over the (MP degree x batch) grid for
+// the 40B model on 400 GPUs, ZeRO Pos+g vs Megatron baseline — the whole
+// landscape Figure 2's individual points are drawn from, including the
+// OOM boundary and the cross-node MP cliff.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/memory_model.hpp"
+#include "sim/paper_configs.hpp"
+#include "sim/search.hpp"
+
+using namespace zero;
+
+namespace {
+
+void PrintGrid(const sim::ClusterSpec& cluster, bool is_zero) {
+  Table table({"mp \\ batch", "1", "4", "16", "64"});
+  for (int mp : {1, 2, 4, 8, 16, 32}) {
+    std::vector<std::string> row{std::to_string(mp)};
+    for (std::int64_t batch : {1, 4, 16, 64}) {
+      sim::JobConfig job;
+      job.model.layers = 88;
+      job.model.hidden = 6144;
+      job.model.heads = 32;
+      job.gpus = 384;  // divisible by every mp in the sweep
+      job.mp = mp;
+      job.batch_per_gpu = batch;
+      job.activation_checkpointing = true;
+      if (is_zero) {
+        job.stage = model::ZeroStage::kOsG;
+        job.pa = mp > 1;
+      } else {
+        job.stage = model::ZeroStage::kNone;
+        job.constant_buffers = false;
+        job.defrag = false;
+      }
+      if (!sim::Fits(cluster, job)) {
+        row.emplace_back("OOM");
+        continue;
+      }
+      char tf[16];
+      std::snprintf(tf, sizeof(tf), "%.1f",
+                    sim::EstimateThroughput(cluster, job).tflops_per_gpu);
+      row.emplace_back(tf);
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  sim::ClusterSpec cluster;
+  std::printf(
+      "== Sweep: 40B model, 384 GPUs — TFlops/GPU over (MP x batch) "
+      "==\n\n-- ZeRO Pos+g (+Pa when MP > 1) --\n");
+  PrintGrid(cluster, true);
+  std::printf("\n-- Megatron/DDP baseline --\n");
+  PrintGrid(cluster, false);
+  std::printf(
+      "\nReading the grids: the baseline needs MP >= 32 to fit 40B at "
+      "all (and then\ncrosses nodes, collapsing); ZeRO fits it at MP 4 "
+      "with large batches — the\nFigure 2 points are the best cell of "
+      "each row.\n");
+  return 0;
+}

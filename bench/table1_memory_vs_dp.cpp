@@ -1,0 +1,48 @@
+// Table 1: per-device model-state memory as a function of DP degree for
+// 7.5B, 128B and 1T parameter models, under Pos / Pos+g / Pos+g+p.
+// Bold cells in the paper (the combinations that fit a 32 GB V100) are
+// marked with '*'.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "model/transformer_spec.hpp"
+
+using namespace zero;
+using model::PerDeviceModelStates;
+using model::ZeroStage;
+
+namespace {
+
+std::string Cell(double psi, ZeroStage stage, int nd) {
+  const double gb = PerDeviceModelStates(psi, stage, nd).total() / 1e9;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g%s", gb, gb <= 32.0 ? " *" : "");
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Table 1: per-device model-state memory (GB) vs DP degree ==\n"
+      "('*' marks cells that fit a 32 GB V100, bold in the paper)\n\n");
+  const double models[] = {7.5e9, 128e9, 1e12};
+  const char* names[] = {"7.5B", "128B", "1T"};
+  for (int m = 0; m < 3; ++m) {
+    std::printf("Model %s:\n", names[m]);
+    Table table({"DP", "Pos", "Pos+g", "Pos+g+p"});
+    for (int nd : {1, 4, 16, 64, 256, 1024}) {
+      table.AddRow({std::to_string(nd), Cell(models[m], ZeroStage::kOs, nd),
+                    Cell(models[m], ZeroStage::kOsG, nd),
+                    Cell(models[m], ZeroStage::kOsGP, nd)});
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper reference rows: 7.5B@64 = 31.4 / 16.6 / 1.88;"
+      " 1T@1024 = 4011 / 2013 / 15.6.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Table 2: max model size vs MP degree.
+//   Left half  — "max theoretical model size": the closed-form bound
+//                where model states alone fill the 32 GB device, Nd=64.
+//   Right half — "measured model size": what actually runs once
+//                activations, buffers and working memory are included.
+//                We reproduce it two ways: (1) the cluster memory model
+//                at paper scale; (2) a scaled-down *runtime* measurement
+//                on this library's simulated 8 MiB devices, growing the
+//                model until real allocations OOM.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/trainer.hpp"
+#include "sim/paper_configs.hpp"
+#include "sim/search.hpp"
+
+using namespace zero;
+using model::ZeroStage;
+
+namespace {
+
+double MeasuredAtPaperScale(const sim::ClusterSpec& cluster, int mp,
+                            ZeroStage stage) {
+  sim::JobConfig job;
+  job.model.hidden = 8192;
+  job.model.heads = 64;
+  job.gpus = 64 * mp;  // Nd = 64 in every Table 2 row
+  job.mp = mp;
+  job.stage = stage;
+  job.batch_per_gpu = 8;
+  job.activation_checkpointing = true;
+  job.pa = stage != ZeroStage::kNone && mp > 1;
+  if (stage == ZeroStage::kNone) {
+    job.constant_buffers = false;
+    job.defrag = false;
+  }
+  job.model.layers = sim::MaxLayers(cluster, job);
+  return static_cast<double>(job.psi());
+}
+
+// Scaled-down runtime measurement: grow layers until the simulated
+// devices really OOM. Returns the largest parameter count that trained.
+std::int64_t MeasuredAtRuntime(ZeroStage stage, int mp) {
+  std::int64_t best = 0;
+  for (std::int64_t layers = 2;; layers += 2) {
+    core::TrainOptions opt;
+    opt.model.vocab = 64;
+    opt.model.seq = 16;
+    opt.model.hidden = 64;
+    opt.model.heads = 4;
+    opt.model.layers = layers;
+    opt.engine.stage = stage;
+    opt.cluster.dp_degree = 4;
+    opt.cluster.mp_degree = mp;
+    opt.cluster.device_capacity_bytes = 8ull << 20;
+    opt.zero_r.activation_checkpointing = true;
+    opt.batch_per_rank = 1;
+    opt.steps = 1;
+    const core::TrainResult result = core::TrainGpt(opt);
+    if (result.oom) break;
+    model::GptConfig cfg = opt.model;
+    model::GptModel probe(cfg, {});
+    best = probe.layout().total_numel() * mp;  // global params
+    if (layers > 256) break;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  sim::ClusterSpec cluster;
+  const double cap = 32e9;
+
+  std::printf("== Table 2: max model size vs MP degree (Nd = 64) ==\n\n");
+  Table table({"MP", "GPUs", "theory base", "theory Pos", "theory Pos+g",
+               "theory Pos+g+p", "measured base", "measured Pos"});
+  for (int mp : {1, 2, 4, 8, 16}) {
+    table.AddRow(
+        {std::to_string(mp), std::to_string(64 * mp),
+         FormatCount(sim::TheoreticalMaxParams(cap, ZeroStage::kNone, mp, 64)),
+         FormatCount(sim::TheoreticalMaxParams(cap, ZeroStage::kOs, mp, 64)),
+         FormatCount(sim::TheoreticalMaxParams(cap, ZeroStage::kOsG, mp, 64)),
+         FormatCount(
+             sim::TheoreticalMaxParams(cap, ZeroStage::kOsGP, mp, 64)),
+         FormatCount(MeasuredAtPaperScale(cluster, mp, ZeroStage::kNone)),
+         FormatCount(MeasuredAtPaperScale(cluster, mp, ZeroStage::kOs))});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nPaper row MP=1: theory 2B / 7.6B / 14.4B / 128B;"
+      " measured 1.3B / 6.2B.\n"
+      "Paper row MP=16: theory 32B / 121.6B / 230.4B / 2T;"
+      " measured 20B / 100B.\n");
+
+  std::printf(
+      "\n-- runtime validation on 8 MiB simulated devices (dp=4) --\n");
+  Table rt({"config", "measured params", "vs baseline"});
+  const std::int64_t base1 = MeasuredAtRuntime(ZeroStage::kNone, 1);
+  const std::int64_t pos1 = MeasuredAtRuntime(ZeroStage::kOs, 1);
+  const std::int64_t posg1 = MeasuredAtRuntime(ZeroStage::kOsG, 1);
+  const std::int64_t posgp1 = MeasuredAtRuntime(ZeroStage::kOsGP, 1);
+  auto ratio = [&](std::int64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx",
+                  static_cast<double>(v) / static_cast<double>(base1));
+    return std::string(buf);
+  };
+  rt.AddRow({"baseline DP", FormatCount(static_cast<double>(base1)), "1.00x"});
+  rt.AddRow({"ZeRO-OS (Pos)", FormatCount(static_cast<double>(pos1)),
+             ratio(pos1)});
+  rt.AddRow({"ZeRO Pos+g", FormatCount(static_cast<double>(posg1)),
+             ratio(posg1)});
+  rt.AddRow({"ZeRO Pos+g+p", FormatCount(static_cast<double>(posgp1)),
+             ratio(posgp1)});
+  rt.Print(std::cout);
+  std::printf(
+      "\nPaper: measured Pos fits ~4.8x more parameters than baseline DP"
+      " (6.2B vs 1.3B at Nd=64,\nwhere theory gives 16/4.19 = 3.8x; at "
+      "this run's dp=4 theory gives 16/7 = 2.3x for Pos,\n16/5.5 = 2.9x "
+      "for Pos+g and 4x for Pos+g+p — activations absorb the rest).\n");
+  return 0;
+}

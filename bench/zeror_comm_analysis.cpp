@@ -1,0 +1,83 @@
+// Section 8: communication analysis of ZeRO-R, measured on the real
+// runtime with Megatron-style MP — Pa's all-gather overhead relative to
+// baseline MP communication, and Pa+cpu's 2x host transfer volume.
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+
+#include "comm/world.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/trainer.hpp"
+
+using namespace zero;
+
+namespace {
+
+core::TrainOptions BaseOptions() {
+  core::TrainOptions opt;
+  opt.model.vocab = 32;
+  opt.model.seq = 16;
+  opt.model.hidden = 32;
+  opt.model.heads = 4;
+  opt.model.layers = 4;
+  opt.engine.stage = model::ZeroStage::kOsG;
+  opt.cluster.dp_degree = 1;
+  opt.cluster.mp_degree = 4;
+  opt.cluster.device_capacity_bytes = 128ull << 20;
+  opt.batch_per_rank = 4;
+  opt.steps = 2;
+  opt.zero_r.activation_checkpointing = true;
+  return opt;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Sec 8: ZeRO-R communication overhead, measured (MP = 4) ==\n\n");
+
+  core::TrainOptions base = BaseOptions();
+  const core::TrainResult no_pa = core::TrainGpt(base);
+
+  base.zero_r.partition_activations = true;
+  const core::TrainResult with_pa = core::TrainGpt(base);
+
+  base.zero_r.cpu_offload = true;
+  const core::TrainResult with_cpu = core::TrainGpt(base);
+
+  const double mp_base = static_cast<double>(no_pa.TotalMpBytesSent());
+  const double mp_pa = static_cast<double>(with_pa.TotalMpBytesSent());
+  const double overhead = (mp_pa - mp_base) / mp_base * 100.0;
+
+  Table table({"configuration", "MP bytes (all ranks)", "vs baseline MP",
+               "host transfer"});
+  char pct[24];
+  table.AddRow({"MP + checkpointing", FormatBytes(mp_base), "1.00x",
+                "0 B"});
+  std::snprintf(pct, sizeof(pct), "+%.1f%%", overhead);
+  table.AddRow({"  + Pa", FormatBytes(mp_pa), pct, "0 B"});
+  std::uint64_t to_host = 0, from_host = 0;
+  for (const auto& r : with_cpu.ranks) {
+    to_host += r.host.bytes_to_host;
+    from_host += r.host.bytes_from_host;
+  }
+  std::snprintf(pct, sizeof(pct), "+%.1f%%",
+                (static_cast<double>(with_cpu.TotalMpBytesSent()) - mp_base) /
+                    mp_base * 100.0);
+  table.AddRow({"  + Pa+cpu",
+                FormatBytes(static_cast<double>(with_cpu.TotalMpBytesSent())),
+                pct,
+                FormatBytes(static_cast<double>(to_host + from_host))});
+  table.Print(std::cout);
+
+  std::printf(
+      "\nPaper Sec 8: Pa adds one all-gather per block, < 10%% of "
+      "Megatron's MP volume\n(each block already does 6 all-reduces = 12 "
+      "message-sizes; Pa adds ~1).\nMeasured overhead here: +%.1f%%.\n"
+      "Pa+cpu moves each checkpoint slice to the host and back (2x slice "
+      "bytes):\nmeasured %s to host, %s back.\n",
+      overhead, FormatBytes(static_cast<double>(to_host)).c_str(),
+      FormatBytes(static_cast<double>(from_host)).c_str());
+  return 0;
+}

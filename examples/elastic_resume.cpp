@@ -1,0 +1,105 @@
+// Elastic checkpoint/resume: save ZeRO training state at one DP degree,
+// resume at another — possible because ExportState() re-assembles the
+// partitioned fp32 master/momentum/variance into an Nd-independent blob
+// and ImportState() re-shards it for whatever group loads it.
+//
+// Trains a GPT-mini for 6 steps on 4 ranks (stage 3), checkpoints to a
+// file, then resumes on 2 ranks (stage 2) for 6 more steps.
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+
+#include "comm/world.hpp"
+#include "core/dp_engine.hpp"
+#include "core/state_checkpoint.hpp"
+#include "model/corpus.hpp"
+#include "model/gpt.hpp"
+
+using namespace zero;
+
+namespace {
+
+model::GptConfig ModelConfig() {
+  model::GptConfig cfg;
+  cfg.vocab = 32;
+  cfg.seq = 16;
+  cfg.hidden = 24;
+  cfg.layers = 2;
+  cfg.heads = 2;
+  return cfg;
+}
+
+core::EngineConfig EngineFor(model::ZeroStage stage) {
+  core::EngineConfig cfg;
+  cfg.stage = stage;
+  cfg.fp16 = true;
+  cfg.loss_scale = 256.0f;
+  cfg.adam.lr = 3e-3f;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const std::string path = "/tmp/zero_elastic_demo.ckpt";
+  const model::GptConfig gcfg = ModelConfig();
+
+  // ---- phase 1: 4 ranks, ZeRO stage 3 ----
+  std::printf("phase 1: training on 4 ranks, stage 3 (Pos+g+p)\n");
+  {
+    comm::World world(4);
+    std::mutex mu;
+    world.Run([&](comm::RankContext& ctx) {
+      comm::Communicator dp = comm::Communicator::WholeWorld(ctx);
+      model::GptModel gpt(gcfg, {});
+      core::ZeroDpEngine engine(EngineFor(model::ZeroStage::kOsGP), gpt, dp,
+                                nullptr, 42);
+      model::MarkovCorpus corpus(gcfg.vocab, 2, 7,
+                                 static_cast<std::uint64_t>(ctx.rank));
+      for (int step = 0; step < 6; ++step) {
+        const float loss = engine.TrainStep(corpus.NextBatch(4, gcfg.seq));
+        if (ctx.rank == 0) {
+          std::lock_guard<std::mutex> lock(mu);
+          std::printf("  step %d  loss %.4f\n", step, loss);
+        }
+      }
+      core::TrainingState state = engine.ExportState();
+      if (ctx.rank == 0) {
+        state.SaveToFile(path);
+        std::lock_guard<std::mutex> lock(mu);
+        std::printf("  saved %lld-param state at optimizer step %lld\n",
+                    static_cast<long long>(state.total_numel),
+                    static_cast<long long>(state.step_count));
+      }
+    });
+  }
+
+  // ---- phase 2: 2 ranks, ZeRO stage 2 ----
+  std::printf("phase 2: resuming on 2 ranks, stage 2 (Pos+g)\n");
+  {
+    const core::TrainingState state = core::TrainingState::LoadFromFile(path);
+    comm::World world(2);
+    std::mutex mu;
+    world.Run([&](comm::RankContext& ctx) {
+      comm::Communicator dp = comm::Communicator::WholeWorld(ctx);
+      model::GptModel gpt(gcfg, {});
+      core::ZeroDpEngine engine(EngineFor(model::ZeroStage::kOsG), gpt, dp,
+                                nullptr, /*seed=*/999);  // overwritten
+      engine.ImportState(state);
+      model::MarkovCorpus corpus(gcfg.vocab, 2, 7,
+                                 100 + static_cast<std::uint64_t>(ctx.rank));
+      for (int step = 0; step < 6; ++step) {
+        const float loss = engine.TrainStep(corpus.NextBatch(4, gcfg.seq));
+        if (ctx.rank == 0) {
+          std::lock_guard<std::mutex> lock(mu);
+          std::printf("  step %lld  loss %.4f\n",
+                      static_cast<long long>(engine.steps_taken()), loss);
+        }
+      }
+    });
+  }
+  std::printf(
+      "\nThe Adam clock, master weights and moments all carried over — "
+      "different DP\ndegree, different stage, same trajectory.\n");
+  return 0;
+}

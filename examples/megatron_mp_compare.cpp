@@ -1,0 +1,69 @@
+// ZeRO composed with Megatron-style model parallelism (Sec 1's "ZeRO and
+// MP" discussion): the same global model trained three ways —
+//   1. MP only (the Megatron baseline),
+//   2. ZeRO-DP only,
+//   3. MP x ZeRO-DP with Pa partitioned activation checkpoints,
+// on the same total number of simulated devices, comparing losses,
+// per-rank memory and communication volume.
+#include <cstdio>
+
+#include "core/trainer.hpp"
+
+int main() {
+  using namespace zero;
+
+  core::TrainOptions base;
+  base.model.vocab = 48;
+  base.model.seq = 16;
+  base.model.hidden = 32;
+  base.model.layers = 2;
+  base.model.heads = 4;
+  base.batch_per_rank = 4;
+  base.steps = 8;
+  base.zero_r.activation_checkpointing = true;
+
+  struct Scenario {
+    const char* name;
+    int dp, mp;
+    model::ZeroStage stage;
+    bool pa;
+  };
+  const Scenario scenarios[] = {
+      {"Megatron MP only (mp=4)", 1, 4, model::ZeroStage::kNone, false},
+      {"ZeRO-DP only (dp=4, Pos+g)", 4, 1, model::ZeroStage::kOsG, false},
+      {"MP x ZeRO (mp=2, dp=2, +Pa)", 2, 2, model::ZeroStage::kOsG, true},
+  };
+
+  std::printf("4 simulated devices, same model, three parallel layouts:\n\n");
+  for (const Scenario& s : scenarios) {
+    core::TrainOptions opt = base;
+    opt.cluster.dp_degree = s.dp;
+    opt.cluster.mp_degree = s.mp;
+    opt.engine.stage = s.stage;
+    opt.zero_r.partition_activations = s.pa;
+    // The batch is per DP column; keep the global batch at 16 sequences
+    // regardless of layout.
+    opt.batch_per_rank = 16 / s.dp;
+
+    const core::TrainResult result = core::TrainGpt(opt);
+    if (result.oom) {
+      std::printf("%-30s OOM: %s\n", s.name, result.oom_message.c_str());
+      continue;
+    }
+    const core::RankMetrics& r0 = result.ranks[0];
+    std::printf("%-30s loss %.4f -> %.4f\n", s.name, result.losses.front(),
+                result.losses.back());
+    std::printf(
+        "%-30s states/rank %.1f KB, peak cached %.1f KB, DP sent %.1f KB, "
+        "MP sent %.1f KB\n\n",
+        "", r0.model_states.total() / 1e3,
+        static_cast<double>(r0.cache.peak_cached) / 1e3,
+        static_cast<double>(r0.dp_comm.bytes_sent) / 1e3,
+        static_cast<double>(r0.mp_comm.bytes_sent) / 1e3);
+  }
+  std::printf(
+      "Note the trade: MP spends bandwidth every layer; ZeRO-DP spends "
+      "it once per step.\nCombining them (paper Sec 1) divides memory "
+      "multiplicatively: Nd x Nm.\n");
+  return 0;
+}

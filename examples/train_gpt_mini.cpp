@@ -1,0 +1,65 @@
+// Full training run: a GPT-mini language model on a synthetic corpus
+// with every ZeRO knob exposed on the command line.
+//
+//   train_gpt_mini [stage 0-3] [dp] [mp] [steps]
+//
+// Prints a loss curve, final perplexity, and the per-rank memory and
+// communication report that a real ZeRO user would read after a run.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace zero;
+
+  const int stage_arg = argc > 1 ? std::atoi(argv[1]) : 2;
+  const int dp = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int mp = argc > 3 ? std::atoi(argv[3]) : 1;
+  const int steps = argc > 4 ? std::atoi(argv[4]) : 60;
+
+  core::TrainOptions options;
+  options.model.vocab = 48;
+  options.model.seq = 16;
+  options.model.hidden = 32;
+  options.model.layers = 3;
+  options.model.heads = 4;
+  options.engine.stage = static_cast<model::ZeroStage>(stage_arg);
+  options.engine.adam.lr = 3e-3f;
+  options.cluster.dp_degree = dp;
+  options.cluster.mp_degree = mp;
+  options.batch_per_rank = 4;
+  options.steps = steps;
+  options.corpus_branching = 2;
+  options.zero_r.activation_checkpointing = true;
+  options.zero_r.partition_activations = mp > 1;
+
+  std::printf("training GPT-mini: stage %d, dp=%d, mp=%d, %d steps\n",
+              stage_arg, dp, mp, steps);
+  const core::TrainResult result = core::TrainGpt(options);
+  if (result.oom) {
+    std::printf("OOM: %s\n", result.oom_message.c_str());
+    return 1;
+  }
+
+  for (std::size_t s = 0; s < result.losses.size(); s += 10) {
+    std::printf("  step %3zu  loss %.4f  ppl %.2f\n", s, result.losses[s],
+                std::exp(result.losses[s]));
+  }
+  std::printf("  final    loss %.4f  ppl %.2f\n", result.losses.back(),
+              std::exp(result.losses.back()));
+
+  const core::RankMetrics& r0 = result.ranks[0];
+  std::printf("\nper-rank report (rank 0 of %zu):\n", result.ranks.size());
+  std::printf("  model states: params %.1f KB, grads %.1f KB, optimizer %.1f KB\n",
+              r0.model_states.param_bytes / 1e3,
+              r0.model_states.grad_bytes / 1e3,
+              r0.model_states.optimizer_bytes / 1e3);
+  std::printf("  peak cached device memory: %.1f KB\n",
+              static_cast<double>(r0.cache.peak_cached) / 1e3);
+  std::printf("  DP traffic: %.1f KB sent, MP traffic: %.1f KB sent\n",
+              static_cast<double>(r0.dp_comm.bytes_sent) / 1e3,
+              static_cast<double>(r0.mp_comm.bytes_sent) / 1e3);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Trillion-parameter planner: given a model size and a cluster, report
+// which ZeRO stage / MP combination fits and what throughput to expect —
+// the Sec 9 "can I run this?" calculation as a CLI.
+//
+//   trillion_planner [params-in-billions] [gpus] [gpu-memory-GB]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "sim/auto_stage.hpp"
+#include "sim/paper_configs.hpp"
+#include "sim/search.hpp"
+
+int main(int argc, char** argv) {
+  using namespace zero;
+  const double psi_b = argc > 1 ? std::atof(argv[1]) : 1000.0;  // 1T default
+  const int gpus = argc > 2 ? std::atoi(argv[2]) : 1024;
+  const double mem_gb = argc > 3 ? std::atof(argv[3]) : 32.0;
+
+  sim::ClusterSpec cluster;
+  cluster.device_memory = mem_gb * 1e9;
+
+  // Pick a model shape in the paper's family for this parameter count.
+  sim::JobConfig job;
+  job.model.hidden = psi_b >= 300 ? 16384 : (psi_b >= 20 ? 8192 : 4096);
+  job.model.heads = job.model.hidden / 128;
+  job.model.layers = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             psi_b * 1e9 /
+             (12.0 * static_cast<double>(job.model.hidden * job.model.hidden))));
+  job.gpus = gpus;
+
+  std::printf(
+      "== planning %s parameters on %d GPUs with %.0f GB each ==\n"
+      "model shape: %lld layers x %lld hidden (%s params)\n\n",
+      FormatCount(psi_b * 1e9).c_str(), gpus, mem_gb,
+      static_cast<long long>(job.model.layers),
+      static_cast<long long>(job.model.hidden),
+      FormatCount(static_cast<double>(job.psi())).c_str());
+
+  Table table({"stage", "MP", "DP", "states/GPU", "total/GPU", "max batch",
+               "TF/GPU", "verdict"});
+  for (model::ZeroStage stage :
+       {model::ZeroStage::kNone, model::ZeroStage::kOs,
+        model::ZeroStage::kOsG, model::ZeroStage::kOsGP}) {
+    for (int mp : {1, 16}) {
+      if (gpus % mp != 0) continue;
+      sim::JobConfig candidate = job;
+      candidate.stage = stage;
+      candidate.mp = mp;
+      candidate.pa = mp > 1;
+      candidate.pa_cpu = false;
+      candidate.batch_per_gpu = 1;
+      const sim::MemoryBreakdown mem =
+          sim::EstimateMemory(cluster, candidate);
+      const std::int64_t batch = sim::MaxBatchPerGpu(cluster, candidate);
+      std::string tf = "-";
+      std::string verdict = "does not fit";
+      if (batch > 0) {
+        candidate.batch_per_gpu = batch;
+        const sim::ThroughputEstimate t =
+            sim::EstimateThroughput(cluster, candidate);
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%.1f", t.tflops_per_gpu);
+        tf = buf;
+        verdict = "FITS";
+      }
+      const char* stage_name[] = {"baseline", "Pos", "Pos+g", "Pos+g+p"};
+      table.AddRow({stage_name[static_cast<int>(stage)], std::to_string(mp),
+                    std::to_string(gpus / mp),
+                    FormatBytes(mem.model_states()),
+                    FormatBytes(mem.total()),
+                    batch > 0 ? std::to_string(batch) : "-", tf, verdict});
+    }
+  }
+  table.Print(std::cout);
+
+  // Automatic recommendation: lowest stage that fits at MP 1.
+  sim::JobConfig probe = job;
+  probe.mp = 1;
+  probe.batch_per_gpu = 1;
+  const sim::StageRecommendation rec = sim::RecommendStage(cluster, probe);
+  const char* stage_name[] = {"baseline DP", "Pos", "Pos+g", "Pos+g+p"};
+  if (rec.fits) {
+    std::printf("\nrecommendation: %s (lowest stage that fits at MP=1; "
+                "%s/GPU)\n",
+                stage_name[static_cast<int>(rec.stage)],
+                FormatBytes(rec.memory.total()).c_str());
+  } else {
+    std::printf(
+        "\nrecommendation: does not fit even at Pos+g+p (needs %s/GPU) — "
+        "add MP, GPUs, or Pa+cpu\n",
+        FormatBytes(rec.memory.total()).c_str());
+  }
+  std::printf(
+      "(Sec 9: 1T fits on 1024 GPUs only with Pos+g+p, or Pos+g+p "
+      "combined with MP.)\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "alloc/arena.hpp"
+
+#include <algorithm>
+
+namespace zero::alloc {
+
+Arena::Arena(DeviceMemory& device, std::size_t capacity, std::string name)
+    : block_(device.Allocate(capacity)), name_(std::move(name)) {}
+
+std::byte* Arena::Allocate(std::size_t bytes) {
+  const std::size_t need = DeviceMemory::AlignUp(bytes);
+  if (used_ + need > block_.size()) {
+    throw DeviceOomError(need, block_.size() - used_, block_.size() - used_,
+                         "arena " + name_);
+  }
+  std::byte* p = block_.data() + used_;
+  used_ += need;
+  peak_used_ = std::max(peak_used_, used_);
+  return p;
+}
+
+}  // namespace zero::alloc

@@ -1,0 +1,50 @@
+// Contiguous pre-allocated arenas — the mechanism behind ZeRO-R's MD
+// (memory defragmentation, Sec 6.3).
+//
+// The paper's insight: fragmentation comes from interleaving short-lived
+// tensors (recomputed activations, activation gradients) with long-lived
+// ones (activation checkpoints, parameter gradients). MD pre-allocates
+// one contiguous chunk per long-lived class and copies tensors into it as
+// they are produced, so the general allocator only ever sees short-lived
+// traffic and stays unfragmented.
+//
+// An Arena grabs a single contiguous block from DeviceMemory up front and
+// bump-allocates within it; Reset() recycles it each iteration.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "alloc/device_memory.hpp"
+
+namespace zero::alloc {
+
+class Arena {
+ public:
+  Arena(DeviceMemory& device, std::size_t capacity, std::string name);
+
+  // Bump allocation; throws DeviceOomError (with the arena's name as
+  // context) when the arena is exhausted. Pointers remain valid until
+  // Reset().
+  [[nodiscard]] std::byte* Allocate(std::size_t bytes);
+
+  [[nodiscard]] bool CanAllocate(std::size_t bytes) const {
+    return used_ + DeviceMemory::AlignUp(bytes) <= block_.size();
+  }
+
+  // Invalidates all pointers handed out so far.
+  void Reset() { used_ = 0; }
+
+  [[nodiscard]] std::size_t capacity() const { return block_.size(); }
+  [[nodiscard]] std::size_t used() const { return used_; }
+  [[nodiscard]] std::size_t peak_used() const { return peak_used_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  Allocation block_;
+  std::string name_;
+  std::size_t used_ = 0;
+  std::size_t peak_used_ = 0;
+};
+
+}  // namespace zero::alloc

@@ -1,0 +1,112 @@
+#include "alloc/caching_allocator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace zero::alloc {
+
+CachedBlock::CachedBlock(CachingAllocator* owner, std::size_t id,
+                         std::byte* data, std::size_t size)
+    : owner_(owner), id_(id), data_(data), size_(size) {}
+
+CachedBlock::~CachedBlock() { Release(); }
+
+CachedBlock::CachedBlock(CachedBlock&& other) noexcept
+    : owner_(std::exchange(other.owner_, nullptr)),
+      id_(other.id_),
+      data_(other.data_),
+      size_(other.size_) {}
+
+CachedBlock& CachedBlock::operator=(CachedBlock&& other) noexcept {
+  if (this != &other) {
+    Release();
+    owner_ = std::exchange(other.owner_, nullptr);
+    id_ = other.id_;
+    data_ = other.data_;
+    size_ = other.size_;
+  }
+  return *this;
+}
+
+void CachedBlock::Release() {
+  if (owner_ != nullptr) {
+    owner_->Free(id_);
+    owner_ = nullptr;
+  }
+}
+
+CachingAllocator::CachingAllocator(DeviceMemory& device) : device_(device) {}
+
+CachedBlock CachingAllocator::Malloc(std::size_t bytes) {
+  const std::size_t need = DeviceMemory::AlignUp(bytes);
+
+  // 1. Exact-or-larger parked block. PyTorch splits blocks when the
+  //    remainder is large; we reuse whole blocks when the waste is small
+  //    (<= 25%) to keep behaviour simple and deterministic.
+  auto it = bins_.lower_bound(need);
+  if (it != bins_.end() && it->first <= need + need / 4) {
+    const std::size_t id = it->second;
+    bins_.erase(it);
+    Segment& seg = segments_.at(id);
+    seg.parked = false;
+    stats_.live_bytes += seg.size;
+    stats_.peak_live = std::max(stats_.peak_live, stats_.live_bytes);
+    ++stats_.cache_hits;
+    return CachedBlock(this, id, seg.allocation.data(), seg.size);
+  }
+
+  // 2. Fresh device allocation; on OOM, flush the cache and retry once
+  //    (the empty_cache fallback PyTorch performs before surfacing OOM).
+  ++stats_.cache_misses;
+  Allocation alloc;
+  try {
+    alloc = device_.Allocate(need);
+  } catch (const DeviceOomError&) {
+    EmptyCache();
+    alloc = device_.Allocate(need);  // may rethrow — genuine OOM
+  }
+
+  const std::size_t id = next_id_++;
+  Segment seg;
+  seg.size = alloc.size();
+  seg.allocation = std::move(alloc);
+  seg.parked = false;
+  auto [pos, inserted] = segments_.emplace(id, std::move(seg));
+  ZERO_CHECK(inserted, "segment id collision");
+
+  stats_.cached_bytes += pos->second.size;
+  stats_.peak_cached = std::max(stats_.peak_cached, stats_.cached_bytes);
+  stats_.live_bytes += pos->second.size;
+  stats_.peak_live = std::max(stats_.peak_live, stats_.live_bytes);
+  return CachedBlock(this, id, pos->second.allocation.data(),
+                     pos->second.size);
+}
+
+void CachingAllocator::Free(std::size_t id) {
+  auto it = segments_.find(id);
+  ZERO_CHECK(it != segments_.end(), "freeing unknown cached block");
+  Segment& seg = it->second;
+  ZERO_CHECK(!seg.parked, "double free of cached block");
+  seg.parked = true;
+  stats_.live_bytes -= seg.size;
+  bins_.emplace(seg.size, id);
+}
+
+void CachingAllocator::EmptyCache() {
+  for (auto it = segments_.begin(); it != segments_.end();) {
+    if (it->second.parked) {
+      stats_.cached_bytes -= it->second.size;
+      it = segments_.erase(it);  // Allocation dtor frees device bytes
+    } else {
+      ++it;
+    }
+  }
+  bins_.clear();
+}
+
+void CachingAllocator::ResetPeak() {
+  stats_.peak_cached = stats_.cached_bytes;
+  stats_.peak_live = stats_.live_bytes;
+}
+
+}  // namespace zero::alloc

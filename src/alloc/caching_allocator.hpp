@@ -1,0 +1,98 @@
+// A PyTorch-style caching allocator layered over DeviceMemory.
+//
+// Figure 7 of the paper reports the "maximum memory cached by PyTorch"
+// per iteration: the CUDA caching allocator never returns freed blocks to
+// the driver, it keeps them binned for reuse, so the cached high-water is
+// the true footprint a training config needs. This class reproduces that
+// behaviour: Free() parks the block in a size-binned cache; Malloc()
+// first tries an exact-bin reuse, then a larger cached block (split), and
+// only then the underlying DeviceMemory. `peak_cached()` is the Figure 7
+// metric; `EmptyCache()` models torch.cuda.empty_cache().
+//
+// The interleaving of short- and long-lived tensors through this cache is
+// also what produces the Sec 3.2 fragmentation pathology that ZeRO-R's MD
+// (contiguous arenas, arena.hpp) exists to fix.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "alloc/device_memory.hpp"
+
+namespace zero::alloc {
+
+struct CacheStats {
+  std::size_t cached_bytes = 0;    // bytes held from the device, live + parked
+  std::size_t peak_cached = 0;     // Fig 7's "max cache allocated"
+  std::size_t live_bytes = 0;      // bytes handed out to tensors
+  std::size_t peak_live = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t splits = 0;
+};
+
+class CachingAllocator;
+
+// Move-only handle analogous to Allocation but owned by the cache.
+class CachedBlock {
+ public:
+  CachedBlock() = default;
+  CachedBlock(CachingAllocator* owner, std::size_t id, std::byte* data,
+              std::size_t size);
+  ~CachedBlock();
+
+  CachedBlock(CachedBlock&& other) noexcept;
+  CachedBlock& operator=(CachedBlock&& other) noexcept;
+  CachedBlock(const CachedBlock&) = delete;
+  CachedBlock& operator=(const CachedBlock&) = delete;
+
+  [[nodiscard]] std::byte* data() { return data_; }
+  [[nodiscard]] const std::byte* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool valid() const { return owner_ != nullptr; }
+
+  void Release();
+
+ private:
+  CachingAllocator* owner_ = nullptr;
+  std::size_t id_ = 0;
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+class CachingAllocator {
+ public:
+  explicit CachingAllocator(DeviceMemory& device);
+
+  // Throws DeviceOomError if neither the cache nor the device can satisfy
+  // the request (after an implicit EmptyCache retry, as PyTorch does).
+  [[nodiscard]] CachedBlock Malloc(std::size_t bytes);
+
+  // Return all parked blocks to the device.
+  void EmptyCache();
+
+  [[nodiscard]] CacheStats Stats() const { return stats_; }
+  [[nodiscard]] DeviceMemory& device() { return device_; }
+
+  void ResetPeak();
+
+ private:
+  friend class CachedBlock;
+  void Free(std::size_t id);
+
+  struct Segment {
+    Allocation allocation;
+    std::size_t size = 0;
+    bool parked = false;  // in the free bins, not handed out
+  };
+
+  DeviceMemory& device_;
+  std::map<std::size_t, Segment> segments_;        // id -> segment
+  std::multimap<std::size_t, std::size_t> bins_;   // size -> id (parked only)
+  std::size_t next_id_ = 1;
+  CacheStats stats_;
+};
+
+}  // namespace zero::alloc

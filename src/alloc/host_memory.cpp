@@ -1,0 +1,36 @@
+#include "alloc/host_memory.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace zero::alloc {
+
+std::size_t HostMemory::Offload(const std::byte* src, std::size_t bytes) {
+  std::vector<std::byte> buf(bytes);
+  std::memcpy(buf.data(), src, bytes);
+  const std::size_t handle = next_handle_++;
+  buffers_.emplace(handle, std::move(buf));
+  stats_.in_use += bytes;
+  stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
+  stats_.bytes_to_host += bytes;
+  return handle;
+}
+
+void HostMemory::Restore(std::size_t handle, std::byte* dst) {
+  auto it = buffers_.find(handle);
+  ZERO_CHECK(it != buffers_.end(), "restoring unknown host buffer");
+  std::memcpy(dst, it->second.data(), it->second.size());
+  stats_.in_use -= it->second.size();
+  stats_.bytes_from_host += it->second.size();
+  buffers_.erase(it);
+}
+
+std::size_t HostMemory::SizeOfHandle(std::size_t handle) const {
+  auto it = buffers_.find(handle);
+  ZERO_CHECK(it != buffers_.end(), "querying unknown host buffer");
+  return it->second.size();
+}
+
+}  // namespace zero::alloc

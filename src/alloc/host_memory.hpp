@@ -1,0 +1,45 @@
+// Host (CPU) memory pool used by Pa+cpu activation-checkpoint offload
+// (Sec 6.1). Host memory is effectively unbounded relative to device
+// memory in the paper's setting, so this pool only tracks usage and
+// transfer volume — the quantity that matters for the Sec 8 analysis
+// ("2x added data movement to and from CPU memory compared to Pa").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace zero::alloc {
+
+struct HostStats {
+  std::size_t in_use = 0;
+  std::size_t peak_in_use = 0;
+  std::uint64_t bytes_to_host = 0;    // device -> host copies
+  std::uint64_t bytes_from_host = 0;  // host -> device copies
+};
+
+class HostMemory {
+ public:
+  HostMemory() = default;
+  HostMemory(const HostMemory&) = delete;
+  HostMemory& operator=(const HostMemory&) = delete;
+
+  // Copies `bytes` from `src` into a fresh host buffer; returns a handle.
+  [[nodiscard]] std::size_t Offload(const std::byte* src, std::size_t bytes);
+
+  // Copies the stored buffer back into `dst` (which must be >= its size)
+  // and releases the host buffer.
+  void Restore(std::size_t handle, std::byte* dst);
+
+  [[nodiscard]] std::size_t SizeOfHandle(std::size_t handle) const;
+  [[nodiscard]] HostStats Stats() const { return stats_; }
+  void ResetPeak() { stats_.peak_in_use = stats_.in_use; }
+
+ private:
+  std::map<std::size_t, std::vector<std::byte>> buffers_;
+  std::size_t next_handle_ = 1;
+  HostStats stats_;
+};
+
+}  // namespace zero::alloc

@@ -1,0 +1,86 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace zero::comm {
+
+Communicator::Communicator(RankContext& ctx, std::vector<int> members,
+                           std::uint64_t group_id)
+    : ctx_(&ctx), members_(std::move(members)), group_id_(group_id) {
+  ZERO_CHECK(!members_.empty(), "empty communicator group");
+  auto it = std::find(members_.begin(), members_.end(), ctx.rank);
+  ZERO_CHECK(it != members_.end(),
+             "rank " + std::to_string(ctx.rank) + " not in group");
+  my_index_ = static_cast<int>(it - members_.begin());
+  for (int m : members_) {
+    ZERO_CHECK(m >= 0 && m < ctx.world_size, "group member out of range");
+  }
+  // Internal collective tags live above the user tag space.
+  op_seq_ = kUserTagLimit;
+}
+
+Communicator Communicator::WholeWorld(RankContext& ctx) {
+  std::vector<int> all(static_cast<std::size_t>(ctx.world_size));
+  std::iota(all.begin(), all.end(), 0);
+  return Communicator(ctx, std::move(all), /*group_id=*/0);
+}
+
+void Communicator::Barrier() {
+  // Distinct barrier key per group; all members pass the same key.
+  ctx_->world->SharedBarrier(0x5A5A000000000000ull ^ group_id_, size())
+      .Arrive();
+}
+
+void Communicator::SendBytes(int peer, std::span<const std::byte> data,
+                             std::uint64_t tag) {
+  ZERO_CHECK(peer >= 0 && peer < size(), "send peer out of range");
+  const int global_peer = members_[static_cast<std::size_t>(peer)];
+  ctx_->world->mailbox(global_peer)
+      .Deposit(ctx_->rank, tag ^ (group_id_ << 52), data);
+  stats_.bytes_sent += data.size();
+  ++stats_.messages_sent;
+}
+
+std::vector<std::byte> Communicator::RecvBytes(int peer, std::uint64_t tag) {
+  ZERO_CHECK(peer >= 0 && peer < size(), "recv peer out of range");
+  const int global_peer = members_[static_cast<std::size_t>(peer)];
+  std::vector<std::byte> msg = ctx_->world->mailbox(ctx_->rank)
+                                   .Take(global_peer, tag ^ (group_id_ << 52));
+  stats_.bytes_received += msg.size();
+  return msg;
+}
+
+std::pair<std::size_t, std::size_t> Communicator::ChunkRange(
+    std::size_t total, int chunk_index) const {
+  const auto p = static_cast<std::size_t>(size());
+  const auto i = static_cast<std::size_t>(chunk_index);
+  const std::size_t base = total / p;
+  const std::size_t rem = total % p;
+  const std::size_t begin = i * base + std::min(i, rem);
+  const std::size_t len = base + (i < rem ? 1 : 0);
+  return {begin, begin + len};
+}
+
+void Communicator::RingBroadcast(std::span<std::byte> data, int root,
+                                 std::uint64_t seq) {
+  const int p = size();
+  // Pipeline the message in p chunks around the ring rooted at `root`.
+  // Position q = distance from root along the ring.
+  const int q = Distance(root, rank());
+  for (int c = 0; c < p; ++c) {
+    auto [b, e] = ChunkRange(data.size(), c);
+    if (e == b) continue;
+    std::span<std::byte> chunk = data.subspan(b, e - b);
+    if (q != 0) {
+      Recv(Prev(), chunk, seq + static_cast<std::uint64_t>(c));
+    }
+    if (q != p - 1) {
+      Send(Next(), std::span<const std::byte>(chunk),
+           seq + static_cast<std::uint64_t>(c));
+    }
+  }
+  ++stats_.collectives;
+}
+
+}  // namespace zero::comm

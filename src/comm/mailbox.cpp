@@ -1,0 +1,36 @@
+#include "comm/mailbox.hpp"
+
+namespace zero::comm {
+
+void Mailbox::Deposit(int source, std::uint64_t tag,
+                      std::span<const std::byte> data) {
+  std::vector<std::byte> copy(data.begin(), data.end());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queues_[{source, tag}].push_back(std::move(copy));
+    ++pending_;
+  }
+  cv_.notify_all();
+}
+
+std::vector<std::byte> Mailbox::Take(int source, std::uint64_t tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const Key key{source, tag};
+  cv_.wait(lock, [&] {
+    auto it = queues_.find(key);
+    return it != queues_.end() && !it->second.empty();
+  });
+  auto it = queues_.find(key);
+  std::vector<std::byte> msg = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) queues_.erase(it);
+  --pending_;
+  return msg;
+}
+
+std::size_t Mailbox::PendingCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_;
+}
+
+}  // namespace zero::comm

@@ -1,0 +1,48 @@
+// Point-to-point message transport between in-process ranks.
+//
+// Each rank owns one Mailbox. A sender deposits a tagged byte buffer into
+// the receiver's box; Recv blocks until a message matching (source, tag)
+// arrives. This is the only synchronization primitive under the
+// collective library — everything above it is the same SPMD
+// message-passing structure an MPI/NCCL implementation would have.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace zero::comm {
+
+struct Message {
+  int source = -1;
+  std::uint64_t tag = 0;
+  std::vector<std::byte> payload;
+};
+
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  void Deposit(int source, std::uint64_t tag, std::span<const std::byte> data);
+
+  // Blocks until a message with exactly this (source, tag) is available.
+  [[nodiscard]] std::vector<std::byte> Take(int source, std::uint64_t tag);
+
+  [[nodiscard]] std::size_t PendingCount() const;
+
+ private:
+  using Key = std::pair<int, std::uint64_t>;  // (source, tag)
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<Key, std::deque<std::vector<std::byte>>> queues_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace zero::comm

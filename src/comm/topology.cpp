@@ -1,0 +1,41 @@
+#include "comm/topology.hpp"
+
+#include "common/error.hpp"
+
+namespace zero::comm {
+
+GridTopology::GridTopology(int world, int mp)
+    : world_size(world), mp_degree(mp) {
+  ZERO_CHECK(world >= 1 && mp >= 1, "degenerate grid");
+  ZERO_CHECK(world % mp == 0, "world size must be divisible by MP degree");
+  dp_degree = world / mp;
+}
+
+std::vector<int> GridTopology::MpGroupMembers(int rank) const {
+  const int base = MpGroupIndex(rank) * mp_degree;
+  std::vector<int> members(static_cast<std::size_t>(mp_degree));
+  for (int i = 0; i < mp_degree; ++i) members[static_cast<std::size_t>(i)] = base + i;
+  return members;
+}
+
+std::vector<int> GridTopology::DpGroupMembers(int rank) const {
+  const int col = DpGroupIndex(rank);
+  std::vector<int> members(static_cast<std::size_t>(dp_degree));
+  for (int i = 0; i < dp_degree; ++i)
+    members[static_cast<std::size_t>(i)] = col + i * mp_degree;
+  return members;
+}
+
+Communicator GridTopology::MakeMpComm(RankContext& ctx) const {
+  return Communicator(
+      ctx, MpGroupMembers(ctx.rank),
+      kMpGroupBase + static_cast<std::uint64_t>(MpGroupIndex(ctx.rank)));
+}
+
+Communicator GridTopology::MakeDpComm(RankContext& ctx) const {
+  return Communicator(
+      ctx, DpGroupMembers(ctx.rank),
+      kDpGroupBase + static_cast<std::uint64_t>(DpGroupIndex(ctx.rank)));
+}
+
+}  // namespace zero::comm

@@ -1,0 +1,42 @@
+// DP x MP process-grid topology (Megatron-LM convention).
+//
+// With world size W = Nd * Nm, model-parallel groups are blocks of Nm
+// consecutive ranks (they would share a node, where NVSwitch bandwidth
+// lives), and data-parallel groups stride across blocks with step Nm.
+// ZeRO composes with MP exactly this way (Sec 1: "16-way model
+// parallelism within each DGX2 node and 64-way data parallelism across
+// nodes").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/communicator.hpp"
+
+namespace zero::comm {
+
+struct GridTopology {
+  int world_size = 0;
+  int mp_degree = 1;
+  int dp_degree = 1;
+
+  GridTopology(int world, int mp);
+
+  // Group-id bases keep MP/DP communicator tags disjoint.
+  static constexpr std::uint64_t kMpGroupBase = 0x100;
+  static constexpr std::uint64_t kDpGroupBase = 0x200;
+
+  [[nodiscard]] int MpGroupIndex(int rank) const { return rank / mp_degree; }
+  [[nodiscard]] int DpGroupIndex(int rank) const { return rank % mp_degree; }
+  [[nodiscard]] int MpRank(int rank) const { return rank % mp_degree; }
+  [[nodiscard]] int DpRank(int rank) const { return rank / mp_degree; }
+
+  [[nodiscard]] std::vector<int> MpGroupMembers(int rank) const;
+  [[nodiscard]] std::vector<int> DpGroupMembers(int rank) const;
+
+  // Communicators for the calling rank's row/column of the grid.
+  [[nodiscard]] Communicator MakeMpComm(RankContext& ctx) const;
+  [[nodiscard]] Communicator MakeDpComm(RankContext& ctx) const;
+};
+
+}  // namespace zero::comm

@@ -1,0 +1,51 @@
+#include "comm/world.hpp"
+
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace zero::comm {
+
+World::World(int size) : size_(size) {
+  ZERO_CHECK(size >= 1, "world size must be positive");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+Barrier& World::SharedBarrier(std::uint64_t key, int parties) {
+  std::lock_guard<std::mutex> lock(barriers_mutex_);
+  auto it = barriers_.find(key);
+  if (it == barriers_.end()) {
+    it = barriers_.emplace(key, std::make_unique<Barrier>(parties)).first;
+  }
+  return *it->second;
+}
+
+void World::Run(const std::function<void(RankContext&)>& body) {
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &body, &errors] {
+      RankContext ctx;
+      ctx.world = this;
+      ctx.rank = r;
+      ctx.world_size = size_;
+      try {
+        body(ctx);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace zero::comm

@@ -1,0 +1,83 @@
+// World: the set of in-process ranks ("devices") for one run.
+//
+// World::Run(n, fn) launches n threads; each executes fn(RankContext&)
+// with its rank id, its Mailbox, and access to every peer's Mailbox for
+// sends. A shared Barrier (generation-counted) provides group-wide
+// synchronization. Exceptions thrown by any rank are captured and
+// rethrown on the launching thread after all ranks join, so a device OOM
+// on rank k surfaces as a normal C++ exception in the test/bench.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "comm/mailbox.hpp"
+
+namespace zero::comm {
+
+// Reusable generation-counted barrier for an arbitrary subset size.
+class Barrier {
+ public:
+  explicit Barrier(int parties) : parties_(parties) {}
+
+  void Arrive() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::uint64_t gen = generation_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != gen; });
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int parties_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+class World;
+
+struct RankContext {
+  World* world = nullptr;
+  int rank = -1;
+  int world_size = 0;
+};
+
+class World {
+ public:
+  explicit World(int size);
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
+
+  // Obtain (lazily creating) a barrier shared by all callers that pass
+  // the same key with the same party count. Used by communicators over
+  // rank subsets.
+  [[nodiscard]] Barrier& SharedBarrier(std::uint64_t key, int parties);
+
+  // SPMD entry point: runs body once per rank on its own thread and
+  // joins. If any rank throws, the first exception (by rank order) is
+  // rethrown here after all threads complete or abort their wait.
+  void Run(const std::function<void(RankContext&)>& body);
+
+ private:
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::mutex barriers_mutex_;
+  std::map<std::uint64_t, std::unique_ptr<Barrier>> barriers_;
+};
+
+}  // namespace zero::comm

@@ -1,0 +1,37 @@
+// Element types used throughout the runtime. The paper's memory
+// accounting (Sec 3.1) hinges on the 2-byte/4-byte split between fp16
+// working tensors and fp32 optimizer state, so byte sizes live here as
+// the single source of truth.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace zero {
+
+enum class DType : unsigned char {
+  kF16,
+  kF32,
+};
+
+[[nodiscard]] constexpr std::size_t SizeOf(DType t) {
+  switch (t) {
+    case DType::kF16:
+      return 2;
+    case DType::kF32:
+      return 4;
+  }
+  return 0;  // unreachable
+}
+
+[[nodiscard]] constexpr std::string_view Name(DType t) {
+  switch (t) {
+    case DType::kF16:
+      return "f16";
+    case DType::kF32:
+      return "f32";
+  }
+  return "?";
+}
+
+}  // namespace zero

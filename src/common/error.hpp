@@ -1,0 +1,78 @@
+// Error taxonomy for the runtime. Device OOM is a first-class, expected
+// outcome in this codebase — the paper's max-model-size and max-batch
+// experiments (Table 2, Figures 6-8) are defined by the boundary where
+// allocation fails — so it gets its own type that carries the allocator
+// state needed to distinguish "truly full" from "fragmented" (Sec 3.2).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace zero {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Allocation failed on a simulated device.
+class DeviceOomError : public Error {
+ public:
+  DeviceOomError(std::size_t requested, std::size_t free_total,
+                 std::size_t largest_free_block, const std::string& context)
+      : Error(Format(requested, free_total, largest_free_block, context)),
+        requested_(requested),
+        free_total_(free_total),
+        largest_free_block_(largest_free_block) {}
+
+  [[nodiscard]] std::size_t requested() const { return requested_; }
+  [[nodiscard]] std::size_t free_total() const { return free_total_; }
+  [[nodiscard]] std::size_t largest_free_block() const {
+    return largest_free_block_;
+  }
+  // True when the failure is the Sec 3.2 pathology: enough free bytes in
+  // total, but no contiguous block large enough.
+  [[nodiscard]] bool due_to_fragmentation() const {
+    return free_total_ >= requested_;
+  }
+
+ private:
+  static std::string Format(std::size_t requested, std::size_t free_total,
+                            std::size_t largest, const std::string& context);
+
+  std::size_t requested_;
+  std::size_t free_total_;
+  std::size_t largest_free_block_;
+};
+
+class ShapeError : public Error {
+ public:
+  using Error::Error;
+};
+
+class CommError : public Error {
+ public:
+  using Error::Error;
+};
+
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace zero
+
+// Invariant check that survives release builds; violations indicate a bug
+// in this library, not user error.
+#define ZERO_CHECK(expr, msg)                                         \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::zero::detail::CheckFailed(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,96 @@
+#include "common/half.hpp"
+
+#include <cmath>
+
+namespace zero {
+
+std::uint16_t Half::FromFloat(float f) {
+  std::uint32_t x;
+  std::memcpy(&x, &f, sizeof(x));
+
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::uint32_t exp32 = (x >> 23) & 0xFFu;
+  std::uint32_t mant = x & 0x007FFFFFu;
+
+  if (exp32 == 0xFFu) {  // Inf / NaN
+    if (mant != 0) {
+      // Preserve a quiet NaN; keep a nonzero mantissa.
+      return static_cast<std::uint16_t>(sign | 0x7C00u | 0x0200u |
+                                        (mant >> 13));
+    }
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+
+  // Re-bias exponent: fp32 bias 127, fp16 bias 15.
+  int exp = static_cast<int>(exp32) - 127 + 15;
+
+  if (exp >= 0x1F) {  // overflow -> Inf
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+
+  if (exp <= 0) {
+    // Subnormal half (or underflow to zero). Shift in the implicit bit.
+    if (exp < -10) {
+      return static_cast<std::uint16_t>(sign);  // rounds to +-0
+    }
+    mant |= 0x00800000u;  // implicit leading 1
+    const int shift = 14 - exp;  // 14..24
+    const std::uint32_t q = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    std::uint32_t result = q;
+    if (rem > halfway || (rem == halfway && (q & 1u))) {
+      ++result;  // round to nearest even; may carry into the normal range
+    }
+    return static_cast<std::uint16_t>(sign | result);
+  }
+
+  // Normal number: keep top 10 mantissa bits, round to nearest even.
+  std::uint32_t result =
+      (static_cast<std::uint32_t>(exp) << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (result & 1u))) {
+    ++result;  // carry may bump exponent, including into Inf — that is correct
+  }
+  return static_cast<std::uint16_t>(sign | result);
+}
+
+float Half::ToFloatImpl(std::uint16_t bits) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(bits) & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1Fu;
+  const std::uint32_t mant = bits & 0x03FFu;
+
+  std::uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // signed zero
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x0400u) == 0);
+      out = sign | ((127 - 15 - e) << 23) | ((m & 0x03FFu) << 13);
+    }
+  } else if (exp == 0x1F) {
+    out = sign | 0x7F800000u | (mant << 13);  // Inf / NaN
+  } else {
+    out = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+
+  float f;
+  std::memcpy(&f, &out, sizeof(f));
+  return f;
+}
+
+void FloatToHalf(const float* src, Half* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = Half(src[i]);
+}
+
+void HalfToFloat(const Half* src, float* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = src[i].ToFloat();
+}
+
+}  // namespace zero

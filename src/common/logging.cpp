@@ -1,0 +1,102 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace zero {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_emit_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace detail {
+
+void Emit(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[zero %-5s] %s\n", LevelName(level), message.c_str());
+}
+
+void CheckFailed(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::string full = std::string("ZERO_CHECK failed: ") + expr + " at " +
+                     file + ":" + std::to_string(line) + ": " + msg;
+  Emit(LogLevel::kError, full);
+  throw Error(full);
+}
+
+}  // namespace detail
+
+std::string FormatBytes(double bytes) {
+  char buf[64];
+  const char* unit = "B";
+  double v = bytes;
+  if (bytes >= 1e12) {
+    v = bytes / 1e12;
+    unit = "TB";
+  } else if (bytes >= 1e9) {
+    v = bytes / 1e9;
+    unit = "GB";
+  } else if (bytes >= 1e6) {
+    v = bytes / 1e6;
+    unit = "MB";
+  } else if (bytes >= 1e3) {
+    v = bytes / 1e3;
+    unit = "KB";
+  }
+  std::snprintf(buf, sizeof(buf), "%.4g %s", v, unit);
+  return buf;
+}
+
+std::string FormatCount(double count) {
+  char buf[64];
+  if (count >= 1e12) {
+    std::snprintf(buf, sizeof(buf), "%.3gT", count / 1e12);
+  } else if (count >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3gB", count / 1e9);
+  } else if (count >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3gM", count / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", count);
+  }
+  return buf;
+}
+
+std::string DeviceOomError::Format(std::size_t requested,
+                                   std::size_t free_total, std::size_t largest,
+                                   const std::string& context) {
+  std::string s = "device OOM";
+  if (!context.empty()) s += " (" + context + ")";
+  s += ": requested " + FormatBytes(static_cast<double>(requested)) +
+       ", free " + FormatBytes(static_cast<double>(free_total)) +
+       ", largest contiguous block " +
+       FormatBytes(static_cast<double>(largest));
+  if (free_total >= requested) {
+    s += " [fragmentation: total free would satisfy the request]";
+  }
+  return s;
+}
+
+}  // namespace zero

@@ -1,0 +1,45 @@
+// Minimal leveled logger. Multi-rank code logs with a rank prefix; output
+// is serialized with a process-wide mutex so interleaved rank logs stay
+// line-atomic.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace zero {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace detail {
+void Emit(LogLevel level, const std::string& message);
+}
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= GetLogLevel()) detail::Emit(level_, stream_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= GetLogLevel()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace zero
+
+#define ZLOG_DEBUG ::zero::LogLine(::zero::LogLevel::kDebug)
+#define ZLOG_INFO ::zero::LogLine(::zero::LogLevel::kInfo)
+#define ZLOG_WARN ::zero::LogLine(::zero::LogLevel::kWarn)
+#define ZLOG_ERROR ::zero::LogLine(::zero::LogLevel::kError)

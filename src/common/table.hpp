@@ -1,0 +1,31 @@
+// ASCII table printer used by the bench harnesses to emit the paper's
+// tables/figures as aligned rows (so bench output can be diffed against
+// EXPERIMENTS.md).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace zero {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& AddRow(std::vector<std::string> cells);
+  // Convenience: formats doubles with %.4g.
+  Table& AddRow(const std::string& label, const std::vector<double>& values);
+
+  void Print(std::ostream& os) const;
+  [[nodiscard]] std::string ToString() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace zero

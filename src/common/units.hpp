@@ -1,0 +1,38 @@
+// Byte / flop unit helpers. The paper mixes decimal GB (interconnect
+// bandwidth, "16TB of memory") with binary device capacities (32GB V100
+// cards are 32 GiB usable minus reserve); we keep both spellings explicit
+// so simulator numbers are auditable against the paper's arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace zero {
+
+constexpr std::uint64_t KiB = 1024ull;
+constexpr std::uint64_t MiB = 1024ull * KiB;
+constexpr std::uint64_t GiB = 1024ull * MiB;
+constexpr std::uint64_t TiB = 1024ull * GiB;
+
+constexpr std::uint64_t KB = 1000ull;
+constexpr std::uint64_t MB = 1000ull * KB;
+constexpr std::uint64_t GB = 1000ull * MB;
+constexpr std::uint64_t TB = 1000ull * GB;
+
+constexpr double kGigaflop = 1e9;
+constexpr double kTeraflop = 1e12;
+constexpr double kPetaflop = 1e15;
+
+// "7.5B parameters" style counts.
+constexpr std::uint64_t Billion(double x) {
+  return static_cast<std::uint64_t>(x * 1e9);
+}
+constexpr std::uint64_t Million(double x) {
+  return static_cast<std::uint64_t>(x * 1e6);
+}
+
+// Human-readable byte strings for bench output ("31.4 GB", "16.6 GB").
+std::string FormatBytes(double bytes);
+std::string FormatCount(double count);  // 7.5B, 128B, 1.0T
+
+}  // namespace zero

@@ -1,0 +1,237 @@
+// ZeRO-DP: the paper's primary contribution (Sec 5 and Sec 7).
+//
+// One ZeroDpEngine runs per rank over its data-parallel group. It owns
+// all persistent training state for that rank and implements the
+// ParamProvider / GradSink contract the model trains through:
+//
+//   stage 0 (baseline DDP)  params 2Psi | grads 2Psi | opt K*Psi
+//     gradients all-reduced at step end; full local Adam.
+//   stage 1 (Pos)           params 2Psi | grads 2Psi | opt K*Psi/Nd
+//     gradients reduce-scattered; rank updates only its partition's
+//     optimizer state; updated fp16 parameters all-gathered.
+//   stage 2 (Pos+g)         params 2Psi | grads 2Psi/Nd | opt K*Psi/Nd
+//     gradients reduced to their partition owner *during backward* in
+//     partition-aligned buckets and released immediately; otherwise as
+//     stage 1. Same 2Psi communication volume as baseline (Sec 7.2.1).
+//   stage 3 (Pos+g+p)       everything /Nd
+//     parameters stored partitioned; each unit is materialized by
+//     broadcast from its owners right before use and discarded right
+//     after (forward and again in backward), totalling 3Psi volume
+//     (Sec 7.2.2). No parameter all-gather at step end.
+//
+// Precision: fp16 mode stores parameters and gradients as real fp16
+// device tensors with loss scaling and keeps fp32 master+momentum+
+// variance in the (possibly partitioned) MixedPrecisionAdam — K = 12.
+// fp32 mode exists for exact-equivalence tests, optionally with
+// deterministic rank-ordered reductions so every stage produces
+// bit-identical trajectories.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "alloc/caching_allocator.hpp"
+#include "comm/communicator.hpp"
+#include "core/partition.hpp"
+#include "core/state_checkpoint.hpp"
+#include "model/flat_model.hpp"
+#include "model/transformer_spec.hpp"
+#include "optim/adam.hpp"
+#include "optim/loss_scaler.hpp"
+#include "tensor/tensor.hpp"
+
+namespace zero::core {
+
+struct EngineConfig {
+  model::ZeroStage stage = model::ZeroStage::kOsG;
+  bool fp16 = true;
+  float loss_scale = 1024.0f;  // static loss scaling (fp16 only)
+  // Dynamic loss scaling: overflow steps are skipped globally and the
+  // scale adapts (overrides the static loss_scale).
+  bool dynamic_loss_scale = false;
+  optim::DynamicLossScaler::Config scaler;
+  // Gradient accumulation: the optimizer runs every N micro-steps;
+  // between them, reduced gradients accumulate into a partitioned fp32
+  // buffer (full-size only for the stage-0 baseline).
+  int accumulation_steps = 1;
+  // Global gradient-norm clipping (0 disables). The norm spans the whole
+  // model, so partitioned stages all-reduce their shard norms first.
+  float max_grad_norm = 0.0f;
+  // Optimizer-state offload to host memory (the direction the paper's
+  // Sec 2.2.2 contrasts with and ZeRO-Offload later implemented): the
+  // fp32 master/momentum/variance live in CPU memory; each update moves
+  // the reduced gradient shard to the host and the updated fp16
+  // parameters back, removing the K*Psi/Nd term from device memory at
+  // 4 bytes/param/step of PCIe traffic.
+  bool offload_optimizer = false;
+  // CB (Sec 6.2): collectives on gradient partitions are issued through
+  // a constant-size fused buffer of at most this many elements, rather
+  // than one model-size-proportional buffer.
+  std::int64_t bucket_elems = 1 << 16;
+  // Deterministic rank-ordered reductions (gather, sum in rank order,
+  // redistribute). Exact across stages; used by equivalence tests.
+  bool exact_reductions = false;
+  optim::AdamConfig adam;
+};
+
+// Persistent per-rank model-state footprint, measured from live tensors.
+struct ModelStateReport {
+  std::size_t param_bytes = 0;
+  std::size_t grad_bytes = 0;
+  std::size_t optimizer_bytes = 0;
+  bool optimizer_on_host = false;  // offload_optimizer moved it off-device
+  [[nodiscard]] std::size_t total() const {
+    return param_bytes + grad_bytes + optimizer_bytes;
+  }
+  [[nodiscard]] std::size_t device_total() const {
+    return param_bytes + grad_bytes +
+           (optimizer_on_host ? 0 : optimizer_bytes);
+  }
+};
+
+class ZeroDpEngine final : public model::ParamProvider, public model::GradSink {
+ public:
+  // `device` may be null (heap-backed state, no capacity accounting).
+  // All DP ranks must construct with identical config/seed.
+  ZeroDpEngine(EngineConfig config, model::FlatParamModel& model,
+               comm::Communicator& dp, alloc::CachingAllocator* device,
+               std::uint64_t seed);
+
+  // One synchronous data-parallel training step on this rank's
+  // microbatch. Collective; all DP ranks must call together. With
+  // accumulation_steps > 1, the optimizer (and the stage-1/2 parameter
+  // all-gather) only runs on every Nth call.
+  float TrainStep(const model::Batch& batch);
+
+  // Forward/backward without touching any training state — gradients are
+  // discarded at the sink. Collective for stage 3 (parameters are
+  // fetched from their owners); all DP ranks must call together.
+  float EvalLoss(const model::Batch& batch);
+
+  // ---- ParamProvider / GradSink (called by the model inside Step) ----
+  std::span<const float> AcquireUnit(int u, model::Phase phase) override;
+  void ReleaseUnit(int u, model::Phase phase) override;
+  void EmitUnitGrad(int u, std::span<const float> grad) override;
+
+  // ---- introspection ----
+  [[nodiscard]] ModelStateReport MeasureModelStates() const;
+  [[nodiscard]] const Partitioner& partitioner() const { return part_; }
+  [[nodiscard]] const EngineConfig& config() const { return cfg_; }
+  [[nodiscard]] std::int64_t steps_taken() const { return steps_; }
+  // The loss scale currently applied to emitted gradients.
+  [[nodiscard]] float current_loss_scale() const;
+  // Optimizer updates skipped due to fp16 overflow (dynamic scaling).
+  [[nodiscard]] std::int64_t skipped_steps() const { return skipped_; }
+  // Global (clipped-from) gradient norm of the last completed update; 0
+  // before the first update or when clipping is off.
+  [[nodiscard]] float last_grad_norm() const { return last_grad_norm_; }
+  // Host<->device bytes attributable to optimizer offload so far.
+  [[nodiscard]] std::uint64_t optimizer_transfer_bytes() const {
+    return optimizer_transfer_bytes_;
+  }
+  // Materializes the full fp32 parameter vector. Collective for stage 3
+  // (parameters must be fetched from their owners).
+  [[nodiscard]] std::vector<float> GatherFullParams();
+
+  // ---- training-state checkpointing (collective) ----
+  // Re-assembles the full, Nd-independent training state (fp32 master
+  // parameters, Adam momentum/variance, step clock, loss scale) by
+  // all-gathering every rank's shard. All DP ranks must call together;
+  // every rank receives the same state. Must not be called mid
+  // accumulation cycle.
+  [[nodiscard]] TrainingState ExportState();
+  // Re-partitions `state` onto this engine — possibly under a different
+  // DP degree than it was saved with (elastic resume). Rebuilds the
+  // working fp16/fp32 parameters from the imported master copy and
+  // resets any in-flight accumulation.
+  void ImportState(const TrainingState& state);
+
+ private:
+  // -- setup --
+  void InitState(std::uint64_t seed);
+
+  // -- gradient path --
+  void StoreFullGrad(int u, std::span<const float> grad);
+  void BucketizeGrad(int u, std::span<const float> grad);
+  void FlushPartition(int j);
+  void AllGatherParams();
+
+  // Post-backward: run the per-stage reduction; afterwards this rank's
+  // reduced gradients live in ReducedF16()/ReducedF32().
+  void ReduceGradients();
+  [[nodiscard]] std::span<const Half> ReducedF16();
+  [[nodiscard]] std::span<const float> ReducedF32();
+  // The fp16 (or fp32) parameter span the optimizer updates.
+  [[nodiscard]] std::span<Half> UpdateTargetF16();
+  [[nodiscard]] std::span<float> UpdateTargetF32();
+
+  void AccumulateReduced();
+  [[nodiscard]] bool DetectGlobalOverflow();
+  // Returns the multiplicative clip coefficient (1 when disabled) and
+  // records last_grad_norm_.
+  [[nodiscard]] float ComputeClipCoefficient(float base_scale);
+  void ApplyUpdate();
+
+  // -- deterministic reduction helpers (exact_reductions mode) --
+  void ExactAllReduceSum(std::span<float> data);
+  void ExactReduceToRoot(std::span<float> data, int root);
+
+  // -- small utilities --
+  [[nodiscard]] tensor::Tensor NewDevice(std::int64_t numel, DType dt) const;
+  [[nodiscard]] int rank() const { return dp_->rank(); }
+  [[nodiscard]] int nd() const { return dp_->size(); }
+
+  EngineConfig cfg_;
+  model::FlatParamModel* model_;
+  comm::Communicator* dp_;
+  alloc::CachingAllocator* device_;
+  Partitioner part_;
+  std::int64_t steps_ = 0;
+
+  // Parameter storage. Stages 0-2: full padded vector. Stage 3: this
+  // rank's partition only.
+  tensor::Tensor params_;  // fp16 or fp32 per cfg
+
+  // Gradient storage. Stages 0-1: full padded vector. Stages 2-3: this
+  // rank's partition only, plus transient per-partition staging segments
+  // while backward covers them.
+  tensor::Tensor grads_;
+  struct Segment {
+    tensor::Tensor data;       // fp16/fp32 staging for one partition
+    std::int64_t covered = 0;  // elements emitted so far
+  };
+  std::map<int, Segment> segments_;
+  std::int64_t emit_frontier_ = 0;  // descending coverage check
+
+  // Materialized units (stage 3) / fp16->fp32 unit scratch (fp16 mode).
+  struct MaterializedUnit {
+    tensor::Tensor f16;        // gathered fp16 parameters (stage 3)
+    std::vector<float> f32;    // what the model actually reads
+    int refcount = 0;
+  };
+  std::map<int, MaterializedUnit> units_;
+
+  // Stage 1's reduce-scatter output (this rank's reduced shard). Stages
+  // 0/2/3 reduce into grads_ directly.
+  tensor::Tensor reduced_shard_;
+
+  // fp32 accumulation buffer (allocated only when accumulation_steps >
+  // 1): shard-sized for partitioned stages, full for the baseline.
+  tensor::Tensor acc_;
+  int micro_ = 0;
+
+  // Partitioned (stages 1-3) or full (stage 0) mixed-precision Adam.
+  std::unique_ptr<optim::MixedPrecisionAdam> opt_;
+
+  std::optional<optim::DynamicLossScaler> scaler_;
+  std::int64_t skipped_ = 0;
+  float last_grad_norm_ = 0.0f;
+  std::uint64_t optimizer_transfer_bytes_ = 0;
+  std::vector<float> f32_scratch_;
+
+  std::uint64_t p2p_tag_ = 1;  // deterministic per-rank tag sequence
+};
+
+}  // namespace zero::core

@@ -1,0 +1,52 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace zero::core {
+
+Range Intersect(Range a, Range b) {
+  Range r{std::max(a.begin, b.begin), std::min(a.end, b.end)};
+  if (r.empty()) return Range{0, 0};
+  return r;
+}
+
+Partitioner::Partitioner(std::int64_t total, int num_partitions)
+    : total_(total), n_(num_partitions) {
+  ZERO_CHECK(total >= 0 && num_partitions >= 1, "bad partitioner arguments");
+  shard_ = (total + n_ - 1) / n_;
+  if (shard_ == 0) shard_ = 1;  // degenerate tiny models still get shards
+  padded_ = shard_ * n_;
+}
+
+Range Partitioner::PartitionRange(int j) const {
+  ZERO_CHECK(j >= 0 && j < n_, "partition index out of range");
+  return Range{j * shard_, (j + 1) * shard_};
+}
+
+Range Partitioner::PartitionRangeClipped(int j) const {
+  Range r = PartitionRange(j);
+  r.begin = std::min(r.begin, total_);
+  r.end = std::min(r.end, total_);
+  return r;
+}
+
+int Partitioner::OwnerOf(std::int64_t index) const {
+  ZERO_CHECK(index >= 0 && index < padded_, "flat index out of range");
+  return static_cast<int>(index / shard_);
+}
+
+std::vector<std::pair<int, Range>> Partitioner::Overlaps(Range r) const {
+  std::vector<std::pair<int, Range>> out;
+  if (r.empty()) return out;
+  const int first = OwnerOf(r.begin);
+  const int last = OwnerOf(r.end - 1);
+  for (int j = first; j <= last; ++j) {
+    const Range overlap = Intersect(r, PartitionRange(j));
+    if (!overlap.empty()) out.emplace_back(j, overlap);
+  }
+  return out;
+}
+
+}  // namespace zero::core

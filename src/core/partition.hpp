@@ -1,0 +1,54 @@
+// Flat-vector partitioning across the data-parallel group (Sec 5).
+//
+// The flat parameter space of the model (padded up to a multiple of Nd)
+// is divided into Nd equal contiguous partitions; rank i owns partition
+// i and is responsible for updating its optimizer states (Pos), holding
+// its reduced gradients (Pg) and storing its parameters (Pp). Everything
+// the stage engines do — bucketized gradient reduction at partition
+// boundaries, per-unit parameter broadcast from owners — reduces to the
+// range intersections this class computes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace zero::core {
+
+struct Range {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  [[nodiscard]] std::int64_t size() const { return end - begin; }
+  [[nodiscard]] bool empty() const { return end <= begin; }
+  friend bool operator==(const Range&, const Range&) = default;
+};
+
+[[nodiscard]] Range Intersect(Range a, Range b);
+
+class Partitioner {
+ public:
+  Partitioner(std::int64_t total, int num_partitions);
+
+  [[nodiscard]] std::int64_t total() const { return total_; }
+  // total rounded up so every partition has equal size; indices in
+  // [total, padded) are padding owned by the tail partitions.
+  [[nodiscard]] std::int64_t padded_total() const { return padded_; }
+  [[nodiscard]] std::int64_t partition_size() const { return shard_; }
+  [[nodiscard]] int num_partitions() const { return n_; }
+
+  // Full (padded) range of partition j.
+  [[nodiscard]] Range PartitionRange(int j) const;
+  // Range of partition j clipped to real (non-padding) elements.
+  [[nodiscard]] Range PartitionRangeClipped(int j) const;
+  // Which partition owns flat index i.
+  [[nodiscard]] int OwnerOf(std::int64_t index) const;
+  // All (partition, overlap-range) pairs intersecting [begin, end).
+  [[nodiscard]] std::vector<std::pair<int, Range>> Overlaps(Range r) const;
+
+ private:
+  std::int64_t total_;
+  int n_;
+  std::int64_t shard_;
+  std::int64_t padded_;
+};
+
+}  // namespace zero::core

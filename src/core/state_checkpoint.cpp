@@ -1,0 +1,100 @@
+#include "core/state_checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace zero::core {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x5A45524F434B5054ull;  // "ZEROCKPT"
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t reserved = 0;
+  std::int64_t total_numel = 0;
+  std::int64_t step_count = 0;
+  float loss_scale = 1.0f;
+  float pad = 0.0f;
+};
+static_assert(sizeof(Header) == 40, "header layout must stay stable");
+
+}  // namespace
+
+std::vector<std::byte> TrainingState::Serialize() const {
+  ZERO_CHECK(master.size() == static_cast<std::size_t>(total_numel) &&
+                 momentum.size() == master.size() &&
+                 variance.size() == master.size(),
+             "inconsistent state array sizes");
+  Header header;
+  header.total_numel = total_numel;
+  header.step_count = step_count;
+  header.loss_scale = loss_scale;
+
+  const std::size_t array_bytes = master.size() * sizeof(float);
+  std::vector<std::byte> out(sizeof(Header) + 3 * array_bytes);
+  std::byte* p = out.data();
+  std::memcpy(p, &header, sizeof(Header));
+  p += sizeof(Header);
+  std::memcpy(p, master.data(), array_bytes);
+  p += array_bytes;
+  std::memcpy(p, momentum.data(), array_bytes);
+  p += array_bytes;
+  std::memcpy(p, variance.data(), array_bytes);
+  return out;
+}
+
+TrainingState TrainingState::Deserialize(std::span<const std::byte> bytes) {
+  ZERO_CHECK(bytes.size() >= sizeof(Header), "checkpoint truncated");
+  Header header;
+  std::memcpy(&header, bytes.data(), sizeof(Header));
+  ZERO_CHECK(header.magic == kMagic, "not a ZeRO checkpoint");
+  ZERO_CHECK(header.version == kVersion, "unsupported checkpoint version");
+  ZERO_CHECK(header.total_numel >= 0, "corrupt checkpoint header");
+
+  const std::size_t array_bytes =
+      static_cast<std::size_t>(header.total_numel) * sizeof(float);
+  ZERO_CHECK(bytes.size() == sizeof(Header) + 3 * array_bytes,
+             "checkpoint size does not match its header");
+
+  TrainingState state;
+  state.total_numel = header.total_numel;
+  state.step_count = header.step_count;
+  state.loss_scale = header.loss_scale;
+  state.master.resize(static_cast<std::size_t>(header.total_numel));
+  state.momentum.resize(state.master.size());
+  state.variance.resize(state.master.size());
+  const std::byte* p = bytes.data() + sizeof(Header);
+  std::memcpy(state.master.data(), p, array_bytes);
+  p += array_bytes;
+  std::memcpy(state.momentum.data(), p, array_bytes);
+  p += array_bytes;
+  std::memcpy(state.variance.data(), p, array_bytes);
+  return state;
+}
+
+void TrainingState::SaveToFile(const std::string& path) const {
+  const std::vector<std::byte> bytes = Serialize();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ZERO_CHECK(out.good(), "cannot open checkpoint file for writing: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ZERO_CHECK(out.good(), "checkpoint write failed: " + path);
+}
+
+TrainingState TrainingState::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  ZERO_CHECK(in.good(), "cannot open checkpoint file: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  ZERO_CHECK(in.good(), "checkpoint read failed: " + path);
+  return Deserialize(bytes);
+}
+
+}  // namespace zero::core

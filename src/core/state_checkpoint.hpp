@@ -1,0 +1,42 @@
+// Training-state checkpointing for ZeRO engines.
+//
+// ZeRO scatters the authoritative training state — fp32 master
+// parameters, Adam momentum and variance — across the data-parallel
+// group, 1/Nd per rank. A checkpoint must therefore be *re-assembled*
+// (all-gather of every shard) on save and *re-partitioned* on load.
+// Storing the full, Nd-independent state buys elasticity: a run saved at
+// Nd = 4 resumes at Nd = 2 (or 8) and continues the exact same Adam
+// trajectory, because the state never depended on the partitioning.
+//
+// Format: a small versioned header followed by three fp32 arrays
+// (master, momentum, variance) of total_numel elements each.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace zero::core {
+
+struct TrainingState {
+  std::int64_t total_numel = 0;
+  std::int64_t step_count = 0;    // Adam's bias-correction clock
+  float loss_scale = 1.0f;        // dynamic scaler position (fp16 runs)
+  std::vector<float> master;
+  std::vector<float> momentum;
+  std::vector<float> variance;
+
+  [[nodiscard]] std::vector<std::byte> Serialize() const;
+  static TrainingState Deserialize(std::span<const std::byte> bytes);
+
+  // Convenience file round trip (used by the examples).
+  void SaveToFile(const std::string& path) const;
+  static TrainingState LoadFromFile(const std::string& path);
+
+  friend bool operator==(const TrainingState&, const TrainingState&) =
+      default;
+};
+
+}  // namespace zero::core

@@ -1,0 +1,158 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "core/zero_r.hpp"
+
+namespace zero::core {
+
+std::size_t TrainResult::MaxPeakCached() const {
+  std::size_t mx = 0;
+  for (const RankMetrics& r : ranks) mx = std::max(mx, r.cache.peak_cached);
+  return mx;
+}
+
+std::uint64_t TrainResult::TotalDpBytesSent() const {
+  std::uint64_t total = 0;
+  for (const RankMetrics& r : ranks) total += r.dp_comm.bytes_sent;
+  return total;
+}
+
+std::uint64_t TrainResult::TotalMpBytesSent() const {
+  std::uint64_t total = 0;
+  for (const RankMetrics& r : ranks) total += r.mp_comm.bytes_sent;
+  return total;
+}
+
+TrainResult TrainGpt(const TrainOptions& options) {
+  const int world_size =
+      options.cluster.dp_degree * options.cluster.mp_degree;
+  ZERO_CHECK(world_size >= 1, "cluster must have at least one rank");
+  ZERO_CHECK(!options.zero_r.partition_activations ||
+                 options.zero_r.activation_checkpointing,
+             "Pa requires activation checkpointing");
+  ZERO_CHECK(!options.zero_r.cpu_offload ||
+                 options.zero_r.partition_activations,
+             "Pa+cpu requires Pa");
+
+  comm::World world(world_size);
+  comm::GridTopology grid(world_size, options.cluster.mp_degree);
+
+  TrainResult result;
+  result.losses.assign(static_cast<std::size_t>(options.steps), 0.0f);
+  result.ranks.resize(static_cast<std::size_t>(world_size));
+  std::mutex result_mutex;
+
+  world.Run([&](comm::RankContext& ctx) {
+    // --- per-rank substrate ---
+    alloc::DeviceMemory device_mem(options.cluster.device_capacity_bytes,
+                                   "rank" + std::to_string(ctx.rank));
+    alloc::CachingAllocator cache(device_mem);
+    alloc::HostMemory host_mem;
+
+    comm::Communicator mp = grid.MakeMpComm(ctx);
+    comm::Communicator dp = grid.MakeDpComm(ctx);
+
+    RankMetrics metrics;
+    metrics.rank = ctx.rank;
+    bool rank_oom = false;
+    std::string oom_message;
+    std::vector<float> local_losses(static_cast<std::size_t>(options.steps),
+                                    0.0f);
+
+    try {
+      // --- ZeRO-R checkpoint policy ---
+      std::optional<alloc::Arena> arena;
+      if (options.zero_r.defrag_arena) {
+        arena.emplace(device_mem, options.zero_r.arena_bytes, "ckpt-md");
+      }
+      std::unique_ptr<model::CheckpointStore> store;
+      if (options.zero_r.partition_activations) {
+        store = std::make_unique<PartitionedCheckpointStore>(
+            mp, &cache, options.zero_r.cpu_offload ? &host_mem : nullptr,
+            arena ? &*arena : nullptr);
+      } else if (arena) {
+        store = std::make_unique<ArenaCheckpointStore>(*arena);
+      } else {
+        store = std::make_unique<model::DeviceCheckpointStore>(&cache);
+      }
+
+      // --- model + engine ---
+      model::GptSession session;
+      session.device = &cache;
+      session.checkpoints = store.get();
+      session.mp = options.cluster.mp_degree > 1 ? &mp : nullptr;
+      model::GptConfig model_cfg = options.model;
+      model_cfg.activation_checkpointing =
+          options.zero_r.activation_checkpointing;
+      model::GptModel gpt(model_cfg, session);
+
+      ZeroDpEngine engine(options.engine, gpt, dp, &cache, options.seed);
+
+      // One shared language (table seed); each DP column reads its own
+      // shard (stream seed). MP ranks in a column must see identical
+      // batches, so only the DP rank enters the stream seed.
+      model::MarkovCorpus corpus(options.model.vocab,
+                                 options.corpus_branching, options.seed,
+                                 static_cast<std::uint64_t>(dp.rank()));
+
+      std::vector<float> local_validation;
+      for (int s = 0; s < options.steps; ++s) {
+        model::Batch batch =
+            corpus.NextBatch(options.batch_per_rank, options.model.seq);
+        local_losses[static_cast<std::size_t>(s)] = engine.TrainStep(batch);
+        if (options.eval_every > 0 && (s + 1) % options.eval_every == 0) {
+          // Identical validation stream on every rank (collective under
+          // stage 3, so all ranks must participate regardless).
+          model::MarkovCorpus validation(options.model.vocab,
+                                         options.corpus_branching,
+                                         options.seed, /*stream=*/999983);
+          double val = 0;
+          for (int k = 0; k < options.eval_batches; ++k) {
+            val += engine.EvalLoss(validation.NextBatch(
+                options.batch_per_rank, options.model.seq));
+          }
+          local_validation.push_back(
+              static_cast<float>(val / options.eval_batches));
+        }
+      }
+      metrics.model_states = engine.MeasureModelStates();
+      if (ctx.rank == 0) {
+        std::lock_guard<std::mutex> lock(result_mutex);
+        result.validation_losses = std::move(local_validation);
+      }
+    } catch (const DeviceOomError& e) {
+      // Experiment configs are symmetric across ranks, so every rank hits
+      // the same OOM at the same point; record it instead of crashing.
+      rank_oom = true;
+      oom_message = e.what();
+    }
+
+    metrics.cache = cache.Stats();
+    metrics.device = device_mem.Stats();
+    metrics.host = host_mem.Stats();
+    metrics.dp_comm = dp.stats();
+    metrics.mp_comm = mp.stats();
+
+    std::lock_guard<std::mutex> lock(result_mutex);
+    result.ranks[static_cast<std::size_t>(ctx.rank)] = metrics;
+    if (rank_oom && !result.oom) {
+      result.oom = true;
+      result.oom_message = oom_message;
+    }
+    if (!rank_oom && grid.MpRank(ctx.rank) == 0) {
+      // Average losses over the DP group (MP ranks share the same loss).
+      for (int s = 0; s < options.steps; ++s) {
+        result.losses[static_cast<std::size_t>(s)] +=
+            local_losses[static_cast<std::size_t>(s)] /
+            static_cast<float>(options.cluster.dp_degree);
+      }
+    }
+  });
+
+  if (result.oom) result.losses.clear();
+  return result;
+}
+
+}  // namespace zero::core

@@ -1,0 +1,147 @@
+#include "core/zero_r.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace zero::core {
+
+// ---------------------------------------------------------------------
+// ArenaCheckpointStore (MD)
+// ---------------------------------------------------------------------
+
+std::int64_t ArenaCheckpointStore::Save(int layer,
+                                        std::span<const float> data) {
+  (void)layer;
+  Entry e;
+  e.numel = data.size();
+  e.data = reinterpret_cast<float*>(arena_->Allocate(data.size_bytes()));
+  std::memcpy(e.data, data.data(), data.size_bytes());
+  entries_.push_back(e);
+  return static_cast<std::int64_t>(entries_.size()) - 1;
+}
+
+void ArenaCheckpointStore::Load(std::int64_t handle, std::span<float> out) {
+  Entry& e = entries_.at(static_cast<std::size_t>(handle));
+  ZERO_CHECK(e.numel == out.size(), "checkpoint size mismatch");
+  ZERO_CHECK(e.data != nullptr, "checkpoint already consumed");
+  std::memcpy(out.data(), e.data, out.size_bytes());
+  // Bump space is reclaimed by Reset(), not per-entry; the entry is just
+  // marked consumed.
+  e.data = nullptr;
+}
+
+void ArenaCheckpointStore::Reset() {
+  entries_.clear();
+  arena_->Reset();
+}
+
+// ---------------------------------------------------------------------
+// PartitionedCheckpointStore (Pa / Pa+cpu)
+// ---------------------------------------------------------------------
+
+const float* PartitionedCheckpointStore::Entry::slice_data() const {
+  return const_cast<Entry*>(this)->slice_data();
+}
+
+float* PartitionedCheckpointStore::Entry::slice_data() {
+  if (arena_slice != nullptr) return arena_slice;
+  if (device_slice.valid()) {
+    return reinterpret_cast<float*>(device_slice.data());
+  }
+  return heap_slice.data();
+}
+
+PartitionedCheckpointStore::PartitionedCheckpointStore(
+    comm::Communicator& mp, alloc::CachingAllocator* device,
+    alloc::HostMemory* host, alloc::Arena* arena)
+    : mp_(&mp), device_(device), host_(host), arena_(arena) {
+  // Arena slices cannot be returned individually, so Pa+cpu (which frees
+  // the device copy after offload) does not compose with MD placement.
+  ZERO_CHECK(host_ == nullptr || arena_ == nullptr,
+             "Pa+cpu does not compose with MD arena placement");
+}
+
+std::int64_t PartitionedCheckpointStore::Save(int layer,
+                                              std::span<const float> data) {
+  (void)layer;
+  const int m = mp_->size();
+  const int r = mp_->rank();
+  Entry e;
+  e.full_numel = data.size();
+  // Pad so every rank's slice has equal length; only real elements are
+  // copied back on Load.
+  e.slice_numel = (data.size() + static_cast<std::size_t>(m) - 1) /
+                  static_cast<std::size_t>(m);
+  const std::size_t begin = e.slice_numel * static_cast<std::size_t>(r);
+  const std::size_t bytes = e.slice_numel * sizeof(float);
+
+  float* slice = nullptr;
+  if (arena_ != nullptr) {
+    e.arena_slice = reinterpret_cast<float*>(arena_->Allocate(bytes));
+    slice = e.arena_slice;
+  } else if (device_ != nullptr) {
+    e.device_slice = device_->Malloc(bytes);
+    slice = reinterpret_cast<float*>(e.device_slice.data());
+  } else {
+    e.heap_slice.resize(e.slice_numel);
+    slice = e.heap_slice.data();
+  }
+  // This rank keeps only its 1/Nm slice; checkpoints are replicated
+  // across the MP group at Save time (every MP rank computed the same
+  // activations), so no communication happens here.
+  for (std::size_t i = 0; i < e.slice_numel; ++i) {
+    const std::size_t src = begin + i;
+    slice[i] = src < data.size() ? data[src] : 0.0f;
+  }
+
+  if (host_ != nullptr) {
+    // Pa+cpu: push the slice to host memory and free the device copy.
+    e.host_handle =
+        host_->Offload(reinterpret_cast<const std::byte*>(slice), bytes);
+    e.offloaded = true;
+    e.device_slice.Release();
+    e.heap_slice.clear();
+    e.heap_slice.shrink_to_fit();
+  }
+
+  entries_.push_back(std::move(e));
+  return static_cast<std::int64_t>(entries_.size()) - 1;
+}
+
+void PartitionedCheckpointStore::Load(std::int64_t handle,
+                                      std::span<float> out) {
+  Entry& e = entries_.at(static_cast<std::size_t>(handle));
+  ZERO_CHECK(e.full_numel == out.size(), "checkpoint size mismatch");
+  const int m = mp_->size();
+
+  std::vector<float> slice(e.slice_numel);
+  if (e.offloaded) {
+    host_->Restore(e.host_handle, reinterpret_cast<std::byte*>(slice.data()));
+    e.offloaded = false;
+  } else {
+    std::memcpy(slice.data(), e.slice_data(), e.slice_numel * sizeof(float));
+    e.device_slice.Release();
+    e.heap_slice.clear();
+    e.heap_slice.shrink_to_fit();
+  }
+
+  // Re-materialize the replicated activation: one all-gather per
+  // checkpoint — the Sec 8 Pa overhead term (volume = message size).
+  std::vector<float> gathered(e.slice_numel * static_cast<std::size_t>(m));
+  mp_->AllGather(std::span<const float>(slice), std::span<float>(gathered));
+  std::memcpy(out.data(), gathered.data(), out.size_bytes());
+  e.full_numel = 0;
+}
+
+void PartitionedCheckpointStore::Reset() { entries_.clear(); }
+
+std::size_t PartitionedCheckpointStore::DeviceBytesHeld() const {
+  std::size_t total = 0;
+  for (const Entry& e : entries_) {
+    if (e.device_slice.valid()) total += e.device_slice.size();
+  }
+  return total;
+}
+
+}  // namespace zero::core

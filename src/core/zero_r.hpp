@@ -1,0 +1,90 @@
+// ZeRO-R: residual-memory optimizations (Sec 6).
+//
+//   Pa  — PartitionedCheckpointStore: each MP rank keeps only a 1/Nm
+//         slice of every activation checkpoint and all-gathers the full
+//         tensor right before the backward recompute needs it (Sec 6.1).
+//   Pa+cpu — the same store with host offload: the slice is copied to
+//         CPU memory after partitioning and copied back before the
+//         gather, reducing device activation memory to ~zero at 2x
+//         transfer cost (Sec 6.1 / Sec 8).
+//   MD  — ArenaCheckpointStore: checkpoints (long-lived) are bump-
+//         allocated into one pre-allocated contiguous arena so they never
+//         interleave with short-lived activations in the general
+//         allocator (Sec 6.3).
+//   CB  — constant-size fused buffers are implemented inside the DP
+//         engine (EngineConfig::bucket_elems, Sec 6.2).
+//
+// All three stores implement model::CheckpointStore, so any combination
+// plugs into the GPT runtime unchanged.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "alloc/arena.hpp"
+#include "alloc/caching_allocator.hpp"
+#include "alloc/host_memory.hpp"
+#include "comm/communicator.hpp"
+#include "model/checkpoint_store.hpp"
+
+namespace zero::core {
+
+// MD: checkpoints in a contiguous pre-allocated arena.
+class ArenaCheckpointStore final : public model::CheckpointStore {
+ public:
+  explicit ArenaCheckpointStore(alloc::Arena& arena) : arena_(&arena) {}
+
+  std::int64_t Save(int layer, std::span<const float> data) override;
+  void Load(std::int64_t handle, std::span<float> out) override;
+  void Reset() override;
+
+ private:
+  struct Entry {
+    float* data = nullptr;
+    std::size_t numel = 0;
+  };
+  alloc::Arena* arena_;
+  std::vector<Entry> entries_;
+};
+
+// Pa / Pa+cpu: checkpoints partitioned across the MP group, optionally
+// offloaded to host memory, reconstructed by all-gather on Load.
+class PartitionedCheckpointStore final : public model::CheckpointStore {
+ public:
+  // `host` non-null enables Pa+cpu. `device` may be null (heap slices,
+  // used in tests without capacity accounting). `arena` non-null places
+  // device-resident slices in the MD arena instead.
+  PartitionedCheckpointStore(comm::Communicator& mp,
+                             alloc::CachingAllocator* device,
+                             alloc::HostMemory* host,
+                             alloc::Arena* arena = nullptr);
+
+  std::int64_t Save(int layer, std::span<const float> data) override;
+  void Load(std::int64_t handle, std::span<float> out) override;
+  void Reset() override;
+
+  // Device bytes currently held by checkpoint slices (0 under Pa+cpu
+  // once offloaded) — the quantity Figures 6-7 track.
+  [[nodiscard]] std::size_t DeviceBytesHeld() const;
+
+ private:
+  struct Entry {
+    std::size_t full_numel = 0;
+    std::size_t slice_numel = 0;   // padded slice length
+    alloc::CachedBlock device_slice;
+    float* arena_slice = nullptr;
+    std::vector<float> heap_slice;
+    std::size_t host_handle = 0;   // Pa+cpu
+    bool offloaded = false;
+    [[nodiscard]] const float* slice_data() const;
+    [[nodiscard]] float* slice_data();
+  };
+
+  comm::Communicator* mp_;
+  alloc::CachingAllocator* device_;
+  alloc::HostMemory* host_;
+  alloc::Arena* arena_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace zero::core

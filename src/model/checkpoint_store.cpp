@@ -1,0 +1,41 @@
+#include "model/checkpoint_store.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace zero::model {
+
+std::int64_t DeviceCheckpointStore::Save(int layer,
+                                         std::span<const float> data) {
+  (void)layer;
+  Entry e;
+  e.numel = data.size();
+  if (device_ != nullptr) {
+    e.block = device_->Malloc(data.size_bytes());
+    std::memcpy(e.block.data(), data.data(), data.size_bytes());
+  } else {
+    e.heap.assign(data.begin(), data.end());
+  }
+  entries_.push_back(std::move(e));
+  return static_cast<std::int64_t>(entries_.size()) - 1;
+}
+
+void DeviceCheckpointStore::Load(std::int64_t handle, std::span<float> out) {
+  auto& e = entries_.at(static_cast<std::size_t>(handle));
+  ZERO_CHECK(e.numel == out.size(), "checkpoint size mismatch");
+  ZERO_CHECK(e.numel > 0, "checkpoint already consumed");
+  if (device_ != nullptr) {
+    std::memcpy(out.data(), e.block.data(), out.size_bytes());
+    e.block.Release();
+  } else {
+    std::memcpy(out.data(), e.heap.data(), out.size_bytes());
+    e.heap.clear();
+    e.heap.shrink_to_fit();
+  }
+  e.numel = 0;
+}
+
+void DeviceCheckpointStore::Reset() { entries_.clear(); }
+
+}  // namespace zero::model

@@ -1,0 +1,57 @@
+// Activation-checkpoint storage interface.
+//
+// With activation checkpointing (Sec 3.2 / [7]) the model stores one
+// tensor per transformer block — the block input — and recomputes
+// everything else during backward. *Where* that checkpoint lives is
+// exactly the design space of ZeRO-R (Sec 6.1/6.3):
+//   - DeviceCheckpointStore: plain device allocation (the baseline);
+//   - core::ArenaCheckpointStore: pre-allocated contiguous arena (MD);
+//   - core::PartitionedCheckpointStore: 1/Nm slice per MP rank, gathered
+//     on demand (Pa), optionally offloaded to host memory (Pa+cpu).
+// The model only sees Save/Load; the policies live behind this interface.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "alloc/caching_allocator.hpp"
+
+namespace zero::model {
+
+class CheckpointStore {
+ public:
+  virtual ~CheckpointStore() = default;
+
+  // Stores a copy of `data` for layer `layer`; returns a handle.
+  virtual std::int64_t Save(int layer, std::span<const float> data) = 0;
+
+  // Fills `out` (same length as saved) and releases the stored copy.
+  virtual void Load(std::int64_t handle, std::span<float> out) = 0;
+
+  // Drops anything still stored (end of step).
+  virtual void Reset() = 0;
+};
+
+// Baseline: each checkpoint is an ordinary device (or heap) allocation.
+class DeviceCheckpointStore final : public CheckpointStore {
+ public:
+  // `device` may be null, in which case checkpoints live on the heap.
+  explicit DeviceCheckpointStore(alloc::CachingAllocator* device)
+      : device_(device) {}
+
+  std::int64_t Save(int layer, std::span<const float> data) override;
+  void Load(std::int64_t handle, std::span<float> out) override;
+  void Reset() override;
+
+ private:
+  struct Entry {
+    alloc::CachedBlock block;      // when device-backed
+    std::vector<float> heap;       // when heap-backed
+    std::size_t numel = 0;
+  };
+  alloc::CachingAllocator* device_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace zero::model

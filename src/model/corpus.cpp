@@ -1,0 +1,61 @@
+#include "model/corpus.hpp"
+
+#include "common/error.hpp"
+
+namespace zero::model {
+
+MarkovCorpus::MarkovCorpus(std::int64_t vocab, int branching,
+                           std::uint64_t table_seed,
+                           std::uint64_t stream_seed)
+    : vocab_(vocab),
+      branching_(branching),
+      rng_(Rng(table_seed).Split(1 + stream_seed)) {
+  ZERO_CHECK(vocab >= 2, "vocab must be at least 2");
+  ZERO_CHECK(branching >= 1 && branching <= vocab,
+             "branching must be in [1, vocab]");
+  // For each (prev2, prev1) context, a small set of allowed successors.
+  successors_.resize(static_cast<std::size_t>(vocab * vocab) *
+                     static_cast<std::size_t>(branching));
+  Rng table_rng = Rng(table_seed).Split(0xC0);
+  for (std::size_t i = 0; i < successors_.size(); ++i) {
+    successors_[i] =
+        static_cast<std::int32_t>(table_rng.NextBelow(
+            static_cast<std::uint64_t>(vocab)));
+  }
+}
+
+std::int32_t MarkovCorpus::NextToken() {
+  const std::size_t ctx = static_cast<std::size_t>(prev2_) *
+                              static_cast<std::size_t>(vocab_) +
+                          static_cast<std::size_t>(prev1_);
+  const std::size_t pick =
+      static_cast<std::size_t>(rng_.NextBelow(
+          static_cast<std::uint64_t>(branching_)));
+  const std::int32_t next =
+      successors_[ctx * static_cast<std::size_t>(branching_) + pick];
+  prev2_ = prev1_;
+  prev1_ = next;
+  return next;
+}
+
+std::vector<std::int32_t> MarkovCorpus::Sample(std::int64_t count) {
+  std::vector<std::int32_t> out(static_cast<std::size_t>(count));
+  for (auto& t : out) t = NextToken();
+  return out;
+}
+
+Batch MarkovCorpus::NextBatch(std::int64_t batch, std::int64_t seq) {
+  Batch b;
+  b.rows = batch;
+  b.cols = seq;
+  b.inputs.reserve(static_cast<std::size_t>(batch * seq));
+  b.targets.reserve(static_cast<std::size_t>(batch * seq));
+  for (std::int64_t r = 0; r < batch; ++r) {
+    std::vector<std::int32_t> run = Sample(seq + 1);
+    b.inputs.insert(b.inputs.end(), run.begin(), run.end() - 1);
+    b.targets.insert(b.targets.end(), run.begin() + 1, run.end());
+  }
+  return b;
+}
+
+}  // namespace zero::model

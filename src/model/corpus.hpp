@@ -1,0 +1,50 @@
+// Synthetic text corpus for the convergence experiment (Figure 5).
+//
+// The paper trained Turing-NLG on a private web corpus and reported
+// WebText-103 validation perplexity. We cannot ship that data; what the
+// figure actually demonstrates is "the larger model ZeRO enables reaches
+// lower perplexity over training". Any learnable, non-trivially-entropic
+// sequence distribution exercises the same code path, so we generate one:
+// a character-level order-2 Markov chain whose transition table is built
+// from a deterministic seed. Its entropy sits between "memorizable" and
+// "random", so model capacity shows up as measurably lower perplexity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "model/flat_model.hpp"
+
+namespace zero::model {
+
+class MarkovCorpus {
+ public:
+  // vocab symbols; larger `branching` -> higher entropy -> harder task.
+  // `table_seed` fixes the language (the transition table); `stream_seed`
+  // fixes which samples this reader draws from it. Data-parallel ranks
+  // must share table_seed (same distribution) and differ in stream_seed
+  // (disjoint shards), exactly like sharding one dataset.
+  MarkovCorpus(std::int64_t vocab, int branching, std::uint64_t table_seed,
+               std::uint64_t stream_seed = 0);
+
+  // Generates `count` tokens continuing the internal state.
+  [[nodiscard]] std::vector<std::int32_t> Sample(std::int64_t count);
+
+  // A language-modeling batch: inputs are tokens, targets the next token.
+  [[nodiscard]] Batch NextBatch(std::int64_t batch, std::int64_t seq);
+
+  [[nodiscard]] std::int64_t vocab() const { return vocab_; }
+
+ private:
+  std::int32_t NextToken();
+
+  std::int64_t vocab_;
+  int branching_;
+  Rng rng_;
+  std::vector<std::int32_t> successors_;  // [vocab*vocab, branching] table
+  std::int32_t prev1_ = 0;
+  std::int32_t prev2_ = 0;
+};
+
+}  // namespace zero::model

@@ -1,0 +1,36 @@
+#include "model/flat_model.hpp"
+
+#include "common/error.hpp"
+
+namespace zero::model {
+
+std::int64_t ParamLayout::Add(std::string name, std::int64_t numel,
+                              int unit) {
+  ZERO_CHECK(numel > 0, "parameter must have positive size");
+  ZERO_CHECK(unit >= 0, "unit must be nonnegative");
+  const int current = num_units();
+  ZERO_CHECK(unit == current - 1 || unit == current,
+             "units must be appended contiguously");
+  const std::int64_t offset = total_;
+  if (unit == current) {
+    unit_ranges_.emplace_back(offset, offset);
+  }
+  entries_.push_back(ParamEntry{std::move(name), offset, numel, unit});
+  unit_ranges_[static_cast<std::size_t>(unit)].second = offset + numel;
+  total_ += numel;
+  return offset;
+}
+
+std::pair<std::int64_t, std::int64_t> ParamLayout::UnitRange(int u) const {
+  ZERO_CHECK(u >= 0 && u < num_units(), "unit index out of range");
+  return unit_ranges_[static_cast<std::size_t>(u)];
+}
+
+const ParamEntry& ParamLayout::Find(const std::string& name) const {
+  for (const ParamEntry& e : entries_) {
+    if (e.name == name) return e;
+  }
+  throw Error("no parameter named " + name);
+}
+
+}  // namespace zero::model

@@ -1,0 +1,217 @@
+#include "model/mlp.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tensor/kernels.hpp"
+
+namespace zero::model {
+
+MlpModel::MlpModel(MlpConfig config) : config_(config) {
+  const auto& c = config_;
+  ZERO_CHECK(c.vocab >= 2 && c.embed >= 1 && c.hidden >= 1 && c.classes >= 2,
+             "degenerate MLP config");
+  off_embed_ = layout_.Add("embed", c.vocab * c.embed, 0);
+  const std::int64_t base1 = layout_.total_numel();
+  off_w1_ = layout_.Add("w1", c.hidden * c.embed, 1) - base1;
+  off_b1_ = layout_.Add("b1", c.hidden, 1) - base1;
+  const std::int64_t base2 = layout_.total_numel();
+  off_w2_ = layout_.Add("w2", c.classes * c.hidden, 2) - base2;
+  off_b2_ = layout_.Add("b2", c.classes, 2) - base2;
+}
+
+void MlpModel::InitParameters(std::span<float> flat,
+                              std::uint64_t seed) const {
+  ZERO_CHECK(flat.size() == static_cast<std::size_t>(layout_.total_numel()),
+             "init buffer size mismatch");
+  Rng rng(seed);
+  const auto [e_begin, e_end] = layout_.UnitRange(0);
+  const auto [h_begin, h_end] = layout_.UnitRange(1);
+  const auto [c_begin, c_end] = layout_.UnitRange(2);
+  for (std::int64_t i = e_begin; i < e_end; ++i) {
+    flat[static_cast<std::size_t>(i)] = rng.NextGaussian() * 0.2f;
+  }
+  // Weights: He-style init; biases zero (they are the tail of each unit).
+  for (std::int64_t i = h_begin; i < h_begin + config_.hidden * config_.embed;
+       ++i) {
+    flat[static_cast<std::size_t>(i)] =
+        rng.NextGaussian() *
+        std::sqrt(2.0f / static_cast<float>(config_.embed));
+  }
+  for (std::int64_t i = h_begin + config_.hidden * config_.embed; i < h_end;
+       ++i) {
+    flat[static_cast<std::size_t>(i)] = 0.0f;
+  }
+  for (std::int64_t i = c_begin;
+       i < c_begin + config_.classes * config_.hidden; ++i) {
+    flat[static_cast<std::size_t>(i)] =
+        rng.NextGaussian() *
+        std::sqrt(2.0f / static_cast<float>(config_.hidden));
+  }
+  for (std::int64_t i = c_begin + config_.classes * config_.hidden; i < c_end;
+       ++i) {
+    flat[static_cast<std::size_t>(i)] = 0.0f;
+  }
+}
+
+float MlpModel::Step(const Batch& batch, ParamProvider& params,
+                     GradSink& grads) {
+  namespace K = tensor;
+  const auto& c = config_;
+  const std::int64_t rows = batch.rows;
+  const std::int64_t feats = batch.cols;
+  ZERO_CHECK(rows >= 1 && feats >= 1, "empty batch");
+  ZERO_CHECK(batch.inputs.size() ==
+                 static_cast<std::size_t>(rows * feats),
+             "batch inputs size mismatch");
+  ZERO_CHECK(batch.targets.size() >= static_cast<std::size_t>(rows),
+             "batch targets too small");
+
+  // ---- forward ----
+  // h0[r] = mean of embeddings of row r's features.
+  std::vector<float> h0(static_cast<std::size_t>(rows * c.embed), 0.0f);
+  {
+    std::span<const float> e = params.AcquireUnit(0, Phase::kForward);
+    const float* table = e.data() + off_embed_;
+    const float inv = 1.0f / static_cast<float>(feats);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t f = 0; f < feats; ++f) {
+        const std::int32_t id =
+            batch.inputs[static_cast<std::size_t>(r * feats + f)];
+        ZERO_CHECK(id >= 0 && id < c.vocab, "feature id out of range");
+        const float* row = table + static_cast<std::int64_t>(id) * c.embed;
+        float* dst = h0.data() + r * c.embed;
+        for (std::int64_t d = 0; d < c.embed; ++d) dst[d] += row[d] * inv;
+      }
+    }
+    params.ReleaseUnit(0, Phase::kForward);
+  }
+
+  std::vector<float> z1(static_cast<std::size_t>(rows * c.hidden));
+  std::vector<float> h1(z1.size());
+  {
+    std::span<const float> u = params.AcquireUnit(1, Phase::kForward);
+    K::Gemm(false, true, rows, c.hidden, c.embed, 1.0f, h0.data(),
+            u.data() + off_w1_, 0.0f, z1.data());
+    K::AddBiasRows(z1.data(), u.data() + off_b1_, rows, c.hidden);
+    for (std::size_t i = 0; i < z1.size(); ++i) {
+      h1[i] = z1[i] > 0.0f ? z1[i] : 0.0f;  // ReLU
+    }
+    params.ReleaseUnit(1, Phase::kForward);
+  }
+
+  std::vector<float> logits(static_cast<std::size_t>(rows * c.classes));
+  std::vector<float> dlogits(logits.size());
+  std::vector<std::int32_t> labels(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int32_t label =
+        batch.targets[static_cast<std::size_t>(r * feats)];
+    ZERO_CHECK(label >= 0 && label < c.classes, "label out of range");
+    labels[static_cast<std::size_t>(r)] = label;
+  }
+  float loss;
+  {
+    std::span<const float> u = params.AcquireUnit(2, Phase::kForward);
+    K::Gemm(false, true, rows, c.classes, c.hidden, 1.0f, h1.data(),
+            u.data() + off_w2_, 0.0f, logits.data());
+    K::AddBiasRows(logits.data(), u.data() + off_b2_, rows, c.classes);
+    loss = K::CrossEntropyLoss(logits.data(), labels.data(), rows, c.classes,
+                               dlogits.data());
+    params.ReleaseUnit(2, Phase::kForward);
+  }
+
+  // ---- backward (reverse unit order) ----
+  std::vector<float> dh1(h1.size());
+  {
+    std::span<const float> u = params.AcquireUnit(2, Phase::kBackward);
+    std::vector<float> g2(
+        static_cast<std::size_t>(layout_.UnitNumel(2)), 0.0f);
+    K::Gemm(true, false, c.classes, c.hidden, rows, 1.0f, dlogits.data(),
+            h1.data(), 1.0f, g2.data() + off_w2_);
+    K::BiasGradFromRows(dlogits.data(), g2.data() + off_b2_, rows,
+                        c.classes);
+    K::Gemm(false, false, rows, c.hidden, c.classes, 1.0f, dlogits.data(),
+            u.data() + off_w2_, 0.0f, dh1.data());
+    params.ReleaseUnit(2, Phase::kBackward);
+    grads.EmitUnitGrad(2, g2);
+  }
+
+  std::vector<float> dh0(h0.size());
+  {
+    std::span<const float> u = params.AcquireUnit(1, Phase::kBackward);
+    // ReLU backward in place on dh1.
+    for (std::size_t i = 0; i < dh1.size(); ++i) {
+      if (z1[i] <= 0.0f) dh1[i] = 0.0f;
+    }
+    std::vector<float> g1(
+        static_cast<std::size_t>(layout_.UnitNumel(1)), 0.0f);
+    K::Gemm(true, false, c.hidden, c.embed, rows, 1.0f, dh1.data(),
+            h0.data(), 1.0f, g1.data() + off_w1_);
+    K::BiasGradFromRows(dh1.data(), g1.data() + off_b1_, rows, c.hidden);
+    K::Gemm(false, false, rows, c.embed, c.hidden, 1.0f, dh1.data(),
+            u.data() + off_w1_, 0.0f, dh0.data());
+    params.ReleaseUnit(1, Phase::kBackward);
+    grads.EmitUnitGrad(1, g1);
+  }
+
+  {
+    std::vector<float> g0(
+        static_cast<std::size_t>(layout_.UnitNumel(0)), 0.0f);
+    const float inv = 1.0f / static_cast<float>(feats);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t f = 0; f < feats; ++f) {
+        const std::int32_t id =
+            batch.inputs[static_cast<std::size_t>(r * feats + f)];
+        float* dst =
+            g0.data() + off_embed_ + static_cast<std::int64_t>(id) * c.embed;
+        const float* src = dh0.data() + r * c.embed;
+        for (std::int64_t d = 0; d < c.embed; ++d) dst[d] += src[d] * inv;
+      }
+    }
+    grads.EmitUnitGrad(0, g0);
+  }
+  return loss;
+}
+
+Batch MakeClassificationBatch(const MlpConfig& config, std::int64_t rows,
+                              std::int64_t features_per_row,
+                              std::uint64_t task_seed,
+                              std::uint64_t batch_seed) {
+  Batch b;
+  b.rows = rows;
+  b.cols = features_per_row;
+  Rng data_rng = Rng(batch_seed).Split(7);
+  // The task: each feature id carries a fixed (task-seeded) class vote;
+  // the row's label is the plurality vote. Deterministic and learnable.
+  Rng task_rng = Rng(task_seed).Split(3);
+  std::vector<std::int32_t> votes(static_cast<std::size_t>(config.vocab));
+  for (auto& v : votes) {
+    v = static_cast<std::int32_t>(
+        task_rng.NextBelow(static_cast<std::uint64_t>(config.classes)));
+  }
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::vector<std::int32_t> counts(static_cast<std::size_t>(config.classes),
+                                     0);
+    for (std::int64_t f = 0; f < features_per_row; ++f) {
+      const auto id = static_cast<std::int32_t>(
+          data_rng.NextBelow(static_cast<std::uint64_t>(config.vocab)));
+      b.inputs.push_back(id);
+      ++counts[static_cast<std::size_t>(votes[static_cast<std::size_t>(id)])];
+    }
+    std::int32_t label = 0;
+    for (std::int32_t k = 1; k < config.classes; ++k) {
+      if (counts[static_cast<std::size_t>(k)] >
+          counts[static_cast<std::size_t>(label)]) {
+        label = k;
+      }
+    }
+    for (std::int64_t f = 0; f < features_per_row; ++f) {
+      b.targets.push_back(label);
+    }
+  }
+  return b;
+}
+
+}  // namespace zero::model

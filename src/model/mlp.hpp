@@ -1,0 +1,56 @@
+// MlpModel: a bag-of-features MLP classifier — the second real
+// FlatParamModel after the GPT, demonstrating that the ZeRO engines are
+// model-agnostic (the paper's "compatible with any torch.nn.module"
+// claim, Sec 10.1): different unit structure, different compute graph,
+// same Acquire/Release/Emit protocol.
+//
+// Architecture: categorical features are embedded and mean-pooled, then
+// two ReLU layers feed a softmax classifier:
+//   h0 = mean_i E[x_i]           (embedding unit)
+//   h1 = relu(W1 h0 + b1)        (hidden unit)
+//   p  = softmax(W2 h1 + b2)     (classifier unit)
+// The label of each row is its first target token.
+#pragma once
+
+#include "model/flat_model.hpp"
+
+namespace zero::model {
+
+struct MlpConfig {
+  std::int64_t vocab = 32;    // feature id space
+  std::int64_t embed = 16;    // embedding / input width
+  std::int64_t hidden = 32;   // hidden layer width
+  std::int64_t classes = 8;   // output classes
+};
+
+class MlpModel final : public FlatParamModel {
+ public:
+  explicit MlpModel(MlpConfig config);
+
+  [[nodiscard]] const ParamLayout& layout() const override {
+    return layout_;
+  }
+  void InitParameters(std::span<float> flat,
+                      std::uint64_t seed) const override;
+  float Step(const Batch& batch, ParamProvider& params,
+             GradSink& grads) override;
+
+  [[nodiscard]] const MlpConfig& config() const { return config_; }
+
+ private:
+  MlpConfig config_;
+  ParamLayout layout_;
+  std::int64_t off_embed_ = 0;           // unit 0
+  std::int64_t off_w1_ = 0, off_b1_ = 0;  // unit 1 (relative)
+  std::int64_t off_w2_ = 0, off_b2_ = 0;  // unit 2 (relative)
+};
+
+// Deterministic synthetic classification data: the label is a fixed
+// (seeded) function of the feature multiset, so the task is exactly
+// learnable and loss floors near zero.
+Batch MakeClassificationBatch(const MlpConfig& config, std::int64_t rows,
+                              std::int64_t features_per_row,
+                              std::uint64_t task_seed,
+                              std::uint64_t batch_seed);
+
+}  // namespace zero::model

@@ -1,0 +1,76 @@
+#include "model/quad_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace zero::model {
+
+QuadModel::QuadModel(std::int64_t numel, int units) {
+  ZERO_CHECK(numel >= units && units >= 1, "need at least one param per unit");
+  const std::int64_t base = numel / units;
+  const std::int64_t rem = numel % units;
+  for (int u = 0; u < units; ++u) {
+    const std::int64_t n = base + (u < rem ? 1 : 0);
+    layout_.Add("unit" + std::to_string(u), n, u);
+  }
+}
+
+void QuadModel::InitParameters(std::span<float> flat,
+                               std::uint64_t seed) const {
+  Rng rng(seed);
+  for (float& x : flat) x = rng.NextGaussian();
+}
+
+std::vector<float> QuadModel::TargetFor(const Batch& batch) const {
+  // A smooth deterministic function of the batch contents, different per
+  // coordinate, so different microbatches pull parameters differently
+  // (the way real per-sample gradients do).
+  double h = 1.0;
+  for (std::int32_t v : batch.inputs) {
+    h = std::fmod(h * 1.000117 + static_cast<double>(v) * 0.013, 4.0);
+  }
+  std::vector<float> t(static_cast<std::size_t>(layout_.total_numel()));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(
+        std::sin(h + 0.05 * static_cast<double>(i)));
+  }
+  return t;
+}
+
+float QuadModel::Step(const Batch& batch, ParamProvider& params,
+                      GradSink& grads) {
+  const std::vector<float> target = TargetFor(batch);
+  double loss = 0.0;
+  std::vector<float> unit_grad;
+  // Forward over units in order, backward in reverse — mirrors the
+  // schedule a layered model follows so provider implementations see the
+  // same access pattern.
+  const int units = layout_.num_units();
+  for (int u = 0; u < units; ++u) {
+    std::span<const float> p = params.AcquireUnit(u, Phase::kForward);
+    auto [b, e] = layout_.UnitRange(u);
+    for (std::int64_t i = 0; i < e - b; ++i) {
+      const double d = static_cast<double>(p[static_cast<std::size_t>(i)]) -
+                       target[static_cast<std::size_t>(b + i)];
+      loss += 0.5 * d * d;
+    }
+    params.ReleaseUnit(u, Phase::kForward);
+  }
+  for (int u = units - 1; u >= 0; --u) {
+    std::span<const float> p = params.AcquireUnit(u, Phase::kBackward);
+    auto [b, e] = layout_.UnitRange(u);
+    unit_grad.resize(static_cast<std::size_t>(e - b));
+    for (std::int64_t i = 0; i < e - b; ++i) {
+      unit_grad[static_cast<std::size_t>(i)] =
+          p[static_cast<std::size_t>(i)] -
+          target[static_cast<std::size_t>(b + i)];
+    }
+    params.ReleaseUnit(u, Phase::kBackward);
+    grads.EmitUnitGrad(u, unit_grad);
+  }
+  return static_cast<float>(loss);
+}
+
+}  // namespace zero::model

@@ -1,0 +1,36 @@
+// QuadModel: the smallest possible FlatParamModel, used to verify the
+// ZeRO-DP engine mechanics exactly.
+//
+// Loss = 0.5 * || p - t(batch) ||^2 where t is a deterministic target
+// derived from the batch contents, so grad = p - t elementwise. Gradients
+// and the optimizer trajectory are exactly computable, which lets engine
+// tests assert bitwise agreement between stages at fp32 and check the
+// Acquire/Release/Emit protocol (ordering, single-emission, nesting)
+// without transformer numerics in the way.
+#pragma once
+
+#include "model/flat_model.hpp"
+
+namespace zero::model {
+
+class QuadModel final : public FlatParamModel {
+ public:
+  // `numel` parameters split into `units` roughly equal contiguous units.
+  QuadModel(std::int64_t numel, int units);
+
+  [[nodiscard]] const ParamLayout& layout() const override {
+    return layout_;
+  }
+  void InitParameters(std::span<float> flat,
+                      std::uint64_t seed) const override;
+  float Step(const Batch& batch, ParamProvider& params,
+             GradSink& grads) override;
+
+  // The target vector a given batch induces (exposed for exact tests).
+  [[nodiscard]] std::vector<float> TargetFor(const Batch& batch) const;
+
+ private:
+  ParamLayout layout_;
+};
+
+}  // namespace zero::model

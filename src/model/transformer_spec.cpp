@@ -1,0 +1,81 @@
+#include "model/transformer_spec.hpp"
+
+namespace zero::model {
+
+std::int64_t TransformerSpec::NumParameters() const {
+  const std::int64_t h = hidden;
+  // Per block: qkv (3h^2 + 3h), attn out (h^2 + h), fc (4h^2 + 4h),
+  // proj (4h^2 + h), two layer norms (4h)  => 12h^2 + 13h.
+  const std::int64_t per_block = 12 * h * h + 13 * h;
+  const std::int64_t embeddings = (vocab + seq) * h;
+  const std::int64_t final_ln = 2 * h;
+  return layers * per_block + embeddings + final_ln;
+}
+
+double TransformerSpec::ActivationElements(std::int64_t batch) const {
+  // Footnote 3: ~12 * hidden * batch * seq * layers elements total.
+  return 12.0 * static_cast<double>(hidden) * static_cast<double>(batch) *
+         static_cast<double>(seq) * static_cast<double>(layers);
+}
+
+double TransformerSpec::ActivationBytes(std::int64_t batch) const {
+  return 2.0 * ActivationElements(batch);  // fp16
+}
+
+double TransformerSpec::CheckpointBytes(std::int64_t batch) const {
+  return 2.0 * static_cast<double>(batch) * static_cast<double>(seq) *
+         static_cast<double>(hidden) * static_cast<double>(layers);
+}
+
+double TransformerSpec::ForwardFlops(std::int64_t batch) const {
+  const double b = static_cast<double>(batch);
+  const double s = static_cast<double>(seq);
+  const double l = static_cast<double>(layers);
+  const double h = static_cast<double>(hidden);
+  const double v = static_cast<double>(vocab);
+  // Dense GEMMs per block: qkv 6bsh^2, attn-out 2bsh^2, MLP 16bsh^2.
+  const double dense = 24.0 * b * s * l * h * h;
+  // Attention scores + context: 2 * (2 b s^2 h) per block plus softmax
+  // (small) — 12 b s^2 l h covers q.k^T, att.v and overheads.
+  const double attn = 12.0 * b * s * s * l * h;
+  const double logits = 2.0 * b * s * h * v;
+  return dense + attn + logits;
+}
+
+double TransformerSpec::StepFlops(std::int64_t batch,
+                                  bool activation_checkpointing) const {
+  const double fwd = ForwardFlops(batch);
+  // backward ~= 2x forward; checkpointing adds one extra forward.
+  return fwd * (activation_checkpointing ? 4.0 : 3.0);
+}
+
+ModelStateBytes PerDeviceModelStates(double psi, ZeroStage stage, int nd,
+                                     double k) {
+  ModelStateBytes m;
+  const double d = static_cast<double>(nd);
+  switch (stage) {
+    case ZeroStage::kNone:
+      m.parameters = 2.0 * psi;
+      m.gradients = 2.0 * psi;
+      m.optimizer = k * psi;
+      break;
+    case ZeroStage::kOs:
+      m.parameters = 2.0 * psi;
+      m.gradients = 2.0 * psi;
+      m.optimizer = k * psi / d;
+      break;
+    case ZeroStage::kOsG:
+      m.parameters = 2.0 * psi;
+      m.gradients = 2.0 * psi / d;
+      m.optimizer = k * psi / d;
+      break;
+    case ZeroStage::kOsGP:
+      m.parameters = 2.0 * psi / d;
+      m.gradients = 2.0 * psi / d;
+      m.optimizer = k * psi / d;
+      break;
+  }
+  return m;
+}
+
+}  // namespace zero::model

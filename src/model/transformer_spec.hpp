@@ -1,0 +1,74 @@
+// Analytic description of a GPT-2-like transformer — the formulas the
+// paper's memory and throughput analysis is built on (Sec 3, Sec 6.1
+// footnote 3, Sec 8). zero::sim consumes these to regenerate Tables 1-2
+// and Figures 1-8 at paper scale; the runtime GPT (gpt.hpp) instantiates
+// small versions of the same architecture for real execution.
+#pragma once
+
+#include <cstdint>
+
+namespace zero::model {
+
+struct TransformerSpec {
+  std::int64_t layers = 0;
+  std::int64_t hidden = 0;
+  std::int64_t heads = 0;
+  std::int64_t vocab = 50257;  // GPT-2 BPE vocabulary
+  std::int64_t seq = 1024;
+
+  // Parameter count. Dominated by 12*l*h^2 (each block: 4h^2 attention +
+  // 8h^2 MLP) plus embeddings and biases/norms; this matches the paper's
+  // configs (48 layers x 1600 hidden ~= 1.5B, 125 x 8192 ~= 100B).
+  [[nodiscard]] std::int64_t NumParameters() const;
+
+  // Elements of activation kept per transformer block for one sample
+  // position, following footnote 3: total activations ~= 12 * hidden *
+  // seq * batch * layers (elements; x2 bytes in fp16).
+  [[nodiscard]] double ActivationElements(std::int64_t batch) const;
+  [[nodiscard]] double ActivationBytes(std::int64_t batch) const;
+
+  // One activation checkpoint per block = its input, batch*seq*hidden
+  // elements (fp16 bytes). This is the footprint Pa divides by the MP
+  // degree (Sec 6.1).
+  [[nodiscard]] double CheckpointBytes(std::int64_t batch) const;
+
+  // Flops for one forward pass over `batch` sequences: dense 24*B*s*l*h^2
+  // plus attention 12*B*s^2*l*h, and the vocabulary projection.
+  [[nodiscard]] double ForwardFlops(std::int64_t batch) const;
+  // Full training step: forward + 2x backward (+1x recompute when
+  // activation checkpointing is on — the paper's "33% overhead").
+  [[nodiscard]] double StepFlops(std::int64_t batch,
+                                 bool activation_checkpointing) const;
+};
+
+// Mixed-precision Adam model-state accounting (Sec 3.1): 2 bytes fp16
+// parameters + 2 bytes fp16 gradients + K=12 bytes of optimizer state
+// (fp32 master params, momentum, variance) per parameter.
+struct ModelStateBytes {
+  double parameters = 0;  // fp16
+  double gradients = 0;   // fp16
+  double optimizer = 0;   // fp32 master + m + v
+  [[nodiscard]] double total() const {
+    return parameters + gradients + optimizer;
+  }
+};
+
+enum class ZeroStage : int {
+  kNone = 0,   // baseline DP: everything replicated
+  kOs = 1,     // Pos: optimizer states partitioned
+  kOsG = 2,    // Pos+g: + gradients partitioned
+  kOsGP = 3,   // Pos+g+p: + parameters partitioned
+};
+
+inline constexpr double kOptimizerMultiplierK = 12.0;
+
+// Per-device model-state bytes for Psi parameters under a ZeRO-DP stage
+// with DP degree Nd — the Figure 1 / Table 1 equations:
+//   baseline: (2 + 2 + K) * Psi
+//   Pos:      2*Psi + 2*Psi + K*Psi/Nd
+//   Pos+g:    2*Psi + (2 + K)*Psi/Nd
+//   Pos+g+p:  (2 + 2 + K)*Psi/Nd
+ModelStateBytes PerDeviceModelStates(double psi, ZeroStage stage, int nd,
+                                     double k = kOptimizerMultiplierK);
+
+}  // namespace zero::model

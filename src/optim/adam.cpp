@@ -1,0 +1,103 @@
+#include "optim/adam.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace zero::optim {
+
+void AdamUpdate(const AdamConfig& cfg, std::int64_t t,
+                std::span<float> master, std::span<const float> grad,
+                std::span<float> m, std::span<float> v) {
+  ZERO_CHECK(master.size() == grad.size() && grad.size() == m.size() &&
+                 m.size() == v.size(),
+             "Adam span size mismatch");
+  const float b1 = cfg.beta1;
+  const float b2 = cfg.beta2;
+  const float bc1 =
+      1.0f - std::pow(b1, static_cast<float>(t));
+  const float bc2 =
+      1.0f - std::pow(b2, static_cast<float>(t));
+  const float step_size = cfg.lr / bc1;
+  for (std::size_t i = 0; i < master.size(); ++i) {
+    float gi = grad[i];
+    if (cfg.weight_decay != 0.0f) gi += cfg.weight_decay * master[i];
+    m[i] = b1 * m[i] + (1.0f - b1) * gi;
+    v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
+    const float denom = std::sqrt(v[i] / bc2) + cfg.eps;
+    master[i] -= step_size * m[i] / denom;
+  }
+}
+
+namespace {
+tensor::Tensor MakeState(alloc::CachingAllocator* device, std::int64_t n) {
+  using tensor::Tensor;
+  Tensor t = device != nullptr
+                 ? Tensor::Device(*device, {n}, DType::kF32)
+                 : Tensor::Heap({n}, DType::kF32);
+  t.FillZero();
+  return t;
+}
+}  // namespace
+
+MixedPrecisionAdam::MixedPrecisionAdam(AdamConfig cfg,
+                                       alloc::CachingAllocator* device,
+                                       std::span<const float> init)
+    : cfg_(cfg),
+      numel_(static_cast<std::int64_t>(init.size())),
+      master_(MakeState(device, numel_)),
+      m_(MakeState(device, numel_)),
+      v_(MakeState(device, numel_)) {
+  std::memcpy(master_.f32().data(), init.data(), init.size_bytes());
+}
+
+void MixedPrecisionAdam::Step(std::span<Half> params_f16,
+                              std::span<const Half> grads_f16,
+                              float loss_scale) {
+  ZERO_CHECK(params_f16.size() == static_cast<std::size_t>(numel_) &&
+                 grads_f16.size() == static_cast<std::size_t>(numel_),
+             "shard size mismatch");
+  grad_scratch_.resize(static_cast<std::size_t>(numel_));
+  const float inv_scale = 1.0f / loss_scale;
+  for (std::size_t i = 0; i < grad_scratch_.size(); ++i) {
+    grad_scratch_[i] = grads_f16[i].ToFloat() * inv_scale;
+  }
+  ++t_;
+  AdamUpdate(cfg_, t_, master_.f32(), grad_scratch_, m_.f32(), v_.f32());
+  FloatToHalf(master_.f32().data(), params_f16.data(),
+              static_cast<std::size_t>(numel_));
+}
+
+void MixedPrecisionAdam::StepFromF32(std::span<Half> params_f16,
+                                     std::span<const float> grads,
+                                     float grad_scale) {
+  ZERO_CHECK(params_f16.size() == static_cast<std::size_t>(numel_) &&
+                 grads.size() == static_cast<std::size_t>(numel_),
+             "shard size mismatch");
+  grad_scratch_.resize(static_cast<std::size_t>(numel_));
+  for (std::size_t i = 0; i < grad_scratch_.size(); ++i) {
+    grad_scratch_[i] = grads[i] * grad_scale;
+  }
+  ++t_;
+  AdamUpdate(cfg_, t_, master_.f32(), grad_scratch_, m_.f32(), v_.f32());
+  FloatToHalf(master_.f32().data(), params_f16.data(),
+              static_cast<std::size_t>(numel_));
+}
+
+void MixedPrecisionAdam::StepF32(std::span<float> params_out,
+                                 std::span<const float> grads,
+                                 float grad_scale) {
+  ZERO_CHECK(params_out.size() == static_cast<std::size_t>(numel_) &&
+                 grads.size() == static_cast<std::size_t>(numel_),
+             "shard size mismatch");
+  grad_scratch_.resize(static_cast<std::size_t>(numel_));
+  for (std::size_t i = 0; i < grad_scratch_.size(); ++i) {
+    grad_scratch_[i] = grads[i] * grad_scale;
+  }
+  ++t_;
+  AdamUpdate(cfg_, t_, master_.f32(), grad_scratch_, m_.f32(), v_.f32());
+  std::memcpy(params_out.data(), master_.f32().data(),
+              params_out.size_bytes());
+}
+
+}  // namespace zero::optim

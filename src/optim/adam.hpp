@@ -1,0 +1,91 @@
+// Adam and its mixed-precision variant (Sec 3.1).
+//
+// Mixed-precision Adam is the memory protagonist of the paper: for Psi
+// fp16 parameters it keeps fp32 master parameters, momentum and variance
+// — K = 12 bytes per parameter of optimizer state on top of 2 (params)
+// + 2 (gradients). MixedPrecisionAdam owns exactly those three fp32
+// tensors, allocated on the simulated device so the K multiplier is
+// visible to the memory experiments, and updates an fp16 parameter shard
+// from an fp16 gradient shard:
+//
+//     master ops (fp32):  m, v, master-weight update
+//     edges (fp16):       grad in (unscaled by loss_scale), param out
+//
+// In ZeRO, each rank constructs this over its 1/Nd shard — partitioning
+// the optimizer *is* constructing a smaller one of these.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "alloc/caching_allocator.hpp"
+#include "common/half.hpp"
+#include "tensor/tensor.hpp"
+
+namespace zero::optim {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+// Functional fp32 Adam step (t is 1-based). Exposed separately so tests
+// can drive reference trajectories without any storage policy attached.
+void AdamUpdate(const AdamConfig& cfg, std::int64_t t,
+                std::span<float> master, std::span<const float> grad,
+                std::span<float> m, std::span<float> v);
+
+class MixedPrecisionAdam {
+ public:
+  // State tensors (fp32 master + m + v, 12 bytes/param) are allocated
+  // from `device` when non-null, else on the heap. `init` seeds the
+  // master copy (the authoritative weights).
+  MixedPrecisionAdam(AdamConfig cfg, alloc::CachingAllocator* device,
+                     std::span<const float> init);
+
+  // One update: grad_f16 is divided by `loss_scale`, applied to the
+  // master weights, and the updated weights are rounded back into
+  // params_f16. Spans must match the shard size.
+  void Step(std::span<Half> params_f16, std::span<const Half> grads_f16,
+            float loss_scale);
+
+  // fp32 path (used when the engine keeps fp32 gradients, e.g. in exact
+  // equivalence tests).
+  void StepF32(std::span<float> params_out, std::span<const float> grads,
+               float grad_scale);
+
+  // fp32 gradients (e.g. an accumulation buffer) updating fp16 params.
+  void StepFromF32(std::span<Half> params_f16, std::span<const float> grads,
+                   float grad_scale);
+
+  [[nodiscard]] std::int64_t numel() const { return numel_; }
+  [[nodiscard]] std::int64_t step_count() const { return t_; }
+  [[nodiscard]] std::span<const float> master() const {
+    return master_.f32();
+  }
+  [[nodiscard]] std::span<float> master_mutable() { return master_.f32(); }
+  // Momentum / variance access for state checkpointing.
+  [[nodiscard]] std::span<const float> momentum() const { return m_.f32(); }
+  [[nodiscard]] std::span<float> momentum_mutable() { return m_.f32(); }
+  [[nodiscard]] std::span<const float> variance() const { return v_.f32(); }
+  [[nodiscard]] std::span<float> variance_mutable() { return v_.f32(); }
+  // Restores the bias-correction clock when loading a checkpoint.
+  void set_step_count(std::int64_t t) { t_ = t; }
+
+  // Bytes of optimizer state per parameter — the paper's K.
+  static constexpr double kStateBytesPerParam = 12.0;
+
+ private:
+  AdamConfig cfg_;
+  std::int64_t numel_;
+  std::int64_t t_ = 0;
+  tensor::Tensor master_;  // fp32 [numel]
+  tensor::Tensor m_;       // fp32 [numel]
+  tensor::Tensor v_;       // fp32 [numel]
+  std::vector<float> grad_scratch_;
+};
+
+}  // namespace zero::optim

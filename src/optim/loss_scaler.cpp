@@ -1,0 +1,35 @@
+#include "optim/loss_scaler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace zero::optim {
+
+DynamicLossScaler::DynamicLossScaler(Config config)
+    : config_(config), scale_(config.init_scale) {
+  ZERO_CHECK(config_.init_scale >= config_.min_scale &&
+                 config_.init_scale <= config_.max_scale,
+             "init_scale outside [min_scale, max_scale]");
+  ZERO_CHECK(config_.growth_factor > 1.0f &&
+                 config_.backoff_factor > 0.0f &&
+                 config_.backoff_factor < 1.0f,
+             "scaler factors must grow/shrink");
+}
+
+bool DynamicLossScaler::Update(bool found_overflow) {
+  if (found_overflow) {
+    scale_ = std::max(config_.min_scale, scale_ * config_.backoff_factor);
+    steps_since_backoff_ = 0;
+    ++skipped_;
+    return false;
+  }
+  ++good_;
+  if (++steps_since_backoff_ >= config_.growth_interval) {
+    scale_ = std::min(config_.max_scale, scale_ * config_.growth_factor);
+    steps_since_backoff_ = 0;
+  }
+  return true;
+}
+
+}  // namespace zero::optim

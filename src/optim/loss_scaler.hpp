@@ -1,0 +1,50 @@
+// Dynamic loss scaling for mixed-precision training (Sec 3.1's fp16
+// regime; the standard companion of an fp32 master copy).
+//
+// fp16 gradients overflow to inf when the loss scale is too high and
+// underflow to zero when it is too low. The dynamic scaler implements
+// the usual control loop: halve the scale and skip the step whenever an
+// overflow is detected, double it after `growth_interval` consecutive
+// clean steps. In ZeRO the overflow verdict must be *global* — every DP
+// rank sees only its gradient partition — so the engine all-reduces a
+// found-overflow flag before consulting the scaler, keeping the SPMD
+// ranks in lockstep.
+#pragma once
+
+#include <cstdint>
+
+namespace zero::optim {
+
+class DynamicLossScaler {
+ public:
+  struct Config {
+    float init_scale = 65536.0f;
+    float growth_factor = 2.0f;
+    float backoff_factor = 0.5f;
+    int growth_interval = 100;  // clean steps before growing
+    float min_scale = 1.0f;
+    float max_scale = 16777216.0f;  // 2^24
+  };
+
+  DynamicLossScaler() : DynamicLossScaler(Config()) {}
+  explicit DynamicLossScaler(Config config);
+
+  [[nodiscard]] float scale() const { return scale_; }
+
+  // Report the (globally agreed) overflow status of one step. Returns
+  // true when the optimizer update should be applied, false when the
+  // step must be skipped.
+  bool Update(bool found_overflow);
+
+  [[nodiscard]] std::int64_t skipped_steps() const { return skipped_; }
+  [[nodiscard]] std::int64_t good_steps() const { return good_; }
+
+ private:
+  Config config_;
+  float scale_;
+  int steps_since_backoff_ = 0;
+  std::int64_t skipped_ = 0;
+  std::int64_t good_ = 0;
+};
+
+}  // namespace zero::optim

@@ -1,0 +1,23 @@
+#include "sim/auto_stage.hpp"
+
+namespace zero::sim {
+
+StageRecommendation RecommendStage(const ClusterSpec& cluster,
+                                   JobConfig job) {
+  StageRecommendation rec;
+  for (model::ZeroStage stage :
+       {model::ZeroStage::kNone, model::ZeroStage::kOs,
+        model::ZeroStage::kOsG, model::ZeroStage::kOsGP}) {
+    job.stage = stage;
+    rec.stage = stage;
+    rec.memory = EstimateMemory(cluster, job);
+    if (rec.memory.total() <= cluster.usable_memory()) {
+      rec.fits = true;
+      return rec;
+    }
+  }
+  rec.fits = false;  // reports stage 3's breakdown for diagnostics
+  return rec;
+}
+
+}  // namespace zero::sim

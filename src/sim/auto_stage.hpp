@@ -1,0 +1,30 @@
+// Automatic ZeRO-stage selection.
+//
+// The paper's Table 1 implies a policy the text states informally: use
+// the *lowest* stage whose per-device model states fit, because higher
+// stages only add communication (stage 3's 1.5x) or scheduling
+// complexity without memory benefit once the model fits. This helper
+// encodes that policy over the memory model, including headroom for
+// activations and buffers.
+#pragma once
+
+#include <optional>
+
+#include "sim/memory_model.hpp"
+
+namespace zero::sim {
+
+struct StageRecommendation {
+  model::ZeroStage stage = model::ZeroStage::kNone;
+  MemoryBreakdown memory;   // at the chosen stage
+  bool fits = false;        // false: nothing fits, not even stage 3
+};
+
+// Chooses the lowest stage under which `job` (its stage field is
+// ignored) fits the cluster's devices. Tries kNone, kOs, kOsG, kOsGP in
+// order; `fits == false` means even full partitioning is not enough
+// (add MP, shrink the batch, or add devices).
+StageRecommendation RecommendStage(const ClusterSpec& cluster,
+                                   JobConfig job);
+
+}  // namespace zero::sim

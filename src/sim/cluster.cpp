@@ -1,0 +1,6 @@
+#include "sim/cluster.hpp"
+
+// ClusterSpec is a plain aggregate; this translation unit exists so the
+// library has a home for future non-inline topology logic and so the
+// header's defaults are compiled (and warned about) exactly once.
+namespace zero::sim {}

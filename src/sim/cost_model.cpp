@@ -1,0 +1,87 @@
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace zero::sim {
+
+double Efficiency(const ClusterSpec& cluster, const JobConfig& job) {
+  const double tokens = static_cast<double>(job.batch_per_gpu) *
+                        static_cast<double>(job.model.seq);
+  const double w = static_cast<double>(job.model.hidden) / job.mp;
+  const double f_tokens = tokens / (tokens + cluster.tokens_half);
+  const double f_width = w / (w + cluster.width_half);
+  return cluster.eff_max * f_tokens * f_width;
+}
+
+ThroughputEstimate EstimateThroughput(const ClusterSpec& cluster,
+                                      const JobConfig& job) {
+  ZERO_CHECK(job.batch_per_gpu >= 1, "batch must be positive");
+  ThroughputEstimate out;
+  const auto& m = job.model;
+  const double b = static_cast<double>(job.batch_per_gpu);
+  const double s = static_cast<double>(m.seq);
+  const double h = static_cast<double>(m.hidden);
+  const double l = static_cast<double>(m.layers);
+  const int mp = job.mp;
+
+  // --- compute ---
+  const double flops_per_gpu =
+      m.StepFlops(job.batch_per_gpu, job.activation_checkpointing) / mp;
+  out.efficiency = Efficiency(cluster, job);
+  out.compute_s = flops_per_gpu / (cluster.peak_flops * out.efficiency);
+
+  // --- model-parallel communication (fully exposed) ---
+  double mp_time = 0;
+  if (mp > 1) {
+    const double msg = 2.0 * b * s * h;  // fp16 activation tensor
+    const double ring = 2.0 * msg * (mp - 1) / mp;  // all-reduce volume
+    const int per_block =
+        job.activation_checkpointing ? 6 : 4;  // 2 fwd (+2 recompute) +2 bwd
+    double volume = l * per_block * ring;
+    if (job.pa) {
+      // One extra all-gather per block before recompute (Sec 8): volume
+      // = message size.
+      volume += l * msg * (mp - 1) / mp;
+    }
+    mp_time = volume / cluster.MpBandwidth(mp);
+  }
+  out.mp_comm_s = mp_time;
+
+  // --- data-parallel communication (overlapped with backward) ---
+  double dp_time = 0;
+  double overlap = cluster.dp_overlap;
+  if (job.dp() > 1) {
+    const double volume_factor =
+        job.stage == model::ZeroStage::kOsGP ? 3.0 : 2.0;  // Sec 7
+    // ZeRO moves fp16 gradients/parameters; the 2019 DDP baseline
+    // all-reduced fp32 gradients, and (without MP) without ZeRO's
+    // bucketized compute overlap.
+    double elem_bytes = 2.0;
+    if (job.stage == model::ZeroStage::kNone) {
+      elem_bytes = 4.0;
+      if (mp == 1) overlap = 0.0;
+    }
+    const double volume = volume_factor * elem_bytes * job.psi_local();
+    dp_time = volume / cluster.DpBandwidth();
+  }
+  out.dp_comm_s = std::max(0.0, dp_time - overlap * out.compute_s);
+
+  // --- Pa+cpu host transfers ---
+  double offload_time = 0;
+  if (job.pa_cpu) {
+    const double slice = 2.0 * b * s * h * l / mp;  // this GPU's slices
+    offload_time = 2.0 * slice / cluster.pcie_bw;   // out and back
+  }
+  out.offload_s =
+      std::max(0.0, offload_time - cluster.offload_overlap * out.compute_s);
+
+  out.step_seconds =
+      out.compute_s + out.mp_comm_s + out.dp_comm_s + out.offload_s;
+  out.tflops_per_gpu = flops_per_gpu / out.step_seconds / 1e12;
+  out.aggregate_pflops = out.tflops_per_gpu * job.gpus / 1e3;
+  return out;
+}
+
+}  // namespace zero::sim

@@ -1,0 +1,41 @@
+// Per-step time and throughput model (Sec 7, Sec 8, Sec 10).
+//
+// step_time = compute + exposed MP communication + exposed DP
+// communication + exposed host-offload transfers, with:
+//   - compute = step flops / (peak * eff(batch, local width)), the
+//     saturating arithmetic-intensity curve that produces both the
+//     baseline's small-batch collapse and ZeRO's super-linear scaling;
+//   - MP all-reduces (2 fwd + 2 bwd + 2 recompute per block, Sec 8) are
+//     synchronous and fully exposed, over NVSwitch inside a node and
+//     over InfiniBand once the MP group spans nodes — the Sec 10.2
+//     bandwidth cliff;
+//   - DP gradient traffic (2*Psi for stages 0-2, 3*Psi for stage 3,
+//     Sec 7) overlaps with backward up to cluster.dp_overlap;
+//   - Pa adds one all-gather per block (Sec 8); Pa+cpu adds 2x slice
+//     transfers over PCIe, partially hidden.
+#pragma once
+
+#include "sim/cluster.hpp"
+#include "sim/job.hpp"
+
+namespace zero::sim {
+
+struct ThroughputEstimate {
+  double step_seconds = 0;
+  double tflops_per_gpu = 0;       // achieved, hardware flops incl. recompute
+  double aggregate_pflops = 0;
+  // breakdown (seconds)
+  double compute_s = 0;
+  double mp_comm_s = 0;            // exposed
+  double dp_comm_s = 0;            // exposed
+  double offload_s = 0;            // exposed
+  double efficiency = 0;           // eff() used for compute
+};
+
+// Fraction of peak the GEMMs achieve for this job.
+double Efficiency(const ClusterSpec& cluster, const JobConfig& job);
+
+ThroughputEstimate EstimateThroughput(const ClusterSpec& cluster,
+                                      const JobConfig& job);
+
+}  // namespace zero::sim

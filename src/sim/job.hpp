@@ -1,0 +1,33 @@
+// One training-job configuration for the simulator: the model, the
+// parallelism layout and the ZeRO optimizations in force. This is the
+// cartesian product the paper's evaluation sweeps (Tables 5-10).
+#pragma once
+
+#include "model/transformer_spec.hpp"
+
+namespace zero::sim {
+
+struct JobConfig {
+  model::TransformerSpec model;
+  int gpus = 400;
+  int mp = 1;                    // tensor model parallelism degree
+  std::int64_t batch_per_gpu = 8;
+  model::ZeroStage stage = model::ZeroStage::kOsG;
+  bool activation_checkpointing = true;
+  bool pa = false;               // partitioned activation checkpoints
+  bool pa_cpu = false;           // + host offload
+  bool constant_buffers = true;  // CB
+  bool defrag = true;            // MD
+
+  [[nodiscard]] int dp() const { return gpus / mp; }
+  [[nodiscard]] std::int64_t psi() const { return model.NumParameters(); }
+  // Per-device parameter count (MP splits the model vertically first).
+  [[nodiscard]] double psi_local() const {
+    return static_cast<double>(psi()) / mp;
+  }
+
+  // The paper's five ZeRO-R ablation configs (Table 3).
+  static JobConfig WithConfigId(JobConfig base, int config_id);
+};
+
+}  // namespace zero::sim

@@ -1,0 +1,84 @@
+#include "sim/memory_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace zero::sim {
+
+MemoryBreakdown EstimateMemory(const ClusterSpec& cluster,
+                               const JobConfig& job) {
+  ZERO_CHECK(job.gpus % job.mp == 0, "gpus must divide by MP degree");
+  MemoryBreakdown mem;
+  const auto& m = job.model;
+  const double b = static_cast<double>(job.batch_per_gpu);
+  const double s = static_cast<double>(m.seq);
+  const double h = static_cast<double>(m.hidden);
+  const double l = static_cast<double>(m.layers);
+  const double heads = static_cast<double>(m.heads);
+  const double v = static_cast<double>(m.vocab);
+  const int mp = job.mp;
+  const int nd = job.dp();
+
+  // --- model states (Fig 1 equations over the per-device shard) ---
+  const model::ModelStateBytes states =
+      model::PerDeviceModelStates(job.psi_local(), job.stage, nd);
+  mem.params = states.parameters;
+  mem.grads = states.gradients;
+  mem.optimizer = states.optimizer;
+
+  // --- activations ---
+  // Per-layer working activations split by what Megatron-style MP can
+  // shard: the [b, s, h] tensors at block boundaries (ln outputs,
+  // residuals, attention/MLP outputs — about six per block) are
+  // replicated on every MP rank (the Sec 4.2.1 insight Pa exploits),
+  // while head-sharded attention internals and the 4h MLP interior
+  // divide by mp.
+  const double replicated_per_layer = 6.0 * 2.0 * b * s * h;
+  const double sharded_per_layer =
+      (m.ActivationBytes(job.batch_per_gpu) / l +
+       2.0 * b * heads * s * s) /
+      mp;
+  if (job.activation_checkpointing) {
+    // One fp16 checkpoint (the block input) per layer: 2*b*s*h bytes,
+    // replicated across MP ranks unless Pa partitions it (Sec 6.1), and
+    // moved to host entirely under Pa+cpu.
+    double ckpt = 2.0 * b * s * h * l;
+    if (job.pa) ckpt /= mp;
+    if (job.pa_cpu) ckpt = 0.0;
+    mem.checkpoints = ckpt;
+    // Recompute materializes one block's activations at a time.
+    mem.working = replicated_per_layer + sharded_per_layer;
+  } else {
+    // Full activation set for all layers stays resident.
+    mem.working = l * (replicated_per_layer + sharded_per_layer);
+  }
+  // Output logits (vocabulary-parallel under MP, as Megatron shards the
+  // embedding classifier).
+  mem.logits = 2.0 * b * s * v / mp;
+
+  // --- temporary buffers (Sec 6.2) ---
+  if (job.constant_buffers) {
+    mem.buffers = std::min(kConstantBufferBytes, 4.0 * job.psi_local());
+  } else {
+    // Fused fp32 buffer proportional to the local model size.
+    mem.buffers = 4.0 * job.psi_local();
+  }
+
+  // --- fragmentation reserve (Sec 3.2 / 6.3) ---
+  // Without MD, interleaved lifetimes strand a sizable fraction of
+  // memory (the paper observed OOM with >30% free in extreme cases).
+  if (!job.defrag) {
+    const double stranded = 0.25 * mem.activations();
+    mem.working += stranded;
+  }
+
+  (void)cluster;
+  return mem;
+}
+
+bool Fits(const ClusterSpec& cluster, const JobConfig& job) {
+  return EstimateMemory(cluster, job).total() <= cluster.usable_memory();
+}
+
+}  // namespace zero::sim

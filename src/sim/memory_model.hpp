@@ -1,0 +1,39 @@
+// Per-GPU memory model (Sec 3, Sec 5.4, Sec 6.1) used by Table 1/2 and
+// Figures 1, 6, 7, and by the max-batch/max-model searches behind
+// Figures 2-4 and 8.
+#pragma once
+
+#include "sim/cluster.hpp"
+#include "sim/job.hpp"
+
+namespace zero::sim {
+
+struct MemoryBreakdown {
+  double params = 0;       // fp16 parameters
+  double grads = 0;        // fp16 gradients
+  double optimizer = 0;    // fp32 master + momentum + variance (K = 12)
+  double checkpoints = 0;  // stored activation checkpoints
+  double working = 0;      // live activations of one (or all) block(s)
+  double logits = 0;       // output projection activations
+  double buffers = 0;      // fused communication buffers (CB)
+  [[nodiscard]] double model_states() const {
+    return params + grads + optimizer;
+  }
+  [[nodiscard]] double activations() const {
+    return checkpoints + working + logits;
+  }
+  [[nodiscard]] double total() const {
+    return model_states() + activations() + buffers;
+  }
+};
+
+// Constant fused-buffer size used when CB is enabled (Sec 6.2).
+inline constexpr double kConstantBufferBytes = 256.0 * MB;
+
+MemoryBreakdown EstimateMemory(const ClusterSpec& cluster,
+                               const JobConfig& job);
+
+// True when the job fits in per-device memory.
+bool Fits(const ClusterSpec& cluster, const JobConfig& job);
+
+}  // namespace zero::sim

@@ -1,0 +1,88 @@
+#include "sim/netsim_bridge.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace zero::sim {
+
+NetTopology TopologyFor(const ClusterSpec& cluster, const JobConfig& job) {
+  NetTopology topo;
+  topo.gpus_per_node = cluster.gpus_per_node;
+  topo.nodes =
+      (job.gpus + cluster.gpus_per_node - 1) / cluster.gpus_per_node;
+  topo.nvswitch_port_bw = cluster.intra_node_bw;
+  topo.node_uplink_bw =
+      cluster.inter_node_bw_per_gpu * cluster.gpus_per_node;
+  topo.nic_bw = cluster.inter_node_bw_per_link;
+  return topo;
+}
+
+ThroughputEstimate EstimateThroughputSimulatedNetwork(
+    const ClusterSpec& cluster, const JobConfig& job) {
+  ThroughputEstimate out;
+  const auto& m = job.model;
+  const int mp = job.mp;
+  const int nd = job.dp();
+
+  const NetTopology topo = TopologyFor(cluster, job);
+  NetworkSimulator net(topo);
+
+  // --- compute: identical to the analytic model ---
+  const double flops_per_gpu =
+      m.StepFlops(job.batch_per_gpu, job.activation_checkpointing) / mp;
+  out.efficiency = Efficiency(cluster, job);
+  out.compute_s = flops_per_gpu / (cluster.peak_flops * out.efficiency);
+
+  // --- model-parallel communication: simulated rings on GPUs 0..mp-1 ---
+  double mp_time = 0;
+  if (mp > 1) {
+    const std::vector<int> group = ContiguousGroup(0, mp);
+    const double msg = 2.0 * static_cast<double>(job.batch_per_gpu) *
+                       static_cast<double>(m.seq) *
+                       static_cast<double>(m.hidden);
+    const int per_block = job.activation_checkpointing ? 6 : 4;
+    mp_time = static_cast<double>(m.layers) * per_block *
+              net.RingAllReduce(group, msg);
+    if (job.pa) {
+      mp_time += static_cast<double>(m.layers) *
+                 net.RingAllGather(group, msg);
+    }
+  }
+  out.mp_comm_s = mp_time;
+
+  // --- data-parallel communication: all Nd rings contend at once ---
+  double dp_time = 0;
+  if (nd > 1) {
+    std::vector<std::vector<int>> rings;
+    for (int c = 0; c < mp; ++c) {
+      rings.push_back(StridedGroup(c, mp, nd));
+    }
+    const double grad_bytes = 2.0 * job.psi_local();  // fp16
+    dp_time = net.ConcurrentRingAllReduce(rings, grad_bytes);
+    if (job.stage == model::ZeroStage::kOsGP) {
+      dp_time *= 1.5;  // Sec 7.2.2: 3 Psi instead of 2 Psi
+    }
+  }
+  out.dp_comm_s = std::max(0.0, dp_time - cluster.dp_overlap * out.compute_s);
+
+  // --- Pa+cpu host transfers: identical to the analytic model ---
+  double offload_time = 0;
+  if (job.pa_cpu) {
+    const double slice = 2.0 * static_cast<double>(job.batch_per_gpu) *
+                         static_cast<double>(m.seq) *
+                         static_cast<double>(m.hidden) *
+                         static_cast<double>(m.layers) / mp;
+    offload_time = 2.0 * slice / cluster.pcie_bw;
+  }
+  out.offload_s =
+      std::max(0.0, offload_time - cluster.offload_overlap * out.compute_s);
+
+  out.step_seconds =
+      out.compute_s + out.mp_comm_s + out.dp_comm_s + out.offload_s;
+  out.tflops_per_gpu = flops_per_gpu / out.step_seconds / 1e12;
+  out.aggregate_pflops = out.tflops_per_gpu * job.gpus / 1e3;
+  return out;
+}
+
+}  // namespace zero::sim

@@ -1,0 +1,19 @@
+// Bridge: the closed-form cost model with its communication terms
+// replaced by the flow-based network simulator. Instead of assumed
+// NVSwitch/IB bandwidths, MP all-reduce and DP ring times come from ring
+// schedules laid onto the simulated fabric, including the contention of
+// all Nd data-parallel rings running at once.
+#pragma once
+
+#include "sim/cost_model.hpp"
+#include "sim/netsim.hpp"
+
+namespace zero::sim {
+
+// Derives a NetTopology sized for the job from the cluster constants.
+NetTopology TopologyFor(const ClusterSpec& cluster, const JobConfig& job);
+
+ThroughputEstimate EstimateThroughputSimulatedNetwork(
+    const ClusterSpec& cluster, const JobConfig& job);
+
+}  // namespace zero::sim

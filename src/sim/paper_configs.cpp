@@ -1,0 +1,150 @@
+#include "sim/paper_configs.hpp"
+
+#include "common/error.hpp"
+
+namespace zero::sim {
+
+JobConfig JobConfig::WithConfigId(JobConfig base, int config_id) {
+  // Table 3: the five ZeRO configurations of the ablation figures.
+  base.constant_buffers = true;  // CB in every config
+  base.defrag = true;            // MD in every config
+  base.activation_checkpointing = true;
+  switch (config_id) {
+    case 1:  // Pos, CB + MD
+      base.stage = model::ZeroStage::kOs;
+      base.pa = false;
+      base.pa_cpu = false;
+      break;
+    case 2:  // Pos, CB + MD + Pa
+      base.stage = model::ZeroStage::kOs;
+      base.pa = true;
+      base.pa_cpu = false;
+      break;
+    case 3:  // Pos+g, CB + MD
+      base.stage = model::ZeroStage::kOsG;
+      base.pa = false;
+      base.pa_cpu = false;
+      break;
+    case 4:  // Pos+g, CB + MD + Pa
+      base.stage = model::ZeroStage::kOsG;
+      base.pa = true;
+      base.pa_cpu = false;
+      break;
+    case 5:  // Pos+g, CB + MD + Pa+cpu
+      base.stage = model::ZeroStage::kOsG;
+      base.pa = true;
+      base.pa_cpu = true;
+      break;
+    default:
+      throw ConfigError("ZeRO config id must be 1..5");
+  }
+  return base;
+}
+
+JobConfig PaperRun::ToJob() const {
+  JobConfig job;
+  job.model.layers = layers;
+  job.model.hidden = hidden;
+  job.model.heads = heads;
+  job.model.seq = 1024;
+  job.model.vocab = 50257;
+  job.gpus = gpus;
+  job.mp = mp;
+  job.batch_per_gpu = batch_per_gpu;
+  job.activation_checkpointing = true;
+  if (is_zero) {
+    // ZeRO-100B: Pos+g plus ZeRO-R (Sec 10.1).
+    job.stage = model::ZeroStage::kOsG;
+    job.pa = mp > 1;
+  } else {
+    // Megatron / DDP baseline: plain replicated data parallelism, with
+    // model-size-proportional fused buffers and no defragmentation —
+    // CB and MD are ZeRO-R features (Sec 6.2/6.3).
+    job.stage = model::ZeroStage::kNone;
+    job.pa = false;
+    job.constant_buffers = false;
+    job.defrag = false;
+  }
+  return job;
+}
+
+const std::vector<PaperRun>& Figure2Runs() {
+  // Appendix Table 5.
+  static const std::vector<PaperRun> runs = {
+      {"1.5B", 1.5e9, true, 400, 1, 48, 1600, 16, 24},
+      {"1.5B", 1.5e9, false, 400, 2, 48, 1600, 16, 16},
+      {"8B", 8e9, true, 400, 4, 72, 3072, 24, 64},
+      {"8B", 8e9, false, 400, 8, 72, 3072, 24, 8},
+      {"40B", 40e9, true, 400, 4, 88, 6144, 32, 12},
+      {"40B", 40e9, false, 384, 32, 88, 6144, 64, 4},
+      {"60B", 60e9, true, 400, 16, 132, 6144, 32, 64},
+      {"60B", 60e9, false, 384, 64, 132, 6144, 64, 4},
+      {"80B", 80e9, true, 400, 16, 100, 8192, 64, 32},
+      {"80B", 80e9, false, 384, 128, 100, 8192, 128, 4},
+      {"100B", 100e9, true, 400, 16, 125, 8192, 64, 32},
+      {"100B", 100e9, false, 384, 128, 125, 8192, 128, 2},
+      {"120B", 120e9, true, 400, 16, 150, 8192, 64, 24},
+      {"120B", 120e9, false, 384, 128, 150, 8192, 128, 2},
+      {"140B", 140e9, true, 400, 16, 175, 8192, 64, 16},
+      {"140B", 140e9, false, 384, 128, 175, 8192, 128, 2},
+      {"170B", 170e9, true, 400, 16, 212, 8192, 64, 12},
+      {"170B", 170e9, false, 256, 256, 212, 8192, 256, 2},
+  };
+  return runs;
+}
+
+const std::vector<PaperRun>& Figure3Runs() {
+  // Appendix Table 6.
+  static const std::vector<PaperRun> runs = {
+      {"60B/64", 60e9, true, 64, 16, 75, 8192, 32, 16},
+      {"60B/128", 60e9, true, 128, 16, 75, 8192, 32, 48},
+      {"60B/256", 60e9, true, 256, 16, 75, 8192, 32, 48},
+      {"60B/400", 60e9, true, 400, 16, 75, 8192, 32, 64},
+  };
+  return runs;
+}
+
+const std::vector<PaperRun>& Figure4Runs() {
+  // Appendix Table 10 (all MP = 1, 128 GPUs).
+  static const std::vector<PaperRun> runs = {
+      {"1.16B", 1.16e9, true, 128, 1, 24, 1920, 16, 24},
+      {"1.5B", 1.5e9, true, 128, 1, 34, 1920, 16, 24},
+      {"2.5B", 2.5e9, true, 128, 1, 54, 1920, 16, 24},
+      {"4B", 4e9, true, 128, 1, 64, 2304, 24, 16},
+      {"6B", 6e9, true, 128, 1, 52, 3072, 24, 12},
+      {"8B", 8e9, true, 128, 1, 72, 3072, 24, 8},
+      {"10B", 10e9, true, 128, 1, 50, 4096, 32, 6},
+      {"11B", 11e9, true, 128, 1, 54, 4096, 32, 4},
+      {"12B", 12e9, true, 128, 1, 58, 4096, 32, 4},
+      {"13B", 13e9, true, 128, 1, 62, 4096, 32, 2},
+      {"1.16B-base", 1.16e9, false, 128, 1, 24, 1920, 16, 8},
+      {"1.38B-base", 1.38e9, false, 128, 1, 40, 1536, 16, 1},
+  };
+  return runs;
+}
+
+const std::vector<PaperRun>& Figure7Runs() {
+  // Appendix Table 8.
+  static const std::vector<PaperRun> runs = {
+      {"40B", 40e9, true, 400, 16, 50, 8192, 32, 16},
+      {"100B", 100e9, true, 400, 16, 125, 8192, 64, 32},
+  };
+  return runs;
+}
+
+const std::vector<PaperRun>& Figure8Runs() {
+  // Appendix Table 9.
+  static const std::vector<PaperRun> runs = {
+      {"60B", 60e9, true, 128, 16, 75, 8192, 64, 8},
+      {"170B", 170e9, true, 400, 16, 212, 8192, 64, 12},
+  };
+  return runs;
+}
+
+PaperRun Figure6BaseRun() {
+  // Figure 6 grows a hidden-8192, MP-16 model until it no longer fits;
+  // 400 GPUs as in the 170B row of Table 9.
+  return {"fig6-base", 0.0, true, 400, 16, 75, 8192, 64, 16};
+}
+
+}  // namespace zero::sim

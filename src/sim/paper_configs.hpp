@@ -1,0 +1,47 @@
+// The paper's experiment configurations, transcribed from Table 3 (ZeRO
+// configs C1-C5) and the appendix Tables 4-10 (model shapes, GPU counts,
+// MP degrees and batch sizes for every figure). Benches replay exactly
+// these configurations through the simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/job.hpp"
+
+namespace zero::sim {
+
+struct PaperRun {
+  std::string label;     // e.g. "1.5B", "170B"
+  double psi_nominal;    // parameter count the paper quotes
+  bool is_zero;          // ZeRO run vs Megatron/DDP baseline
+  int gpus;
+  int mp;
+  std::int64_t layers;
+  std::int64_t hidden;
+  std::int64_t heads;
+  std::int64_t batch_per_gpu;
+
+  [[nodiscard]] JobConfig ToJob() const;
+};
+
+// Table 5: Figure 2 (throughput vs model size, ZeRO vs baseline).
+const std::vector<PaperRun>& Figure2Runs();
+
+// Table 6: Figure 3 (60B super-linear scalability, 64-400 GPUs).
+const std::vector<PaperRun>& Figure3Runs();
+
+// Table 10: Figure 4 (max throughput without MP, up to 13B).
+const std::vector<PaperRun>& Figure4Runs();
+
+// Table 8: Figure 7 (max cached memory, 40B and 100B).
+const std::vector<PaperRun>& Figure7Runs();
+
+// Table 9: Figure 8 (throughput under configs C1-C5, 60B and 170B).
+const std::vector<PaperRun>& Figure8Runs();
+
+// The Figure 6 base family (hidden 8192, MP 16) whose layer count the
+// max-model-size search varies per config.
+PaperRun Figure6BaseRun();
+
+}  // namespace zero::sim

@@ -1,0 +1,62 @@
+#include "sim/pipeline_model.hpp"
+
+#include "common/error.hpp"
+
+namespace zero::sim {
+
+PipelineEstimate EstimatePipeline(const ClusterSpec& cluster,
+                                  const PipelineConfig& config) {
+  (void)cluster;
+  ZERO_CHECK(config.stages >= 1 && config.micro_batches >= 1,
+             "degenerate pipeline");
+  PipelineEstimate est;
+  const double psi = static_cast<double>(config.model.NumParameters());
+  const double per_stage_psi = psi / config.stages;
+  const auto& m = config.model;
+  const double p = config.stages;
+  const double mm = config.micro_batches;
+
+  switch (config.scheme) {
+    case PipelineScheme::kGpipe: {
+      // Parameters partitioned across stages; mixed-precision states
+      // (16 bytes/param) per stage.
+      est.param_state_bytes = 16.0 * per_stage_psi;
+      // All micro-batches' activation checkpoints for this stage's
+      // layers are live until the backward flush: one [b, s, h]
+      // checkpoint per layer per micro-batch.
+      const double layers_per_stage =
+          static_cast<double>(m.layers) / config.stages;
+      est.activation_bytes = 2.0 *
+                             static_cast<double>(config.micro_batch_size) *
+                             static_cast<double>(m.seq) *
+                             static_cast<double>(m.hidden) *
+                             layers_per_stage * mm;
+      est.bubble_fraction = (p - 1.0) / (mm + p - 1.0);
+      est.weight_versions = 1.0;
+      est.equivalent_to_sync_sgd = true;
+      break;
+    }
+    case PipelineScheme::kPipeDream: {
+      // 1F1B keeps at most P in-flight micro-batches of activations, but
+      // stashes up to P weight versions to stay consistent per
+      // micro-batch — fp16 weights per extra version.
+      est.weight_versions = p;
+      est.param_state_bytes = 16.0 * per_stage_psi +        // live state
+                              2.0 * per_stage_psi * (p - 1);  // stashes
+      const double layers_per_stage =
+          static_cast<double>(m.layers) / config.stages;
+      est.activation_bytes = 2.0 *
+                             static_cast<double>(config.micro_batch_size) *
+                             static_cast<double>(m.seq) *
+                             static_cast<double>(m.hidden) *
+                             layers_per_stage * p;
+      est.bubble_fraction = 0.0;  // hidden in steady state
+      est.equivalent_to_sync_sgd = false;  // stale weights
+      break;
+    }
+  }
+  est.total_bytes = est.param_state_bytes + est.activation_bytes;
+  return est;
+}
+
+}  // namespace zero::sim

@@ -1,0 +1,46 @@
+// Pipeline-parallelism comparator (Sec 2.1's related-work analysis).
+//
+// The paper argues ZeRO matches or beats pipeline parallelism's memory
+// efficiency without its functionality/convergence restrictions. This
+// module models the two PP flavors the paper names so the claim can be
+// examined quantitatively:
+//
+//   G-Pipe:    parameters and activations are partitioned across P
+//              stages, but hiding the pipeline bubble needs a micro-
+//              batch count M proportional to P; bubble fraction
+//              (P-1)/(M+P-1), and all M micro-batches' checkpoints are
+//              resident at the pipeline flush.
+//   PipeDream: 1F1B with weight stashing — the bubble disappears in
+//              steady state, but each stage keeps up to P weight
+//              *versions*, multiplying parameter memory back up, and
+//              the update is no longer equivalent to synchronous SGD.
+#pragma once
+
+#include "sim/cluster.hpp"
+#include "sim/job.hpp"
+
+namespace zero::sim {
+
+enum class PipelineScheme : unsigned char { kGpipe, kPipeDream };
+
+struct PipelineConfig {
+  model::TransformerSpec model;
+  int stages = 8;          // pipeline depth P
+  int micro_batches = 32;  // M (per pipeline, per step)
+  std::int64_t micro_batch_size = 1;
+  PipelineScheme scheme = PipelineScheme::kGpipe;
+};
+
+struct PipelineEstimate {
+  double param_state_bytes = 0;   // params+grads+optimizer per device
+  double activation_bytes = 0;    // per device
+  double total_bytes = 0;
+  double bubble_fraction = 0;     // idle fraction of the pipeline
+  double weight_versions = 1;     // PipeDream staleness copies
+  bool equivalent_to_sync_sgd = true;
+};
+
+PipelineEstimate EstimatePipeline(const ClusterSpec& cluster,
+                                  const PipelineConfig& config);
+
+}  // namespace zero::sim

@@ -1,0 +1,74 @@
+#include "sim/search.hpp"
+
+#include "common/error.hpp"
+
+namespace zero::sim {
+
+std::int64_t MaxBatchPerGpu(const ClusterSpec& cluster, JobConfig job,
+                            std::int64_t limit) {
+  job.batch_per_gpu = 1;
+  if (!Fits(cluster, job)) return 0;
+  // Exponential probe then binary search.
+  std::int64_t lo = 1;
+  std::int64_t hi = 2;
+  while (hi <= limit) {
+    job.batch_per_gpu = hi;
+    if (!Fits(cluster, job)) break;
+    lo = hi;
+    hi *= 2;
+  }
+  hi = std::min(hi, limit + 1);
+  while (lo + 1 < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    job.batch_per_gpu = mid;
+    if (Fits(cluster, job)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::int64_t MaxLayers(const ClusterSpec& cluster, JobConfig job,
+                       std::int64_t limit) {
+  job.model.layers = 1;
+  if (!Fits(cluster, job)) return 0;
+  std::int64_t lo = 1;
+  std::int64_t hi = 2;
+  while (hi <= limit) {
+    job.model.layers = hi;
+    if (!Fits(cluster, job)) break;
+    lo = hi;
+    hi *= 2;
+  }
+  hi = std::min(hi, limit + 1);
+  while (lo + 1 < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    job.model.layers = mid;
+    if (Fits(cluster, job)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::optional<ThroughputEstimate> BestThroughput(const ClusterSpec& cluster,
+                                                 JobConfig job) {
+  const std::int64_t best_batch = MaxBatchPerGpu(cluster, job);
+  if (best_batch == 0) return std::nullopt;
+  job.batch_per_gpu = best_batch;
+  return EstimateThroughput(cluster, job);
+}
+
+double TheoreticalMaxParams(double capacity_bytes, model::ZeroStage stage,
+                            int mp, int nd) {
+  // Per-parameter bytes for one data-parallel device (Fig 1).
+  const model::ModelStateBytes per_param =
+      model::PerDeviceModelStates(1.0, stage, nd);
+  return capacity_bytes * mp / per_param.total();
+}
+
+}  // namespace zero::sim

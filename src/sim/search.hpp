@@ -1,0 +1,34 @@
+// Feasibility searches over the memory model: the quantities the paper's
+// Table 2 and Figures 6 and 8 report.
+#pragma once
+
+#include <optional>
+
+#include "sim/cost_model.hpp"
+#include "sim/memory_model.hpp"
+
+namespace zero::sim {
+
+// Largest per-GPU batch that fits (0 if even batch 1 does not).
+std::int64_t MaxBatchPerGpu(const ClusterSpec& cluster, JobConfig job,
+                            std::int64_t limit = 1024);
+
+// Largest layer count (hence parameter count) of the job's model family
+// (fixed hidden/heads/seq/vocab) that fits. Returns the layer count; the
+// caller derives Psi via TransformerSpec.
+std::int64_t MaxLayers(const ClusterSpec& cluster, JobConfig job,
+                       std::int64_t limit = 4096);
+
+// Best achievable throughput: max batch first (memory), then the cost
+// model at that batch — the Figure 8 procedure. Returns nullopt when the
+// job does not fit at batch 1.
+std::optional<ThroughputEstimate> BestThroughput(const ClusterSpec& cluster,
+                                                 JobConfig job);
+
+// The paper's closed-form "max theoretical model size" (Table 2, left):
+// parameters such that per-device *model states alone* fill the device:
+//   psi = capacity * mp * nd / (per-param bytes under the stage).
+double TheoreticalMaxParams(double capacity_bytes, model::ZeroStage stage,
+                            int mp, int nd);
+
+}  // namespace zero::sim

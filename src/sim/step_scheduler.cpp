@@ -1,0 +1,213 @@
+#include "sim/step_scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace zero::sim {
+
+namespace {
+
+// Record phases only for the first and last few layers so the timeline
+// stays readable for 200-layer models.
+bool ShouldRecord(std::int64_t layer, std::int64_t layers) {
+  return layer < 2 || layer >= layers - 2;
+}
+
+}  // namespace
+
+ScheduledStep ScheduleStep(const ClusterSpec& cluster, const JobConfig& job) {
+  ZERO_CHECK(job.model.layers >= 1, "model must have at least one layer");
+  ScheduledStep out;
+  const auto& m = job.model;
+  const std::int64_t layers = m.layers;
+  const int mp = job.mp;
+  const double eff = Efficiency(cluster, job);
+  const double flops_rate = cluster.peak_flops * eff;
+
+  // Per-layer compute times (forward; backward ~ 2x forward).
+  const double fwd_flops_total = m.ForwardFlops(job.batch_per_gpu) / mp;
+  const double layer_fwd_s = fwd_flops_total / flops_rate /
+                             static_cast<double>(layers);
+  const double layer_bwd_s = 2.0 * layer_fwd_s;
+
+  // Synchronous MP all-reduce time per layer pass (2 all-reduces of the
+  // [b, s, h] activation, ring volume 2*(mp-1)/mp each).
+  double mp_per_pass_s = 0;
+  double pa_gather_s = 0;
+  if (mp > 1) {
+    const double msg = 2.0 * static_cast<double>(job.batch_per_gpu) *
+                       static_cast<double>(m.seq) *
+                       static_cast<double>(m.hidden);
+    const double bw = cluster.MpBandwidth(mp);
+    mp_per_pass_s = 2.0 * (2.0 * msg * (mp - 1) / mp) / bw;
+    if (job.pa) pa_gather_s = msg * (mp - 1) / mp / bw;
+  }
+
+  // DP communication per layer: gradient reduction (ring, fp16), and for
+  // stage 3 the parameter fetches on forward and backward.
+  const int nd = job.dp();
+  const double layer_param_bytes = 2.0 * job.psi_local() / layers;
+  const double ring = nd > 1 ? static_cast<double>(nd - 1) / nd : 0.0;
+  const double dp_bw = cluster.DpBandwidth();
+  const double layer_grad_reduce_s =
+      nd > 1 ? layer_param_bytes * ring / dp_bw : 0.0;
+  const double layer_param_fetch_s =
+      (nd > 1 && job.stage == model::ZeroStage::kOsGP)
+          ? layer_param_bytes * ring / dp_bw
+          : 0.0;
+
+  // Pa+cpu PCIe copies: each layer's checkpoint slice out during
+  // forward, back in before recompute.
+  const double slice_bytes =
+      job.pa_cpu ? 2.0 * static_cast<double>(job.batch_per_gpu) *
+                       static_cast<double>(m.seq) *
+                       static_cast<double>(m.hidden) / mp
+                 : 0.0;
+  const double pcie_s = slice_bytes / cluster.pcie_bw;
+
+  // --- engine cursors (persist across iterations: steady state) ---
+  double t_compute = 0;  // compute engine free time
+  double t_comm = 0;     // dp comm engine free time
+  double t_pcie = 0;     // host link free time
+  bool measuring = false;
+  double iter_base = 0;
+  double compute_work = 0;  // busy durations, excluding stall time
+
+  auto record = [&](const char* what, std::int64_t layer, double start,
+                    double end, PhaseRecord::Engine engine) {
+    if (!measuring || !ShouldRecord(layer, layers)) return;
+    out.timeline.push_back(PhaseRecord{
+        std::string(what) + " L" + std::to_string(layer),
+        start - iter_base, end - iter_base, engine});
+  };
+
+  auto comm_run = [&](double ready, double duration) {
+    const double start = std::max(t_comm, ready);
+    t_comm = start + duration;
+    if (measuring) out.dp_comm_busy_s += duration;
+    return start;
+  };
+
+  // One full training iteration over the persistent engine cursors. The
+  // first iteration warms the pipeline; the second is measured, so the
+  // post-update parameter all-gather and stage-3 fetch prefetches
+  // overlap the next forward exactly as they do in steady state.
+  auto run_iteration = [&] {
+    // Stage-3 forward fetch pipeline: fetch layer l while computing l-1.
+    std::vector<double> fetch_done(static_cast<std::size_t>(layers), 0.0);
+    if (layer_param_fetch_s > 0) {
+      for (std::int64_t l = 0; l < layers; ++l) {
+        const double start = comm_run(0.0, layer_param_fetch_s);
+        fetch_done[static_cast<std::size_t>(l)] =
+            start + layer_param_fetch_s;
+        record("fetch", l, start, fetch_done[static_cast<std::size_t>(l)],
+               PhaseRecord::Engine::kComm);
+      }
+    }
+
+    // ---- forward ----
+    for (std::int64_t l = 0; l < layers; ++l) {
+      double start = t_compute;
+      if (layer_param_fetch_s > 0) {
+        start = std::max(start, fetch_done[static_cast<std::size_t>(l)]);
+      }
+      const double dur = layer_fwd_s + mp_per_pass_s;
+      t_compute = start + dur;
+      if (measuring) {
+        out.mp_comm_s += mp_per_pass_s;
+        compute_work += dur;
+      }
+      record("fwd", l, start, t_compute, PhaseRecord::Engine::kCompute);
+      if (pcie_s > 0) {
+        const double p_start = std::max(t_pcie, t_compute);
+        t_pcie = p_start + pcie_s;
+        if (measuring) out.pcie_busy_s += pcie_s;
+        record("offload", l, p_start, t_pcie, PhaseRecord::Engine::kPcie);
+      }
+    }
+
+    // ---- backward (reverse layer order) ----
+    for (std::int64_t l = layers - 1; l >= 0; --l) {
+      double start = t_compute;
+      if (pcie_s > 0) {
+        // The checkpoint slice must be back before recompute; the
+        // restore can run while the previous layer's backward computes.
+        const double p_start = std::max(t_pcie, start - layer_bwd_s);
+        const double p_done = p_start + pcie_s;
+        t_pcie = p_done;
+        if (measuring) out.pcie_busy_s += pcie_s;
+        record("restore", l, p_start, p_done, PhaseRecord::Engine::kPcie);
+        start = std::max(start, p_done);
+      }
+      double dur = layer_bwd_s + mp_per_pass_s;
+      if (job.activation_checkpointing) {
+        dur += layer_fwd_s + mp_per_pass_s;  // recompute pass
+        if (measuring) out.mp_comm_s += mp_per_pass_s;
+        if (job.pa) dur += pa_gather_s;
+      }
+      if (measuring) out.mp_comm_s += mp_per_pass_s;
+      // Stage-3 backward re-fetch, prefetched on the comm engine.
+      if (layer_param_fetch_s > 0) {
+        const double f_start = comm_run(0.0, layer_param_fetch_s);
+        start = std::max(start, f_start + layer_param_fetch_s);
+      }
+      t_compute = start + dur;
+      if (measuring) compute_work += dur;
+      record("bwd", l, start, t_compute, PhaseRecord::Engine::kCompute);
+
+      // Gradient reduction: stages 2/3 enqueue per layer as backward
+      // produces it; stages 0/1 reduce everything at the end.
+      if (nd > 1 && (job.stage == model::ZeroStage::kOsG ||
+                     job.stage == model::ZeroStage::kOsGP)) {
+        const double r_start = comm_run(t_compute, layer_grad_reduce_s);
+        record("dp-reduce", l, r_start, r_start + layer_grad_reduce_s,
+               PhaseRecord::Engine::kComm);
+      }
+    }
+
+    if (nd > 1 && (job.stage == model::ZeroStage::kNone ||
+                   job.stage == model::ZeroStage::kOs)) {
+      // One fused all-reduce / reduce-scatter of the whole gradient.
+      const double bytes =
+          (job.stage == model::ZeroStage::kNone ? 2.0 : 1.0) * 2.0 *
+          job.psi_local() * ring;
+      (void)comm_run(t_compute, bytes / dp_bw);
+    }
+
+    // Optimizer update: waits for the gradient reductions to drain, then
+    // runs elementwise over K bytes of state at HBM speed.
+    const double hbm_bw = 900e9;
+    const double opt_bytes = 16.0 * job.psi_local() / std::max(1, nd);
+    const double opt_s = 2.0 * opt_bytes / hbm_bw;
+    t_compute = std::max(t_compute, t_comm) + opt_s;
+    if (measuring) compute_work += opt_s;
+
+    if (nd > 1 && (job.stage == model::ZeroStage::kOs ||
+                   job.stage == model::ZeroStage::kOsG)) {
+      // Post-update parameter all-gather; consumed by the *next*
+      // forward, so it rides the comm engine into the next iteration.
+      (void)comm_run(t_compute, 2.0 * job.psi_local() * ring / dp_bw);
+    }
+  };
+
+  run_iteration();  // warm-up: fills the pipeline
+  iter_base = t_compute;
+  measuring = true;
+  run_iteration();
+
+  out.compute_busy_s = compute_work;
+  out.exposed_pcie_s = std::max(0.0, t_pcie - t_compute);
+  out.total_s = std::max(t_compute, t_pcie) - iter_base;
+  // Whatever the wall clock spent beyond useful compute and exposed PCIe
+  // is time stalled on data-parallel communication (gradient reductions
+  // the optimizer had to wait for, stage-3 parameter fetch stalls).
+  out.exposed_dp_s =
+      std::max(0.0, out.total_s - compute_work - out.exposed_pcie_s);
+  const double step_flops =
+      m.StepFlops(job.batch_per_gpu, job.activation_checkpointing) / mp;
+  out.tflops_per_gpu = step_flops / out.total_s / 1e12;
+  return out;
+}
+
+}  // namespace zero::sim

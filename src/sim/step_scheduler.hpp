@@ -1,0 +1,46 @@
+// Event-true simulation of one training step (the schedule-walking
+// counterpart of the closed-form cost model).
+//
+// Two engines per GPU, like CUDA streams plus a NIC:
+//   - the compute engine runs layer forward/recompute/backward kernels
+//     and the synchronous MP all-reduces between them;
+//   - the communication engine runs asynchronous DP work — stage-2/3
+//     gradient bucket reductions enqueued the moment a layer's backward
+//     finishes (Sec 5.2's overlap), stage-3 parameter broadcasts
+//     prefetched one layer ahead, Pa+cpu PCIe copies.
+//
+// The step ends when both engines drain; DP exposure is whatever the
+// comm engine still owes after compute finishes — emergent, not assumed.
+// The scheduler also emits a phase timeline for trace-style inspection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+
+namespace zero::sim {
+
+struct PhaseRecord {
+  std::string name;     // e.g. "fwd L12", "bwd L12", "dp-reduce L12"
+  double start = 0;     // seconds from step begin
+  double end = 0;
+  enum class Engine : unsigned char { kCompute, kComm, kPcie } engine =
+      Engine::kCompute;
+};
+
+struct ScheduledStep {
+  double total_s = 0;
+  double compute_busy_s = 0;
+  double mp_comm_s = 0;       // inside compute-engine time
+  double dp_comm_busy_s = 0;  // comm-engine busy time
+  double pcie_busy_s = 0;
+  double exposed_dp_s = 0;    // comm tail after compute finished
+  double exposed_pcie_s = 0;
+  double tflops_per_gpu = 0;
+  std::vector<PhaseRecord> timeline;  // truncated to first/last layers
+};
+
+ScheduledStep ScheduleStep(const ClusterSpec& cluster, const JobConfig& job);
+
+}  // namespace zero::sim

@@ -1,0 +1,307 @@
+#include "tensor/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace zero::tensor {
+
+namespace {
+
+// Blocked i-k-j GEMM core for the no-transpose case: streams B rows,
+// accumulates into C rows — the cache-friendly ordering for row-major.
+void GemmNN(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+            const float* a, const float* b, float* c) {
+  constexpr std::int64_t kBlock = 64;
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlock) {
+    const std::int64_t i1 = std::min(i0 + kBlock, m);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlock) {
+      const std::int64_t k1 = std::min(k0 + kBlock, k);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        float* ci = c + i * n;
+        for (std::int64_t kk = k0; kk < k1; ++kk) {
+          const float aik = alpha * a[i * k + kk];
+          if (aik == 0.0f) continue;
+          const float* bk = b + kk * n;
+          for (std::int64_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, const float* b,
+          float beta, float* c) {
+  if (beta == 0.0f) {
+    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  } else if (beta != 1.0f) {
+    Scale(c, beta, m * n);
+  }
+
+  if (!trans_a && !trans_b) {
+    GemmNN(m, n, k, alpha, a, b, c);
+    return;
+  }
+
+  if (!trans_a && trans_b) {
+    // C[i,j] += alpha * A[i,:] . B[j,:]  (B is [n, k]) — dot of two rows.
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* ai = a + i * k;
+      float* ci = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* bj = b + j * k;
+        float acc = 0.0f;
+        for (std::int64_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
+        ci[j] += alpha * acc;
+      }
+    }
+    return;
+  }
+
+  if (trans_a && !trans_b) {
+    // C[i,j] += alpha * sum_kk A[kk,i] * B[kk,j]  (A is [k, m]).
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float* ak = a + kk * m;
+      const float* bk = b + kk * n;
+      for (std::int64_t i = 0; i < m; ++i) {
+        const float av = alpha * ak[i];
+        if (av == 0.0f) continue;
+        float* ci = c + i * n;
+        for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bk[j];
+      }
+    }
+    return;
+  }
+
+  // trans_a && trans_b: C[i,j] += alpha * sum_kk A[kk,i] * B[j,kk].
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* bj = b + j * k;
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += a[kk * m + i] * bj[kk];
+      ci[j] += alpha * acc;
+    }
+  }
+}
+
+void AddBiasRows(float* x, const float* bias, std::int64_t rows,
+                 std::int64_t cols) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* xr = x + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) xr[c] += bias[c];
+  }
+}
+
+void BiasGradFromRows(const float* dy, float* dbias, std::int64_t rows,
+                      std::int64_t cols) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* dyr = dy + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) dbias[c] += dyr[c];
+  }
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+}  // namespace
+
+void GeluForward(const float* x, float* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    const float u = kGeluC * (v + kGeluA * v * v * v);
+    y[i] = 0.5f * v * (1.0f + std::tanh(u));
+  }
+}
+
+void GeluBackward(const float* x, const float* dy, float* dx,
+                  std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    const float u = kGeluC * (v + kGeluA * v * v * v);
+    const float t = std::tanh(u);
+    const float du = kGeluC * (1.0f + 3.0f * kGeluA * v * v);
+    const float grad = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+    dx[i] = dy[i] * grad;
+  }
+}
+
+void LayerNormForward(const float* x, const float* gamma, const float* beta,
+                      float* y, float* mean, float* rstd, std::int64_t rows,
+                      std::int64_t cols, float eps) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * cols;
+    float mu = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) mu += xr[c];
+    mu /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float d = xr[c] - mu;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    const float rs = 1.0f / std::sqrt(var + eps);
+    mean[r] = mu;
+    rstd[r] = rs;
+    float* yr = y + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      yr[c] = (xr[c] - mu) * rs * gamma[c] + beta[c];
+    }
+  }
+}
+
+void LayerNormBackward(const float* x, const float* gamma, const float* mean,
+                       const float* rstd, const float* dy, float* dx,
+                       float* dgamma, float* dbeta, std::int64_t rows,
+                       std::int64_t cols) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * cols;
+    const float* dyr = dy + r * cols;
+    float* dxr = dx + r * cols;
+    const float mu = mean[r];
+    const float rs = rstd[r];
+
+    float sum_dy_g = 0.0f;   // sum of dy * gamma
+    float sum_dy_gx = 0.0f;  // sum of dy * gamma * xhat
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float xhat = (xr[c] - mu) * rs;
+      const float g = dyr[c] * gamma[c];
+      sum_dy_g += g;
+      sum_dy_gx += g * xhat;
+      dgamma[c] += dyr[c] * xhat;
+      dbeta[c] += dyr[c];
+    }
+    const float inv_cols = 1.0f / static_cast<float>(cols);
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float xhat = (xr[c] - mu) * rs;
+      const float g = dyr[c] * gamma[c];
+      dxr[c] = rs * (g - inv_cols * (sum_dy_g + xhat * sum_dy_gx));
+    }
+  }
+}
+
+void SoftmaxRows(float* x, std::int64_t rows, std::int64_t cols) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* xr = x + r * cols;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t c = 0; c < cols; ++c) mx = std::max(mx, xr[c]);
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      xr[c] = std::exp(xr[c] - mx);
+      sum += xr[c];
+    }
+    const float inv = 1.0f / sum;
+    for (std::int64_t c = 0; c < cols; ++c) xr[c] *= inv;
+  }
+}
+
+void SoftmaxBackwardRows(const float* y, const float* dy, float* dx,
+                         std::int64_t rows, std::int64_t cols) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* yr = y + r * cols;
+    const float* dyr = dy + r * cols;
+    float* dxr = dx + r * cols;
+    float dot = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) dot += yr[c] * dyr[c];
+    for (std::int64_t c = 0; c < cols; ++c) {
+      dxr[c] = yr[c] * (dyr[c] - dot);
+    }
+  }
+}
+
+void CausalMaskedSoftmax(float* scores, std::int64_t batch_heads,
+                         std::int64_t q_len, std::int64_t k_len) {
+  ZERO_CHECK(k_len >= q_len, "causal mask assumes k_len >= q_len");
+  const std::int64_t offset = k_len - q_len;
+  for (std::int64_t b = 0; b < batch_heads; ++b) {
+    for (std::int64_t i = 0; i < q_len; ++i) {
+      float* row = scores + (b * q_len + i) * k_len;
+      for (std::int64_t j = offset + i + 1; j < k_len; ++j) {
+        row[j] = -std::numeric_limits<float>::infinity();
+      }
+      SoftmaxRows(row, 1, k_len);
+    }
+  }
+}
+
+float CrossEntropyLoss(const float* logits, const std::int32_t* targets,
+                       std::int64_t rows, std::int64_t vocab, float* dlogits) {
+  double total = 0.0;
+  const float inv_rows = 1.0f / static_cast<float>(rows);
+  std::vector<float> probs(static_cast<std::size_t>(vocab));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* lr = logits + r * vocab;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t c = 0; c < vocab; ++c) mx = std::max(mx, lr[c]);
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < vocab; ++c) {
+      probs[static_cast<std::size_t>(c)] = std::exp(lr[c] - mx);
+      sum += probs[static_cast<std::size_t>(c)];
+    }
+    const std::int32_t t = targets[r];
+    ZERO_CHECK(t >= 0 && t < vocab, "target out of vocab range");
+    const double pt =
+        static_cast<double>(probs[static_cast<std::size_t>(t)]) / sum;
+    total += -std::log(std::max(pt, 1e-30));
+    if (dlogits != nullptr) {
+      float* dr = dlogits + r * vocab;
+      const float inv_sum = static_cast<float>(1.0 / sum);
+      for (std::int64_t c = 0; c < vocab; ++c) {
+        dr[c] = probs[static_cast<std::size_t>(c)] * inv_sum * inv_rows;
+      }
+      dr[t] -= inv_rows;
+    }
+  }
+  return static_cast<float>(total / static_cast<double>(rows));
+}
+
+void EmbeddingGather(const float* table, const std::int32_t* ids, float* out,
+                     std::int64_t n_ids, std::int64_t dim) {
+  for (std::int64_t i = 0; i < n_ids; ++i) {
+    std::memcpy(out + i * dim, table + static_cast<std::int64_t>(ids[i]) * dim,
+                static_cast<std::size_t>(dim) * sizeof(float));
+  }
+}
+
+void EmbeddingScatterAdd(float* dtable, const std::int32_t* ids,
+                         const float* dout, std::int64_t n_ids,
+                         std::int64_t dim) {
+  for (std::int64_t i = 0; i < n_ids; ++i) {
+    float* dst = dtable + static_cast<std::int64_t>(ids[i]) * dim;
+    const float* src = dout + i * dim;
+    for (std::int64_t d = 0; d < dim; ++d) dst[d] += src[d];
+  }
+}
+
+void Axpy(float a, const float* x, float* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void Scale(float* x, float a, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) x[i] *= a;
+}
+
+float SquaredNorm(const float* x, std::int64_t n) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(x[i]) * x[i];
+  }
+  return static_cast<float>(acc);
+}
+
+float Dot(const float* a, const float* b, std::int64_t n) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return static_cast<float>(acc);
+}
+
+}  // namespace zero::tensor

@@ -1,0 +1,72 @@
+// fp32 compute kernels (forward + backward) for the transformer runtime.
+//
+// These are the CPU stand-ins for the cuBLAS/cuDNN calls the paper's
+// implementation makes. They are written for correctness and reasonable
+// cache behaviour (blocked i-k-j GEMM), not peak flops — simulated
+// cluster *performance* comes from zero::sim, while these kernels carry
+// the *numerics* that the ZeRO-equivalence tests check.
+#pragma once
+
+#include <cstdint>
+
+namespace zero::tensor {
+
+// C[m,n] = alpha * op(A)[m,k] * op(B)[k,n] + beta * C[m,n].
+// op(X) = X or X^T according to the trans flags; dimensions m/n/k always
+// refer to the post-op shapes. Row-major storage.
+void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, const float* b,
+          float beta, float* c);
+
+// x[rows, cols] += bias[cols] broadcast over rows.
+void AddBiasRows(float* x, const float* bias, std::int64_t rows,
+                 std::int64_t cols);
+// dbias[cols] += sum over rows of dy[rows, cols].
+void BiasGradFromRows(const float* dy, float* dbias, std::int64_t rows,
+                      std::int64_t cols);
+
+// tanh-approximation GELU, the variant GPT-2 uses.
+void GeluForward(const float* x, float* y, std::int64_t n);
+void GeluBackward(const float* x, const float* dy, float* dx, std::int64_t n);
+
+// Row-wise layer norm over `cols` features. mean/rstd ([rows]) are saved
+// for backward.
+void LayerNormForward(const float* x, const float* gamma, const float* beta,
+                      float* y, float* mean, float* rstd, std::int64_t rows,
+                      std::int64_t cols, float eps);
+// dgamma/dbeta are accumulated (+=); dx is overwritten.
+void LayerNormBackward(const float* x, const float* gamma, const float* mean,
+                       const float* rstd, const float* dy, float* dx,
+                       float* dgamma, float* dbeta, std::int64_t rows,
+                       std::int64_t cols);
+
+// In-place row-wise softmax.
+void SoftmaxRows(float* x, std::int64_t rows, std::int64_t cols);
+// dx from saved softmax output y. dx may alias dy.
+void SoftmaxBackwardRows(const float* y, const float* dy, float* dx,
+                         std::int64_t rows, std::int64_t cols);
+
+// scores[b, i, j] for b in [0, batch_heads): mask j > i to -inf, then
+// softmax each row — causal attention.
+void CausalMaskedSoftmax(float* scores, std::int64_t batch_heads,
+                         std::int64_t q_len, std::int64_t k_len);
+
+// Mean cross-entropy over rows; writes dlogits = (softmax - onehot)/rows.
+// dlogits may be null (loss only).
+float CrossEntropyLoss(const float* logits, const std::int32_t* targets,
+                       std::int64_t rows, std::int64_t vocab, float* dlogits);
+
+// out[i, :] = table[ids[i], :].
+void EmbeddingGather(const float* table, const std::int32_t* ids, float* out,
+                     std::int64_t n_ids, std::int64_t dim);
+// dtable[ids[i], :] += dout[i, :].
+void EmbeddingScatterAdd(float* dtable, const std::int32_t* ids,
+                         const float* dout, std::int64_t n_ids,
+                         std::int64_t dim);
+
+void Axpy(float a, const float* x, float* y, std::int64_t n);
+void Scale(float* x, float a, std::int64_t n);
+[[nodiscard]] float SquaredNorm(const float* x, std::int64_t n);
+[[nodiscard]] float Dot(const float* a, const float* b, std::int64_t n);
+
+}  // namespace zero::tensor

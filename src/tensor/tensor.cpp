@@ -1,0 +1,150 @@
+#include "tensor/tensor.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace zero::tensor {
+
+std::int64_t NumelOf(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    ZERO_CHECK(d >= 0, "negative dimension");
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor Tensor::Heap(Shape shape, DType dtype) {
+  Tensor t;
+  t.numel_ = NumelOf(shape);
+  t.shape_ = std::move(shape);
+  t.dtype_ = dtype;
+  t.backing_ = std::vector<std::byte>(t.nbytes());
+  return t;
+}
+
+Tensor Tensor::Device(alloc::CachingAllocator& alloc, Shape shape,
+                      DType dtype) {
+  Tensor t;
+  t.numel_ = NumelOf(shape);
+  t.shape_ = std::move(shape);
+  t.dtype_ = dtype;
+  t.backing_ = alloc.Malloc(t.nbytes() == 0 ? 1 : t.nbytes());
+  return t;
+}
+
+Tensor Tensor::InArena(alloc::Arena& arena, Shape shape, DType dtype) {
+  Tensor t;
+  t.numel_ = NumelOf(shape);
+  t.shape_ = std::move(shape);
+  t.dtype_ = dtype;
+  t.backing_ = External{arena.Allocate(t.nbytes() == 0 ? 1 : t.nbytes())};
+  return t;
+}
+
+std::byte* Tensor::raw() {
+  if (auto* v = std::get_if<std::vector<std::byte>>(&backing_)) {
+    return v->data();
+  }
+  if (auto* b = std::get_if<alloc::CachedBlock>(&backing_)) {
+    return b->data();
+  }
+  if (auto* e = std::get_if<External>(&backing_)) {
+    return e->data;
+  }
+  throw Error("accessing storage of an undefined or released tensor");
+}
+
+const std::byte* Tensor::raw() const {
+  return const_cast<Tensor*>(this)->raw();
+}
+
+std::span<float> Tensor::f32() {
+  ZERO_CHECK(dtype_ == DType::kF32, "tensor is not fp32");
+  return {reinterpret_cast<float*>(raw()), static_cast<std::size_t>(numel_)};
+}
+
+std::span<const float> Tensor::f32() const {
+  ZERO_CHECK(dtype_ == DType::kF32, "tensor is not fp32");
+  return {reinterpret_cast<const float*>(raw()),
+          static_cast<std::size_t>(numel_)};
+}
+
+std::span<Half> Tensor::f16() {
+  ZERO_CHECK(dtype_ == DType::kF16, "tensor is not fp16");
+  return {reinterpret_cast<Half*>(raw()), static_cast<std::size_t>(numel_)};
+}
+
+std::span<const Half> Tensor::f16() const {
+  ZERO_CHECK(dtype_ == DType::kF16, "tensor is not fp16");
+  return {reinterpret_cast<const Half*>(raw()),
+          static_cast<std::size_t>(numel_)};
+}
+
+void Tensor::FillZero() { std::memset(raw(), 0, nbytes()); }
+
+void Tensor::FillConstant(float value) {
+  if (dtype_ == DType::kF32) {
+    for (float& x : f32()) x = value;
+  } else {
+    const Half h(value);
+    for (Half& x : f16()) x = h;
+  }
+}
+
+void Tensor::FillGaussian(Rng& rng, float stddev) {
+  if (dtype_ == DType::kF32) {
+    for (float& x : f32()) x = rng.NextGaussian() * stddev;
+  } else {
+    for (Half& x : f16()) x = Half(rng.NextGaussian() * stddev);
+  }
+}
+
+void Tensor::CopyFrom(const Tensor& src) {
+  ZERO_CHECK(numel_ == src.numel_, "CopyFrom numel mismatch: " +
+                                       ShapeToString(shape_) + " vs " +
+                                       ShapeToString(src.shape_));
+  if (dtype_ == src.dtype_) {
+    std::memcpy(raw(), src.raw(), nbytes());
+  } else if (dtype_ == DType::kF32 && src.dtype_ == DType::kF16) {
+    HalfToFloat(src.f16().data(), f32().data(),
+                static_cast<std::size_t>(numel_));
+  } else {
+    FloatToHalf(src.f32().data(), f16().data(),
+                static_cast<std::size_t>(numel_));
+  }
+}
+
+float Tensor::At(std::int64_t i) const {
+  ZERO_CHECK(i >= 0 && i < numel_, "index out of range");
+  if (dtype_ == DType::kF32) return f32()[static_cast<std::size_t>(i)];
+  return f16()[static_cast<std::size_t>(i)].ToFloat();
+}
+
+void Tensor::Set(std::int64_t i, float v) {
+  ZERO_CHECK(i >= 0 && i < numel_, "index out of range");
+  if (dtype_ == DType::kF32) {
+    f32()[static_cast<std::size_t>(i)] = v;
+  } else {
+    f16()[static_cast<std::size_t>(i)] = Half(v);
+  }
+}
+
+void Tensor::ReleaseStorage() { backing_ = std::monostate{}; }
+
+bool Tensor::has_storage() const {
+  return !std::holds_alternative<std::monostate>(backing_);
+}
+
+}  // namespace zero::tensor

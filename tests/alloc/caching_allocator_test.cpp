@@ -1,0 +1,86 @@
+#include "alloc/caching_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zero::alloc {
+namespace {
+
+TEST(CachingAllocatorTest, ReusesFreedBlocks) {
+  DeviceMemory dev(1 << 20, "t");
+  CachingAllocator cache(dev);
+  std::byte* first;
+  {
+    CachedBlock b = cache.Malloc(4096);
+    first = b.data();
+  }
+  // Freed block is parked, not returned to the device.
+  EXPECT_EQ(dev.Stats().in_use, DeviceMemory::AlignUp(4096));
+  CachedBlock b2 = cache.Malloc(4096);
+  EXPECT_EQ(b2.data(), first);
+  EXPECT_EQ(cache.Stats().cache_hits, 1u);
+}
+
+TEST(CachingAllocatorTest, PeakCachedIsMonotoneHighWater) {
+  DeviceMemory dev(1 << 20, "t");
+  CachingAllocator cache(dev);
+  {
+    CachedBlock a = cache.Malloc(1024);
+    CachedBlock b = cache.Malloc(2048);
+  }
+  {
+    CachedBlock c = cache.Malloc(1024);  // reuse
+  }
+  const CacheStats s = cache.Stats();
+  EXPECT_EQ(s.peak_cached, DeviceMemory::AlignUp(1024) +
+                               DeviceMemory::AlignUp(2048));
+  EXPECT_EQ(s.cached_bytes, s.peak_cached);  // nothing returned yet
+}
+
+TEST(CachingAllocatorTest, EmptyCacheReturnsParkedBlocks) {
+  DeviceMemory dev(1 << 20, "t");
+  CachingAllocator cache(dev);
+  { CachedBlock a = cache.Malloc(4096); }
+  EXPECT_GT(dev.Stats().in_use, 0u);
+  cache.EmptyCache();
+  EXPECT_EQ(dev.Stats().in_use, 0u);
+  EXPECT_EQ(cache.Stats().cached_bytes, 0u);
+}
+
+TEST(CachingAllocatorTest, OomFlushesCacheBeforeFailing) {
+  DeviceMemory dev(8 * 1024, "t");
+  CachingAllocator cache(dev);
+  { CachedBlock a = cache.Malloc(6 * 1024); }  // parked: 6K of 8K held
+  // 4K doesn't fit beside the parked 6K; the implicit empty_cache retry
+  // must succeed.
+  CachedBlock b = cache.Malloc(4 * 1024);
+  EXPECT_EQ(b.size(), 4 * 1024u);
+}
+
+TEST(CachingAllocatorTest, GenuineOomStillThrows) {
+  DeviceMemory dev(4 * 1024, "t");
+  CachingAllocator cache(dev);
+  EXPECT_THROW((void)cache.Malloc(64 * 1024), DeviceOomError);
+}
+
+TEST(CachingAllocatorTest, NoOversizedReuse) {
+  DeviceMemory dev(1 << 20, "t");
+  CachingAllocator cache(dev);
+  { CachedBlock big = cache.Malloc(100 * 1024); }
+  // A tiny request must not be served from the parked 100K block (waste
+  // bound is 25%).
+  CachedBlock small = cache.Malloc(256);
+  EXPECT_LE(small.size(), 512u);
+  EXPECT_EQ(cache.Stats().cache_hits, 0u);
+}
+
+TEST(CachingAllocatorTest, LiveBytesTracksHandedOutMemory) {
+  DeviceMemory dev(1 << 20, "t");
+  CachingAllocator cache(dev);
+  CachedBlock a = cache.Malloc(1024);
+  EXPECT_EQ(cache.Stats().live_bytes, DeviceMemory::AlignUp(1024));
+  a.Release();
+  EXPECT_EQ(cache.Stats().live_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace zero::alloc

@@ -1,0 +1,50 @@
+#include "alloc/host_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace zero::alloc {
+namespace {
+
+TEST(HostMemoryTest, OffloadRestoreRoundTrip) {
+  HostMemory host;
+  std::vector<std::byte> src(1024);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::byte>(i & 0xFF);
+  }
+  const std::size_t h = host.Offload(src.data(), src.size());
+  EXPECT_EQ(host.SizeOfHandle(h), 1024u);
+  std::vector<std::byte> dst(1024);
+  host.Restore(h, dst.data());
+  EXPECT_EQ(std::memcmp(src.data(), dst.data(), src.size()), 0);
+}
+
+TEST(HostMemoryTest, TracksTransferVolumeBothWays) {
+  HostMemory host;
+  std::vector<std::byte> buf(4096);
+  const std::size_t h1 = host.Offload(buf.data(), buf.size());
+  const std::size_t h2 = host.Offload(buf.data(), buf.size());
+  EXPECT_EQ(host.Stats().bytes_to_host, 8192u);
+  EXPECT_EQ(host.Stats().in_use, 8192u);
+  EXPECT_EQ(host.Stats().peak_in_use, 8192u);
+  host.Restore(h1, buf.data());
+  host.Restore(h2, buf.data());
+  EXPECT_EQ(host.Stats().bytes_from_host, 8192u);
+  EXPECT_EQ(host.Stats().in_use, 0u);
+  EXPECT_EQ(host.Stats().peak_in_use, 8192u);
+}
+
+TEST(HostMemoryTest, RestoreConsumesHandle) {
+  HostMemory host;
+  std::vector<std::byte> buf(64);
+  const std::size_t h = host.Offload(buf.data(), buf.size());
+  host.Restore(h, buf.data());
+  EXPECT_THROW(host.Restore(h, buf.data()), Error);
+}
+
+}  // namespace
+}  // namespace zero::alloc

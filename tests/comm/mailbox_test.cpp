@@ -1,0 +1,63 @@
+#include "comm/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace zero::comm {
+namespace {
+
+std::vector<std::byte> Bytes(std::initializer_list<int> values) {
+  std::vector<std::byte> out;
+  for (int v : values) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(MailboxTest, DepositThenTake) {
+  Mailbox box;
+  auto payload = Bytes({1, 2, 3});
+  box.Deposit(0, 7, payload);
+  EXPECT_EQ(box.PendingCount(), 1u);
+  auto msg = box.Take(0, 7);
+  EXPECT_EQ(msg, payload);
+  EXPECT_EQ(box.PendingCount(), 0u);
+}
+
+TEST(MailboxTest, MatchesSourceAndTagExactly) {
+  Mailbox box;
+  box.Deposit(1, 5, Bytes({10}));
+  box.Deposit(2, 5, Bytes({20}));
+  box.Deposit(1, 6, Bytes({30}));
+  EXPECT_EQ(box.Take(2, 5), Bytes({20}));
+  EXPECT_EQ(box.Take(1, 6), Bytes({30}));
+  EXPECT_EQ(box.Take(1, 5), Bytes({10}));
+}
+
+TEST(MailboxTest, FifoPerKey) {
+  Mailbox box;
+  box.Deposit(0, 1, Bytes({1}));
+  box.Deposit(0, 1, Bytes({2}));
+  EXPECT_EQ(box.Take(0, 1), Bytes({1}));
+  EXPECT_EQ(box.Take(0, 1), Bytes({2}));
+}
+
+TEST(MailboxTest, TakeBlocksUntilDeposit) {
+  Mailbox box;
+  std::vector<std::byte> got;
+  std::thread receiver([&] { got = box.Take(3, 9); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  box.Deposit(3, 9, Bytes({42}));
+  receiver.join();
+  EXPECT_EQ(got, Bytes({42}));
+}
+
+TEST(MailboxTest, PayloadIsCopiedNotAliased) {
+  Mailbox box;
+  std::vector<std::byte> payload = Bytes({7});
+  box.Deposit(0, 0, payload);
+  payload[0] = static_cast<std::byte>(99);
+  EXPECT_EQ(box.Take(0, 0), Bytes({7}));
+}
+
+}  // namespace
+}  // namespace zero::comm

@@ -1,0 +1,63 @@
+#include "comm/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace zero::comm {
+namespace {
+
+TEST(TopologyTest, GridShapes) {
+  GridTopology grid(8, 2);
+  EXPECT_EQ(grid.dp_degree, 4);
+  EXPECT_EQ(grid.mp_degree, 2);
+  EXPECT_THROW(GridTopology(7, 2), Error);
+}
+
+TEST(TopologyTest, MpGroupsAreConsecutive) {
+  GridTopology grid(8, 4);
+  EXPECT_EQ(grid.MpGroupMembers(0), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(grid.MpGroupMembers(5), (std::vector<int>{4, 5, 6, 7}));
+  EXPECT_EQ(grid.MpRank(6), 2);
+}
+
+TEST(TopologyTest, DpGroupsStrideAcrossMpBlocks) {
+  GridTopology grid(8, 4);
+  EXPECT_EQ(grid.DpGroupMembers(1), (std::vector<int>{1, 5}));
+  EXPECT_EQ(grid.DpGroupMembers(6), (std::vector<int>{2, 6}));
+  EXPECT_EQ(grid.DpRank(6), 1);
+}
+
+TEST(TopologyTest, EveryRankInExactlyOneOfEachGroup) {
+  GridTopology grid(12, 3);
+  for (int r = 0; r < 12; ++r) {
+    auto mp = grid.MpGroupMembers(r);
+    auto dp = grid.DpGroupMembers(r);
+    EXPECT_EQ(static_cast<int>(mp.size()), 3);
+    EXPECT_EQ(static_cast<int>(dp.size()), 4);
+    EXPECT_NE(std::find(mp.begin(), mp.end(), r), mp.end());
+    EXPECT_NE(std::find(dp.begin(), dp.end(), r), dp.end());
+  }
+}
+
+TEST(TopologyTest, CommunicatorsWorkOverGrid) {
+  // 2x2 grid: the MP all-reduce must sum within rows, the DP all-reduce
+  // within columns, without interference.
+  GridTopology grid(4, 2);
+  World world(4);
+  world.Run([&](RankContext& ctx) {
+    Communicator mp = grid.MakeMpComm(ctx);
+    Communicator dp = grid.MakeDpComm(ctx);
+    std::vector<float> v{static_cast<float>(ctx.rank)};
+    mp.AllReduce(std::span<float>(v), ReduceOp::kSum);
+    // Rows: {0,1} -> 1, {2,3} -> 5.
+    EXPECT_EQ(v[0], ctx.rank < 2 ? 1.0f : 5.0f);
+    std::vector<float> w{static_cast<float>(ctx.rank)};
+    dp.AllReduce(std::span<float>(w), ReduceOp::kSum);
+    // Columns: {0,2} -> 2, {1,3} -> 4.
+    EXPECT_EQ(w[0], ctx.rank % 2 == 0 ? 2.0f : 4.0f);
+  });
+}
+
+}  // namespace
+}  // namespace zero::comm

@@ -1,0 +1,124 @@
+#include "common/half.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace zero {
+namespace {
+
+TEST(HalfTest, ExactSmallIntegers) {
+  // All integers up to 2048 are exactly representable in binary16.
+  for (int i = -2048; i <= 2048; ++i) {
+    const Half h(static_cast<float>(i));
+    EXPECT_EQ(h.ToFloat(), static_cast<float>(i)) << "i=" << i;
+  }
+}
+
+TEST(HalfTest, KnownBitPatterns) {
+  EXPECT_EQ(Half(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(Half(-0.0f).bits(), 0x8000u);
+  EXPECT_EQ(Half(1.0f).bits(), 0x3C00u);
+  EXPECT_EQ(Half(-1.0f).bits(), 0xBC00u);
+  EXPECT_EQ(Half(2.0f).bits(), 0x4000u);
+  EXPECT_EQ(Half(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(Half(65504.0f).bits(), 0x7BFFu);  // max finite
+  EXPECT_EQ(Half(6.103515625e-05f).bits(), 0x0400u);  // min normal
+  EXPECT_EQ(Half(5.9604644775390625e-08f).bits(), 0x0001u);  // min subnormal
+}
+
+TEST(HalfTest, OverflowToInfinity) {
+  EXPECT_TRUE(Half(65520.0f).IsInf());  // rounds up past max finite
+  EXPECT_TRUE(Half(1e6f).IsInf());
+  EXPECT_TRUE(Half(-1e6f).IsInf());
+  EXPECT_LT(Half(-1e6f).ToFloat(), 0.0f);
+  // 65504 + epsilon below the rounding boundary stays finite.
+  EXPECT_FALSE(Half(65503.0f).IsInf());
+}
+
+TEST(HalfTest, UnderflowToZeroAndSubnormals) {
+  EXPECT_TRUE(Half(1e-10f).IsZero());
+  const Half sub(3e-8f);  // between 0 and min subnormal*? representable
+  EXPECT_FALSE(sub.IsNan());
+  // Subnormal round-trip.
+  const Half h = Half::FromBits(0x0155);
+  EXPECT_EQ(Half(h.ToFloat()).bits(), 0x0155);
+}
+
+TEST(HalfTest, NanPropagates) {
+  const Half h(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(h.IsNan());
+  EXPECT_TRUE(std::isnan(h.ToFloat()));
+  EXPECT_FALSE(h == h);
+}
+
+TEST(HalfTest, InfinityRoundTrip) {
+  const Half pinf(std::numeric_limits<float>::infinity());
+  EXPECT_TRUE(pinf.IsInf());
+  EXPECT_TRUE(std::isinf(pinf.ToFloat()));
+  EXPECT_GT(pinf.ToFloat(), 0.0f);
+}
+
+TEST(HalfTest, RoundToNearestEven) {
+  // 1 + 2^-11 sits exactly between 1.0 and 1+2^-10: ties to even -> 1.0.
+  EXPECT_EQ(Half(1.0f + std::ldexp(1.0f, -11)).bits(), Half(1.0f).bits());
+  // 1 + 3*2^-11 between 1+2^-10 and 1+2^-9: ties to even -> 1+2^-9.
+  EXPECT_EQ(Half(1.0f + 3.0f * std::ldexp(1.0f, -11)).bits(),
+            Half(1.0f + std::ldexp(1.0f, -9)).bits());
+  // Slightly above the tie rounds up.
+  EXPECT_EQ(Half(1.0f + std::ldexp(1.0f, -11) + 1e-6f).bits(),
+            Half(1.0f + std::ldexp(1.0f, -10)).bits());
+}
+
+TEST(HalfTest, RoundTripIsIdentityOnAllFiniteHalfs) {
+  // Every finite half bit pattern must survive half->float->half exactly.
+  for (std::uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    const Half h = Half::FromBits(static_cast<std::uint16_t>(bits));
+    if (h.IsNan() || h.IsInf()) continue;
+    const Half back(h.ToFloat());
+    EXPECT_EQ(back.bits(), h.bits()) << "bits=" << bits;
+  }
+}
+
+TEST(HalfTest, ConversionErrorWithinHalfUlp) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = rng.NextGaussian() * 100.0f;
+    const float y = Half(x).ToFloat();
+    // Relative error bounded by 2^-11 for normal-range values.
+    EXPECT_LE(std::abs(x - y), std::abs(x) * 4.8828125e-4f + 1e-7f)
+        << "x=" << x;
+  }
+}
+
+TEST(HalfTest, BulkConversionMatchesScalar) {
+  Rng rng(11);
+  std::vector<float> src(257);
+  for (float& v : src) v = rng.NextGaussian();
+  std::vector<Half> mid(src.size());
+  std::vector<float> dst(src.size());
+  FloatToHalf(src.data(), mid.data(), src.size());
+  HalfToFloat(mid.data(), dst.data(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(dst[i], Half(src[i]).ToFloat());
+  }
+}
+
+TEST(HalfTest, ArithmeticRoundsThroughFloat) {
+  const Half a(1.5f);
+  const Half b(2.25f);
+  EXPECT_EQ((a + b).ToFloat(), 3.75f);
+  EXPECT_EQ((a * b).ToFloat(), 3.375f);
+  EXPECT_EQ((b - a).ToFloat(), 0.75f);
+  EXPECT_EQ((b / a).ToFloat(), 1.5f);
+}
+
+TEST(HalfTest, SignedZeroEquality) {
+  EXPECT_TRUE(Half(0.0f) == Half(-0.0f));
+}
+
+}  // namespace
+}  // namespace zero

@@ -1,0 +1,52 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace zero {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos) << s;
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos) << s;
+}
+
+TEST(TableTest, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), Error);
+}
+
+TEST(TableTest, NumericRowFormatting) {
+  Table t({"label", "v1", "v2"});
+  t.AddRow("row", {1.23456, 1e9});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("1.235"), std::string::npos) << s;
+  EXPECT_NE(s.find("1e+09"), std::string::npos) << s;
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(31.4e9), "31.4 GB");
+  EXPECT_EQ(FormatBytes(16e12), "16 TB");
+}
+
+TEST(UnitsTest, FormatCount) {
+  EXPECT_EQ(FormatCount(7.5e9), "7.5B");
+  EXPECT_EQ(FormatCount(1e12), "1T");
+  EXPECT_EQ(FormatCount(330e6), "330M");
+}
+
+TEST(UnitsTest, Constants) {
+  EXPECT_EQ(GiB, 1073741824ull);
+  EXPECT_EQ(GB, 1000000000ull);
+  EXPECT_EQ(Billion(7.5), 7500000000ull);
+}
+
+}  // namespace
+}  // namespace zero

@@ -1,0 +1,74 @@
+#include "core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace zero::core {
+namespace {
+
+TEST(PartitionerTest, EvenSplit) {
+  Partitioner p(100, 4);
+  EXPECT_EQ(p.partition_size(), 25);
+  EXPECT_EQ(p.padded_total(), 100);
+  EXPECT_EQ(p.PartitionRange(2), (Range{50, 75}));
+  EXPECT_EQ(p.PartitionRangeClipped(3), (Range{75, 100}));
+}
+
+TEST(PartitionerTest, UnevenSplitPadsTail) {
+  Partitioner p(10, 4);
+  EXPECT_EQ(p.partition_size(), 3);
+  EXPECT_EQ(p.padded_total(), 12);
+  EXPECT_EQ(p.PartitionRange(3), (Range{9, 12}));
+  EXPECT_EQ(p.PartitionRangeClipped(3), (Range{9, 10}));
+}
+
+TEST(PartitionerTest, PartitionEntirelyInPaddingClipsEmpty) {
+  Partitioner p(5, 8);
+  EXPECT_EQ(p.partition_size(), 1);
+  EXPECT_EQ(p.PartitionRangeClipped(7), (Range{5, 5}));
+  EXPECT_TRUE(p.PartitionRangeClipped(7).empty());
+}
+
+TEST(PartitionerTest, OwnerOf) {
+  Partitioner p(100, 4);
+  EXPECT_EQ(p.OwnerOf(0), 0);
+  EXPECT_EQ(p.OwnerOf(24), 0);
+  EXPECT_EQ(p.OwnerOf(25), 1);
+  EXPECT_EQ(p.OwnerOf(99), 3);
+  EXPECT_THROW(p.OwnerOf(100), Error);
+}
+
+TEST(PartitionerTest, OverlapsSpanningMultiplePartitions) {
+  Partitioner p(100, 4);
+  auto overlaps = p.Overlaps(Range{20, 60});
+  ASSERT_EQ(overlaps.size(), 3u);
+  EXPECT_EQ(overlaps[0], (std::pair<int, Range>{0, {20, 25}}));
+  EXPECT_EQ(overlaps[1], (std::pair<int, Range>{1, {25, 50}}));
+  EXPECT_EQ(overlaps[2], (std::pair<int, Range>{2, {50, 60}}));
+}
+
+TEST(PartitionerTest, OverlapsOfEmptyRange) {
+  Partitioner p(100, 4);
+  EXPECT_TRUE(p.Overlaps(Range{30, 30}).empty());
+}
+
+TEST(PartitionerTest, RangesTileWholeSpace) {
+  Partitioner p(1003, 7);
+  std::int64_t covered = 0;
+  for (int j = 0; j < 7; ++j) {
+    const Range r = p.PartitionRange(j);
+    EXPECT_EQ(r.begin, covered);
+    covered = r.end;
+  }
+  EXPECT_EQ(covered, p.padded_total());
+}
+
+TEST(IntersectTest, Basics) {
+  EXPECT_EQ(Intersect({0, 10}, {5, 15}), (Range{5, 10}));
+  EXPECT_TRUE(Intersect({0, 5}, {5, 10}).empty());
+  EXPECT_TRUE(Intersect({0, 5}, {7, 10}).empty());
+}
+
+}  // namespace
+}  // namespace zero::core

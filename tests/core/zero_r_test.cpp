@@ -1,0 +1,139 @@
+#include "core/zero_r.hpp"
+
+#include <gtest/gtest.h>
+
+#include "comm/world.hpp"
+#include "common/rng.hpp"
+
+namespace zero::core {
+namespace {
+
+std::vector<float> TestData(std::size_t n, std::uint64_t seed) {
+  std::vector<float> v(n);
+  Rng rng(seed);
+  for (float& x : v) x = rng.NextGaussian();
+  return v;
+}
+
+TEST(ArenaCheckpointStoreTest, SaveLoadRoundTrip) {
+  alloc::DeviceMemory dev(1 << 20, "t");
+  alloc::Arena arena(dev, 64 * 1024, "ckpt");
+  ArenaCheckpointStore store(arena);
+  auto data = TestData(100, 1);
+  const auto h = store.Save(0, data);
+  std::vector<float> out(100);
+  store.Load(h, out);
+  EXPECT_EQ(out, data);
+  EXPECT_THROW(store.Load(h, out), Error);  // consumed
+}
+
+TEST(ArenaCheckpointStoreTest, ResetRecyclesArena) {
+  alloc::DeviceMemory dev(1 << 20, "t");
+  alloc::Arena arena(dev, 4096, "ckpt");
+  ArenaCheckpointStore store(arena);
+  for (int iter = 0; iter < 5; ++iter) {
+    auto data = TestData(512, static_cast<std::uint64_t>(iter));
+    (void)store.Save(0, data);
+    store.Reset();  // without this the arena would overflow at iter 2
+  }
+  EXPECT_LE(arena.peak_used(), 4096u);
+}
+
+class PaStoreTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaStoreTest, PartitionedRoundTripAcrossMpDegrees) {
+  const int m = GetParam();
+  const std::size_t n = 103;  // not divisible by m: exercises padding
+  auto data = TestData(n, 9);
+  comm::World world(m);
+  world.Run([&](comm::RankContext& ctx) {
+    comm::Communicator mp = comm::Communicator::WholeWorld(ctx);
+    PartitionedCheckpointStore store(mp, nullptr, nullptr);
+    const auto h = store.Save(3, data);
+    std::vector<float> out(n);
+    store.Load(h, out);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], data[i]) << "rank " << ctx.rank << " i " << i;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(MpDegrees, PaStoreTest, ::testing::Values(1, 2, 4));
+
+TEST(PaStoreTest, DeviceFootprintIsSliceSized) {
+  // Pa's point: each rank holds ~1/m of every checkpoint (Sec 6.1).
+  const int m = 4;
+  const std::size_t n = 4096;
+  auto data = TestData(n, 10);
+  comm::World world(m);
+  world.Run([&](comm::RankContext& ctx) {
+    alloc::DeviceMemory dev(1 << 20, "r");
+    alloc::CachingAllocator cache(dev);
+    comm::Communicator mp = comm::Communicator::WholeWorld(ctx);
+    PartitionedCheckpointStore store(mp, &cache, nullptr);
+    (void)store.Save(0, data);
+    const std::size_t full_bytes = n * sizeof(float);
+    EXPECT_LE(store.DeviceBytesHeld(), full_bytes / m + 512);
+    EXPECT_GT(store.DeviceBytesHeld(), 0u);
+  });
+}
+
+TEST(PaStoreTest, CpuOffloadFreesDeviceAndCountsTransfers) {
+  const int m = 2;
+  const std::size_t n = 2048;
+  auto data = TestData(n, 11);
+  comm::World world(m);
+  world.Run([&](comm::RankContext& ctx) {
+    alloc::DeviceMemory dev(1 << 20, "r");
+    alloc::CachingAllocator cache(dev);
+    alloc::HostMemory host;
+    comm::Communicator mp = comm::Communicator::WholeWorld(ctx);
+    PartitionedCheckpointStore store(mp, &cache, &host);
+    const auto h = store.Save(0, data);
+    // Pa+cpu: nothing remains on the device once offloaded.
+    EXPECT_EQ(store.DeviceBytesHeld(), 0u);
+    const std::size_t slice_bytes = (n / m) * sizeof(float);
+    EXPECT_EQ(host.Stats().bytes_to_host, slice_bytes);
+    std::vector<float> out(n);
+    store.Load(h, out);
+    EXPECT_EQ(out, data);
+    // Sec 8: Pa+cpu adds 2x data movement (out and back).
+    EXPECT_EQ(host.Stats().bytes_from_host, slice_bytes);
+    EXPECT_EQ(host.Stats().in_use, 0u);
+  });
+}
+
+TEST(PaStoreTest, LoadAllGatherVolumeIsMessageSized) {
+  // Sec 8: the Pa overhead is one all-gather per checkpoint, volume ~=
+  // message size per rank.
+  const int m = 4;
+  const std::size_t n = 4096;
+  auto data = TestData(n, 12);
+  comm::World world(m);
+  world.Run([&](comm::RankContext& ctx) {
+    comm::Communicator mp = comm::Communicator::WholeWorld(ctx);
+    PartitionedCheckpointStore store(mp, nullptr, nullptr);
+    const auto h = store.Save(0, data);
+    const std::uint64_t before = mp.stats().bytes_sent;
+    std::vector<float> out(n);
+    store.Load(h, out);
+    const std::uint64_t sent = mp.stats().bytes_sent - before;
+    const double message = static_cast<double>(n) * sizeof(float);
+    EXPECT_LT(static_cast<double>(sent), 1.1 * message);
+  });
+}
+
+TEST(PaStoreTest, RejectsOffloadWithArena) {
+  comm::World world(1);
+  world.Run([&](comm::RankContext& ctx) {
+    alloc::DeviceMemory dev(1 << 20, "r");
+    alloc::Arena arena(dev, 4096, "a");
+    alloc::HostMemory host;
+    comm::Communicator mp = comm::Communicator::WholeWorld(ctx);
+    EXPECT_THROW(PartitionedCheckpointStore(mp, nullptr, &host, &arena),
+                 Error);
+  });
+}
+
+}  // namespace
+}  // namespace zero::core

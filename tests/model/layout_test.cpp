@@ -1,0 +1,64 @@
+#include "model/flat_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace zero::model {
+namespace {
+
+TEST(ParamLayoutTest, UnitsAreContiguousRanges) {
+  ParamLayout layout;
+  EXPECT_EQ(layout.Add("a", 10, 0), 0);
+  EXPECT_EQ(layout.Add("b", 5, 0), 10);
+  EXPECT_EQ(layout.Add("c", 7, 1), 15);
+  EXPECT_EQ(layout.total_numel(), 22);
+  EXPECT_EQ(layout.num_units(), 2);
+  EXPECT_EQ(layout.UnitRange(0), (std::pair<std::int64_t, std::int64_t>{0, 15}));
+  EXPECT_EQ(layout.UnitRange(1), (std::pair<std::int64_t, std::int64_t>{15, 22}));
+  EXPECT_EQ(layout.UnitNumel(1), 7);
+}
+
+TEST(ParamLayoutTest, RejectsNonContiguousUnits) {
+  ParamLayout layout;
+  layout.Add("a", 3, 0);
+  EXPECT_THROW(layout.Add("b", 3, 2), Error);  // skipped unit 1
+  layout.Add("b", 3, 1);
+  EXPECT_THROW(layout.Add("c", 3, 0), Error);  // going back
+}
+
+TEST(ParamLayoutTest, FindByName) {
+  ParamLayout layout;
+  layout.Add("wte", 100, 0);
+  layout.Add("ln.g", 10, 1);
+  EXPECT_EQ(layout.Find("ln.g").offset, 100);
+  EXPECT_THROW(layout.Find("missing"), Error);
+}
+
+TEST(DirectProviderTest, ServesUnitViews) {
+  ParamLayout layout;
+  layout.Add("a", 4, 0);
+  layout.Add("b", 4, 1);
+  std::vector<float> flat{0, 1, 2, 3, 4, 5, 6, 7};
+  DirectParamProvider provider(layout, flat);
+  auto u1 = provider.AcquireUnit(1, Phase::kForward);
+  EXPECT_EQ(u1.size(), 4u);
+  EXPECT_EQ(u1[0], 4.0f);
+  provider.ReleaseUnit(1, Phase::kForward);
+}
+
+TEST(AccumulatingSinkTest, AddsIntoFlatBuffer) {
+  ParamLayout layout;
+  layout.Add("a", 2, 0);
+  layout.Add("b", 2, 1);
+  std::vector<float> flat(4, 1.0f);
+  AccumulatingGradSink sink(layout, flat);
+  std::vector<float> g{5.0f, 6.0f};
+  sink.EmitUnitGrad(1, g);
+  EXPECT_EQ(flat[2], 6.0f);
+  EXPECT_EQ(flat[3], 7.0f);
+  EXPECT_EQ(flat[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace zero::model

@@ -1,0 +1,176 @@
+#include "model/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/world.hpp"
+#include "core/dp_engine.hpp"
+#include "optim/adam.hpp"
+
+namespace zero::model {
+namespace {
+
+MlpConfig TinyConfig() {
+  MlpConfig cfg;
+  cfg.vocab = 12;
+  cfg.embed = 6;
+  cfg.hidden = 10;
+  cfg.classes = 4;
+  return cfg;
+}
+
+TEST(MlpModelTest, LayoutHasThreeUnits) {
+  MlpModel m(TinyConfig());
+  EXPECT_EQ(m.layout().num_units(), 3);
+  const MlpConfig& c = m.config();
+  EXPECT_EQ(m.layout().total_numel(),
+            c.vocab * c.embed + c.hidden * c.embed + c.hidden +
+                c.classes * c.hidden + c.classes);
+}
+
+TEST(MlpModelTest, InitialLossNearLogClasses) {
+  MlpModel m(TinyConfig());
+  std::vector<float> params(
+      static_cast<std::size_t>(m.layout().total_numel()));
+  m.InitParameters(params, 3);
+  std::vector<float> grads(params.size(), 0.0f);
+  DirectParamProvider provider(m.layout(), params);
+  AccumulatingGradSink sink(m.layout(), grads);
+  Batch batch = MakeClassificationBatch(TinyConfig(), 8, 5, 1, 2);
+  const float loss = m.Step(batch, provider, sink);
+  EXPECT_NEAR(loss, std::log(4.0f), 0.5f);
+}
+
+TEST(MlpModelTest, GradientMatchesFiniteDifference) {
+  MlpConfig cfg = TinyConfig();
+  MlpModel m(cfg);
+  std::vector<float> params(
+      static_cast<std::size_t>(m.layout().total_numel()));
+  m.InitParameters(params, 5);
+  Batch batch = MakeClassificationBatch(cfg, 3, 4, 1, 9);
+
+  auto loss_at = [&](const std::vector<float>& p) {
+    MlpModel model(cfg);
+    std::vector<float> g(p.size(), 0.0f);
+    DirectParamProvider provider(model.layout(), p);
+    AccumulatingGradSink sink(model.layout(), g);
+    return model.Step(batch, provider, sink);
+  };
+
+  std::vector<float> grads(params.size(), 0.0f);
+  DirectParamProvider provider(m.layout(), params);
+  AccumulatingGradSink sink(m.layout(), grads);
+  (void)m.Step(batch, provider, sink);
+
+  Rng pick(3);
+  const float eps = 1e-3f;
+  int checked = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t i = static_cast<std::size_t>(
+        pick.NextBelow(static_cast<std::uint64_t>(params.size())));
+    auto hi = params;
+    auto lo = params;
+    hi[i] += eps;
+    lo[i] -= eps;
+    const float numeric = (loss_at(hi) - loss_at(lo)) / (2 * eps);
+    // ReLU kinks can spoil individual finite differences; skip near-zero
+    // activations conservatively.
+    if (std::abs(numeric) < 1e-5f && std::abs(grads[i]) < 1e-5f) continue;
+    EXPECT_NEAR(grads[i], numeric,
+                5e-2f * std::max(1.0f, std::abs(numeric)))
+        << "param " << i;
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(MlpModelTest, LearnsTheVotingTask) {
+  MlpConfig cfg = TinyConfig();
+  MlpModel m(cfg);
+  std::vector<float> params(
+      static_cast<std::size_t>(m.layout().total_numel()));
+  m.InitParameters(params, 7);
+  std::vector<float> mom(params.size(), 0.0f), var(params.size(), 0.0f);
+  optim::AdamConfig adam;
+  adam.lr = 5e-3f;
+  float first = 0, last = 0;
+  for (int step = 0; step < 150; ++step) {
+    Batch batch = MakeClassificationBatch(cfg, 16, 5, 1,
+                                          100 + static_cast<std::uint64_t>(step));
+    std::vector<float> grads(params.size(), 0.0f);
+    DirectParamProvider provider(m.layout(), params);
+    AccumulatingGradSink sink(m.layout(), grads);
+    const float loss = m.Step(batch, provider, sink);
+    if (step == 0) first = loss;
+    last = loss;
+    optim::AdamUpdate(adam, step + 1, params, grads, mom, var);
+  }
+  EXPECT_LT(last, first - 0.4f);
+}
+
+TEST(MlpModelTest, TrainsUnderEveryZeroStage) {
+  // The engine/model seam is model-agnostic: the MLP must train under
+  // all four stages with matching exact-fp32 trajectories.
+  MlpConfig cfg = TinyConfig();
+  const int nd = 2;
+  std::vector<std::vector<float>> results;
+  for (model::ZeroStage stage :
+       {ZeroStage::kNone, ZeroStage::kOs, ZeroStage::kOsG,
+        ZeroStage::kOsGP}) {
+    std::vector<float> params;
+    comm::World world(nd);
+    std::mutex mu;
+    world.Run([&](comm::RankContext& ctx) {
+      comm::Communicator dp = comm::Communicator::WholeWorld(ctx);
+      MlpModel model(cfg);
+      core::EngineConfig ecfg;
+      ecfg.stage = stage;
+      ecfg.fp16 = false;
+      ecfg.exact_reductions = true;
+      core::ZeroDpEngine engine(ecfg, model, dp, nullptr, 11);
+      for (int step = 0; step < 3; ++step) {
+        Batch batch = MakeClassificationBatch(
+            cfg, 4, 5, 1,
+            static_cast<std::uint64_t>(step * nd + ctx.rank));
+        (void)engine.TrainStep(batch);
+      }
+      auto p = engine.GatherFullParams();
+      std::lock_guard<std::mutex> lock(mu);
+      if (ctx.rank == 0) params = std::move(p);
+    });
+    results.push_back(std::move(params));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0], results[i]) << "stage index " << i;
+  }
+}
+
+TEST(MlpModelTest, BatchGeneratorIsDeterministicAndLabeledConsistently) {
+  MlpConfig cfg = TinyConfig();
+  Batch a = MakeClassificationBatch(cfg, 4, 5, 1, 2);
+  Batch b = MakeClassificationBatch(cfg, 4, 5, 1, 2);
+  EXPECT_EQ(a.inputs, b.inputs);
+  EXPECT_EQ(a.targets, b.targets);
+  // Same features but different task seed -> (generally) different labels.
+  Batch c = MakeClassificationBatch(cfg, 4, 5, 999, 2);
+  EXPECT_EQ(a.inputs, c.inputs);
+  EXPECT_NE(a.targets, c.targets);
+}
+
+TEST(MlpModelTest, RejectsBadInput) {
+  EXPECT_THROW(MlpModel(MlpConfig{.vocab = 1}), Error);
+  MlpModel m(TinyConfig());
+  std::vector<float> params(
+      static_cast<std::size_t>(m.layout().total_numel()));
+  m.InitParameters(params, 3);
+  std::vector<float> grads(params.size(), 0.0f);
+  DirectParamProvider provider(m.layout(), params);
+  AccumulatingGradSink sink(m.layout(), grads);
+  Batch bad = MakeClassificationBatch(TinyConfig(), 2, 3, 1, 2);
+  bad.inputs[0] = 99;  // out-of-vocab feature
+  EXPECT_THROW((void)m.Step(bad, provider, sink), Error);
+}
+
+}  // namespace
+}  // namespace zero::model

@@ -1,0 +1,113 @@
+#include "model/transformer_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace zero::model {
+namespace {
+
+TEST(TransformerSpecTest, ParamCountsMatchPaperConfigs) {
+  // Table 4: the paper's named model sizes from (layers, hidden).
+  struct Case {
+    std::int64_t layers, hidden;
+    double expected_billions, tolerance;
+  };
+  const Case cases[] = {
+      {48, 1600, 1.5, 0.15},    // GPT-2 1.5B
+      {72, 3072, 8.0, 0.4},     // 8B
+      {88, 6144, 40.0, 2.0},    // 40B
+      {132, 6144, 60.0, 3.0},   // 60B
+      {125, 8192, 100.0, 3.0},  // 100B
+      {212, 8192, 170.0, 5.0},  // 170B
+  };
+  for (const Case& c : cases) {
+    TransformerSpec spec;
+    spec.layers = c.layers;
+    spec.hidden = c.hidden;
+    spec.heads = 16;
+    const double psi = static_cast<double>(spec.NumParameters()) / 1e9;
+    EXPECT_NEAR(psi, c.expected_billions, c.tolerance)
+        << c.layers << "x" << c.hidden;
+  }
+}
+
+TEST(TransformerSpecTest, ActivationFootprintMatchesFootnote3) {
+  // Sec 3.2: 1.5B GPT-2, seq 1K, batch 32 -> ~60 GB of activations.
+  TransformerSpec spec;
+  spec.layers = 48;
+  spec.hidden = 1600;
+  spec.heads = 16;
+  spec.seq = 1024;
+  EXPECT_NEAR(spec.ActivationBytes(32) / 1e9, 60.0, 6.0);
+}
+
+TEST(TransformerSpecTest, CheckpointMemoryMatchesSec61Example) {
+  // Sec 6.1: 100B model, batch 32, seq 1024, MP 16. One fp16 checkpoint
+  // per layer is 2*32*1024*8192 bytes = 0.55 GB; for 125 layers that is
+  // 68.7 GB, which Pa divides by the MP degree. (The paper quotes
+  // "about 33 GB" / "about 2 GB" — the value for checkpointing every
+  // other layer; the 16x Pa ratio, which is the claim under test, is
+  // independent of checkpoint density.)
+  TransformerSpec spec;
+  spec.layers = 125;
+  spec.hidden = 8192;
+  spec.heads = 64;
+  spec.seq = 1024;
+  const double ckpt_gb = spec.CheckpointBytes(32) / 1e9;
+  EXPECT_NEAR(ckpt_gb, 67.1, 1.0);
+  EXPECT_NEAR(ckpt_gb / 2.0, 33.0, 2.0);       // every-other-layer reading
+  EXPECT_NEAR(ckpt_gb / 2.0 / 16.0, 2.0, 0.2);  // the Sec 6.1 Pa example
+}
+
+TEST(TransformerSpecTest, StepFlopsRecomputeFactor) {
+  TransformerSpec spec;
+  spec.layers = 10;
+  spec.hidden = 512;
+  spec.heads = 8;
+  spec.seq = 128;
+  const double no_ckpt = spec.StepFlops(4, false);
+  const double with_ckpt = spec.StepFlops(4, true);
+  EXPECT_NEAR(with_ckpt / no_ckpt, 4.0 / 3.0, 1e-9);
+}
+
+TEST(ModelStatesTest, Figure1Examples) {
+  // Fig 1 / Sec 5: Psi = 7.5B, Nd = 64, K = 12.
+  const double psi = 7.5e9;
+  const double baseline =
+      PerDeviceModelStates(psi, ZeroStage::kNone, 64).total();
+  EXPECT_NEAR(baseline / 1e9, 120.0, 0.1);
+  const double pos = PerDeviceModelStates(psi, ZeroStage::kOs, 64).total();
+  EXPECT_NEAR(pos / 1e9, 31.4, 0.1);
+  const double posg = PerDeviceModelStates(psi, ZeroStage::kOsG, 64).total();
+  EXPECT_NEAR(posg / 1e9, 16.6, 0.1);
+  const double posgp =
+      PerDeviceModelStates(psi, ZeroStage::kOsGP, 64).total();
+  EXPECT_NEAR(posgp / 1e9, 1.88, 0.01);
+}
+
+TEST(ModelStatesTest, AsymptoticReductions) {
+  // Sec 5: 4x for Pos, 8x for Pos+g, Nd-fold for Pos+g+p at large Nd.
+  const double psi = 1e12;
+  const int nd = 1024;
+  const double base = PerDeviceModelStates(psi, ZeroStage::kNone, nd).total();
+  EXPECT_NEAR(base / PerDeviceModelStates(psi, ZeroStage::kOs, nd).total(),
+              4.0, 0.05);
+  EXPECT_NEAR(base / PerDeviceModelStates(psi, ZeroStage::kOsG, nd).total(),
+              8.0, 0.1);
+  EXPECT_NEAR(base / PerDeviceModelStates(psi, ZeroStage::kOsGP, nd).total(),
+              static_cast<double>(nd), 1.0);
+}
+
+TEST(ModelStatesTest, TrillionParameterHeadline) {
+  // Sec 1: 1T parameters require ~16 TB total; /1024 GPUs = 15.6 GB.
+  const double psi = 1e12;
+  EXPECT_NEAR(PerDeviceModelStates(psi, ZeroStage::kNone, 1).total() / 1e12,
+              16.0, 0.01);
+  EXPECT_NEAR(
+      PerDeviceModelStates(psi, ZeroStage::kOsGP, 1024).total() / 1e9, 15.6,
+      0.1);
+}
+
+}  // namespace
+}  // namespace zero::model

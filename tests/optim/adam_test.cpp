@@ -1,0 +1,125 @@
+#include "optim/adam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace zero::optim {
+namespace {
+
+TEST(AdamTest, FirstStepMovesByLearningRate) {
+  // With bias correction, step 1 moves each coordinate by ~lr*sign(g).
+  AdamConfig cfg;
+  cfg.lr = 0.1f;
+  std::vector<float> p{1.0f, -2.0f};
+  std::vector<float> g{0.5f, -0.25f};
+  std::vector<float> m(2, 0.0f), v(2, 0.0f);
+  AdamUpdate(cfg, 1, p, g, m, v);
+  EXPECT_NEAR(p[0], 1.0f - 0.1f, 1e-5f);
+  EXPECT_NEAR(p[1], -2.0f + 0.1f, 1e-5f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  AdamConfig cfg;
+  cfg.lr = 0.05f;
+  std::vector<float> p{5.0f, -3.0f, 10.0f};
+  std::vector<float> target{1.0f, 2.0f, -4.0f};
+  std::vector<float> m(3, 0.0f), v(3, 0.0f);
+  for (int t = 1; t <= 2000; ++t) {
+    std::vector<float> g(3);
+    for (int i = 0; i < 3; ++i) g[static_cast<std::size_t>(i)] = p[static_cast<std::size_t>(i)] - target[static_cast<std::size_t>(i)];
+    AdamUpdate(cfg, t, p, g, m, v);
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(p[static_cast<std::size_t>(i)], target[static_cast<std::size_t>(i)], 0.05f);
+  }
+}
+
+TEST(AdamTest, WeightDecayPullsTowardZero) {
+  AdamConfig cfg;
+  cfg.lr = 0.01f;
+  cfg.weight_decay = 0.1f;
+  std::vector<float> p{4.0f};
+  std::vector<float> g{0.0f};
+  std::vector<float> m(1, 0.0f), v(1, 0.0f);
+  for (int t = 1; t <= 100; ++t) AdamUpdate(cfg, t, p, g, m, v);
+  EXPECT_LT(p[0], 4.0f);
+}
+
+TEST(MixedPrecisionAdamTest, MasterCopyPreservesPrecision) {
+  // fp16 parameters alone lose small updates; the fp32 master copy must
+  // accumulate them (the reason K includes a master copy, Sec 3.1).
+  AdamConfig cfg;
+  cfg.lr = 1e-4f;
+  std::vector<float> init{1.0f};
+  MixedPrecisionAdam opt(cfg, nullptr, init);
+  std::vector<Half> p{Half(1.0f)};
+  std::vector<Half> g{Half(1.0f)};
+  float prev_master = 1.0f;
+  for (int t = 0; t < 10; ++t) {
+    opt.Step(p, g, 1.0f);
+    EXPECT_LT(opt.master()[0], prev_master);
+    prev_master = opt.master()[0];
+  }
+  // fp16 value tracks the rounded master.
+  EXPECT_EQ(p[0].ToFloat(), Half(opt.master()[0]).ToFloat());
+}
+
+TEST(MixedPrecisionAdamTest, LossScaleUnscalesGradients) {
+  AdamConfig cfg;
+  cfg.lr = 0.1f;
+  std::vector<float> init{0.0f};
+  MixedPrecisionAdam scaled(cfg, nullptr, init);
+  MixedPrecisionAdam unscaled(cfg, nullptr, init);
+  std::vector<Half> p1{Half(0.0f)}, p2{Half(0.0f)};
+  std::vector<Half> g_big{Half(1024.0f)};
+  std::vector<Half> g_raw{Half(1.0f)};
+  scaled.Step(p1, g_big, 1024.0f);
+  unscaled.Step(p2, g_raw, 1.0f);
+  EXPECT_EQ(p1[0].ToFloat(), p2[0].ToFloat());
+}
+
+TEST(MixedPrecisionAdamTest, StateLivesOnDevice) {
+  alloc::DeviceMemory dev(1 << 20, "opt");
+  alloc::CachingAllocator cache(dev);
+  std::vector<float> init(1000, 0.5f);
+  MixedPrecisionAdam opt(AdamConfig{}, &cache, init);
+  // K = 12 bytes per parameter: master + m + v in fp32.
+  EXPECT_GE(dev.Stats().in_use, 12u * 1000u);
+  EXPECT_EQ(opt.numel(), 1000);
+}
+
+TEST(MixedPrecisionAdamTest, F32PathMatchesFunctionalAdam) {
+  AdamConfig cfg;
+  cfg.lr = 0.02f;
+  Rng rng(5);
+  std::vector<float> init(32);
+  for (float& x : init) x = rng.NextGaussian();
+
+  MixedPrecisionAdam opt(cfg, nullptr, init);
+  std::vector<float> ref = init;
+  std::vector<float> m(32, 0.0f), v(32, 0.0f);
+  std::vector<float> out(32);
+
+  for (int t = 1; t <= 5; ++t) {
+    std::vector<float> g(32);
+    for (float& x : g) x = rng.NextGaussian();
+    opt.StepF32(out, g, 1.0f);
+    AdamUpdate(cfg, t, ref, g, m, v);
+    for (int i = 0; i < 32; ++i) {
+      ASSERT_EQ(out[static_cast<std::size_t>(i)], ref[static_cast<std::size_t>(i)]) << "t=" << t;
+    }
+  }
+}
+
+TEST(MixedPrecisionAdamTest, RejectsMismatchedShards) {
+  std::vector<float> init(8, 0.0f);
+  MixedPrecisionAdam opt(AdamConfig{}, nullptr, init);
+  std::vector<Half> p(4), g(8);
+  EXPECT_THROW(opt.Step(p, g, 1.0f), Error);
+}
+
+}  // namespace
+}  // namespace zero::optim

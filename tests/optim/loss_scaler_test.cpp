@@ -1,0 +1,74 @@
+#include "optim/loss_scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace zero::optim {
+namespace {
+
+TEST(LossScalerTest, BacksOffOnOverflowAndSkips) {
+  DynamicLossScaler::Config cfg;
+  cfg.init_scale = 1024.0f;
+  cfg.backoff_factor = 0.5f;
+  DynamicLossScaler scaler(cfg);
+  EXPECT_FALSE(scaler.Update(/*found_overflow=*/true));
+  EXPECT_EQ(scaler.scale(), 512.0f);
+  EXPECT_FALSE(scaler.Update(true));
+  EXPECT_EQ(scaler.scale(), 256.0f);
+  EXPECT_EQ(scaler.skipped_steps(), 2);
+  EXPECT_EQ(scaler.good_steps(), 0);
+}
+
+TEST(LossScalerTest, GrowsAfterInterval) {
+  DynamicLossScaler::Config cfg;
+  cfg.init_scale = 128.0f;
+  cfg.growth_interval = 3;
+  DynamicLossScaler scaler(cfg);
+  EXPECT_TRUE(scaler.Update(false));
+  EXPECT_TRUE(scaler.Update(false));
+  EXPECT_EQ(scaler.scale(), 128.0f);  // not yet
+  EXPECT_TRUE(scaler.Update(false));
+  EXPECT_EQ(scaler.scale(), 256.0f);  // grew after 3 clean steps
+}
+
+TEST(LossScalerTest, OverflowResetsGrowthCounter) {
+  DynamicLossScaler::Config cfg;
+  cfg.init_scale = 128.0f;
+  cfg.growth_interval = 2;
+  DynamicLossScaler scaler(cfg);
+  EXPECT_TRUE(scaler.Update(false));
+  EXPECT_FALSE(scaler.Update(true));  // back to 64, counter reset
+  EXPECT_TRUE(scaler.Update(false));
+  EXPECT_EQ(scaler.scale(), 64.0f);  // one clean step is not enough
+  EXPECT_TRUE(scaler.Update(false));
+  EXPECT_EQ(scaler.scale(), 128.0f);
+}
+
+TEST(LossScalerTest, RespectsMinAndMaxScale) {
+  DynamicLossScaler::Config cfg;
+  cfg.init_scale = 2.0f;
+  cfg.min_scale = 1.0f;
+  cfg.max_scale = 4.0f;
+  cfg.growth_interval = 1;
+  DynamicLossScaler scaler(cfg);
+  (void)scaler.Update(true);
+  (void)scaler.Update(true);
+  EXPECT_EQ(scaler.scale(), 1.0f);  // clamped at min
+  (void)scaler.Update(false);
+  (void)scaler.Update(false);
+  (void)scaler.Update(false);
+  EXPECT_EQ(scaler.scale(), 4.0f);  // clamped at max
+}
+
+TEST(LossScalerTest, RejectsBadConfig) {
+  DynamicLossScaler::Config cfg;
+  cfg.init_scale = 0.5f;  // below min_scale
+  EXPECT_THROW(DynamicLossScaler{cfg}, Error);
+  DynamicLossScaler::Config bad2;
+  bad2.growth_factor = 0.9f;
+  EXPECT_THROW(DynamicLossScaler{bad2}, Error);
+}
+
+}  // namespace
+}  // namespace zero::optim

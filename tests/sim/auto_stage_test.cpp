@@ -1,0 +1,60 @@
+#include "sim/auto_stage.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zero::sim {
+namespace {
+
+JobConfig JobOf(double psi_b, int gpus, int mp, std::int64_t batch) {
+  JobConfig job;
+  job.model.hidden = 4096;
+  job.model.heads = 32;
+  job.model.layers = std::max<std::int64_t>(
+      1,
+      static_cast<std::int64_t>(psi_b * 1e9 / (12.0 * 4096.0 * 4096.0)));
+  job.gpus = gpus;
+  job.mp = mp;
+  job.batch_per_gpu = batch;
+  return job;
+}
+
+TEST(AutoStageTest, SmallModelNeedsNoZero) {
+  ClusterSpec cluster;
+  const auto rec = RecommendStage(cluster, JobOf(1.0, 64, 1, 4));
+  EXPECT_TRUE(rec.fits);
+  EXPECT_EQ(rec.stage, model::ZeroStage::kNone);
+}
+
+TEST(AutoStageTest, MidModelsPickProgressivelyHigherStages) {
+  // The Table 1 ladder at Nd = 64: ~2B baseline limit, ~7.6B for Pos,
+  // ~14.4B for Pos+g, beyond that Pos+g+p.
+  ClusterSpec cluster;
+  EXPECT_EQ(RecommendStage(cluster, JobOf(5.0, 64, 1, 2)).stage,
+            model::ZeroStage::kOs);
+  EXPECT_EQ(RecommendStage(cluster, JobOf(12.0, 64, 1, 2)).stage,
+            model::ZeroStage::kOsG);
+  EXPECT_EQ(RecommendStage(cluster, JobOf(40.0, 64, 1, 1)).stage,
+            model::ZeroStage::kOsGP);
+}
+
+TEST(AutoStageTest, HopelessJobReportsNoFit) {
+  ClusterSpec cluster;
+  // 1T parameters on 8 GPUs: 2 TB/device even at stage 3.
+  const auto rec = RecommendStage(cluster, JobOf(1000.0, 8, 1, 1));
+  EXPECT_FALSE(rec.fits);
+  EXPECT_EQ(rec.stage, model::ZeroStage::kOsGP);
+  EXPECT_GT(rec.memory.total(), cluster.usable_memory());
+}
+
+TEST(AutoStageTest, MpLowersTheRequiredStage) {
+  ClusterSpec cluster;
+  const auto dp_only = RecommendStage(cluster, JobOf(40.0, 256, 1, 1));
+  JobConfig with_mp = JobOf(40.0, 256, 16, 1);
+  with_mp.pa = true;
+  const auto mp16 = RecommendStage(cluster, with_mp);
+  EXPECT_TRUE(mp16.fits);
+  EXPECT_LT(static_cast<int>(mp16.stage), static_cast<int>(dp_only.stage));
+}
+
+}  // namespace
+}  // namespace zero::sim

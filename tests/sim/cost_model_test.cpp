@@ -1,0 +1,177 @@
+#include "sim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/paper_configs.hpp"
+#include "sim/search.hpp"
+
+namespace zero::sim {
+namespace {
+
+using model::ZeroStage;
+
+TEST(CostModelTest, EfficiencyIncreasesWithBatchAndWidth) {
+  ClusterSpec cluster;
+  JobConfig job;
+  job.model.hidden = 8192;
+  job.mp = 16;
+  job.batch_per_gpu = 4;
+  const double e_small = Efficiency(cluster, job);
+  job.batch_per_gpu = 64;
+  const double e_big = Efficiency(cluster, job);
+  EXPECT_GT(e_big, e_small);
+  job.mp = 1;
+  EXPECT_GT(Efficiency(cluster, job), e_big);
+  EXPECT_LT(Efficiency(cluster, job), 1.0);
+}
+
+TEST(CostModelTest, Zero100BSustainsPaperThroughput) {
+  // Sec 10.2: ZeRO-100B averages >38 TFlops/GPU (15 PFlops aggregate) on
+  // 8B-100B models with 400 GPUs.
+  ClusterSpec cluster;
+  double total_pflops = 0;
+  int count = 0;
+  for (const PaperRun& run : Figure2Runs()) {
+    if (!run.is_zero || run.psi_nominal < 8e9) continue;
+    const ThroughputEstimate t = EstimateThroughput(cluster, run.ToJob());
+    EXPECT_GT(t.tflops_per_gpu, 25.0) << run.label;
+    EXPECT_LT(t.tflops_per_gpu, 60.0) << run.label;
+    total_pflops += t.aggregate_pflops;
+    ++count;
+  }
+  EXPECT_NEAR(total_pflops / count, 15.0, 5.0);
+}
+
+TEST(CostModelTest, CrossNodeMpCollapsesBaseline) {
+  // Sec 1: Megatron at 40B across two DGX-2 nodes -> ~5 TFlops/GPU.
+  ClusterSpec cluster;
+  for (const PaperRun& run : Figure2Runs()) {
+    if (run.is_zero || run.psi_nominal < 40e9) continue;
+    const ThroughputEstimate t = EstimateThroughput(cluster, run.ToJob());
+    EXPECT_LT(t.tflops_per_gpu, 10.0) << run.label;
+  }
+}
+
+TEST(CostModelTest, ZeroBeatsBaselineEverywhereAndUpTo10x) {
+  // Figure 2's headline shape: ZeRO wins at every size, modestly below
+  // 40B (where the baseline still fits MP in one node) and by an order
+  // of magnitude beyond it.
+  ClusterSpec cluster;
+  const auto& runs = Figure2Runs();
+  for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
+    const ThroughputEstimate z = EstimateThroughput(cluster, runs[i].ToJob());
+    const ThroughputEstimate b =
+        EstimateThroughput(cluster, runs[i + 1].ToJob());
+    const double speedup = z.tflops_per_gpu / b.tflops_per_gpu;
+    EXPECT_GT(speedup, 1.0) << runs[i].label;
+    if (runs[i].psi_nominal < 40e9) {
+      EXPECT_LT(speedup, 4.0) << runs[i].label;
+    } else {
+      // The paper reports "up to 10x"; the cross-node cliff makes the
+      // exact factor sensitive to the MP bandwidth assumption.
+      EXPECT_GT(speedup, 5.0) << runs[i].label;
+      EXPECT_LT(speedup, 40.0) << runs[i].label;
+    }
+  }
+}
+
+TEST(CostModelTest, SuperLinearScalingOn60B) {
+  // Figure 3: doubling GPUs more than doubles aggregate throughput,
+  // because bigger DP frees memory for bigger batches.
+  ClusterSpec cluster;
+  const auto& runs = Figure3Runs();
+  std::vector<double> per_gpu;
+  for (const PaperRun& run : runs) {
+    per_gpu.push_back(EstimateThroughput(cluster, run.ToJob()).tflops_per_gpu);
+  }
+  // Per-GPU throughput grows monotonically with scale (the super-linear
+  // signature).
+  for (std::size_t i = 1; i < per_gpu.size(); ++i) {
+    EXPECT_GE(per_gpu[i], per_gpu[i - 1] * 0.98) << "step " << i;
+  }
+  // 64 -> 400 GPUs: aggregate speedup exceeds the 6.25x GPU ratio.
+  const double aggregate_speedup =
+      (per_gpu.back() * 400.0) / (per_gpu.front() * 64.0);
+  EXPECT_GT(aggregate_speedup, 400.0 / 64.0);
+}
+
+TEST(CostModelTest, DemocratizationThroughput) {
+  // Figure 4: ZeRO without MP sustains >30 TFlops/GPU up to 13B, while
+  // baseline DDP at 1.4B stays under 20.
+  ClusterSpec cluster;
+  double zero_sum = 0;
+  int zero_count = 0;
+  double zero_1b = 0, base_1b = 0, base_largest = 0;
+  for (const PaperRun& run : Figure4Runs()) {
+    const ThroughputEstimate t = EstimateThroughput(cluster, run.ToJob());
+    if (run.is_zero) {
+      EXPECT_GT(t.tflops_per_gpu, 18.0) << run.label;
+      zero_sum += t.tflops_per_gpu;
+      ++zero_count;
+      if (run.label == "1.16B") zero_1b = t.tflops_per_gpu;
+    } else if (run.label == "1.16B-base") {
+      base_1b = t.tflops_per_gpu;
+    } else {
+      base_largest = t.tflops_per_gpu;  // 1.38B at batch 1
+    }
+  }
+  EXPECT_GT(zero_sum / zero_count, 33.0);  // "over 40 TFlops on average"
+  // "the largest trainable model with DP alone has 1.4B parameters with
+  // throughput less than 20 TFlops per GPU".
+  EXPECT_LT(base_largest, 20.0);
+  // And ZeRO beats the DDP baseline even where both fit.
+  EXPECT_GT(zero_1b, base_1b);
+}
+
+TEST(CostModelTest, Stage3CostsFiftyPercentMoreDpTraffic) {
+  ClusterSpec cluster;
+  JobConfig job;
+  job.model.layers = 40;
+  job.model.hidden = 4096;
+  job.model.heads = 32;
+  job.gpus = 64;
+  job.mp = 1;
+  job.batch_per_gpu = 1;  // tiny batch: communication dominates
+  job.stage = ZeroStage::kOsG;
+  const ThroughputEstimate s2 = EstimateThroughput(cluster, job);
+  job.stage = ZeroStage::kOsGP;
+  const ThroughputEstimate s3 = EstimateThroughput(cluster, job);
+  EXPECT_GT(s3.dp_comm_s, s2.dp_comm_s);
+}
+
+TEST(CostModelTest, PaCpuExposesTransferCostAtSameBatch) {
+  // Figure 8's 60B caveat: at the same batch size, C5 pays the PCIe
+  // transfers and is strictly slower than C4.
+  ClusterSpec cluster;
+  JobConfig base = Figure8Runs()[0].ToJob();  // 60B, 128 GPUs
+  base.batch_per_gpu = 32;
+  const ThroughputEstimate c4 =
+      EstimateThroughput(cluster, JobConfig::WithConfigId(base, 4));
+  const ThroughputEstimate c5 =
+      EstimateThroughput(cluster, JobConfig::WithConfigId(base, 5));
+  EXPECT_EQ(c4.offload_s, 0.0);
+  EXPECT_GT(c5.offload_s, 0.0);
+  EXPECT_GT(c4.tflops_per_gpu, c5.tflops_per_gpu);
+}
+
+TEST(CostModelTest, OnlyC5Runs170BAtPaperBatch) {
+  // Figure 8: at its batch size of 12, the 170B model only executes
+  // under C5 — Pa+cpu is what removes the checkpoint footprint.
+  ClusterSpec cluster;
+  JobConfig base = Figure8Runs()[1].ToJob();  // 170B, 400 GPUs, batch 12
+  EXPECT_FALSE(Fits(cluster, JobConfig::WithConfigId(base, 4)));
+  const JobConfig c5 = JobConfig::WithConfigId(base, 5);
+  ASSERT_TRUE(Fits(cluster, c5));
+  EXPECT_GT(EstimateThroughput(cluster, c5).tflops_per_gpu, 10.0);
+}
+
+TEST(CostModelTest, StepTimeDecomposesExactly) {
+  ClusterSpec cluster;
+  const ThroughputEstimate t =
+      EstimateThroughput(cluster, Figure2Runs()[0].ToJob());
+  EXPECT_NEAR(t.step_seconds,
+              t.compute_s + t.mp_comm_s + t.dp_comm_s + t.offload_s, 1e-12);
+}
+
+}  // namespace
+}  // namespace zero::sim

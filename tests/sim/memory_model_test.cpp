@@ -1,0 +1,199 @@
+#include "sim/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/paper_configs.hpp"
+#include "sim/search.hpp"
+
+namespace zero::sim {
+namespace {
+
+using model::ZeroStage;
+
+JobConfig BigJob(double psi_target_b, ZeroStage stage, int gpus, int mp) {
+  JobConfig job;
+  job.model.hidden = 8192;
+  job.model.heads = 64;
+  // layers from target Psi: 12*l*h^2 ~= psi.
+  job.model.layers = static_cast<std::int64_t>(
+      psi_target_b * 1e9 / (12.0 * 8192.0 * 8192.0));
+  job.gpus = gpus;
+  job.mp = mp;
+  job.stage = stage;
+  return job;
+}
+
+TEST(MemoryModelTest, Table1ModelStateColumns) {
+  // Table 1: per-device model-state GB for 7.5B/128B/1T at DP degrees.
+  // Model states only — compare against PerDeviceModelStates directly
+  // through the sim plumbing (mp = 1, so psi_local = psi).
+  const struct {
+    double psi;
+    int nd;
+    ZeroStage stage;
+    double expected_gb;
+  } cases[] = {
+      {7.5e9, 64, ZeroStage::kOs, 31.4},
+      {7.5e9, 64, ZeroStage::kOsG, 16.6},
+      {7.5e9, 64, ZeroStage::kOsGP, 1.88},
+      // Table 1 prints 0.12 for this cell; 16 * 7.5e9 / 1024 is 0.117.
+      {7.5e9, 1024, ZeroStage::kOsGP, 0.1171875},
+      {128e9, 16, ZeroStage::kOsGP, 128.0},
+      {128e9, 1024, ZeroStage::kOsG, 257.0},
+      {1e12, 1024, ZeroStage::kOsGP, 15.6},
+      {1e12, 64, ZeroStage::kOs, 4187.0},
+  };
+  for (const auto& c : cases) {
+    const double gb =
+        model::PerDeviceModelStates(c.psi, c.stage, c.nd).total() / 1e9;
+    EXPECT_NEAR(gb, c.expected_gb, c.expected_gb * 0.01)
+        << "psi=" << c.psi << " nd=" << c.nd;
+  }
+}
+
+TEST(MemoryModelTest, Table2TheoreticalMaxSizes) {
+  // Table 2 left half: 32 GB V100, Nd = 64 at every row.
+  const double cap = 32e9;
+  const struct {
+    int mp;
+    double baseline, pos, posg, posgp;  // billions
+  } rows[] = {
+      {1, 2.0, 7.6, 14.4, 128.0},
+      {2, 4.0, 15.2, 28.8, 256.0},
+      {4, 8.0, 30.4, 57.6, 512.0},
+      {8, 16.0, 60.8, 115.2, 1000.0},
+      {16, 32.0, 121.6, 230.4, 2000.0},
+  };
+  for (const auto& r : rows) {
+    EXPECT_NEAR(TheoreticalMaxParams(cap, ZeroStage::kNone, r.mp, 64) / 1e9,
+                r.baseline, r.baseline * 0.01);
+    EXPECT_NEAR(TheoreticalMaxParams(cap, ZeroStage::kOs, r.mp, 64) / 1e9,
+                r.pos, r.pos * 0.01);
+    EXPECT_NEAR(TheoreticalMaxParams(cap, ZeroStage::kOsG, r.mp, 64) / 1e9,
+                r.posg, r.posg * 0.01);
+    EXPECT_NEAR(TheoreticalMaxParams(cap, ZeroStage::kOsGP, r.mp, 64) / 1e9,
+                r.posgp, r.posgp * 0.03);
+  }
+}
+
+TEST(MemoryModelTest, BaselineDpCapsNear1p4B) {
+  // Sec 1 / Fig 4: plain 2019-era DDP (no ZeRO-R: unfused-proportional
+  // buffers, no checkpointing, no defrag) runs out of memory beyond
+  // ~1.4B parameters.
+  ClusterSpec cluster;
+  JobConfig job;
+  job.model.hidden = 1536;
+  job.model.heads = 16;
+  job.model.layers = 40;  // ~1.4B (the Table 10 baseline row)
+  job.gpus = 128;
+  job.mp = 1;
+  job.stage = ZeroStage::kNone;
+  job.batch_per_gpu = 1;
+  job.activation_checkpointing = false;
+  job.constant_buffers = false;
+  job.defrag = false;
+  EXPECT_TRUE(Fits(cluster, job));
+  job.model.layers = 60;  // ~2B
+  EXPECT_FALSE(Fits(cluster, job));
+}
+
+TEST(MemoryModelTest, ZeroStage2Runs13BWithoutMp) {
+  // Fig 4 headline: 13B trainable with Pos+g and no model parallelism.
+  ClusterSpec cluster;
+  JobConfig job;
+  job.model.hidden = 4096;
+  job.model.heads = 32;
+  job.model.layers = 62;  // 13B row of Table 10
+  job.gpus = 128;
+  job.mp = 1;
+  job.stage = ZeroStage::kOsG;
+  job.batch_per_gpu = 2;
+  EXPECT_TRUE(Fits(cluster, job));
+  // But not under baseline DP.
+  job.stage = ZeroStage::kNone;
+  EXPECT_FALSE(Fits(cluster, job));
+}
+
+TEST(MemoryModelTest, PaDividesCheckpointMemoryByMp) {
+  ClusterSpec cluster;
+  JobConfig job = BigJob(100, ZeroStage::kOsG, 400, 16);
+  job.batch_per_gpu = 32;
+  const MemoryBreakdown without_pa = EstimateMemory(cluster, job);
+  job.pa = true;
+  const MemoryBreakdown with_pa = EstimateMemory(cluster, job);
+  EXPECT_NEAR(without_pa.checkpoints / with_pa.checkpoints, 16.0, 0.01);
+  job.pa_cpu = true;
+  const MemoryBreakdown with_cpu = EstimateMemory(cluster, job);
+  EXPECT_EQ(with_cpu.checkpoints, 0.0);
+}
+
+TEST(MemoryModelTest, ConstantBuffersCapBufferMemory) {
+  ClusterSpec cluster;
+  JobConfig job = BigJob(100, ZeroStage::kOsG, 400, 16);
+  job.constant_buffers = false;
+  const double unfused = EstimateMemory(cluster, job).buffers;
+  job.constant_buffers = true;
+  const double fused = EstimateMemory(cluster, job).buffers;
+  EXPECT_EQ(fused, kConstantBufferBytes);
+  EXPECT_GT(unfused, 10.0 * fused);  // 4 bytes * 6.25B local params
+}
+
+TEST(MemoryModelTest, MaxBatchGrowsWithDpDegreeUnderZero) {
+  // The super-linearity mechanism (Sec 10.3): more DP ranks -> smaller
+  // model states per rank -> bigger batch fits.
+  ClusterSpec cluster;
+  JobConfig job = BigJob(60, ZeroStage::kOsG, 64, 16);
+  const std::int64_t batch_64 = MaxBatchPerGpu(cluster, job);
+  job.gpus = 400;
+  const std::int64_t batch_400 = MaxBatchPerGpu(cluster, job);
+  EXPECT_GT(batch_400, batch_64);
+  EXPECT_GE(batch_64, 1);
+}
+
+TEST(MemoryModelTest, ConfigC1ThroughC5MaxModelSizeOrdering) {
+  // Figure 6's narrative: C1 -> C2 grows via Pa (40B -> 60B in the
+  // paper), C2 -> C4 grows via Pos+g, C4 -> C5 grows slightly via
+  // Pa+cpu. C3 (Pos+g without Pa) is not ordered against C2 by the
+  // paper; it must still beat C1.
+  ClusterSpec cluster;
+  JobConfig base = Figure6BaseRun().ToJob();
+  double psi[6] = {0};
+  for (int config = 1; config <= 5; ++config) {
+    JobConfig job = JobConfig::WithConfigId(base, config);
+    job.model.layers = MaxLayers(cluster, job);
+    psi[config] = static_cast<double>(job.psi());
+  }
+  EXPECT_GT(psi[2], psi[1] * 1.2);  // Pa buys a sizable jump
+  EXPECT_GT(psi[3], psi[1]);        // Pos+g alone beats Pos alone
+  EXPECT_GT(psi[4], psi[2] * 1.2);  // Pos+g on top of Pa: the big jump
+  EXPECT_GT(psi[5], psi[4]);        // Pa+cpu adds a little more
+  // Absolute scale: C4/C5 land in the 100B-250B range like the paper's
+  // 140B/150B.
+  EXPECT_GT(psi[4], 100e9);
+  EXPECT_LT(psi[5], 250e9);
+}
+
+TEST(MemoryModelTest, SearchesAreConsistentWithFits) {
+  ClusterSpec cluster;
+  JobConfig job = BigJob(60, ZeroStage::kOsG, 128, 16);
+  const std::int64_t max_batch = MaxBatchPerGpu(cluster, job);
+  ASSERT_GE(max_batch, 1);
+  job.batch_per_gpu = max_batch;
+  EXPECT_TRUE(Fits(cluster, job));
+  job.batch_per_gpu = max_batch + 1;
+  EXPECT_FALSE(Fits(cluster, job));
+}
+
+TEST(MemoryModelTest, FragmentationReserveWithoutMd) {
+  ClusterSpec cluster;
+  JobConfig job = BigJob(60, ZeroStage::kOsG, 128, 16);
+  job.batch_per_gpu = 16;
+  job.defrag = false;
+  const double without_md = EstimateMemory(cluster, job).total();
+  job.defrag = true;
+  const double with_md = EstimateMemory(cluster, job).total();
+  EXPECT_GT(without_md, with_md);
+}
+
+}  // namespace
+}  // namespace zero::sim

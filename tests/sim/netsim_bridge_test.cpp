@@ -1,0 +1,79 @@
+#include "sim/netsim_bridge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/paper_configs.hpp"
+
+namespace zero::sim {
+namespace {
+
+TEST(NetSimBridgeTest, TopologySizedFromJob) {
+  ClusterSpec cluster;
+  JobConfig job;
+  job.gpus = 400;
+  const NetTopology topo = TopologyFor(cluster, job);
+  EXPECT_EQ(topo.nodes, 25);
+  EXPECT_EQ(topo.gpus_per_node, 16);
+  EXPECT_DOUBLE_EQ(topo.node_uplink_bw, 100e9);
+  EXPECT_DOUBLE_EQ(topo.nic_bw, 12.5e9);
+}
+
+TEST(NetSimBridgeTest, AgreesWithAnalyticModelOnFigure2) {
+  // Two derivations of the same physics: the simulated-network estimate
+  // must agree with the closed-form model to first order on every
+  // Figure 2 config (compute is shared; only comm terms differ).
+  ClusterSpec cluster;
+  for (const PaperRun& run : Figure2Runs()) {
+    const JobConfig job = run.ToJob();
+    const ThroughputEstimate analytic = EstimateThroughput(cluster, job);
+    const ThroughputEstimate simulated =
+        EstimateThroughputSimulatedNetwork(cluster, job);
+    EXPECT_NEAR(simulated.tflops_per_gpu, analytic.tflops_per_gpu,
+                0.40 * analytic.tflops_per_gpu)
+        << run.label << (run.is_zero ? " zero" : " base");
+  }
+}
+
+TEST(NetSimBridgeTest, CrossNodeBaselineCollapsesHereToo) {
+  // The emergent cliff: Megatron beyond one node drops to single-digit
+  // TFlops with the simulated fabric as well.
+  ClusterSpec cluster;
+  for (const PaperRun& run : Figure2Runs()) {
+    if (run.is_zero || run.mp <= 16) continue;
+    const ThroughputEstimate t =
+        EstimateThroughputSimulatedNetwork(cluster, run.ToJob());
+    EXPECT_LT(t.tflops_per_gpu, 10.0) << run.label;
+  }
+}
+
+TEST(NetSimBridgeTest, ZeroStaysFastOnSimulatedFabric) {
+  ClusterSpec cluster;
+  for (const PaperRun& run : Figure2Runs()) {
+    if (!run.is_zero) continue;
+    const ThroughputEstimate t =
+        EstimateThroughputSimulatedNetwork(cluster, run.ToJob());
+    EXPECT_GT(t.tflops_per_gpu, 25.0) << run.label;
+  }
+}
+
+TEST(NetSimBridgeTest, Stage3Costs50PercentMoreDpTime) {
+  ClusterSpec cluster;
+  JobConfig job;
+  job.model.layers = 40;
+  job.model.hidden = 4096;
+  job.model.heads = 32;
+  job.gpus = 64;
+  job.mp = 1;
+  job.batch_per_gpu = 1;
+  job.stage = model::ZeroStage::kOsG;
+  cluster.dp_overlap = 0.0;  // expose the raw comm time
+  const double s2 =
+      EstimateThroughputSimulatedNetwork(cluster, job).dp_comm_s;
+  job.stage = model::ZeroStage::kOsGP;
+  const double s3 =
+      EstimateThroughputSimulatedNetwork(cluster, job).dp_comm_s;
+  EXPECT_NEAR(s3 / s2, 1.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace zero::sim

@@ -1,0 +1,103 @@
+// Consistency checks on the transcribed appendix tables: every run's
+// (layers, hidden) must produce the parameter count its label claims,
+// and the GPU/MP/batch columns must satisfy the constraints the appendix
+// states (hidden divisible by heads, heads divisible by MP, GPUs
+// divisible by MP). Guards against transcription errors in
+// paper_configs.cpp silently skewing every figure.
+#include "sim/paper_configs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace zero::sim {
+namespace {
+
+void CheckRun(const PaperRun& run, double tolerance) {
+  const JobConfig job = run.ToJob();
+  // Parameter count matches the label (the paper rounds model names, so
+  // allow the stated tolerance).
+  const double psi = static_cast<double>(job.psi());
+  EXPECT_NEAR(psi, run.psi_nominal, tolerance * run.psi_nominal)
+      << run.label << ": " << run.layers << "x" << run.hidden;
+  // Structural constraints from the appendix text.
+  EXPECT_EQ(run.gpus % run.mp, 0) << run.label;
+  EXPECT_EQ(run.hidden % run.heads, 0) << run.label;
+  EXPECT_EQ(run.heads % run.mp, 0) << run.label;
+  EXPECT_GE(run.batch_per_gpu, 1) << run.label;
+}
+
+TEST(PaperConfigsTest, Figure2RunsMatchTheirLabels) {
+  for (const PaperRun& run : Figure2Runs()) CheckRun(run, 0.12);
+}
+
+TEST(PaperConfigsTest, Figure3RunsMatchTheirLabels) {
+  // Table 6's "60B" at 75 layers x 8192 computes to ~60.8B.
+  for (const PaperRun& run : Figure3Runs()) CheckRun(run, 0.05);
+}
+
+TEST(PaperConfigsTest, Figure4RunsMatchTheirLabels) {
+  for (const PaperRun& run : Figure4Runs()) CheckRun(run, 0.20);
+}
+
+TEST(PaperConfigsTest, Figure7And8RunsMatchTheirLabels) {
+  for (const PaperRun& run : Figure7Runs()) CheckRun(run, 0.05);
+  for (const PaperRun& run : Figure8Runs()) CheckRun(run, 0.05);
+}
+
+TEST(PaperConfigsTest, Figure2PairsZeroThenBaseline) {
+  const auto& runs = Figure2Runs();
+  ASSERT_EQ(runs.size() % 2, 0u);
+  for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
+    EXPECT_TRUE(runs[i].is_zero) << i;
+    EXPECT_FALSE(runs[i + 1].is_zero) << i;
+    EXPECT_EQ(runs[i].label, runs[i + 1].label) << i;
+    // Same model shape on both sides of a pair.
+    EXPECT_EQ(runs[i].layers, runs[i + 1].layers) << i;
+    EXPECT_EQ(runs[i].hidden, runs[i + 1].hidden) << i;
+  }
+}
+
+TEST(PaperConfigsTest, ZeroRunsUseZeRO100BConfiguration) {
+  // Sec 10.1: ZeRO-100B = Pos+g of ZeRO-DP plus ZeRO-R.
+  for (const PaperRun& run : Figure2Runs()) {
+    const JobConfig job = run.ToJob();
+    if (run.is_zero) {
+      EXPECT_EQ(job.stage, model::ZeroStage::kOsG) << run.label;
+      EXPECT_TRUE(job.constant_buffers) << run.label;
+      EXPECT_TRUE(job.defrag) << run.label;
+      EXPECT_EQ(job.pa, run.mp > 1) << run.label;
+    } else {
+      EXPECT_EQ(job.stage, model::ZeroStage::kNone) << run.label;
+      EXPECT_FALSE(job.pa) << run.label;
+    }
+  }
+}
+
+TEST(PaperConfigsTest, ConfigIdsMapTable3Exactly) {
+  JobConfig base;
+  base.gpus = 128;
+  base.mp = 16;
+  const struct {
+    int id;
+    model::ZeroStage stage;
+    bool pa, cpu;
+  } rows[] = {
+      {1, model::ZeroStage::kOs, false, false},
+      {2, model::ZeroStage::kOs, true, false},
+      {3, model::ZeroStage::kOsG, false, false},
+      {4, model::ZeroStage::kOsG, true, false},
+      {5, model::ZeroStage::kOsG, true, true},
+  };
+  for (const auto& row : rows) {
+    const JobConfig job = JobConfig::WithConfigId(base, row.id);
+    EXPECT_EQ(job.stage, row.stage) << "C" << row.id;
+    EXPECT_EQ(job.pa, row.pa) << "C" << row.id;
+    EXPECT_EQ(job.pa_cpu, row.cpu) << "C" << row.id;
+    EXPECT_TRUE(job.constant_buffers && job.defrag) << "C" << row.id;
+  }
+  EXPECT_THROW((void)JobConfig::WithConfigId(base, 6), zero::Error);
+}
+
+}  // namespace
+}  // namespace zero::sim

@@ -1,0 +1,114 @@
+#include "sim/step_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/paper_configs.hpp"
+
+namespace zero::sim {
+namespace {
+
+TEST(StepSchedulerTest, AgreesWithClosedFormModelOnPaperConfigs) {
+  // The event-true schedule and the closed-form cost model are two
+  // implementations of the same physics; they must agree to first order
+  // on every Figure 2 configuration.
+  ClusterSpec cluster;
+  for (const PaperRun& run : Figure2Runs()) {
+    const JobConfig job = run.ToJob();
+    const ThroughputEstimate analytic = EstimateThroughput(cluster, job);
+    const ScheduledStep scheduled = ScheduleStep(cluster, job);
+    EXPECT_NEAR(scheduled.tflops_per_gpu, analytic.tflops_per_gpu,
+                0.35 * analytic.tflops_per_gpu)
+        << run.label << (run.is_zero ? " (zero)" : " (base)");
+  }
+}
+
+TEST(StepSchedulerTest, DpTrafficHiddenBehindLargeCompute) {
+  // 100B-class compute swamps gradient traffic: zero exposed DP time.
+  ClusterSpec cluster;
+  const JobConfig job = Figure2Runs()[10].ToJob();  // 100B ZeRO
+  const ScheduledStep s = ScheduleStep(cluster, job);
+  EXPECT_GT(s.dp_comm_busy_s, 0.0);
+  // Only the last layer's bucket reduce (which nothing can overlap) may
+  // leak through — a fraction of a percent of the step.
+  EXPECT_LT(s.exposed_dp_s, 0.001 * s.total_s);
+}
+
+TEST(StepSchedulerTest, DpTrafficExposedAtTinyCompute) {
+  // A small model with a batch of 1 cannot hide its gradient traffic.
+  ClusterSpec cluster;
+  JobConfig job;
+  job.model.layers = 40;
+  job.model.hidden = 1536;
+  job.model.heads = 16;
+  job.gpus = 128;
+  job.mp = 1;
+  job.stage = model::ZeroStage::kOsG;
+  job.batch_per_gpu = 1;
+  const ScheduledStep s = ScheduleStep(cluster, job);
+  EXPECT_GT(s.exposed_dp_s, 0.0);
+}
+
+TEST(StepSchedulerTest, CheckpointingAddsRecomputeTime) {
+  ClusterSpec cluster;
+  JobConfig job = Figure2Runs()[0].ToJob();  // 1.5B ZeRO, mp 1
+  job.activation_checkpointing = true;
+  const double with_ckpt = ScheduleStep(cluster, job).compute_busy_s;
+  job.activation_checkpointing = false;
+  const double without = ScheduleStep(cluster, job).compute_busy_s;
+  // Recompute adds ~1 forward pass: compute grows by ~fwd/(fwd+bwd)=1/3.
+  EXPECT_NEAR(with_ckpt / without, 4.0 / 3.0, 0.05);
+}
+
+TEST(StepSchedulerTest, Stage3FetchesKeepCommEngineBusy) {
+  ClusterSpec cluster;
+  JobConfig job;
+  job.model.layers = 24;
+  job.model.hidden = 2048;
+  job.model.heads = 16;
+  job.gpus = 64;
+  job.mp = 1;
+  job.batch_per_gpu = 8;
+  job.stage = model::ZeroStage::kOsG;
+  const double s2_comm = ScheduleStep(cluster, job).dp_comm_busy_s;
+  job.stage = model::ZeroStage::kOsGP;
+  const double s3_comm = ScheduleStep(cluster, job).dp_comm_busy_s;
+  // Stage 3 adds the two parameter-fetch passes: ~1.5x stage-2 traffic
+  // minus the dropped parameter all-gather => ratio ~1.5.
+  EXPECT_NEAR(s3_comm / s2_comm, 1.5, 0.1);
+}
+
+TEST(StepSchedulerTest, PcieEngineOnlyBusyUnderPaCpu) {
+  ClusterSpec cluster;
+  JobConfig job = Figure8Runs()[0].ToJob();
+  job = JobConfig::WithConfigId(job, 4);
+  EXPECT_EQ(ScheduleStep(cluster, job).pcie_busy_s, 0.0);
+  job = JobConfig::WithConfigId(job, 5);
+  const ScheduledStep s = ScheduleStep(cluster, job);
+  EXPECT_GT(s.pcie_busy_s, 0.0);
+}
+
+TEST(StepSchedulerTest, TimelineIsOrderedAndTruncated) {
+  ClusterSpec cluster;
+  const JobConfig job = Figure2Runs()[8].ToJob();  // 80B: 100 layers
+  const ScheduledStep s = ScheduleStep(cluster, job);
+  EXPECT_FALSE(s.timeline.empty());
+  // Only first/last 2 layers recorded: << 100 layers * phases.
+  EXPECT_LT(s.timeline.size(), 40u);
+  for (const PhaseRecord& p : s.timeline) {
+    EXPECT_LE(p.start, p.end);
+    EXPECT_LE(p.end, s.total_s + 1e-9);
+  }
+}
+
+TEST(StepSchedulerTest, TotalIsMaxOfEngines) {
+  ClusterSpec cluster;
+  for (const PaperRun& run : Figure3Runs()) {
+    const ScheduledStep s = ScheduleStep(cluster, run.ToJob());
+    EXPECT_GE(s.total_s, s.compute_busy_s);
+    EXPECT_GE(s.total_s + 1e-12,
+              s.compute_busy_s + s.exposed_dp_s);
+  }
+}
+
+}  // namespace
+}  // namespace zero::sim

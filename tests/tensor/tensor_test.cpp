@@ -1,0 +1,94 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zero::tensor {
+namespace {
+
+TEST(TensorTest, HeapTensorBasics) {
+  Tensor t = Tensor::Heap({2, 3}, DType::kF32);
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.nbytes(), 24u);
+  t.FillConstant(2.5f);
+  for (float v : t.f32()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(TensorTest, DeviceTensorConsumesDeviceMemory) {
+  alloc::DeviceMemory dev(1 << 20, "t");
+  alloc::CachingAllocator cache(dev);
+  {
+    Tensor t = Tensor::Device(cache, {100}, DType::kF16);
+    EXPECT_EQ(t.nbytes(), 200u);
+    EXPECT_GE(dev.Stats().in_use, 200u);
+    t.FillConstant(1.0f);
+    EXPECT_EQ(t.f16()[0].ToFloat(), 1.0f);
+  }
+  // Released to the cache, still held from the device.
+  EXPECT_EQ(cache.Stats().live_bytes, 0u);
+}
+
+TEST(TensorTest, ArenaTensor) {
+  alloc::DeviceMemory dev(1 << 20, "t");
+  alloc::Arena arena(dev, 4096, "a");
+  Tensor t = Tensor::InArena(arena, {10}, DType::kF32);
+  t.FillConstant(3.0f);
+  EXPECT_EQ(t.f32()[9], 3.0f);
+  EXPECT_GE(arena.used(), 40u);
+}
+
+TEST(TensorTest, DtypeConversionCopy) {
+  Tensor a = Tensor::Heap({4}, DType::kF32);
+  a.f32()[0] = 1.5f;
+  a.f32()[1] = -2.25f;
+  a.f32()[2] = 0.0f;
+  a.f32()[3] = 100.0f;
+  Tensor b = Tensor::Heap({4}, DType::kF16);
+  b.CopyFrom(a);
+  Tensor c = Tensor::Heap({4}, DType::kF32);
+  c.CopyFrom(b);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(c.f32()[i], a.f32()[i]);  // all exactly representable
+  }
+}
+
+TEST(TensorTest, WrongDtypeAccessThrows) {
+  Tensor t = Tensor::Heap({2}, DType::kF16);
+  EXPECT_THROW((void)t.f32(), Error);
+}
+
+TEST(TensorTest, CopyFromRejectsSizeMismatch) {
+  Tensor a = Tensor::Heap({2}, DType::kF32);
+  Tensor b = Tensor::Heap({3}, DType::kF32);
+  EXPECT_THROW(b.CopyFrom(a), Error);
+}
+
+TEST(TensorTest, ReleaseStorageFreesEarly) {
+  alloc::DeviceMemory dev(1 << 20, "t");
+  alloc::CachingAllocator cache(dev);
+  Tensor t = Tensor::Device(cache, {1000}, DType::kF32);
+  EXPECT_TRUE(t.has_storage());
+  t.ReleaseStorage();
+  EXPECT_FALSE(t.has_storage());
+  EXPECT_EQ(cache.Stats().live_bytes, 0u);
+  EXPECT_THROW((void)t.raw(), Error);
+}
+
+TEST(TensorTest, GaussianFillIsDeterministic) {
+  Rng r1(5);
+  Rng r2(5);
+  Tensor a = Tensor::Heap({64}, DType::kF32);
+  Tensor b = Tensor::Heap({64}, DType::kF32);
+  a.FillGaussian(r1, 0.1f);
+  b.FillGaussian(r2, 0.1f);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.f32()[i], b.f32()[i]);
+}
+
+TEST(TensorTest, AtAndSetWorkAcrossDtypes) {
+  Tensor t = Tensor::Heap({3}, DType::kF16);
+  t.Set(1, 2.5f);
+  EXPECT_EQ(t.At(1), 2.5f);
+  EXPECT_THROW((void)t.At(3), Error);
+}
+
+}  // namespace
+}  // namespace zero::tensor
