@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bucket_size.dir/ablation_bucket_size.cpp.o"
+  "CMakeFiles/ablation_bucket_size.dir/ablation_bucket_size.cpp.o.d"
+  "ablation_bucket_size"
+  "ablation_bucket_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bucket_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pp_vs_zero.dir/ablation_pp_vs_zero.cpp.o"
+  "CMakeFiles/ablation_pp_vs_zero.dir/ablation_pp_vs_zero.cpp.o.d"
+  "ablation_pp_vs_zero"
+  "ablation_pp_vs_zero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pp_vs_zero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

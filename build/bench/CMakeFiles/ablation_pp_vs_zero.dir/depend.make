@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_pp_vs_zero.
+# This may be replaced when dependencies are built.

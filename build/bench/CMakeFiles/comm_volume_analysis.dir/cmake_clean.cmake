@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_volume_analysis.dir/comm_volume_analysis.cpp.o"
+  "CMakeFiles/comm_volume_analysis.dir/comm_volume_analysis.cpp.o.d"
+  "comm_volume_analysis"
+  "comm_volume_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_volume_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

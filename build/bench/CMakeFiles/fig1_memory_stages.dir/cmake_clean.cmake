@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_memory_stages.dir/fig1_memory_stages.cpp.o"
+  "CMakeFiles/fig1_memory_stages.dir/fig1_memory_stages.cpp.o.d"
+  "fig1_memory_stages"
+  "fig1_memory_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_memory_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_superlinear.dir/fig3_superlinear.cpp.o"
+  "CMakeFiles/fig3_superlinear.dir/fig3_superlinear.cpp.o.d"
+  "fig3_superlinear"
+  "fig3_superlinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_superlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_democratization.dir/fig4_democratization.cpp.o"
+  "CMakeFiles/fig4_democratization.dir/fig4_democratization.cpp.o.d"
+  "fig4_democratization"
+  "fig4_democratization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_democratization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

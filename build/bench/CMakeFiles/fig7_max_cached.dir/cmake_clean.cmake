@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_max_cached.dir/fig7_max_cached.cpp.o"
+  "CMakeFiles/fig7_max_cached.dir/fig7_max_cached.cpp.o.d"
+  "fig7_max_cached"
+  "fig7_max_cached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_max_cached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

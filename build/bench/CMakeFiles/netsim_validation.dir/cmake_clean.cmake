@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_validation.dir/netsim_validation.cpp.o"
+  "CMakeFiles/netsim_validation.dir/netsim_validation.cpp.o.d"
+  "netsim_validation"
+  "netsim_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_heatmap.dir/sweep_heatmap.cpp.o"
+  "CMakeFiles/sweep_heatmap.dir/sweep_heatmap.cpp.o.d"
+  "sweep_heatmap"
+  "sweep_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

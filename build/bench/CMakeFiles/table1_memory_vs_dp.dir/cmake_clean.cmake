@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_memory_vs_dp.dir/table1_memory_vs_dp.cpp.o"
+  "CMakeFiles/table1_memory_vs_dp.dir/table1_memory_vs_dp.cpp.o.d"
+  "table1_memory_vs_dp"
+  "table1_memory_vs_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_memory_vs_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_max_model_size.dir/table2_max_model_size.cpp.o"
+  "CMakeFiles/table2_max_model_size.dir/table2_max_model_size.cpp.o.d"
+  "table2_max_model_size"
+  "table2_max_model_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_max_model_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trillion_feasibility.dir/trillion_feasibility.cpp.o"
+  "CMakeFiles/trillion_feasibility.dir/trillion_feasibility.cpp.o.d"
+  "trillion_feasibility"
+  "trillion_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trillion_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeror_comm_analysis.dir/zeror_comm_analysis.cpp.o"
+  "CMakeFiles/zeror_comm_analysis.dir/zeror_comm_analysis.cpp.o.d"
+  "zeror_comm_analysis"
+  "zeror_comm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeror_comm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

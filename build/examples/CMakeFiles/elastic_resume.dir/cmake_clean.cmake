@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_resume.dir/elastic_resume.cpp.o"
+  "CMakeFiles/elastic_resume.dir/elastic_resume.cpp.o.d"
+  "elastic_resume"
+  "elastic_resume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_resume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

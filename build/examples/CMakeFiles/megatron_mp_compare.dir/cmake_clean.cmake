@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megatron_mp_compare.dir/megatron_mp_compare.cpp.o"
+  "CMakeFiles/megatron_mp_compare.dir/megatron_mp_compare.cpp.o.d"
+  "megatron_mp_compare"
+  "megatron_mp_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megatron_mp_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trillion_planner.dir/trillion_planner.cpp.o"
+  "CMakeFiles/trillion_planner.dir/trillion_planner.cpp.o.d"
+  "trillion_planner"
+  "trillion_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trillion_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

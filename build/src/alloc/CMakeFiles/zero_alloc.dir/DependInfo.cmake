@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/arena.cpp" "src/alloc/CMakeFiles/zero_alloc.dir/arena.cpp.o" "gcc" "src/alloc/CMakeFiles/zero_alloc.dir/arena.cpp.o.d"
+  "/root/repo/src/alloc/caching_allocator.cpp" "src/alloc/CMakeFiles/zero_alloc.dir/caching_allocator.cpp.o" "gcc" "src/alloc/CMakeFiles/zero_alloc.dir/caching_allocator.cpp.o.d"
+  "/root/repo/src/alloc/device_memory.cpp" "src/alloc/CMakeFiles/zero_alloc.dir/device_memory.cpp.o" "gcc" "src/alloc/CMakeFiles/zero_alloc.dir/device_memory.cpp.o.d"
+  "/root/repo/src/alloc/host_memory.cpp" "src/alloc/CMakeFiles/zero_alloc.dir/host_memory.cpp.o" "gcc" "src/alloc/CMakeFiles/zero_alloc.dir/host_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zero_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_alloc.dir/arena.cpp.o"
+  "CMakeFiles/zero_alloc.dir/arena.cpp.o.d"
+  "CMakeFiles/zero_alloc.dir/caching_allocator.cpp.o"
+  "CMakeFiles/zero_alloc.dir/caching_allocator.cpp.o.d"
+  "CMakeFiles/zero_alloc.dir/device_memory.cpp.o"
+  "CMakeFiles/zero_alloc.dir/device_memory.cpp.o.d"
+  "CMakeFiles/zero_alloc.dir/host_memory.cpp.o"
+  "CMakeFiles/zero_alloc.dir/host_memory.cpp.o.d"
+  "libzero_alloc.a"
+  "libzero_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

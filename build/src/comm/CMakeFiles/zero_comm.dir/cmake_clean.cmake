@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_comm.dir/communicator.cpp.o"
+  "CMakeFiles/zero_comm.dir/communicator.cpp.o.d"
+  "CMakeFiles/zero_comm.dir/mailbox.cpp.o"
+  "CMakeFiles/zero_comm.dir/mailbox.cpp.o.d"
+  "CMakeFiles/zero_comm.dir/topology.cpp.o"
+  "CMakeFiles/zero_comm.dir/topology.cpp.o.d"
+  "CMakeFiles/zero_comm.dir/world.cpp.o"
+  "CMakeFiles/zero_comm.dir/world.cpp.o.d"
+  "libzero_comm.a"
+  "libzero_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

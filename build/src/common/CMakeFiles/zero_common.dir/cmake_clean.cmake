@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_common.dir/half.cpp.o"
+  "CMakeFiles/zero_common.dir/half.cpp.o.d"
+  "CMakeFiles/zero_common.dir/logging.cpp.o"
+  "CMakeFiles/zero_common.dir/logging.cpp.o.d"
+  "CMakeFiles/zero_common.dir/table.cpp.o"
+  "CMakeFiles/zero_common.dir/table.cpp.o.d"
+  "libzero_common.a"
+  "libzero_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzero_common.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dp_engine.cpp" "src/core/CMakeFiles/zero_core.dir/dp_engine.cpp.o" "gcc" "src/core/CMakeFiles/zero_core.dir/dp_engine.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/zero_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/zero_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/state_checkpoint.cpp" "src/core/CMakeFiles/zero_core.dir/state_checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/zero_core.dir/state_checkpoint.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/zero_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/zero_core.dir/trainer.cpp.o.d"
+  "/root/repo/src/core/zero_r.cpp" "src/core/CMakeFiles/zero_core.dir/zero_r.cpp.o" "gcc" "src/core/CMakeFiles/zero_core.dir/zero_r.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zero_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/zero_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/zero_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/zero_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/zero_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/zero_optim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

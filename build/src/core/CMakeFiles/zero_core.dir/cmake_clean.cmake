@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_core.dir/dp_engine.cpp.o"
+  "CMakeFiles/zero_core.dir/dp_engine.cpp.o.d"
+  "CMakeFiles/zero_core.dir/partition.cpp.o"
+  "CMakeFiles/zero_core.dir/partition.cpp.o.d"
+  "CMakeFiles/zero_core.dir/state_checkpoint.cpp.o"
+  "CMakeFiles/zero_core.dir/state_checkpoint.cpp.o.d"
+  "CMakeFiles/zero_core.dir/trainer.cpp.o"
+  "CMakeFiles/zero_core.dir/trainer.cpp.o.d"
+  "CMakeFiles/zero_core.dir/zero_r.cpp.o"
+  "CMakeFiles/zero_core.dir/zero_r.cpp.o.d"
+  "libzero_core.a"
+  "libzero_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/checkpoint_store.cpp" "src/model/CMakeFiles/zero_model.dir/checkpoint_store.cpp.o" "gcc" "src/model/CMakeFiles/zero_model.dir/checkpoint_store.cpp.o.d"
+  "/root/repo/src/model/corpus.cpp" "src/model/CMakeFiles/zero_model.dir/corpus.cpp.o" "gcc" "src/model/CMakeFiles/zero_model.dir/corpus.cpp.o.d"
+  "/root/repo/src/model/flat_model.cpp" "src/model/CMakeFiles/zero_model.dir/flat_model.cpp.o" "gcc" "src/model/CMakeFiles/zero_model.dir/flat_model.cpp.o.d"
+  "/root/repo/src/model/gpt.cpp" "src/model/CMakeFiles/zero_model.dir/gpt.cpp.o" "gcc" "src/model/CMakeFiles/zero_model.dir/gpt.cpp.o.d"
+  "/root/repo/src/model/mlp.cpp" "src/model/CMakeFiles/zero_model.dir/mlp.cpp.o" "gcc" "src/model/CMakeFiles/zero_model.dir/mlp.cpp.o.d"
+  "/root/repo/src/model/quad_model.cpp" "src/model/CMakeFiles/zero_model.dir/quad_model.cpp.o" "gcc" "src/model/CMakeFiles/zero_model.dir/quad_model.cpp.o.d"
+  "/root/repo/src/model/transformer_spec.cpp" "src/model/CMakeFiles/zero_model.dir/transformer_spec.cpp.o" "gcc" "src/model/CMakeFiles/zero_model.dir/transformer_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zero_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/zero_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/zero_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/zero_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

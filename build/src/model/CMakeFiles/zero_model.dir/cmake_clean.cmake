@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_model.dir/checkpoint_store.cpp.o"
+  "CMakeFiles/zero_model.dir/checkpoint_store.cpp.o.d"
+  "CMakeFiles/zero_model.dir/corpus.cpp.o"
+  "CMakeFiles/zero_model.dir/corpus.cpp.o.d"
+  "CMakeFiles/zero_model.dir/flat_model.cpp.o"
+  "CMakeFiles/zero_model.dir/flat_model.cpp.o.d"
+  "CMakeFiles/zero_model.dir/gpt.cpp.o"
+  "CMakeFiles/zero_model.dir/gpt.cpp.o.d"
+  "CMakeFiles/zero_model.dir/mlp.cpp.o"
+  "CMakeFiles/zero_model.dir/mlp.cpp.o.d"
+  "CMakeFiles/zero_model.dir/quad_model.cpp.o"
+  "CMakeFiles/zero_model.dir/quad_model.cpp.o.d"
+  "CMakeFiles/zero_model.dir/transformer_spec.cpp.o"
+  "CMakeFiles/zero_model.dir/transformer_spec.cpp.o.d"
+  "libzero_model.a"
+  "libzero_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/adam.cpp" "src/optim/CMakeFiles/zero_optim.dir/adam.cpp.o" "gcc" "src/optim/CMakeFiles/zero_optim.dir/adam.cpp.o.d"
+  "/root/repo/src/optim/loss_scaler.cpp" "src/optim/CMakeFiles/zero_optim.dir/loss_scaler.cpp.o" "gcc" "src/optim/CMakeFiles/zero_optim.dir/loss_scaler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zero_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/zero_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/zero_alloc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

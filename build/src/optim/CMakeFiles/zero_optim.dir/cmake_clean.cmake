@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_optim.dir/adam.cpp.o"
+  "CMakeFiles/zero_optim.dir/adam.cpp.o.d"
+  "CMakeFiles/zero_optim.dir/loss_scaler.cpp.o"
+  "CMakeFiles/zero_optim.dir/loss_scaler.cpp.o.d"
+  "libzero_optim.a"
+  "libzero_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/auto_stage.cpp" "src/sim/CMakeFiles/zero_sim.dir/auto_stage.cpp.o" "gcc" "src/sim/CMakeFiles/zero_sim.dir/auto_stage.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/zero_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/zero_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/zero_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/zero_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/memory_model.cpp" "src/sim/CMakeFiles/zero_sim.dir/memory_model.cpp.o" "gcc" "src/sim/CMakeFiles/zero_sim.dir/memory_model.cpp.o.d"
+  "/root/repo/src/sim/netsim.cpp" "src/sim/CMakeFiles/zero_sim.dir/netsim.cpp.o" "gcc" "src/sim/CMakeFiles/zero_sim.dir/netsim.cpp.o.d"
+  "/root/repo/src/sim/netsim_bridge.cpp" "src/sim/CMakeFiles/zero_sim.dir/netsim_bridge.cpp.o" "gcc" "src/sim/CMakeFiles/zero_sim.dir/netsim_bridge.cpp.o.d"
+  "/root/repo/src/sim/paper_configs.cpp" "src/sim/CMakeFiles/zero_sim.dir/paper_configs.cpp.o" "gcc" "src/sim/CMakeFiles/zero_sim.dir/paper_configs.cpp.o.d"
+  "/root/repo/src/sim/pipeline_model.cpp" "src/sim/CMakeFiles/zero_sim.dir/pipeline_model.cpp.o" "gcc" "src/sim/CMakeFiles/zero_sim.dir/pipeline_model.cpp.o.d"
+  "/root/repo/src/sim/search.cpp" "src/sim/CMakeFiles/zero_sim.dir/search.cpp.o" "gcc" "src/sim/CMakeFiles/zero_sim.dir/search.cpp.o.d"
+  "/root/repo/src/sim/step_scheduler.cpp" "src/sim/CMakeFiles/zero_sim.dir/step_scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/zero_sim.dir/step_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zero_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/zero_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/zero_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/zero_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/zero_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_sim.dir/auto_stage.cpp.o"
+  "CMakeFiles/zero_sim.dir/auto_stage.cpp.o.d"
+  "CMakeFiles/zero_sim.dir/cluster.cpp.o"
+  "CMakeFiles/zero_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/zero_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/zero_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/zero_sim.dir/memory_model.cpp.o"
+  "CMakeFiles/zero_sim.dir/memory_model.cpp.o.d"
+  "CMakeFiles/zero_sim.dir/netsim.cpp.o"
+  "CMakeFiles/zero_sim.dir/netsim.cpp.o.d"
+  "CMakeFiles/zero_sim.dir/netsim_bridge.cpp.o"
+  "CMakeFiles/zero_sim.dir/netsim_bridge.cpp.o.d"
+  "CMakeFiles/zero_sim.dir/paper_configs.cpp.o"
+  "CMakeFiles/zero_sim.dir/paper_configs.cpp.o.d"
+  "CMakeFiles/zero_sim.dir/pipeline_model.cpp.o"
+  "CMakeFiles/zero_sim.dir/pipeline_model.cpp.o.d"
+  "CMakeFiles/zero_sim.dir/search.cpp.o"
+  "CMakeFiles/zero_sim.dir/search.cpp.o.d"
+  "CMakeFiles/zero_sim.dir/step_scheduler.cpp.o"
+  "CMakeFiles/zero_sim.dir/step_scheduler.cpp.o.d"
+  "libzero_sim.a"
+  "libzero_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

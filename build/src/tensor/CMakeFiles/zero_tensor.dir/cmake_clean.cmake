@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_tensor.dir/kernels.cpp.o"
+  "CMakeFiles/zero_tensor.dir/kernels.cpp.o.d"
+  "CMakeFiles/zero_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/zero_tensor.dir/tensor.cpp.o.d"
+  "libzero_tensor.a"
+  "libzero_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc.dir/alloc/allocator_stress_test.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/allocator_stress_test.cpp.o.d"
+  "CMakeFiles/test_alloc.dir/alloc/arena_test.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/arena_test.cpp.o.d"
+  "CMakeFiles/test_alloc.dir/alloc/caching_allocator_test.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/caching_allocator_test.cpp.o.d"
+  "CMakeFiles/test_alloc.dir/alloc/device_memory_test.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/device_memory_test.cpp.o.d"
+  "CMakeFiles/test_alloc.dir/alloc/host_memory_test.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/host_memory_test.cpp.o.d"
+  "test_alloc"
+  "test_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

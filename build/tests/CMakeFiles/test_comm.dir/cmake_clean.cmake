@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm.dir/comm/collectives_property_test.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/collectives_property_test.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/collectives_test.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/collectives_test.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/hierarchical_test.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/hierarchical_test.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/mailbox_test.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/mailbox_test.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/topology_test.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/topology_test.cpp.o.d"
+  "test_comm"
+  "test_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/engine_edge_test.cpp" "tests/CMakeFiles/test_core.dir/core/engine_edge_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/engine_edge_test.cpp.o.d"
+  "/root/repo/tests/core/engine_features_test.cpp" "tests/CMakeFiles/test_core.dir/core/engine_features_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/engine_features_test.cpp.o.d"
+  "/root/repo/tests/core/engine_fuzz_test.cpp" "tests/CMakeFiles/test_core.dir/core/engine_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/engine_fuzz_test.cpp.o.d"
+  "/root/repo/tests/core/engine_test.cpp" "tests/CMakeFiles/test_core.dir/core/engine_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/engine_test.cpp.o.d"
+  "/root/repo/tests/core/offload_optimizer_test.cpp" "tests/CMakeFiles/test_core.dir/core/offload_optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/offload_optimizer_test.cpp.o.d"
+  "/root/repo/tests/core/partition_test.cpp" "tests/CMakeFiles/test_core.dir/core/partition_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/partition_test.cpp.o.d"
+  "/root/repo/tests/core/state_checkpoint_test.cpp" "tests/CMakeFiles/test_core.dir/core/state_checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/state_checkpoint_test.cpp.o.d"
+  "/root/repo/tests/core/trainer_test.cpp" "tests/CMakeFiles/test_core.dir/core/trainer_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/trainer_test.cpp.o.d"
+  "/root/repo/tests/core/zero_r_test.cpp" "tests/CMakeFiles/test_core.dir/core/zero_r_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/zero_r_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zero_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zero_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/zero_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/zero_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/zero_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/zero_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/zero_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zero_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

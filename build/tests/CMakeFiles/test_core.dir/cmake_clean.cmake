@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/engine_edge_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/engine_edge_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/engine_features_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/engine_features_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/engine_fuzz_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/engine_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/engine_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/engine_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/offload_optimizer_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/offload_optimizer_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/partition_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/partition_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/state_checkpoint_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/state_checkpoint_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/trainer_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/trainer_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/zero_r_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/zero_r_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/model/corpus_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/corpus_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/gpt_mp_grad_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/gpt_mp_grad_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/gpt_reference_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/gpt_reference_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/gpt_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/gpt_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/layout_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/layout_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/mlp_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/mlp_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/spec_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/spec_test.cpp.o.d"
+  "test_model"
+  "test_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optim.dir/optim/adam_test.cpp.o"
+  "CMakeFiles/test_optim.dir/optim/adam_test.cpp.o.d"
+  "CMakeFiles/test_optim.dir/optim/loss_scaler_test.cpp.o"
+  "CMakeFiles/test_optim.dir/optim/loss_scaler_test.cpp.o.d"
+  "test_optim"
+  "test_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/auto_stage_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/auto_stage_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/cost_model_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/cost_model_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/memory_model_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/memory_model_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/netsim_bridge_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/netsim_bridge_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/netsim_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/netsim_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/paper_configs_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/paper_configs_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/pipeline_model_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/pipeline_model_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/step_scheduler_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/step_scheduler_test.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
