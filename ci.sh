@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entry point: release build + tests, then the whole suite again under
+# ThreadSanitizer. The runtime is thread-per-rank SPMD over mailboxes, so
+# TSan is the check that actually matters for the comm layer — in
+# particular the nonblocking request path that overlaps stage-2 gradient
+# reduction with backward.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "==> release: configure + build + ctest"
+cmake --preset release >/dev/null
+cmake --build --preset release -j "${JOBS}"
+ctest --preset release -j "${JOBS}"
+
+echo "==> tsan: configure + build + ctest"
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "${JOBS}"
+ctest --preset tsan -j "${JOBS}"
+
+echo "CI OK"

@@ -51,6 +51,68 @@ std::vector<std::byte> Communicator::RecvBytes(int peer, std::uint64_t tag) {
   return msg;
 }
 
+std::optional<std::vector<std::byte>> Communicator::TryRecvBytes(
+    int peer, std::uint64_t tag) {
+  ZERO_CHECK(peer >= 0 && peer < size(), "recv peer out of range");
+  const int global_peer = members_[static_cast<std::size_t>(peer)];
+  std::optional<std::vector<std::byte>> msg =
+      ctx_->world->mailbox(ctx_->rank)
+          .TryTake(global_peer, tag ^ (group_id_ << 52));
+  if (msg.has_value()) {
+    stats_.bytes_received += msg->size();
+  }
+  return msg;
+}
+
+CommRequest Communicator::IsSendBytes(int peer,
+                                      std::span<const std::byte> data,
+                                      std::uint64_t tag) {
+  // The deposit copies the payload into the receiver's mailbox, so the
+  // operation is complete before this call returns.
+  SendBytes(peer, data, tag);
+  auto state = std::make_shared<CommRequest::State>();
+  state->comm = this;
+  state->peer = peer;
+  state->tag = tag;
+  state->done = true;
+  return CommRequest(std::move(state));
+}
+
+CommRequest Communicator::IsRecvBytes(int peer, std::span<std::byte> out,
+                                      std::uint64_t tag) {
+  ZERO_CHECK(peer >= 0 && peer < size(), "recv peer out of range");
+  auto state = std::make_shared<CommRequest::State>();
+  state->comm = this;
+  state->peer = peer;
+  state->tag = tag;
+  state->out = out;
+  state->recv = true;
+  return CommRequest(std::move(state));
+}
+
+void CommRequest::Complete(std::vector<std::byte> msg) {
+  ZERO_CHECK(msg.size() == state_->out.size(),
+             "IsRecv size mismatch: expected " +
+                 std::to_string(state_->out.size()) + ", got " +
+                 std::to_string(msg.size()));
+  std::memcpy(state_->out.data(), msg.data(), msg.size());
+  state_->done = true;
+}
+
+void CommRequest::Wait() {
+  if (done()) return;
+  Complete(state_->comm->RecvBytes(state_->peer, state_->tag));
+}
+
+bool CommRequest::Test() {
+  if (done()) return true;
+  std::optional<std::vector<std::byte>> msg =
+      state_->comm->TryRecvBytes(state_->peer, state_->tag);
+  if (!msg.has_value()) return false;
+  Complete(std::move(*msg));
+  return true;
+}
+
 std::pair<std::size_t, std::size_t> Communicator::ChunkRange(
     std::size_t total, int chunk_index) const {
   const auto p = static_cast<std::size_t>(size());

@@ -22,8 +22,11 @@
 // number embedded in message tags).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -51,59 +54,88 @@ struct CommStats {
 };
 
 namespace detail {
-// Element-wise accumulate src into dst, promoting Half through fp32 the
-// way tensor-core reductions do.
-inline void AccumulateInto(float* dst, const float* src, std::size_t n,
+// Reduction arithmetic runs in the promoted type: Half promotes through
+// fp32 the way tensor-core reductions do; every wider type accumulates
+// natively.
+template <typename T>
+struct FpPromote {
+  using type = T;
+  static constexpr type Widen(T v) { return v; }
+  static constexpr T Narrow(type v) { return v; }
+};
+template <>
+struct FpPromote<Half> {
+  using type = float;
+  static float Widen(Half v) { return v.ToFloat(); }
+  static Half Narrow(float v) { return Half(v); }
+};
+
+// Element-wise accumulate src into dst in the promoted type.
+template <typename T>
+inline void AccumulateInto(T* dst, const T* src, std::size_t n,
                            ReduceOp op) {
-  switch (op) {
-    case ReduceOp::kSum:
-    case ReduceOp::kAvg:
-      for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
-      break;
-    case ReduceOp::kMax:
-      for (std::size_t i = 0; i < n; ++i) dst[i] = std::max(dst[i], src[i]);
-      break;
-  }
-}
-inline void AccumulateInto(Half* dst, const Half* src, std::size_t n,
-                           ReduceOp op) {
+  using P = FpPromote<T>;
   switch (op) {
     case ReduceOp::kSum:
     case ReduceOp::kAvg:
       for (std::size_t i = 0; i < n; ++i)
-        dst[i] = Half(dst[i].ToFloat() + src[i].ToFloat());
+        dst[i] = P::Narrow(P::Widen(dst[i]) + P::Widen(src[i]));
       break;
     case ReduceOp::kMax:
       for (std::size_t i = 0; i < n; ++i)
-        dst[i] = Half(std::max(dst[i].ToFloat(), src[i].ToFloat()));
-      break;
-  }
-}
-inline void AccumulateInto(double* dst, const double* src, std::size_t n,
-                           ReduceOp op) {
-  switch (op) {
-    case ReduceOp::kSum:
-    case ReduceOp::kAvg:
-      for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
-      break;
-    case ReduceOp::kMax:
-      for (std::size_t i = 0; i < n; ++i) dst[i] = std::max(dst[i], src[i]);
+        dst[i] = P::Narrow(std::max(P::Widen(dst[i]), P::Widen(src[i])));
       break;
   }
 }
 
-inline void ScaleBy(float* dst, std::size_t n, double s) {
+template <typename T>
+inline void ScaleBy(T* dst, std::size_t n, double s) {
+  using P = FpPromote<T>;
   for (std::size_t i = 0; i < n; ++i)
-    dst[i] = static_cast<float>(dst[i] * s);
-}
-inline void ScaleBy(Half* dst, std::size_t n, double s) {
-  for (std::size_t i = 0; i < n; ++i)
-    dst[i] = Half(static_cast<float>(dst[i].ToFloat() * s));
-}
-inline void ScaleBy(double* dst, std::size_t n, double s) {
-  for (std::size_t i = 0; i < n; ++i) dst[i] *= s;
+    dst[i] = P::Narrow(
+        static_cast<typename P::type>(P::Widen(dst[i]) * s));
 }
 }  // namespace detail
+
+class Communicator;
+
+// Handle to an in-flight nonblocking point-to-point operation started
+// with Communicator::IsSend / IsRecv.
+//
+//   - Wait() blocks until the operation completes (for a recv: until the
+//     matching message arrives and has been copied into the caller's
+//     buffer).
+//   - Test() polls: completes the operation if it can finish without
+//     blocking and returns whether it is done.
+//   - A default-constructed or already-completed request is done; Wait
+//     and Test on it are no-ops. Requests may be completed in any order
+//     relative to how they were posted.
+//
+// Handles are copyable (shared state); the receive buffer passed to
+// IsRecv must stay alive and unmodified until the request completes.
+class CommRequest {
+ public:
+  CommRequest() = default;
+
+  void Wait();
+  [[nodiscard]] bool Test();
+  [[nodiscard]] bool done() const { return !state_ || state_->done; }
+
+ private:
+  friend class Communicator;
+  struct State {
+    Communicator* comm = nullptr;
+    int peer = -1;             // group-relative rank
+    std::uint64_t tag = 0;
+    std::span<std::byte> out;  // recv landing buffer (empty for sends)
+    bool recv = false;
+    bool done = false;
+  };
+  explicit CommRequest(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  void Complete(std::vector<std::byte> msg);
+
+  std::shared_ptr<State> state_;
+};
 
 // One Communicator instance exists per rank per group (SPMD style: each
 // rank constructs its own over the same member list and group id).
@@ -128,6 +160,9 @@ class Communicator {
   // ---- point to point (peer is a group-relative rank) ----
   void SendBytes(int peer, std::span<const std::byte> data, std::uint64_t tag);
   [[nodiscard]] std::vector<std::byte> RecvBytes(int peer, std::uint64_t tag);
+  // Nonblocking poll for a matching message; nullopt if none is queued.
+  [[nodiscard]] std::optional<std::vector<std::byte>> TryRecvBytes(
+      int peer, std::uint64_t tag);
 
   template <typename T>
   void Send(int peer, std::span<const T> data, std::uint64_t tag) {
@@ -141,6 +176,30 @@ class Communicator {
                    std::to_string(out.size_bytes()) + ", got " +
                    std::to_string(raw.size()));
     std::memcpy(out.data(), raw.data(), raw.size());
+  }
+
+  // ---- nonblocking point to point ----
+  // IsSend completes immediately: mailbox deposits are buffered, so the
+  // payload is copied out before the call returns and the returned
+  // request is already done. It exists so call sites can treat both
+  // directions uniformly.
+  CommRequest IsSendBytes(int peer, std::span<const std::byte> data,
+                          std::uint64_t tag);
+  // IsRecv registers `out` as the landing buffer for the next message
+  // matching (peer, tag) and returns without blocking. The message is
+  // consumed (and its size checked against `out`) when the request
+  // completes via Wait or a successful Test.
+  [[nodiscard]] CommRequest IsRecvBytes(int peer, std::span<std::byte> out,
+                                        std::uint64_t tag);
+
+  template <typename T>
+  CommRequest IsSend(int peer, std::span<const T> data, std::uint64_t tag) {
+    return IsSendBytes(peer, std::as_bytes(data), tag);
+  }
+  template <typename T>
+  [[nodiscard]] CommRequest IsRecv(int peer, std::span<T> out,
+                                   std::uint64_t tag) {
+    return IsRecvBytes(peer, std::as_writable_bytes(out), tag);
   }
 
   // ---- collectives ----
@@ -198,36 +257,49 @@ class Communicator {
     RingBroadcast(std::as_writable_bytes(data), root, seq);
   }
 
-  // Ring reduce: result lands on `root` only; other ranks' buffers are
-  // left untouched. Per-rank send volume M.
+  // Ring reduce. Contract (relied on by the stage-2 gradient path and
+  // documented here because every clause is asymmetric by design):
+  //   - The fully reduced result lands in `root`'s buffer ONLY; every
+  //     other rank's buffer is left exactly as it was passed in.
+  //   - kAvg divides by the group size at the root only — non-root
+  //     buffers never see the scaling, since they hold unreduced local
+  //     data, not a result.
+  //   - Accumulation walks the ring root+1, root+2, ..., root: the rank
+  //     immediately after root forwards its own buffer verbatim (it has
+  //     nothing to receive), every later rank folds its contribution
+  //     into the running partial sum. The bracketing is therefore fixed
+  //     by ring position and deterministic for a given root.
+  //   - Per-rank send volume is M on every non-root rank and 0 at the
+  //     root; stats_.collectives increments once per rank per call on
+  //     every rank, including the degenerate single-rank group.
   template <typename T>
   void Reduce(std::span<T> data, int root, ReduceOp op = ReduceOp::kSum) {
     const int p = size();
     const std::uint64_t seq = NextSeq();
+    ++stats_.collectives;
     if (p == 1) {
-      return;
+      return;  // identity, like the other single-rank collectives
     }
-    // Walk the ring starting after root; each hop accumulates.
     const int steps_from_root = Distance(root, rank());
     std::vector<T> acc;
-    if (steps_from_root == 1) {
-      // First in the chain: just forward own data.
-      Send(Next(), std::span<const T>(data.data(), data.size()),
-           seq | kKindReduce);
-    } else {
+    if (steps_from_root != 1) {
+      // Everyone but the first hop receives the running sum from the
+      // previous ring position and folds in its own contribution.
       acc.resize(data.size());
       Recv(Prev(), std::span<T>(acc), seq | kKindReduce);
       detail::AccumulateInto(acc.data(), data.data(), data.size(), op);
-      if (rank() != root) {
-        Send(Next(), std::span<const T>(acc.data(), acc.size()),
-             seq | kKindReduce);
-      } else {
-        std::memcpy(data.data(), acc.data(), acc.size() * sizeof(T));
-        if (op == ReduceOp::kAvg)
-          detail::ScaleBy(data.data(), data.size(), 1.0 / p);
-      }
     }
-    ++stats_.collectives;
+    if (rank() != root) {
+      const std::span<const T> fwd =
+          steps_from_root == 1
+              ? std::span<const T>(data.data(), data.size())
+              : std::span<const T>(acc.data(), acc.size());
+      Send(Next(), fwd, seq | kKindReduce);
+    } else {
+      std::memcpy(data.data(), acc.data(), acc.size() * sizeof(T));
+      if (op == ReduceOp::kAvg)
+        detail::ScaleBy(data.data(), data.size(), 1.0 / p);
+    }
   }
 
   // Every rank's `chunk` lands at offset rank*chunk.size() of the

@@ -28,6 +28,20 @@ std::vector<std::byte> Mailbox::Take(int source, std::uint64_t tag) {
   return msg;
 }
 
+std::optional<std::vector<std::byte>> Mailbox::TryTake(int source,
+                                                       std::uint64_t tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = queues_.find({source, tag});
+  if (it == queues_.end() || it->second.empty()) {
+    return std::nullopt;
+  }
+  std::vector<std::byte> msg = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) queues_.erase(it);
+  --pending_;
+  return msg;
+}
+
 std::size_t Mailbox::PendingCount() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return pending_;

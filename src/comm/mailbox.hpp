@@ -13,6 +13,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -34,6 +35,12 @@ class Mailbox {
 
   // Blocks until a message with exactly this (source, tag) is available.
   [[nodiscard]] std::vector<std::byte> Take(int source, std::uint64_t tag);
+
+  // Nonblocking variant: returns the message if one is already queued
+  // for (source, tag), nullopt otherwise. The polling primitive under
+  // CommRequest::Test.
+  [[nodiscard]] std::optional<std::vector<std::byte>> TryTake(
+      int source, std::uint64_t tag);
 
   [[nodiscard]] std::size_t PendingCount() const;
 

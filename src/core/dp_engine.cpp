@@ -6,12 +6,7 @@
 namespace zero::core {
 
 using model::Phase;
-using model::ZeroStage;
 using tensor::Tensor;
-
-namespace {
-constexpr std::uint64_t kExactTagBase = 1;  // user tag space, per-call ++
-}
 
 ZeroDpEngine::ZeroDpEngine(EngineConfig config, model::FlatParamModel& model,
                            comm::Communicator& dp,
@@ -27,15 +22,9 @@ ZeroDpEngine::ZeroDpEngine(EngineConfig config, model::FlatParamModel& model,
   InitState(seed);
 }
 
-Tensor ZeroDpEngine::NewDevice(std::int64_t numel, DType dt) const {
-  if (device_ != nullptr) {
-    return Tensor::Device(*device_, {numel}, dt);
-  }
-  return Tensor::Heap({numel}, dt);
-}
+ZeroDpEngine::~ZeroDpEngine() = default;
 
 void ZeroDpEngine::InitState(std::uint64_t seed) {
-  const DType dt = cfg_.fp16 ? DType::kF16 : DType::kF32;
   const std::int64_t padded = part_.padded_total();
   const std::int64_t shard = part_.partition_size();
   const Range own = part_.PartitionRange(rank());
@@ -46,33 +35,17 @@ void ZeroDpEngine::InitState(std::uint64_t seed) {
       std::span<float>(init.data(), static_cast<std::size_t>(part_.total())),
       seed);
 
-  const bool partitioned_params = cfg_.stage == ZeroStage::kOsGP;
-  const bool partitioned_grads = cfg_.stage == ZeroStage::kOsG ||
-                                 cfg_.stage == ZeroStage::kOsGP;
+  ctx_.cfg = &cfg_;
+  ctx_.model = model_;
+  ctx_.dp = dp_;
+  ctx_.device = device_;
+  ctx_.part = &part_;
+  strategy_ = MakeStageStrategy(ctx_);
+  strategy_->InitParams(init);
 
-  // Parameters.
-  params_ = NewDevice(partitioned_params ? shard : padded, dt);
-  {
-    const float* src = partitioned_params ? init.data() + own.begin
-                                          : init.data();
-    const std::size_t n = static_cast<std::size_t>(params_.numel());
-    if (cfg_.fp16) {
-      FloatToHalf(src, params_.f16().data(), n);
-    } else {
-      std::memcpy(params_.f32().data(), src, n * sizeof(float));
-    }
-  }
-
-  // Gradients.
-  grads_ = NewDevice(partitioned_grads ? shard : padded, dt);
-  grads_.FillZero();
-  if (cfg_.stage == ZeroStage::kOs) {
-    reduced_shard_ = NewDevice(shard, dt);
-    reduced_shard_.FillZero();
-  }
   if (cfg_.accumulation_steps > 1) {
-    acc_ = NewDevice(cfg_.stage == ZeroStage::kNone ? padded : shard,
-                     DType::kF32);
+    acc_ = ctx_.NewDevice(strategy_->state_partitioned() ? shard : padded,
+                          DType::kF32);
     acc_.FillZero();
   }
   if (cfg_.dynamic_loss_scale) {
@@ -87,199 +60,34 @@ void ZeroDpEngine::InitState(std::uint64_t seed) {
   // of the device.
   alloc::CachingAllocator* opt_device =
       cfg_.offload_optimizer ? nullptr : device_;
-  if (cfg_.stage == ZeroStage::kNone) {
-    opt_ = std::make_unique<optim::MixedPrecisionAdam>(
-        cfg_.adam, opt_device, std::span<const float>(init));
-  } else {
+  if (strategy_->state_partitioned()) {
     opt_ = std::make_unique<optim::MixedPrecisionAdam>(
         cfg_.adam, opt_device,
         std::span<const float>(init.data() + own.begin,
                                static_cast<std::size_t>(shard)));
+  } else {
+    opt_ = std::make_unique<optim::MixedPrecisionAdam>(
+        cfg_.adam, opt_device, std::span<const float>(init));
   }
 }
 
 // ---------------------------------------------------------------------
-// ParamProvider
+// ParamProvider / GradSink
 // ---------------------------------------------------------------------
 
 std::span<const float> ZeroDpEngine::AcquireUnit(int u, Phase phase) {
-  (void)phase;
-  const auto [ub, ue] = model_->layout().UnitRange(u);
-  const std::int64_t n = ue - ub;
-
-  if (cfg_.stage != ZeroStage::kOsGP) {
-    if (!cfg_.fp16) {
-      // fp32, full copy resident: hand out a direct view.
-      return params_.f32().subspan(static_cast<std::size_t>(ub),
-                                   static_cast<std::size_t>(n));
-    }
-    // fp16, full copy resident: widen the unit into fp32 scratch — the
-    // analog of tensor cores reading fp16 operands into fp32 compute.
-    MaterializedUnit& mu = units_[u];
-    if (mu.refcount == 0) {
-      mu.f32.resize(static_cast<std::size_t>(n));
-      HalfToFloat(params_.f16().data() + ub, mu.f32.data(),
-                  static_cast<std::size_t>(n));
-    }
-    ++mu.refcount;
-    return mu.f32;
-  }
-
-  // Stage 3: materialize the unit from its partition owners, on demand.
-  MaterializedUnit& mu = units_[u];
-  if (mu.refcount == 0) {
-    const Range unit_range{ub, ue};
-    const Range own = part_.PartitionRange(rank());
-    if (cfg_.fp16) {
-      mu.f16 = NewDevice(n, DType::kF16);
-      for (const auto& [j, overlap] : part_.Overlaps(unit_range)) {
-        std::span<Half> dst = mu.f16.f16().subspan(
-            static_cast<std::size_t>(overlap.begin - ub),
-            static_cast<std::size_t>(overlap.size()));
-        if (j == rank()) {
-          std::memcpy(dst.data(),
-                      params_.f16().data() + (overlap.begin - own.begin),
-                      dst.size_bytes());
-        }
-        dp_->Broadcast(dst, j);
-      }
-      mu.f32.resize(static_cast<std::size_t>(n));
-      HalfToFloat(mu.f16.f16().data(), mu.f32.data(),
-                  static_cast<std::size_t>(n));
-    } else {
-      mu.f32.assign(static_cast<std::size_t>(n), 0.0f);
-      for (const auto& [j, overlap] : part_.Overlaps(unit_range)) {
-        std::span<float> dst{mu.f32.data() + (overlap.begin - ub),
-                             static_cast<std::size_t>(overlap.size())};
-        if (j == rank()) {
-          std::memcpy(dst.data(),
-                      params_.f32().data() + (overlap.begin - own.begin),
-                      dst.size_bytes());
-        }
-        dp_->Broadcast(dst, j);
-      }
-    }
-  }
-  ++mu.refcount;
-  return mu.f32;
+  return strategy_->AcquireUnit(u, phase);
 }
 
 void ZeroDpEngine::ReleaseUnit(int u, Phase phase) {
-  (void)phase;
-  auto it = units_.find(u);
-  if (it == units_.end()) {
-    // fp32 stages 0-2 hand out direct views with nothing to release.
-    ZERO_CHECK(cfg_.stage != ZeroStage::kOsGP && !cfg_.fp16,
-               "ReleaseUnit without matching AcquireUnit");
-    return;
-  }
-  ZERO_CHECK(it->second.refcount > 0, "ReleaseUnit refcount underflow");
-  if (--it->second.refcount == 0) {
-    // Stage 3: "the parameters can be discarded" (Sec 7.2.2) — this frees
-    // the gathered fp16 device tensor immediately.
-    units_.erase(it);
-  }
+  strategy_->ReleaseUnit(u, phase);
 }
-
-// ---------------------------------------------------------------------
-// GradSink
-// ---------------------------------------------------------------------
 
 void ZeroDpEngine::EmitUnitGrad(int u, std::span<const float> grad) {
   const auto [ub, ue] = model_->layout().UnitRange(u);
   ZERO_CHECK(grad.size() == static_cast<std::size_t>(ue - ub),
              "unit gradient size mismatch");
-  if (cfg_.stage == ZeroStage::kNone || cfg_.stage == ZeroStage::kOs) {
-    StoreFullGrad(u, grad);
-  } else {
-    BucketizeGrad(u, grad);
-  }
-}
-
-void ZeroDpEngine::StoreFullGrad(int u, std::span<const float> grad) {
-  const auto [ub, ue] = model_->layout().UnitRange(u);
-  (void)ue;
-  if (cfg_.fp16) {
-    Half* dst = grads_.f16().data() + ub;
-    for (std::size_t i = 0; i < grad.size(); ++i) {
-      dst[i] = Half(grad[i] * current_loss_scale());
-    }
-  } else {
-    std::memcpy(grads_.f32().data() + ub, grad.data(), grad.size_bytes());
-  }
-}
-
-void ZeroDpEngine::BucketizeGrad(int u, std::span<const float> grad) {
-  const auto [ub, ue] = model_->layout().UnitRange(u);
-  // Units tile the flat space and backward completes them from the top
-  // down, so emissions form one descending contiguous frontier. The
-  // bucketizer relies on this to know when a partition is complete.
-  ZERO_CHECK(ue == emit_frontier_,
-             "units must be emitted in descending contiguous order");
-  emit_frontier_ = ub;
-
-  for (const auto& [j, overlap] : part_.Overlaps(Range{ub, ue})) {
-    auto [seg_it, created] = segments_.try_emplace(j);
-    Segment& seg = seg_it->second;
-    if (created) {
-      seg.data = NewDevice(part_.partition_size(),
-                           cfg_.fp16 ? DType::kF16 : DType::kF32);
-      seg.data.FillZero();
-    }
-    const std::int64_t local = overlap.begin - part_.PartitionRange(j).begin;
-    const float* src = grad.data() + (overlap.begin - ub);
-    if (cfg_.fp16) {
-      Half* dst = seg.data.f16().data() + local;
-      for (std::int64_t i = 0; i < overlap.size(); ++i) {
-        dst[i] = Half(src[i] * current_loss_scale());
-      }
-    } else {
-      std::memcpy(seg.data.f32().data() + local, src,
-                  static_cast<std::size_t>(overlap.size()) * sizeof(float));
-    }
-    seg.covered += overlap.size();
-    ZERO_CHECK(seg.covered <= part_.PartitionRangeClipped(j).size(),
-               "partition coverage overflow");
-    if (seg.covered == part_.PartitionRangeClipped(j).size()) {
-      FlushPartition(j);
-    }
-  }
-}
-
-void ZeroDpEngine::FlushPartition(int j) {
-  auto it = segments_.find(j);
-  ZERO_CHECK(it != segments_.end(), "flushing a partition with no segment");
-  Segment& seg = it->second;
-  const std::int64_t shard = part_.partition_size();
-
-  // CB (Sec 6.2): issue the reduction in constant-size chunks so the
-  // fused communication buffer does not grow with the model.
-  for (std::int64_t off = 0; off < shard; off += cfg_.bucket_elems) {
-    const std::int64_t len = std::min(cfg_.bucket_elems, shard - off);
-    if (cfg_.fp16) {
-      dp_->Reduce(seg.data.f16().subspan(static_cast<std::size_t>(off),
-                                         static_cast<std::size_t>(len)),
-                  j, comm::ReduceOp::kSum);
-    } else if (cfg_.exact_reductions) {
-      ExactReduceToRoot(
-          seg.data.f32().subspan(static_cast<std::size_t>(off),
-                                 static_cast<std::size_t>(len)),
-          j);
-    } else {
-      dp_->Reduce(seg.data.f32().subspan(static_cast<std::size_t>(off),
-                                         static_cast<std::size_t>(len)),
-                  j, comm::ReduceOp::kSum);
-    }
-  }
-
-  if (rank() == j) {
-    // The reduced partition gradient lands in this rank's persistent
-    // (1/Nd-sized) gradient store.
-    std::memcpy(grads_.raw(), seg.data.raw(), grads_.nbytes());
-  }
-  // "After the reduction we no longer need the gradients and their
-  // memory can be released" (Sec 5.2).
-  segments_.erase(it);
+  strategy_->EmitUnitGrad(u, grad);
 }
 
 // ---------------------------------------------------------------------
@@ -287,15 +95,12 @@ void ZeroDpEngine::FlushPartition(int j) {
 // ---------------------------------------------------------------------
 
 float ZeroDpEngine::TrainStep(const model::Batch& batch) {
-  // Padding between total() and padded_total() is never emitted; the
-  // frontier starts at the top of the real parameter space.
-  emit_frontier_ = part_.total();
-  ZERO_CHECK(segments_.empty(), "stale gradient segments from a prior step");
+  ctx_.loss_scale = current_loss_scale();
+  strategy_->OnStepBegin();
 
   const float loss = model_->Step(batch, *this, *this);
-  ZERO_CHECK(units_.empty(), "model leaked acquired units");
 
-  ReduceGradients();
+  strategy_->ReduceGradients();
 
   if (cfg_.accumulation_steps > 1) {
     AccumulateReduced();
@@ -321,91 +126,16 @@ float ZeroDpEngine::EvalLoss(const model::Batch& batch) {
   return model_->Step(batch, *this, sink);
 }
 
-void ZeroDpEngine::ReduceGradients() {
-  const std::int64_t shard = part_.partition_size();
-  switch (cfg_.stage) {
-    case ZeroStage::kNone: {
-      // Baseline DDP: all-reduce full gradients in place.
-      if (cfg_.fp16) {
-        dp_->AllReduce(grads_.f16(), comm::ReduceOp::kSum);
-      } else if (cfg_.exact_reductions) {
-        ExactAllReduceSum(grads_.f32());
-      } else {
-        dp_->AllReduce(grads_.f32(), comm::ReduceOp::kSum);
-      }
-      break;
-    }
-    case ZeroStage::kOs: {
-      // Pos: reduce-scatter into this rank's reduced shard. Volume Psi;
-      // the parameter all-gather after the update is the other Psi.
-      if (cfg_.fp16) {
-        dp_->ReduceScatter(grads_.f16(), reduced_shard_.f16(),
-                           comm::ReduceOp::kSum);
-      } else if (cfg_.exact_reductions) {
-        for (int j = 0; j < nd(); ++j) {
-          const Range pr = part_.PartitionRange(j);
-          ExactReduceToRoot(
-              grads_.f32().subspan(static_cast<std::size_t>(pr.begin),
-                                   static_cast<std::size_t>(pr.size())),
-              j);
-        }
-        const Range own = part_.PartitionRange(rank());
-        std::memcpy(reduced_shard_.f32().data(),
-                    grads_.f32().data() + own.begin,
-                    static_cast<std::size_t>(shard) * sizeof(float));
-      } else {
-        dp_->ReduceScatter(grads_.f32(), reduced_shard_.f32(),
-                           comm::ReduceOp::kSum);
-      }
-      break;
-    }
-    case ZeroStage::kOsG:
-    case ZeroStage::kOsGP: {
-      // Gradients were already reduced to their owners during backward
-      // (bucketized Reduce at partition boundaries) and live in grads_.
-      ZERO_CHECK(emit_frontier_ == 0 && segments_.empty(),
-                 "backward did not cover the full parameter space");
-      break;
-    }
-  }
-}
-
-std::span<const Half> ZeroDpEngine::ReducedF16() {
-  if (cfg_.stage == ZeroStage::kOs) return reduced_shard_.f16();
-  return grads_.f16();
-}
-
-std::span<const float> ZeroDpEngine::ReducedF32() {
-  if (cfg_.stage == ZeroStage::kOs) return reduced_shard_.f32();
-  return grads_.f32();
-}
-
-std::span<Half> ZeroDpEngine::UpdateTargetF16() {
-  if (cfg_.stage == ZeroStage::kNone) return params_.f16();
-  if (cfg_.stage == ZeroStage::kOsGP) return params_.f16();
-  const Range own = part_.PartitionRange(rank());
-  return params_.f16().subspan(static_cast<std::size_t>(own.begin),
-                               static_cast<std::size_t>(own.size()));
-}
-
-std::span<float> ZeroDpEngine::UpdateTargetF32() {
-  if (cfg_.stage == ZeroStage::kNone) return params_.f32();
-  if (cfg_.stage == ZeroStage::kOsGP) return params_.f32();
-  const Range own = part_.PartitionRange(rank());
-  return params_.f32().subspan(static_cast<std::size_t>(own.begin),
-                               static_cast<std::size_t>(own.size()));
-}
-
 void ZeroDpEngine::AccumulateReduced() {
   std::span<float> acc = acc_.f32();
   if (cfg_.fp16) {
-    std::span<const Half> src = ReducedF16();
+    std::span<const Half> src = strategy_->ReducedF16();
     ZERO_CHECK(src.size() == acc.size(), "accumulator size mismatch");
     for (std::size_t i = 0; i < acc.size(); ++i) {
       acc[i] += src[i].ToFloat();
     }
   } else {
-    std::span<const float> src = ReducedF32();
+    std::span<const float> src = strategy_->ReducedF32();
     ZERO_CHECK(src.size() == acc.size(), "accumulator size mismatch");
     for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += src[i];
   }
@@ -424,14 +154,14 @@ bool ZeroDpEngine::DetectGlobalOverflow() {
   if (acc_.defined()) {
     local = scan_f32(acc_.f32());
   } else if (cfg_.fp16) {
-    for (Half h : ReducedF16()) {
+    for (Half h : strategy_->ReducedF16()) {
       if (h.IsInf() || h.IsNan()) {
         local = true;
         break;
       }
     }
   } else {
-    local = scan_f32(ReducedF32());
+    local = scan_f32(strategy_->ReducedF32());
   }
   // Every rank must agree before the scaler is consulted, or the SPMD
   // ranks would diverge on whether the update happened.
@@ -445,17 +175,19 @@ float ZeroDpEngine::ComputeClipCoefficient(float base_scale) {
   if (acc_.defined()) {
     for (float x : acc_.f32()) local_sq += static_cast<double>(x) * x;
   } else if (cfg_.fp16) {
-    for (Half h : ReducedF16()) {
+    for (Half h : strategy_->ReducedF16()) {
       const double x = h.ToFloat();
       local_sq += x * x;
     }
   } else {
-    for (float x : ReducedF32()) local_sq += static_cast<double>(x) * x;
+    for (float x : strategy_->ReducedF32()) {
+      local_sq += static_cast<double>(x) * x;
+    }
   }
   float total_sq = static_cast<float>(local_sq);
-  if (cfg_.stage != ZeroStage::kNone) {
+  if (strategy_->state_partitioned()) {
     // Partitioned stages each hold 1/Nd of the gradient: sum the shard
-    // norms. (Stage 0 holds the full reduced gradient on every rank.)
+    // norms. (The baseline holds the full reduced gradient everywhere.)
     dp_->AllReduce(std::span<float>(&total_sq, 1), comm::ReduceOp::kSum);
   }
   const float norm =
@@ -478,7 +210,9 @@ void ZeroDpEngine::ApplyUpdate() {
   if (scaler_.has_value()) {
     const bool overflow = DetectGlobalOverflow();
     if (!scaler_->Update(overflow)) {
-      // Skip this update entirely; the scale has been backed off.
+      // Skip this update entirely; the scale has been backed off. The
+      // strategy's post-update work (parameter all-gather, gradient
+      // zeroing) is skipped with it — grads are overwritten next step.
       ++skipped_;
       return;
     }
@@ -491,15 +225,17 @@ void ZeroDpEngine::ApplyUpdate() {
 
   if (acc_.defined()) {
     if (cfg_.fp16) {
-      opt_->StepFromF32(UpdateTargetF16(), acc_.f32(), grad_scale);
+      opt_->StepFromF32(strategy_->UpdateTargetF16(), acc_.f32(), grad_scale);
     } else {
-      opt_->StepF32(UpdateTargetF32(), acc_.f32(), grad_scale);
+      opt_->StepF32(strategy_->UpdateTargetF32(), acc_.f32(), grad_scale);
     }
   } else if (cfg_.fp16) {
     // MixedPrecisionAdam::Step divides by its loss_scale argument.
-    opt_->Step(UpdateTargetF16(), ReducedF16(), 1.0f / grad_scale);
+    opt_->Step(strategy_->UpdateTargetF16(), strategy_->ReducedF16(),
+               1.0f / grad_scale);
   } else {
-    opt_->StepF32(UpdateTargetF32(), ReducedF32(), grad_scale);
+    opt_->StepF32(strategy_->UpdateTargetF32(), strategy_->ReducedF32(),
+                  grad_scale);
   }
 
   if (cfg_.offload_optimizer) {
@@ -510,12 +246,7 @@ void ZeroDpEngine::ApplyUpdate() {
         static_cast<std::uint64_t>(opt_->numel()) * elem * 2;
   }
 
-  if (cfg_.stage == ZeroStage::kOs || cfg_.stage == ZeroStage::kOsG) {
-    AllGatherParams();
-  }
-  if (cfg_.stage == ZeroStage::kOsG || cfg_.stage == ZeroStage::kOsGP) {
-    grads_.FillZero();
-  }
+  strategy_->OnUpdateApplied();
 }
 
 // ---------------------------------------------------------------------
@@ -535,7 +266,7 @@ TrainingState ZeroDpEngine::ExportState() {
 
   auto assemble = [&](std::span<const float> local) {
     std::vector<float> full(total);
-    if (cfg_.stage == ZeroStage::kNone) {
+    if (!strategy_->state_partitioned()) {
       // Every rank already holds the full (padded) state.
       ZERO_CHECK(local.size() == padded, "unexpected full-state size");
       std::memcpy(full.data(), local.data(), total * sizeof(float));
@@ -565,7 +296,7 @@ void ZeroDpEngine::ImportState(const TrainingState& state) {
     // Pad the full array so tail shards read zeros beyond total().
     std::vector<float> padded_full(padded, 0.0f);
     std::memcpy(padded_full.data(), full.data(), total * sizeof(float));
-    if (cfg_.stage == ZeroStage::kNone) {
+    if (!strategy_->state_partitioned()) {
       std::memcpy(local.data(), padded_full.data(), padded * sizeof(float));
     } else {
       std::memcpy(local.data(), padded_full.data() + own.begin,
@@ -583,21 +314,12 @@ void ZeroDpEngine::ImportState(const TrainingState& state) {
   std::vector<float> padded_master(padded, 0.0f);
   std::memcpy(padded_master.data(), state.master.data(),
               total * sizeof(float));
-  const bool partitioned_params = cfg_.stage == ZeroStage::kOsGP;
-  const float* src = partitioned_params ? padded_master.data() + own.begin
-                                        : padded_master.data();
-  const std::size_t n = static_cast<std::size_t>(params_.numel());
-  if (cfg_.fp16) {
-    FloatToHalf(src, params_.f16().data(), n);
-  } else {
-    std::memcpy(params_.f32().data(), src, n * sizeof(float));
-  }
+  strategy_->ImportMasterParams(padded_master);
 
   // Reset in-flight step state.
-  grads_.FillZero();
+  strategy_->ResetInFlight();
   if (acc_.defined()) acc_.FillZero();
   micro_ = 0;
-  segments_.clear();
   if (scaler_.has_value()) {
     optim::DynamicLossScaler::Config cfg = cfg_.scaler;
     cfg.init_scale = std::min(std::max(state.loss_scale, cfg.min_scale),
@@ -611,63 +333,14 @@ float ZeroDpEngine::current_loss_scale() const {
   return scaler_.has_value() ? scaler_->scale() : cfg_.loss_scale;
 }
 
-void ZeroDpEngine::AllGatherParams() {
-  // Copy the owned chunk out first: AllGather writes the chunk into the
-  // full buffer at this rank's offset, which would otherwise alias.
-  const Range own = part_.PartitionRange(rank());
-  const std::int64_t shard = part_.partition_size();
-  if (cfg_.fp16) {
-    std::vector<Half> chunk(static_cast<std::size_t>(shard));
-    std::memcpy(chunk.data(), params_.f16().data() + own.begin,
-                chunk.size() * sizeof(Half));
-    dp_->AllGather(std::span<const Half>(chunk), params_.f16());
-  } else {
-    std::vector<float> chunk(static_cast<std::size_t>(shard));
-    std::memcpy(chunk.data(), params_.f32().data() + own.begin,
-                chunk.size() * sizeof(float));
-    dp_->AllGather(std::span<const float>(chunk), params_.f32());
-  }
-}
-
-// ---------------------------------------------------------------------
-// Deterministic reductions (testing mode)
-// ---------------------------------------------------------------------
-
-void ZeroDpEngine::ExactAllReduceSum(std::span<float> data) {
-  ExactReduceToRoot(data, 0);
-  dp_->Broadcast(data, 0);
-}
-
-void ZeroDpEngine::ExactReduceToRoot(std::span<float> data, int root) {
-  // Gather to root and sum in rank order 0..Nd-1: the bracketing is
-  // independent of which collective algorithm a stage uses, so every
-  // stage produces bit-identical sums.
-  const std::uint64_t tag = kExactTagBase + p2p_tag_++;
-  if (rank() == root) {
-    std::vector<float> acc(data.size(), 0.0f);
-    std::vector<float> incoming(data.size());
-    for (int r = 0; r < nd(); ++r) {
-      if (r == rank()) {
-        for (std::size_t i = 0; i < data.size(); ++i) acc[i] += data[i];
-      } else {
-        dp_->Recv(r, std::span<float>(incoming), tag);
-        for (std::size_t i = 0; i < data.size(); ++i) acc[i] += incoming[i];
-      }
-    }
-    std::memcpy(data.data(), acc.data(), data.size_bytes());
-  } else {
-    dp_->Send(root, std::span<const float>(data.data(), data.size()), tag);
-  }
-}
-
 // ---------------------------------------------------------------------
 // Introspection
 // ---------------------------------------------------------------------
 
 ModelStateReport ZeroDpEngine::MeasureModelStates() const {
   ModelStateReport r;
-  r.param_bytes = params_.nbytes();
-  r.grad_bytes = grads_.nbytes();
+  r.param_bytes = strategy_->param_bytes();
+  r.grad_bytes = strategy_->grad_bytes();
   r.optimizer_bytes = static_cast<std::size_t>(
       static_cast<double>(opt_->numel()) *
       optim::MixedPrecisionAdam::kStateBytesPerParam);
@@ -676,24 +349,8 @@ ModelStateReport ZeroDpEngine::MeasureModelStates() const {
 }
 
 std::vector<float> ZeroDpEngine::GatherFullParams() {
-  const std::int64_t total = part_.total();
-  std::vector<float> out(static_cast<std::size_t>(total));
-  if (cfg_.stage != ZeroStage::kOsGP) {
-    if (cfg_.fp16) {
-      HalfToFloat(params_.f16().data(), out.data(),
-                  static_cast<std::size_t>(total));
-    } else {
-      std::memcpy(out.data(), params_.f32().data(), out.size() * sizeof(float));
-    }
-    return out;
-  }
-  for (int u = 0; u < model_->layout().num_units(); ++u) {
-    const auto [ub, ue] = model_->layout().UnitRange(u);
-    std::span<const float> p = AcquireUnit(u, Phase::kForward);
-    std::memcpy(out.data() + ub, p.data(),
-                static_cast<std::size_t>(ue - ub) * sizeof(float));
-    ReleaseUnit(u, Phase::kForward);
-  }
+  std::vector<float> out(static_cast<std::size_t>(part_.total()));
+  strategy_->GatherFullParams(out);
   return out;
 }
 

@@ -19,6 +19,15 @@
 //     after (forward and again in backward), totalling 3Psi volume
 //     (Sec 7.2.2). No parameter all-gather at step end.
 //
+// The engine itself is a thin orchestrator: it runs the machinery every
+// stage shares — gradient accumulation, overflow detection and loss
+// scaling, gradient clipping, the (possibly partitioned) mixed-precision
+// Adam update, offload accounting, and checkpoint export/import.
+// Everything the paper varies per stage (parameter residency, the
+// gradient path, the post-backward reduction) lives behind the
+// StageStrategy picked by MakeStageStrategy at construction; see
+// core/stages/stage_strategy.hpp.
+//
 // Precision: fp16 mode stores parameters and gradients as real fp16
 // device tensors with loss scaling and keeps fp32 master+momentum+
 // variance in the (possibly partitioned) MixedPrecisionAdam — K = 12.
@@ -27,14 +36,15 @@
 // bit-identical trajectories.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "alloc/caching_allocator.hpp"
 #include "comm/communicator.hpp"
+#include "core/engine_config.hpp"
 #include "core/partition.hpp"
+#include "core/stages/stage_strategy.hpp"
 #include "core/state_checkpoint.hpp"
 #include "model/flat_model.hpp"
 #include "model/transformer_spec.hpp"
@@ -43,38 +53,6 @@
 #include "tensor/tensor.hpp"
 
 namespace zero::core {
-
-struct EngineConfig {
-  model::ZeroStage stage = model::ZeroStage::kOsG;
-  bool fp16 = true;
-  float loss_scale = 1024.0f;  // static loss scaling (fp16 only)
-  // Dynamic loss scaling: overflow steps are skipped globally and the
-  // scale adapts (overrides the static loss_scale).
-  bool dynamic_loss_scale = false;
-  optim::DynamicLossScaler::Config scaler;
-  // Gradient accumulation: the optimizer runs every N micro-steps;
-  // between them, reduced gradients accumulate into a partitioned fp32
-  // buffer (full-size only for the stage-0 baseline).
-  int accumulation_steps = 1;
-  // Global gradient-norm clipping (0 disables). The norm spans the whole
-  // model, so partitioned stages all-reduce their shard norms first.
-  float max_grad_norm = 0.0f;
-  // Optimizer-state offload to host memory (the direction the paper's
-  // Sec 2.2.2 contrasts with and ZeRO-Offload later implemented): the
-  // fp32 master/momentum/variance live in CPU memory; each update moves
-  // the reduced gradient shard to the host and the updated fp16
-  // parameters back, removing the K*Psi/Nd term from device memory at
-  // 4 bytes/param/step of PCIe traffic.
-  bool offload_optimizer = false;
-  // CB (Sec 6.2): collectives on gradient partitions are issued through
-  // a constant-size fused buffer of at most this many elements, rather
-  // than one model-size-proportional buffer.
-  std::int64_t bucket_elems = 1 << 16;
-  // Deterministic rank-ordered reductions (gather, sum in rank order,
-  // redistribute). Exact across stages; used by equivalence tests.
-  bool exact_reductions = false;
-  optim::AdamConfig adam;
-};
 
 // Persistent per-rank model-state footprint, measured from live tensors.
 struct ModelStateReport {
@@ -98,6 +76,7 @@ class ZeroDpEngine final : public model::ParamProvider, public model::GradSink {
   ZeroDpEngine(EngineConfig config, model::FlatParamModel& model,
                comm::Communicator& dp, alloc::CachingAllocator* device,
                std::uint64_t seed);
+  ~ZeroDpEngine() override;
 
   // One synchronous data-parallel training step on this rank's
   // microbatch. Collective; all DP ranks must call together. With
@@ -152,21 +131,6 @@ class ZeroDpEngine final : public model::ParamProvider, public model::GradSink {
   // -- setup --
   void InitState(std::uint64_t seed);
 
-  // -- gradient path --
-  void StoreFullGrad(int u, std::span<const float> grad);
-  void BucketizeGrad(int u, std::span<const float> grad);
-  void FlushPartition(int j);
-  void AllGatherParams();
-
-  // Post-backward: run the per-stage reduction; afterwards this rank's
-  // reduced gradients live in ReducedF16()/ReducedF32().
-  void ReduceGradients();
-  [[nodiscard]] std::span<const Half> ReducedF16();
-  [[nodiscard]] std::span<const float> ReducedF32();
-  // The fp16 (or fp32) parameter span the optimizer updates.
-  [[nodiscard]] std::span<Half> UpdateTargetF16();
-  [[nodiscard]] std::span<float> UpdateTargetF32();
-
   void AccumulateReduced();
   [[nodiscard]] bool DetectGlobalOverflow();
   // Returns the multiplicative clip coefficient (1 when disabled) and
@@ -174,12 +138,6 @@ class ZeroDpEngine final : public model::ParamProvider, public model::GradSink {
   [[nodiscard]] float ComputeClipCoefficient(float base_scale);
   void ApplyUpdate();
 
-  // -- deterministic reduction helpers (exact_reductions mode) --
-  void ExactAllReduceSum(std::span<float> data);
-  void ExactReduceToRoot(std::span<float> data, int root);
-
-  // -- small utilities --
-  [[nodiscard]] tensor::Tensor NewDevice(std::int64_t numel, DType dt) const;
   [[nodiscard]] int rank() const { return dp_->rank(); }
   [[nodiscard]] int nd() const { return dp_->size(); }
 
@@ -190,32 +148,9 @@ class ZeroDpEngine final : public model::ParamProvider, public model::GradSink {
   Partitioner part_;
   std::int64_t steps_ = 0;
 
-  // Parameter storage. Stages 0-2: full padded vector. Stage 3: this
-  // rank's partition only.
-  tensor::Tensor params_;  // fp16 or fp32 per cfg
-
-  // Gradient storage. Stages 0-1: full padded vector. Stages 2-3: this
-  // rank's partition only, plus transient per-partition staging segments
-  // while backward covers them.
-  tensor::Tensor grads_;
-  struct Segment {
-    tensor::Tensor data;       // fp16/fp32 staging for one partition
-    std::int64_t covered = 0;  // elements emitted so far
-  };
-  std::map<int, Segment> segments_;
-  std::int64_t emit_frontier_ = 0;  // descending coverage check
-
-  // Materialized units (stage 3) / fp16->fp32 unit scratch (fp16 mode).
-  struct MaterializedUnit {
-    tensor::Tensor f16;        // gathered fp16 parameters (stage 3)
-    std::vector<float> f32;    // what the model actually reads
-    int refcount = 0;
-  };
-  std::map<int, MaterializedUnit> units_;
-
-  // Stage 1's reduce-scatter output (this rank's reduced shard). Stages
-  // 0/2/3 reduce into grads_ directly.
-  tensor::Tensor reduced_shard_;
+  // Per-stage behavior: parameter residency, gradient path, reduction.
+  StageContext ctx_;
+  std::unique_ptr<StageStrategy> strategy_;
 
   // fp32 accumulation buffer (allocated only when accumulation_steps >
   // 1): shard-sized for partitioned stages, full for the baseline.
@@ -229,9 +164,6 @@ class ZeroDpEngine final : public model::ParamProvider, public model::GradSink {
   std::int64_t skipped_ = 0;
   float last_grad_norm_ = 0.0f;
   std::uint64_t optimizer_transfer_bytes_ = 0;
-  std::vector<float> f32_scratch_;
-
-  std::uint64_t p2p_tag_ = 1;  // deterministic per-rank tag sequence
 };
 
 }  // namespace zero::core

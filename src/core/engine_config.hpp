@@ -1,0 +1,45 @@
+// Configuration of a ZeRO-DP engine (shared by the orchestrator in
+// dp_engine.hpp and the per-stage strategies in stages/).
+#pragma once
+
+#include <cstdint>
+
+#include "model/transformer_spec.hpp"
+#include "optim/adam.hpp"
+#include "optim/loss_scaler.hpp"
+
+namespace zero::core {
+
+struct EngineConfig {
+  model::ZeroStage stage = model::ZeroStage::kOsG;
+  bool fp16 = true;
+  float loss_scale = 1024.0f;  // static loss scaling (fp16 only)
+  // Dynamic loss scaling: overflow steps are skipped globally and the
+  // scale adapts (overrides the static loss_scale).
+  bool dynamic_loss_scale = false;
+  optim::DynamicLossScaler::Config scaler;
+  // Gradient accumulation: the optimizer runs every N micro-steps;
+  // between them, reduced gradients accumulate into a partitioned fp32
+  // buffer (full-size only for the stage-0 baseline).
+  int accumulation_steps = 1;
+  // Global gradient-norm clipping (0 disables). The norm spans the whole
+  // model, so partitioned stages all-reduce their shard norms first.
+  float max_grad_norm = 0.0f;
+  // Optimizer-state offload to host memory (the direction the paper's
+  // Sec 2.2.2 contrasts with and ZeRO-Offload later implemented): the
+  // fp32 master/momentum/variance live in CPU memory; each update moves
+  // the reduced gradient shard to the host and the updated fp16
+  // parameters back, removing the K*Psi/Nd term from device memory at
+  // 4 bytes/param/step of PCIe traffic.
+  bool offload_optimizer = false;
+  // CB (Sec 6.2): collectives on gradient partitions are issued through
+  // a constant-size fused buffer of at most this many elements, rather
+  // than one model-size-proportional buffer.
+  std::int64_t bucket_elems = 1 << 16;
+  // Deterministic rank-ordered reductions (gather, sum in rank order,
+  // redistribute). Exact across stages; used by equivalence tests.
+  bool exact_reductions = false;
+  optim::AdamConfig adam;
+};
+
+}  // namespace zero::core

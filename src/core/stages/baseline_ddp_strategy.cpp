@@ -1,0 +1,27 @@
+#include "core/stages/baseline_ddp_strategy.hpp"
+
+namespace zero::core {
+
+void BaselineDdpStrategy::InitParams(std::span<const float> padded_init) {
+  FullParamStrategy::InitParams(padded_init);
+  grads_ = ctx_->NewDevice(ctx_->part->padded_total(), ctx_->work_dtype());
+  grads_.FillZero();
+}
+
+void BaselineDdpStrategy::EmitUnitGrad(int u, std::span<const float> grad) {
+  StoreUnitGradFull(*ctx_, grads_, u, grad);
+}
+
+void BaselineDdpStrategy::ReduceGradients() {
+  CheckUnitsReleased();
+  // All-reduce full gradients in place.
+  if (ctx_->cfg->fp16) {
+    ctx_->dp->AllReduce(grads_.f16(), comm::ReduceOp::kSum);
+  } else if (ctx_->cfg->exact_reductions) {
+    ctx_->ExactAllReduceSum(grads_.f32());
+  } else {
+    ctx_->dp->AllReduce(grads_.f32(), comm::ReduceOp::kSum);
+  }
+}
+
+}  // namespace zero::core

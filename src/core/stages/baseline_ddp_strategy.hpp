@@ -1,0 +1,34 @@
+// Stage 0 — baseline data parallelism (the paper's comparison point):
+// full parameter, gradient, and optimizer replicas on every rank
+// (2Ψ + 2Ψ + KΨ bytes); gradients all-reduced in place at step end
+// (volume 2Ψ, Sec 7.1).
+#pragma once
+
+#include "core/stages/full_param_strategy.hpp"
+
+namespace zero::core {
+
+class BaselineDdpStrategy final : public FullParamStrategy {
+ public:
+  using FullParamStrategy::FullParamStrategy;
+
+  [[nodiscard]] const char* name() const override { return "baseline-ddp"; }
+  [[nodiscard]] bool state_partitioned() const override { return false; }
+
+  void InitParams(std::span<const float> padded_init) override;
+  void OnStepBegin() override {}
+  void EmitUnitGrad(int u, std::span<const float> grad) override;
+  void ReduceGradients() override;
+  std::span<const Half> ReducedF16() override { return grads_.f16(); }
+  std::span<const float> ReducedF32() override { return grads_.f32(); }
+  void OnUpdateApplied() override {}
+  void ResetInFlight() override { grads_.FillZero(); }
+  [[nodiscard]] std::size_t grad_bytes() const override {
+    return grads_.nbytes();
+  }
+
+ private:
+  tensor::Tensor grads_;  // full padded vector
+};
+
+}  // namespace zero::core

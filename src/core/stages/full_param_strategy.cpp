@@ -1,0 +1,106 @@
+#include "core/stages/full_param_strategy.hpp"
+
+#include <cstring>
+
+namespace zero::core {
+
+void FullParamStrategy::InitParams(std::span<const float> padded_init) {
+  params_ = ctx_->NewDevice(ctx_->part->padded_total(), ctx_->work_dtype());
+  WriteParams(padded_init.data());
+}
+
+void FullParamStrategy::WriteParams(const float* padded_src) {
+  const std::size_t n = static_cast<std::size_t>(params_.numel());
+  if (ctx_->cfg->fp16) {
+    FloatToHalf(padded_src, params_.f16().data(), n);
+  } else {
+    std::memcpy(params_.f32().data(), padded_src, n * sizeof(float));
+  }
+}
+
+std::span<const float> FullParamStrategy::AcquireUnit(int u,
+                                                      model::Phase phase) {
+  (void)phase;
+  const auto [ub, ue] = ctx_->model->layout().UnitRange(u);
+  const std::int64_t n = ue - ub;
+  if (!ctx_->cfg->fp16) {
+    // fp32, full copy resident: hand out a direct view.
+    return params_.f32().subspan(static_cast<std::size_t>(ub),
+                                 static_cast<std::size_t>(n));
+  }
+  // fp16, full copy resident: widen the unit into fp32 scratch.
+  WidenedUnit& wu = units_[u];
+  if (wu.refcount == 0) {
+    wu.f32.resize(static_cast<std::size_t>(n));
+    HalfToFloat(params_.f16().data() + ub, wu.f32.data(),
+                static_cast<std::size_t>(n));
+  }
+  ++wu.refcount;
+  return wu.f32;
+}
+
+void FullParamStrategy::ReleaseUnit(int u, model::Phase phase) {
+  (void)phase;
+  auto it = units_.find(u);
+  if (it == units_.end()) {
+    // fp32 mode hands out direct views with nothing to release.
+    ZERO_CHECK(!ctx_->cfg->fp16, "ReleaseUnit without matching AcquireUnit");
+    return;
+  }
+  ZERO_CHECK(it->second.refcount > 0, "ReleaseUnit refcount underflow");
+  if (--it->second.refcount == 0) {
+    units_.erase(it);
+  }
+}
+
+void FullParamStrategy::CheckUnitsReleased() const {
+  ZERO_CHECK(units_.empty(), "model leaked acquired units");
+}
+
+std::span<Half> FullParamStrategy::UpdateTargetF16() {
+  if (!state_partitioned()) return params_.f16();
+  const Range own = ctx_->part->PartitionRange(ctx_->rank());
+  return params_.f16().subspan(static_cast<std::size_t>(own.begin),
+                               static_cast<std::size_t>(own.size()));
+}
+
+std::span<float> FullParamStrategy::UpdateTargetF32() {
+  if (!state_partitioned()) return params_.f32();
+  const Range own = ctx_->part->PartitionRange(ctx_->rank());
+  return params_.f32().subspan(static_cast<std::size_t>(own.begin),
+                               static_cast<std::size_t>(own.size()));
+}
+
+void FullParamStrategy::ImportMasterParams(
+    std::span<const float> padded_master) {
+  WriteParams(padded_master.data());
+}
+
+void FullParamStrategy::GatherFullParams(std::span<float> out) {
+  if (ctx_->cfg->fp16) {
+    HalfToFloat(params_.f16().data(), out.data(), out.size());
+  } else {
+    std::memcpy(out.data(), params_.f32().data(),
+                out.size() * sizeof(float));
+  }
+}
+
+void FullParamStrategy::AllGatherParams() {
+  // Copy the owned chunk out first: AllGather writes the chunk into the
+  // full buffer at this rank's offset, which would otherwise alias.
+  const Range own = ctx_->part->PartitionRange(ctx_->rank());
+  const std::int64_t shard = ctx_->part->partition_size();
+  if (ctx_->cfg->fp16) {
+    std::vector<Half> chunk(static_cast<std::size_t>(shard));
+    std::memcpy(chunk.data(), params_.f16().data() + own.begin,
+                chunk.size() * sizeof(Half));
+    ctx_->dp->AllGather(std::span<const Half>(chunk), params_.f16());
+  } else {
+    std::vector<float> chunk(static_cast<std::size_t>(shard));
+    std::memcpy(chunk.data(), params_.f32().data() + own.begin,
+                chunk.size() * sizeof(float));
+    ctx_->dp->AllGather(std::span<const float>(chunk), params_.f32());
+  }
+}
+
+}  // namespace zero::core

@@ -1,0 +1,49 @@
+// Shared parameter residency for stages 0-2: every rank keeps a full
+// (padded) fp16/fp32 replica of the parameters, so AcquireUnit is a
+// view — a direct subspan in fp32 mode, or an fp32 widening of the fp16
+// storage (the analog of tensor cores reading fp16 operands into fp32
+// compute) with per-unit refcounting.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/stages/stage_strategy.hpp"
+
+namespace zero::core {
+
+class FullParamStrategy : public StageStrategy {
+ public:
+  using StageStrategy::StageStrategy;
+
+  void InitParams(std::span<const float> padded_init) override;
+  std::span<const float> AcquireUnit(int u, model::Phase phase) override;
+  void ReleaseUnit(int u, model::Phase phase) override;
+  std::span<Half> UpdateTargetF16() override;
+  std::span<float> UpdateTargetF32() override;
+  void ImportMasterParams(std::span<const float> padded_master) override;
+  void GatherFullParams(std::span<float> out) override;
+  [[nodiscard]] std::size_t param_bytes() const override {
+    return params_.nbytes();
+  }
+
+ protected:
+  // Full padded parameter vector -> fp16/fp32 storage.
+  void WriteParams(const float* padded_src);
+  // No unit may still be widened when backward finishes.
+  void CheckUnitsReleased() const;
+  // Re-gather the updated fp16/fp32 partition into every rank's full
+  // replica (stages 1-2 after the optimizer step; volume Ψ).
+  void AllGatherParams();
+
+  tensor::Tensor params_;
+
+ private:
+  struct WidenedUnit {
+    std::vector<float> f32;  // what the model actually reads
+    int refcount = 0;
+  };
+  std::map<int, WidenedUnit> units_;
+};
+
+}  // namespace zero::core

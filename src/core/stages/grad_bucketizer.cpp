@@ -1,0 +1,217 @@
+#include "core/stages/grad_bucketizer.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace zero::core {
+
+GradBucketizer::GradBucketizer(StageContext& ctx, tensor::Tensor* owner_grads)
+    : ctx_(&ctx), owner_grads_(owner_grads) {}
+
+std::pair<std::int64_t, std::int64_t> GradBucketizer::ChunkSpan(
+    std::int64_t c) const {
+  const std::int64_t shard = ctx_->part->partition_size();
+  const std::int64_t off = c * ctx_->cfg->bucket_elems;
+  return {off, std::min(ctx_->cfg->bucket_elems, shard - off)};
+}
+
+void GradBucketizer::BeginStep() {
+  ZERO_CHECK(segments_.empty(), "stale gradient segments from a prior step");
+  ZERO_CHECK(!pending_.has_value(),
+             "stale in-flight reduction from a prior step");
+  // Padding between total() and padded_total() is never emitted; the
+  // frontier starts at the top of the real parameter space.
+  emit_frontier_ = ctx_->part->total();
+}
+
+void GradBucketizer::Emit(int u, std::span<const float> grad) {
+  const Partitioner& part = *ctx_->part;
+  const auto [ub, ue] = ctx_->model->layout().UnitRange(u);
+  // Units tile the flat space and backward completes them from the top
+  // down, so emissions form one descending contiguous frontier. The
+  // bucketizer relies on this to know when a partition is complete.
+  ZERO_CHECK(ue == emit_frontier_,
+             "units must be emitted in descending contiguous order");
+  emit_frontier_ = ub;
+
+  for (const auto& [j, overlap] : part.Overlaps(Range{ub, ue})) {
+    auto [seg_it, created] = segments_.try_emplace(j);
+    Segment& seg = seg_it->second;
+    if (created) {
+      seg.data = ctx_->NewDevice(part.partition_size(), ctx_->work_dtype());
+      seg.data.FillZero();
+    }
+    const std::int64_t local = overlap.begin - part.PartitionRange(j).begin;
+    const float* src = grad.data() + (overlap.begin - ub);
+    if (ctx_->cfg->fp16) {
+      Half* dst = seg.data.f16().data() + local;
+      for (std::int64_t i = 0; i < overlap.size(); ++i) {
+        dst[i] = Half(src[i] * ctx_->loss_scale);
+      }
+    } else {
+      std::memcpy(seg.data.f32().data() + local, src,
+                  static_cast<std::size_t>(overlap.size()) * sizeof(float));
+    }
+    seg.covered += overlap.size();
+    ZERO_CHECK(seg.covered <= part.PartitionRangeClipped(j).size(),
+               "partition coverage overflow");
+    if (seg.covered == part.PartitionRangeClipped(j).size()) {
+      Flush(j);
+    }
+  }
+  // Fold in whatever peer contributions have already arrived for the
+  // reduction this rank owns, without blocking backward.
+  Progress(/*block=*/false);
+}
+
+void GradBucketizer::Flush(int j) {
+  auto it = segments_.find(j);
+  ZERO_CHECK(it != segments_.end(), "flushing a partition with no segment");
+  Segment seg = std::move(it->second);
+  segments_.erase(it);
+
+  if (ctx_->cfg->exact_reductions) {
+    FlushExact(j, seg);
+    return;
+  }
+  if (ctx_->nd() == 1) {
+    std::memcpy(owner_grads_->raw(), seg.data.raw(), owner_grads_->nbytes());
+    return;
+  }
+
+  // CB (Sec 6.2): issue the reduction in constant-size chunks so the
+  // fused communication buffer does not grow with the model. Every rank
+  // reaches this flush at the same logical point of its backward, so the
+  // tags drawn from the shared sequence line up across ranks.
+  const std::int64_t shard = ctx_->part->partition_size();
+  const std::size_t elem =
+      ctx_->cfg->fp16 ? sizeof(Half) : sizeof(float);
+  const std::int64_t num_chunks =
+      (shard + ctx_->cfg->bucket_elems - 1) / ctx_->cfg->bucket_elems;
+
+  if (ctx_->rank() == j) {
+    ZERO_CHECK(!pending_.has_value(),
+               "a rank owns exactly one partition reduction at a time");
+    PendingReduce pr;
+    pr.acc = std::move(seg.data);
+    for (int r = 0; r < ctx_->nd(); ++r) {
+      if (r != j) pr.peers.push_back(r);
+    }
+    pr.num_chunks = num_chunks;
+    pr.chunk_elems = ctx_->cfg->bucket_elems;
+    const std::size_t npeers = pr.peers.size();
+    pr.staging.resize(static_cast<std::size_t>(num_chunks) * npeers);
+    pr.requests.resize(static_cast<std::size_t>(num_chunks) * npeers);
+    pr.next_peer.assign(static_cast<std::size_t>(num_chunks), 0);
+    for (std::int64_t c = 0; c < num_chunks; ++c) {
+      const std::uint64_t tag = ctx_->p2p_tag++;
+      const auto [off, len] = ChunkSpan(c);
+      (void)off;
+      for (std::size_t k = 0; k < npeers; ++k) {
+        const std::size_t idx = static_cast<std::size_t>(c) * npeers + k;
+        pr.staging[idx].resize(static_cast<std::size_t>(len) * elem);
+        pr.requests[idx] = ctx_->dp->IsRecvBytes(
+            pr.peers[k], std::span<std::byte>(pr.staging[idx]), tag);
+      }
+    }
+    pending_.emplace(std::move(pr));
+  } else {
+    const std::byte* base = seg.data.raw();
+    for (std::int64_t c = 0; c < num_chunks; ++c) {
+      const std::uint64_t tag = ctx_->p2p_tag++;
+      const auto [off, len] = ChunkSpan(c);
+      (void)ctx_->dp->IsSendBytes(
+          j,
+          std::span<const std::byte>(
+              base + static_cast<std::size_t>(off) * elem,
+              static_cast<std::size_t>(len) * elem),
+          tag);
+    }
+    // "After the reduction we no longer need the gradients and their
+    // memory can be released" (Sec 5.2) — the deposits are buffered, so
+    // the segment dies here while the bytes are in flight.
+  }
+}
+
+void GradBucketizer::FlushExact(int j, Segment& seg) {
+  const std::int64_t shard = ctx_->part->partition_size();
+  for (std::int64_t off = 0; off < shard; off += ctx_->cfg->bucket_elems) {
+    const std::int64_t len = std::min(ctx_->cfg->bucket_elems, shard - off);
+    ctx_->ExactReduceToRoot(
+        seg.data.f32().subspan(static_cast<std::size_t>(off),
+                               static_cast<std::size_t>(len)),
+        j);
+  }
+  if (ctx_->rank() == j) {
+    std::memcpy(owner_grads_->raw(), seg.data.raw(), owner_grads_->nbytes());
+  }
+}
+
+void GradBucketizer::MergeChunk(std::int64_t c, std::size_t peer_index) {
+  PendingReduce& pr = *pending_;
+  const auto [off, len] = ChunkSpan(c);
+  std::vector<std::byte>& raw =
+      pr.staging[static_cast<std::size_t>(c) * pr.peers.size() + peer_index];
+  if (ctx_->cfg->fp16) {
+    comm::detail::AccumulateInto(
+        pr.acc.f16().data() + off,
+        reinterpret_cast<const Half*>(raw.data()),
+        static_cast<std::size_t>(len), comm::ReduceOp::kSum);
+  } else {
+    comm::detail::AccumulateInto(
+        pr.acc.f32().data() + off,
+        reinterpret_cast<const float*>(raw.data()),
+        static_cast<std::size_t>(len), comm::ReduceOp::kSum);
+  }
+  raw = std::vector<std::byte>();  // release the staging early
+}
+
+void GradBucketizer::Progress(bool block) {
+  if (!pending_.has_value()) return;
+  PendingReduce& pr = *pending_;
+  const std::size_t npeers = pr.peers.size();
+  for (std::int64_t c = 0; c < pr.num_chunks; ++c) {
+    auto& cursor = pr.next_peer[static_cast<std::size_t>(c)];
+    // Within a chunk, peers merge in ascending rank order so the sum
+    // bracketing (owner, then rank 0, 1, ...) is deterministic no
+    // matter the arrival order.
+    while (cursor < npeers) {
+      comm::CommRequest& req =
+          pr.requests[static_cast<std::size_t>(c) * npeers + cursor];
+      if (block) {
+        req.Wait();
+      } else if (!req.Test()) {
+        break;
+      }
+      MergeChunk(c, cursor);
+      ++cursor;
+      if (cursor == npeers) ++pr.merged_chunks;
+    }
+  }
+  if (pr.merged_chunks == pr.num_chunks) {
+    FinishPending();
+  }
+}
+
+void GradBucketizer::FinishPending() {
+  // The reduced partition gradient lands in this rank's persistent
+  // (1/Nd-sized) gradient store.
+  std::memcpy(owner_grads_->raw(), pending_->acc.raw(),
+              owner_grads_->nbytes());
+  pending_.reset();
+}
+
+void GradBucketizer::Drain() {
+  ZERO_CHECK(emit_frontier_ == 0 && segments_.empty(),
+             "backward did not cover the full parameter space");
+  Progress(/*block=*/true);
+  ZERO_CHECK(!pending_.has_value(), "in-flight reduction failed to drain");
+}
+
+void GradBucketizer::Reset() {
+  segments_.clear();
+  pending_.reset();
+  emit_frontier_ = 0;
+}
+
+}  // namespace zero::core

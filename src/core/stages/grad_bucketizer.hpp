@@ -1,0 +1,98 @@
+// Partition-aligned gradient bucketing for stages 2 and 3 (Sec 5.2,
+// Sec 7.2.1), issued through the communicator's nonblocking request
+// layer so in-flight reductions interleave with continued backward
+// emission — the overlap the paper's Sec 6.2/7.2.1 schedule assumes.
+//
+// Backward emits unit gradients top-down; units tile the flat parameter
+// space, so emissions form one descending contiguous frontier. Each
+// emission is scattered into per-partition staging segments; the moment
+// a partition's real elements are fully covered, the segment flushes to
+// the partition owner in constant-size buckets (CB, Sec 6.2):
+//
+//   - Non-owners IsSend their segment chunks straight to the owner and
+//     release the segment immediately ("after the reduction we no
+//     longer need the gradients and their memory can be released",
+//     Sec 5.2). The sends are buffered deposits, so backward continues
+//     while the bytes are conceptually in flight — no rank ever blocks
+//     on a peer that is still computing.
+//   - The owner posts IsRecv requests into per-peer staging and returns
+//     to backward. Completed chunks are merged opportunistically on
+//     later emissions (Progress) and whatever remains is drained at the
+//     end of backward (Drain). For each chunk, peers merge in ascending
+//     rank order on top of the owner's own contribution, so the sum
+//     bracketing is deterministic.
+//
+// Per-rank send volume is identical to the ring-reduce schedule this
+// replaces: every non-owner sends one shard per partition, the owner
+// sends nothing — (Nd-1)/Nd * 2Ψ bytes per step, the paper's stage-2
+// accounting. In exact_reductions mode (fp32 testing) the flush
+// degrades to the blocking rank-ordered reduce every stage shares.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/stages/stage_strategy.hpp"
+
+namespace zero::core {
+
+class GradBucketizer {
+ public:
+  // `owner_grads` is the shard-sized persistent gradient store the
+  // owner's fully reduced partition lands in; must outlive this object.
+  GradBucketizer(StageContext& ctx, tensor::Tensor* owner_grads);
+
+  // Resets the emission frontier; checks no stale state from a prior
+  // step survived.
+  void BeginStep();
+  // Scatter one unit gradient into partition segments; flush any
+  // partition this emission completes; make progress on pending
+  // reductions this rank owns.
+  void Emit(int u, std::span<const float> grad);
+  // Blocks until every in-flight reduction completes; verifies backward
+  // covered the full parameter space.
+  void Drain();
+  // Drops all in-flight state without completing it (elastic resume).
+  void Reset();
+
+ private:
+  struct Segment {
+    tensor::Tensor data;       // fp16/fp32 staging for one partition
+    std::int64_t covered = 0;  // real elements emitted so far
+  };
+  // The reduction of this rank's own partition, in flight while backward
+  // continues. At most one exists: a rank owns exactly one partition.
+  struct PendingReduce {
+    tensor::Tensor acc;        // owner's contribution; merge target
+    std::vector<int> peers;    // every other group rank, ascending
+    std::int64_t num_chunks = 0;
+    std::int64_t chunk_elems = 0;
+    // Indexed [chunk * peers.size() + peer_index]:
+    std::vector<std::vector<std::byte>> staging;
+    std::vector<comm::CommRequest> requests;
+    // Per-chunk merge cursor into `peers` (rank-order determinism).
+    std::vector<std::size_t> next_peer;
+    std::int64_t merged_chunks = 0;
+  };
+
+  void Flush(int j);
+  void FlushExact(int j, Segment& seg);
+  // Merges whatever completed chunks Test() can find without blocking
+  // (block=false) or everything (block=true).
+  void Progress(bool block);
+  void MergeChunk(std::int64_t c, std::size_t peer_index);
+  void FinishPending();
+  [[nodiscard]] std::pair<std::int64_t, std::int64_t> ChunkSpan(
+      std::int64_t c) const;
+
+  StageContext* ctx_;
+  tensor::Tensor* owner_grads_;
+  std::map<int, Segment> segments_;
+  std::int64_t emit_frontier_ = 0;  // descending coverage check
+  std::optional<PendingReduce> pending_;
+};
+
+}  // namespace zero::core

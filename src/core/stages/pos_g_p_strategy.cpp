@@ -1,0 +1,112 @@
+#include "core/stages/pos_g_p_strategy.hpp"
+
+#include <cstring>
+
+namespace zero::core {
+
+using model::Phase;
+
+void PosGPStrategy::WriteParams(const float* padded_src) {
+  const Range own = ctx_->part->PartitionRange(ctx_->rank());
+  const float* src = padded_src + own.begin;
+  const std::size_t n = static_cast<std::size_t>(params_.numel());
+  if (ctx_->cfg->fp16) {
+    FloatToHalf(src, params_.f16().data(), n);
+  } else {
+    std::memcpy(params_.f32().data(), src, n * sizeof(float));
+  }
+}
+
+void PosGPStrategy::InitParams(std::span<const float> padded_init) {
+  const std::int64_t shard = ctx_->part->partition_size();
+  params_ = ctx_->NewDevice(shard, ctx_->work_dtype());
+  WriteParams(padded_init.data());
+  grads_ = ctx_->NewDevice(shard, ctx_->work_dtype());
+  grads_.FillZero();
+  bucketizer_.emplace(*ctx_, &grads_);
+}
+
+std::span<const float> PosGPStrategy::AcquireUnit(int u, Phase phase) {
+  (void)phase;
+  const auto [ub, ue] = ctx_->model->layout().UnitRange(u);
+  const std::int64_t n = ue - ub;
+
+  // Materialize the unit from its partition owners, on demand.
+  MaterializedUnit& mu = units_[u];
+  if (mu.refcount == 0) {
+    const Range unit_range{ub, ue};
+    const Range own = ctx_->part->PartitionRange(ctx_->rank());
+    if (ctx_->cfg->fp16) {
+      mu.f16 = ctx_->NewDevice(n, DType::kF16);
+      for (const auto& [j, overlap] : ctx_->part->Overlaps(unit_range)) {
+        std::span<Half> dst = mu.f16.f16().subspan(
+            static_cast<std::size_t>(overlap.begin - ub),
+            static_cast<std::size_t>(overlap.size()));
+        if (j == ctx_->rank()) {
+          std::memcpy(dst.data(),
+                      params_.f16().data() + (overlap.begin - own.begin),
+                      dst.size_bytes());
+        }
+        ctx_->dp->Broadcast(dst, j);
+      }
+      mu.f32.resize(static_cast<std::size_t>(n));
+      HalfToFloat(mu.f16.f16().data(), mu.f32.data(),
+                  static_cast<std::size_t>(n));
+    } else {
+      mu.f32.assign(static_cast<std::size_t>(n), 0.0f);
+      for (const auto& [j, overlap] : ctx_->part->Overlaps(unit_range)) {
+        std::span<float> dst{mu.f32.data() + (overlap.begin - ub),
+                             static_cast<std::size_t>(overlap.size())};
+        if (j == ctx_->rank()) {
+          std::memcpy(dst.data(),
+                      params_.f32().data() + (overlap.begin - own.begin),
+                      dst.size_bytes());
+        }
+        ctx_->dp->Broadcast(dst, j);
+      }
+    }
+  }
+  ++mu.refcount;
+  return mu.f32;
+}
+
+void PosGPStrategy::ReleaseUnit(int u, Phase phase) {
+  (void)phase;
+  auto it = units_.find(u);
+  ZERO_CHECK(it != units_.end(), "ReleaseUnit without matching AcquireUnit");
+  ZERO_CHECK(it->second.refcount > 0, "ReleaseUnit refcount underflow");
+  if (--it->second.refcount == 0) {
+    // "The parameters can be discarded" (Sec 7.2.2) — this frees the
+    // gathered fp16 device tensor immediately.
+    units_.erase(it);
+  }
+}
+
+void PosGPStrategy::ReduceGradients() {
+  ZERO_CHECK(units_.empty(), "model leaked acquired units");
+  // Gradients were already reduced to their owners during backward; wait
+  // out whatever is still in flight and verify full coverage.
+  bucketizer_->Drain();
+}
+
+void PosGPStrategy::ImportMasterParams(std::span<const float> padded_master) {
+  WriteParams(padded_master.data());
+}
+
+void PosGPStrategy::ResetInFlight() {
+  bucketizer_->Reset();
+  grads_.FillZero();
+  units_.clear();
+}
+
+void PosGPStrategy::GatherFullParams(std::span<float> out) {
+  for (int u = 0; u < ctx_->model->layout().num_units(); ++u) {
+    const auto [ub, ue] = ctx_->model->layout().UnitRange(u);
+    std::span<const float> p = AcquireUnit(u, Phase::kForward);
+    std::memcpy(out.data() + ub, p.data(),
+                static_cast<std::size_t>(ue - ub) * sizeof(float));
+    ReleaseUnit(u, Phase::kForward);
+  }
+}
+
+}  // namespace zero::core

@@ -1,0 +1,24 @@
+#include "core/stages/pos_g_strategy.hpp"
+
+namespace zero::core {
+
+void PosGStrategy::InitParams(std::span<const float> padded_init) {
+  FullParamStrategy::InitParams(padded_init);
+  grads_ = ctx_->NewDevice(ctx_->part->partition_size(), ctx_->work_dtype());
+  grads_.FillZero();
+  bucketizer_.emplace(*ctx_, &grads_);
+}
+
+void PosGStrategy::ReduceGradients() {
+  CheckUnitsReleased();
+  // Gradients were already reduced to their owners during backward; wait
+  // out whatever is still in flight and verify full coverage.
+  bucketizer_->Drain();
+}
+
+void PosGStrategy::ResetInFlight() {
+  bucketizer_->Reset();
+  grads_.FillZero();
+}
+
+}  // namespace zero::core

@@ -1,0 +1,42 @@
+// Stage 2 — Pos+g, optimizer state + gradient partitioning (Sec 5.2):
+// full fp16 parameter replicas, but each rank keeps only the reduced
+// gradients of its own partition (2Ψ/Nd). Unit gradients are bucketized
+// and reduced to their partition owners *during* backward through the
+// nonblocking request layer; ReduceGradients only drains what is still
+// in flight. Total volume stays 2Ψ (Sec 7.2.1).
+#pragma once
+
+#include "core/stages/full_param_strategy.hpp"
+#include "core/stages/grad_bucketizer.hpp"
+
+namespace zero::core {
+
+class PosGStrategy final : public FullParamStrategy {
+ public:
+  using FullParamStrategy::FullParamStrategy;
+
+  [[nodiscard]] const char* name() const override { return "pos-g"; }
+
+  void InitParams(std::span<const float> padded_init) override;
+  void OnStepBegin() override { bucketizer_->BeginStep(); }
+  void EmitUnitGrad(int u, std::span<const float> grad) override {
+    bucketizer_->Emit(u, grad);
+  }
+  void ReduceGradients() override;
+  std::span<const Half> ReducedF16() override { return grads_.f16(); }
+  std::span<const float> ReducedF32() override { return grads_.f32(); }
+  void OnUpdateApplied() override {
+    AllGatherParams();
+    grads_.FillZero();
+  }
+  void ResetInFlight() override;
+  [[nodiscard]] std::size_t grad_bytes() const override {
+    return grads_.nbytes();
+  }
+
+ private:
+  tensor::Tensor grads_;  // this rank's reduced partition (1/Nd)
+  std::optional<GradBucketizer> bucketizer_;
+};
+
+}  // namespace zero::core

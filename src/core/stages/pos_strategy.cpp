@@ -1,0 +1,46 @@
+#include "core/stages/pos_strategy.hpp"
+
+#include <cstring>
+
+namespace zero::core {
+
+void PosStrategy::InitParams(std::span<const float> padded_init) {
+  FullParamStrategy::InitParams(padded_init);
+  grads_ = ctx_->NewDevice(ctx_->part->padded_total(), ctx_->work_dtype());
+  grads_.FillZero();
+  reduced_shard_ =
+      ctx_->NewDevice(ctx_->part->partition_size(), ctx_->work_dtype());
+  reduced_shard_.FillZero();
+}
+
+void PosStrategy::EmitUnitGrad(int u, std::span<const float> grad) {
+  StoreUnitGradFull(*ctx_, grads_, u, grad);
+}
+
+void PosStrategy::ReduceGradients() {
+  CheckUnitsReleased();
+  // Reduce-scatter into this rank's reduced shard. Volume Ψ; the
+  // parameter all-gather after the update is the other Ψ.
+  const std::int64_t shard = ctx_->part->partition_size();
+  if (ctx_->cfg->fp16) {
+    ctx_->dp->ReduceScatter(grads_.f16(), reduced_shard_.f16(),
+                            comm::ReduceOp::kSum);
+  } else if (ctx_->cfg->exact_reductions) {
+    for (int j = 0; j < ctx_->nd(); ++j) {
+      const Range pr = ctx_->part->PartitionRange(j);
+      ctx_->ExactReduceToRoot(
+          grads_.f32().subspan(static_cast<std::size_t>(pr.begin),
+                               static_cast<std::size_t>(pr.size())),
+          j);
+    }
+    const Range own = ctx_->part->PartitionRange(ctx_->rank());
+    std::memcpy(reduced_shard_.f32().data(),
+                grads_.f32().data() + own.begin,
+                static_cast<std::size_t>(shard) * sizeof(float));
+  } else {
+    ctx_->dp->ReduceScatter(grads_.f32(), reduced_shard_.f32(),
+                            comm::ReduceOp::kSum);
+  }
+}
+
+}  // namespace zero::core

@@ -1,0 +1,37 @@
+// Stage 1 — Pos, optimizer state partitioning (Sec 5.1): full fp16
+// parameter and gradient replicas, but each rank updates only its
+// partition's optimizer state. Gradients are reduce-scattered at step
+// end (volume Ψ); the updated fp16 partition is all-gathered back into
+// every replica (the other Ψ) — total 2Ψ, matching baseline (Sec 7.2.1).
+#pragma once
+
+#include "core/stages/full_param_strategy.hpp"
+
+namespace zero::core {
+
+class PosStrategy final : public FullParamStrategy {
+ public:
+  using FullParamStrategy::FullParamStrategy;
+
+  [[nodiscard]] const char* name() const override { return "pos"; }
+
+  void InitParams(std::span<const float> padded_init) override;
+  void OnStepBegin() override {}
+  void EmitUnitGrad(int u, std::span<const float> grad) override;
+  void ReduceGradients() override;
+  std::span<const Half> ReducedF16() override { return reduced_shard_.f16(); }
+  std::span<const float> ReducedF32() override { return reduced_shard_.f32(); }
+  void OnUpdateApplied() override { AllGatherParams(); }
+  void ResetInFlight() override { grads_.FillZero(); }
+  // Matches the paper's stage-1 grads-2Ψ accounting: the reduce-scatter
+  // output shard is transient working state, not a persistent store.
+  [[nodiscard]] std::size_t grad_bytes() const override {
+    return grads_.nbytes();
+  }
+
+ private:
+  tensor::Tensor grads_;          // full padded vector
+  tensor::Tensor reduced_shard_;  // reduce-scatter output (own partition)
+};
+
+}  // namespace zero::core

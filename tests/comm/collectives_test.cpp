@@ -188,6 +188,39 @@ TEST_P(CollectivesTest, ReduceLandsOnRootOnly) {
   });
 }
 
+TEST_P(CollectivesTest, ReduceAvgScalesAtRootOnly) {
+  // Regression for the documented Reduce contract: kAvg divides by the
+  // group size at the root only, and non-root buffers come back exactly
+  // as they were passed in (they hold unreduced local data, not a
+  // result).
+  const int p = GetParam();
+  if (p < 3) GTEST_SKIP() << "needs a rank that is neither root nor "
+                             "the first ring hop";
+  const std::size_t n = 19;
+  std::vector<float> mean(n, 0.0f);
+  for (int r = 0; r < p; ++r) {
+    auto d = RankData(r, n);
+    for (std::size_t i = 0; i < n; ++i) mean[i] += d[i] / static_cast<float>(p);
+  }
+  World world(p);
+  world.Run([&](RankContext& ctx) {
+    Communicator comm = Communicator::WholeWorld(ctx);
+    for (int root = 0; root < p; ++root) {
+      auto data = RankData(ctx.rank, n);
+      const auto before = data;
+      comm.Reduce(std::span<float>(data), root, ReduceOp::kAvg);
+      if (ctx.rank == root) {
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_NEAR(data[i], mean[i], 1e-4f) << "root " << root;
+        }
+      } else {
+        // Untouched — in particular, never scaled by 1/p.
+        ASSERT_EQ(data, before) << "rank " << ctx.rank << " root " << root;
+      }
+    }
+  });
+}
+
 TEST_P(CollectivesTest, ScatterDistributesRootChunks) {
   const int p = GetParam();
   const std::size_t chunk = 6;

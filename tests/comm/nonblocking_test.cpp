@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/world.hpp"
+#include "common/rng.hpp"
+
+namespace zero::comm {
+namespace {
+
+std::vector<float> RankPayload(int from, int to, std::size_t n) {
+  std::vector<float> v(n);
+  Rng rng(7000 + static_cast<std::uint64_t>(from) * 131 +
+          static_cast<std::uint64_t>(to));
+  for (float& x : v) x = rng.NextGaussian();
+  return v;
+}
+
+TEST(NonblockingTest, DefaultAndSendRequestsAreDone) {
+  CommRequest empty;
+  EXPECT_TRUE(empty.done());
+  empty.Wait();  // no-op
+
+  World world(2);
+  world.Run([&](RankContext& ctx) {
+    Communicator comm = Communicator::WholeWorld(ctx);
+    if (ctx.rank == 0) {
+      std::vector<float> v{1.0f, 2.0f};
+      CommRequest req = comm.IsSend(1, std::span<const float>(v), 5);
+      // Deposits are buffered copies: the send is complete on return.
+      EXPECT_TRUE(req.done());
+      req.Wait();  // no-op
+    } else {
+      std::vector<float> v(2);
+      comm.Recv(0, std::span<float>(v), 5);
+      EXPECT_EQ(v[0], 1.0f);
+      EXPECT_EQ(v[1], 2.0f);
+    }
+  });
+}
+
+TEST(NonblockingTest, WaitCompletesOutOfPostingOrder) {
+  // Requests are independent: waiting on the last-posted request first
+  // must not consume or corrupt the earlier ones.
+  const std::size_t n = 33;
+  World world(2);
+  world.Run([&](RankContext& ctx) {
+    Communicator comm = Communicator::WholeWorld(ctx);
+    if (ctx.rank == 1) {
+      for (std::uint64_t tag = 1; tag <= 3; ++tag) {
+        auto v = RankPayload(1, 0, n + tag);
+        comm.Send(0, std::span<const float>(v), tag);
+      }
+      return;
+    }
+    std::vector<std::vector<float>> bufs;
+    std::vector<CommRequest> reqs;
+    for (std::uint64_t tag = 1; tag <= 3; ++tag) {
+      bufs.emplace_back(n + tag);
+      reqs.push_back(comm.IsRecv(1, std::span<float>(bufs.back()), tag));
+    }
+    for (int i = 2; i >= 0; --i) {
+      reqs[static_cast<std::size_t>(i)].Wait();
+      EXPECT_TRUE(reqs[static_cast<std::size_t>(i)].done());
+      const auto expected =
+          RankPayload(1, 0, n + static_cast<std::uint64_t>(i) + 1);
+      EXPECT_EQ(bufs[static_cast<std::size_t>(i)], expected) << "tag " << i + 1;
+    }
+  });
+}
+
+TEST(NonblockingTest, TestPollsWithoutConsumingOtherRequests) {
+  // Rank 1 sends nothing until rank 0 says go, so the first Test() is a
+  // guaranteed miss; afterwards rank 0 polls both requests to completion
+  // while they complete in the opposite of posting order.
+  const std::size_t n = 48;
+  World world(2);
+  world.Run([&](RankContext& ctx) {
+    Communicator comm = Communicator::WholeWorld(ctx);
+    if (ctx.rank == 1) {
+      std::vector<float> go(1);
+      comm.Recv(0, std::span<float>(go), 99);
+      // Send tag 2 first, tag 1 second: arrival order inverts posting
+      // order on rank 0.
+      auto b = RankPayload(1, 0, n);
+      comm.Send(0, std::span<const float>(b), 2);
+      auto a = RankPayload(1, 0, n + 1);
+      comm.Send(0, std::span<const float>(a), 1);
+      return;
+    }
+    std::vector<float> buf1(n + 1);
+    std::vector<float> buf2(n);
+    CommRequest r1 = comm.IsRecv(1, std::span<float>(buf1), 1);
+    CommRequest r2 = comm.IsRecv(1, std::span<float>(buf2), 2);
+    EXPECT_FALSE(r1.Test());  // peer has not sent yet
+    EXPECT_FALSE(r2.Test());
+    std::vector<float> go{1.0f};
+    comm.Send(1, std::span<const float>(go), 99);
+    while (!r1.Test() || !r2.Test()) {
+    }
+    EXPECT_EQ(buf1, RankPayload(1, 0, n + 1));
+    EXPECT_EQ(buf2, RankPayload(1, 0, n));
+  });
+}
+
+TEST(NonblockingTest, ManyPeersSameTagUnderContention) {
+  // The mailbox keys on (source, tag): every peer can use the same tag
+  // without cross-talk, and requests complete in any wait order.
+  const int p = 5;
+  const std::size_t n = 29;
+  World world(p);
+  world.Run([&](RankContext& ctx) {
+    Communicator comm = Communicator::WholeWorld(ctx);
+    if (ctx.rank != 0) {
+      auto v = RankPayload(ctx.rank, 0, n);
+      (void)comm.IsSend(0, std::span<const float>(v), 7);
+      return;
+    }
+    std::vector<std::vector<float>> bufs(p);
+    std::vector<CommRequest> reqs(p);
+    for (int r = 1; r < p; ++r) {
+      bufs[static_cast<std::size_t>(r)].resize(n);
+      reqs[static_cast<std::size_t>(r)] = comm.IsRecv(
+          r, std::span<float>(bufs[static_cast<std::size_t>(r)]), 7);
+    }
+    // Wait highest rank first to exercise out-of-order completion.
+    for (int r = p - 1; r >= 1; --r) {
+      reqs[static_cast<std::size_t>(r)].Wait();
+      EXPECT_EQ(bufs[static_cast<std::size_t>(r)], RankPayload(r, 0, n))
+          << "peer " << r;
+    }
+  });
+}
+
+TEST(NonblockingTest, InterleavedMatchesBlockingByteForByte) {
+  // Property: an exchange issued through IsSend/IsRecv with interleaved
+  // posting and out-of-order completion delivers exactly the bytes the
+  // blocking Send/Recv path delivers.
+  const int p = 4;
+  const std::size_t n = 57;
+  const int rounds = 3;
+  World world(p);
+  world.Run([&](RankContext& ctx) {
+    Communicator comm = Communicator::WholeWorld(ctx);
+    for (int round = 0; round < rounds; ++round) {
+      const std::uint64_t tag_base =
+          static_cast<std::uint64_t>(round) * 100 + 10;
+      // Blocking reference: everyone sends to everyone (deposits are
+      // buffered, so all sends can precede all receives).
+      std::vector<std::vector<float>> blocking(p);
+      for (int peer = 0; peer < p; ++peer) {
+        if (peer == ctx.rank) continue;
+        auto v = RankPayload(ctx.rank, peer, n + static_cast<std::size_t>(round));
+        comm.Send(peer, std::span<const float>(v), tag_base);
+      }
+      for (int peer = 0; peer < p; ++peer) {
+        if (peer == ctx.rank) continue;
+        blocking[static_cast<std::size_t>(peer)].resize(
+            n + static_cast<std::size_t>(round));
+        comm.Recv(peer,
+                  std::span<float>(blocking[static_cast<std::size_t>(peer)]),
+                  tag_base);
+      }
+      comm.Barrier();
+
+      // Nonblocking: interleave recv posts and sends, then complete via
+      // a mix of polling and waiting, highest peer first.
+      std::vector<std::vector<float>> nonblocking(p);
+      std::vector<CommRequest> reqs(p);
+      for (int peer = 0; peer < p; ++peer) {
+        if (peer == ctx.rank) continue;
+        nonblocking[static_cast<std::size_t>(peer)].resize(
+            n + static_cast<std::size_t>(round));
+        reqs[static_cast<std::size_t>(peer)] = comm.IsRecv(
+            peer,
+            std::span<float>(nonblocking[static_cast<std::size_t>(peer)]),
+            tag_base + 1);
+        auto v = RankPayload(ctx.rank, peer, n + static_cast<std::size_t>(round));
+        (void)comm.IsSend(peer, std::span<const float>(v), tag_base + 1);
+      }
+      for (int peer = p - 1; peer >= 0; --peer) {
+        if (peer == ctx.rank) continue;
+        CommRequest& req = reqs[static_cast<std::size_t>(peer)];
+        if (!req.Test()) req.Wait();
+        ASSERT_EQ(nonblocking[static_cast<std::size_t>(peer)],
+                  blocking[static_cast<std::size_t>(peer)])
+            << "round " << round << " peer " << peer;
+      }
+      comm.Barrier();
+    }
+  });
+}
+
+}  // namespace
+}  // namespace zero::comm
