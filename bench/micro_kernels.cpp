@@ -7,6 +7,7 @@
 #include "common/half.hpp"
 #include "common/rng.hpp"
 #include "tensor/kernels.hpp"
+#include "tensor/parallel_for.hpp"
 
 using namespace zero;
 
@@ -47,6 +48,69 @@ void BM_GemmNT(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GemmNT)->Arg(128);
+
+// Same packed kernel with the intra-op pool sized by the Arg. On a
+// single-core host the 2-worker row is a determinism/overhead probe,
+// not a speedup claim.
+void BM_GemmParallel(benchmark::State& state) {
+  const std::int64_t n = 512;
+  tensor::IntraOpWorkersGuard guard(static_cast<int>(state.range(0)));
+  auto a = RandVec(static_cast<std::size_t>(n * n));
+  auto b = RandVec(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto _ : state) {
+    tensor::Gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
+                 c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * n * n * n,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmParallel)->Arg(1)->Arg(2);
+
+void BM_BiasGeluForward(benchmark::State& state) {
+  const std::int64_t rows = 256, cols = state.range(0);
+  const std::size_t n = static_cast<std::size_t>(rows * cols);
+  auto x = RandVec(n);
+  auto bias = RandVec(static_cast<std::size_t>(cols));
+  std::vector<float> z(n), y(n);
+  for (auto _ : state) {
+    tensor::BiasGeluForward(x.data(), bias.data(), z.data(), y.data(), rows,
+                            cols);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 12);
+}
+BENCHMARK(BM_BiasGeluForward)->Arg(256)->Arg(1024);
+
+void BM_BiasGeluBackward(benchmark::State& state) {
+  const std::int64_t rows = 256, cols = state.range(0);
+  const std::size_t n = static_cast<std::size_t>(rows * cols);
+  auto z = RandVec(n);
+  auto dy = RandVec(n);
+  std::vector<float> dx(n), dbias(static_cast<std::size_t>(cols));
+  for (auto _ : state) {
+    std::fill(dbias.begin(), dbias.end(), 0.0f);
+    tensor::BiasGeluBackward(z.data(), dy.data(), dx.data(), dbias.data(),
+                             rows, cols);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_BiasGeluBackward)->Arg(1024);
+
+void BM_SquaredNorm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto x = RandVec(n);
+  for (auto _ : state) {
+    float s = tensor::SquaredNorm(x.data(), static_cast<std::int64_t>(n));
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 4);
+}
+BENCHMARK(BM_SquaredNorm)->Arg(1 << 16)->Arg(1 << 20);
 
 void BM_LayerNormForward(benchmark::State& state) {
   const std::int64_t rows = 256, cols = state.range(0);

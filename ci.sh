@@ -14,6 +14,13 @@ cmake --preset release >/dev/null
 cmake --build --preset release -j "${JOBS}"
 ctest --preset release -j "${JOBS}"
 
+echo "==> bench: kernel perf gate (release build)"
+# Writes BENCH_kernels.json and fails on >25% regression against the
+# checked-in baseline, or if the packed-GEMM (3x) / fp16-decode (5x)
+# speedup floors over the seed kernels are missed. ZERO_BENCH_RELAX=1
+# downgrades failures to warnings on throttled machines.
+./build/bench/kernel_perf BENCH_kernels.json bench/kernels_baseline.json
+
 echo "==> tsan: configure + build + ctest"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}"

@@ -1,0 +1,54 @@
+#include "alloc/scratch.hpp"
+
+#include <algorithm>
+
+namespace zero::alloc {
+
+namespace {
+constexpr std::size_t kAlign = 64;
+constexpr std::size_t kMinBlock = 1u << 16;  // 64 KiB
+
+std::size_t AlignUp(std::size_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
+}  // namespace
+
+std::byte* ScratchArena::Allocate(std::size_t bytes) {
+  bytes = AlignUp(std::max<std::size_t>(bytes, 1));
+  // Advance to the first block (current or later) with room; append a
+  // fresh block when none fits. Earlier blocks keep their contents —
+  // growth never moves memory.
+  while (block_ < blocks_.size() &&
+         used_ + bytes > blocks_[block_].size) {
+    ++block_;
+    used_ = 0;
+  }
+  if (block_ == blocks_.size()) {
+    std::size_t grow = blocks_.empty() ? kMinBlock : capacity();
+    grow = std::max(AlignUp(bytes), grow);
+    Block b;
+    // operator new guarantees alignment only to max_align_t; over-allocate
+    // and align the cursor start instead of the pointer for simplicity.
+    b.data = std::make_unique<std::byte[]>(grow + kAlign);
+    b.size = grow;
+    blocks_.push_back(std::move(b));
+    used_ = 0;
+  }
+  Block& blk = blocks_[block_];
+  const auto base = reinterpret_cast<std::uintptr_t>(blk.data.get());
+  const std::uintptr_t aligned_base = (base + kAlign - 1) & ~(kAlign - 1);
+  std::byte* out = reinterpret_cast<std::byte*>(aligned_base) + used_;
+  used_ += bytes;
+  return out;
+}
+
+std::size_t ScratchArena::capacity() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+ScratchArena& ThreadScratch() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace zero::alloc

@@ -1,0 +1,79 @@
+// Thread-local kernel scratch — heap-side sibling of alloc::Arena.
+//
+// The tensor kernels need short-lived temporaries on the hot path: GEMM
+// pack panels, cross-entropy probability rows, partial buffers for
+// deterministic chunked reductions. Allocating them per call (the seed's
+// std::vector-per-CrossEntropyLoss pattern) costs a malloc/free pair per
+// kernel invocation at vocab size, rows x per step. ScratchArena applies
+// the same bump-allocation discipline Arena uses for ZeRO-R's MD chunks,
+// but heap-backed and thread-local, so every rank thread and every
+// intra-op worker owns one and kernels never contend or allocate.
+//
+// Unlike Arena, growth never invalidates live pointers: capacity is a
+// chain of blocks and a new block is appended when the current one is
+// exhausted. ScratchGuard saves/restores the bump cursor RAII-style so
+// nested kernels compose (a GEMM inside a model step inside a test).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace zero::alloc {
+
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  struct Mark {
+    std::size_t block = 0;
+    std::size_t used = 0;
+  };
+
+  // 64-byte aligned bump allocation; pointers stay valid until the
+  // enclosing mark is restored (or forever, if no guard is active).
+  [[nodiscard]] std::byte* Allocate(std::size_t bytes);
+
+  template <typename T>
+  [[nodiscard]] T* AllocateT(std::size_t count) {
+    return reinterpret_cast<T*>(Allocate(count * sizeof(T)));
+  }
+
+  [[nodiscard]] Mark Save() const { return {block_, used_}; }
+  void Restore(Mark m) {
+    block_ = m.block;
+    used_ = m.used;
+  }
+
+  [[nodiscard]] std::size_t capacity() const;
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;  // index of the block the cursor is in
+  std::size_t used_ = 0;   // bytes consumed in blocks_[block_]
+};
+
+class ScratchGuard {
+ public:
+  explicit ScratchGuard(ScratchArena& arena)
+      : arena_(arena), mark_(arena.Save()) {}
+  ~ScratchGuard() { arena_.Restore(mark_); }
+  ScratchGuard(const ScratchGuard&) = delete;
+  ScratchGuard& operator=(const ScratchGuard&) = delete;
+
+ private:
+  ScratchArena& arena_;
+  ScratchArena::Mark mark_;
+};
+
+// The calling thread's scratch arena (lazily constructed).
+[[nodiscard]] ScratchArena& ThreadScratch();
+
+}  // namespace zero::alloc

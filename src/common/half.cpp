@@ -2,6 +2,10 @@
 
 #include <cmath>
 
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
 namespace zero {
 
 std::uint16_t Half::FromFloat(float f) {
@@ -85,12 +89,77 @@ float Half::ToFloatImpl(std::uint16_t bits) {
   return f;
 }
 
+const float* HalfDecodeTable() {
+  struct Table {
+    float v[1u << 16];
+    Table() {
+      for (std::uint32_t b = 0; b < (1u << 16); ++b) {
+        v[b] = Half::ToFloatImpl(static_cast<std::uint16_t>(b));
+      }
+    }
+  };
+  static const Table table;  // thread-safe one-time init
+  return table.v;
+}
+
+// The bulk converters carry a bit-exactness contract with the scalar
+// Half conversions (tests/common/half_lut_test.cpp checks it, decode
+// exhaustively). The AVX-512 paths below were verified to satisfy it:
+//  - decode: pure integer rebiasing; subnormals via the exact
+//    as_float(magic + (mant << 13)) - as_float(magic) identity (every
+//    half subnormal is representable in fp32, so the subtraction is
+//    exact); Inf/NaN reconstructed with OR, so NaN payloads survive.
+//  - encode: VCVTPS2PH rounds to nearest-even and quiets SNaNs by
+//    setting the same 0x0200 bit FromFloat sets.
 void FloatToHalf(const float* src, Half* dst, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) dst[i] = Half(src[i]);
+  std::size_t i = 0;
+#if defined(__AVX512F__)
+  for (; i + 16 <= n; i += 16) {
+    const __m512 v = _mm512_loadu_ps(src + i);
+    const __m256i h =
+        _mm512_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), h);
+  }
+#endif
+  for (; i < n; ++i) {
+    dst[i] = Half::FromBits(Half::FromFloat(src[i]));
+  }
 }
 
 void HalfToFloat(const Half* src, float* dst, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) dst[i] = src[i].ToFloat();
+  std::size_t i = 0;
+#if defined(__AVX512F__)
+  const __m512i sign_mask = _mm512_set1_epi32(0x8000);
+  const __m512i exp_mask = _mm512_set1_epi32(0x7C00);
+  const __m512i mant_mask = _mm512_set1_epi32(0x03FF);
+  const __m512i exp_adj = _mm512_set1_epi32((127 - 15) << 23);
+  const __m512i infnan = _mm512_set1_epi32(0x7F800000);
+  const __m512i magic = _mm512_set1_epi32(0x38800000);  // 2^-14
+  for (; i + 16 <= n; i += 16) {
+    const __m256i h16 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m512i h = _mm512_cvtepu16_epi32(h16);
+    const __m512i sign = _mm512_slli_epi32(_mm512_and_si512(h, sign_mask), 16);
+    const __m512i exp = _mm512_and_si512(h, exp_mask);
+    const __m512i mant = _mm512_and_si512(h, mant_mask);
+    const __m512i mant13 = _mm512_slli_epi32(mant, 13);
+    const __m512i norm = _mm512_add_epi32(
+        _mm512_slli_epi32(_mm512_or_si512(exp, mant), 13), exp_adj);
+    const __m512 subf =
+        _mm512_sub_ps(_mm512_castsi512_ps(_mm512_add_epi32(magic, mant13)),
+                      _mm512_castsi512_ps(magic));
+    const __m512i special = _mm512_or_si512(infnan, mant13);
+    const __mmask16 is_sub =
+        _mm512_cmpeq_epi32_mask(exp, _mm512_setzero_si512());
+    const __mmask16 is_special = _mm512_cmpeq_epi32_mask(exp, exp_mask);
+    __m512i out = _mm512_mask_blend_epi32(is_sub, norm, _mm512_castps_si512(subf));
+    out = _mm512_mask_blend_epi32(is_special, out, special);
+    out = _mm512_or_si512(out, sign);
+    _mm512_storeu_ps(dst + i, _mm512_castsi512_ps(out));
+  }
+#endif
+  const float* table = HalfDecodeTable();
+  for (; i < n; ++i) dst[i] = table[src[i].bits()];
 }
 
 }  // namespace zero

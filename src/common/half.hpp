@@ -67,7 +67,17 @@ class Half {
 
 static_assert(sizeof(Half) == 2, "Half must be exactly two bytes");
 
+// All 65536 half bit patterns decoded to fp32, indexed by Half::bits().
+// Built once on first use from ToFloatImpl, so table entries are
+// bit-identical to the scalar decoder (including NaN payloads — the
+// hardware F16C path quiets signalling NaNs and would not be).
+const float* HalfDecodeTable();
+
 // Bulk conversion helpers used by the tensor library's cast kernels.
+// Vectorized where the build targets AVX-512, with the decode LUT /
+// scalar round-to-nearest-even encoder as the portable path. Every
+// variant is bit-exact with the one-at-a-time Half conversions,
+// including NaN payloads.
 void FloatToHalf(const float* src, Half* dst, std::size_t n);
 void HalfToFloat(const Half* src, float* dst, std::size_t n);
 

@@ -1,7 +1,11 @@
 #include "core/dp_engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+
+#include "tensor/kernels.hpp"
+#include "tensor/parallel_for.hpp"
 
 namespace zero::core {
 
@@ -19,6 +23,15 @@ ZeroDpEngine::ZeroDpEngine(EngineConfig config, model::FlatParamModel& model,
   ZERO_CHECK(!cfg_.exact_reductions || !cfg_.fp16,
              "exact_reductions requires fp32 mode");
   ZERO_CHECK(cfg_.bucket_elems > 0, "bucket size must be positive");
+  if (cfg_.intra_op_workers > 0) {
+    // One engine per rank thread runs concurrently; divide the machine
+    // so rank_threads x workers never oversubscribes it. (The worker
+    // count is deliberately not part of the numeric contract — kernels
+    // are bitwise-identical at any setting.)
+    const int budget =
+        std::max(1, tensor::HardwareConcurrency() / dp.size());
+    tensor::SetIntraOpWorkers(std::min(cfg_.intra_op_workers, budget));
+  }
   InitState(seed);
 }
 
@@ -171,20 +184,20 @@ bool ZeroDpEngine::DetectGlobalOverflow() {
 }
 
 float ZeroDpEngine::ComputeClipCoefficient(float base_scale) {
-  double local_sq = 0.0;
+  float total_sq = 0.0f;
   if (acc_.defined()) {
-    for (float x : acc_.f32()) local_sq += static_cast<double>(x) * x;
+    const auto v = acc_.f32();
+    total_sq = tensor::SquaredNorm(v.data(),
+                                   static_cast<std::int64_t>(v.size()));
   } else if (cfg_.fp16) {
-    for (Half h : strategy_->ReducedF16()) {
-      const double x = h.ToFloat();
-      local_sq += x * x;
-    }
+    const auto v = strategy_->ReducedF16();
+    total_sq = tensor::SquaredNormF16(v.data(),
+                                      static_cast<std::int64_t>(v.size()));
   } else {
-    for (float x : strategy_->ReducedF32()) {
-      local_sq += static_cast<double>(x) * x;
-    }
+    const auto v = strategy_->ReducedF32();
+    total_sq = tensor::SquaredNorm(v.data(),
+                                   static_cast<std::int64_t>(v.size()));
   }
-  float total_sq = static_cast<float>(local_sq);
   if (strategy_->state_partitioned()) {
     // Partitioned stages each hold 1/Nd of the gradient: sum the shard
     // norms. (The baseline holds the full reduced gradient everywhere.)

@@ -39,6 +39,11 @@ struct EngineConfig {
   // Deterministic rank-ordered reductions (gather, sum in rank order,
   // redistribute). Exact across stages; used by equivalence tests.
   bool exact_reductions = false;
+  // Intra-op worker budget for the CPU kernels (tensor/parallel_for.hpp).
+  // 0 leaves the process-wide setting alone (env ZERO_INTRAOP_WORKERS,
+  // default serial); positive values are clamped so that
+  // rank_threads x workers never exceeds the hardware thread count.
+  int intra_op_workers = 0;
   optim::AdamConfig adam;
 };
 

@@ -1,6 +1,7 @@
 #include "core/stages/full_param_strategy.hpp"
 
 #include <cstring>
+#include "tensor/kernels.hpp"
 
 namespace zero::core {
 
@@ -12,7 +13,8 @@ void FullParamStrategy::InitParams(std::span<const float> padded_init) {
 void FullParamStrategy::WriteParams(const float* padded_src) {
   const std::size_t n = static_cast<std::size_t>(params_.numel());
   if (ctx_->cfg->fp16) {
-    FloatToHalf(padded_src, params_.f16().data(), n);
+    tensor::CastFloatToHalf(padded_src, params_.f16().data(),
+                            static_cast<std::int64_t>(n));
   } else {
     std::memcpy(params_.f32().data(), padded_src, n * sizeof(float));
   }
@@ -32,8 +34,7 @@ std::span<const float> FullParamStrategy::AcquireUnit(int u,
   WidenedUnit& wu = units_[u];
   if (wu.refcount == 0) {
     wu.f32.resize(static_cast<std::size_t>(n));
-    HalfToFloat(params_.f16().data() + ub, wu.f32.data(),
-                static_cast<std::size_t>(n));
+    tensor::CastHalfToFloat(params_.f16().data() + ub, wu.f32.data(), n);
   }
   ++wu.refcount;
   return wu.f32;
@@ -78,7 +79,8 @@ void FullParamStrategy::ImportMasterParams(
 
 void FullParamStrategy::GatherFullParams(std::span<float> out) {
   if (ctx_->cfg->fp16) {
-    HalfToFloat(params_.f16().data(), out.data(), out.size());
+    tensor::CastHalfToFloat(params_.f16().data(), out.data(),
+                            static_cast<std::int64_t>(out.size()));
   } else {
     std::memcpy(out.data(), params_.f32().data(),
                 out.size() * sizeof(float));

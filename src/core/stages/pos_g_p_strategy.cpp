@@ -1,6 +1,7 @@
 #include "core/stages/pos_g_p_strategy.hpp"
 
 #include <cstring>
+#include "tensor/kernels.hpp"
 
 namespace zero::core {
 
@@ -11,7 +12,8 @@ void PosGPStrategy::WriteParams(const float* padded_src) {
   const float* src = padded_src + own.begin;
   const std::size_t n = static_cast<std::size_t>(params_.numel());
   if (ctx_->cfg->fp16) {
-    FloatToHalf(src, params_.f16().data(), n);
+    tensor::CastFloatToHalf(src, params_.f16().data(),
+                            static_cast<std::int64_t>(n));
   } else {
     std::memcpy(params_.f32().data(), src, n * sizeof(float));
   }
@@ -50,8 +52,7 @@ std::span<const float> PosGPStrategy::AcquireUnit(int u, Phase phase) {
         ctx_->dp->Broadcast(dst, j);
       }
       mu.f32.resize(static_cast<std::size_t>(n));
-      HalfToFloat(mu.f16.f16().data(), mu.f32.data(),
-                  static_cast<std::size_t>(n));
+      tensor::CastHalfToFloat(mu.f16.f16().data(), mu.f32.data(), n);
     } else {
       mu.f32.assign(static_cast<std::size_t>(n), 0.0f);
       for (const auto& [j, overlap] : ctx_->part->Overlaps(unit_range)) {

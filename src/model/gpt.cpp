@@ -341,10 +341,12 @@ void GptModel::BlockForward(std::span<const float> up, const float* x_in,
   st.h1 = NewAct({bs, im});
   K::Gemm(false, true, bs, im, h, 1.0f, st.b2.f32().data(),
           up.data() + lo_.w_fc, 0.0f, st.h1.f32().data());
-  K::AddBiasRows(st.h1.f32().data(), up.data() + lo_.b_fc, bs, im);
 
+  // Fused epilogue: st.h1 becomes z = fc_out + bias (stashed for
+  // backward), st.f the activation.
   st.f = NewAct({bs, im});
-  K::GeluForward(st.h1.f32().data(), st.f.f32().data(), bs * im);
+  K::BiasGeluForward(st.h1.f32().data(), up.data() + lo_.b_fc,
+                     st.h1.f32().data(), st.f.f32().data(), bs, im);
 
   // MLP output projection (row-parallel): MP all-reduce #2.
   {
@@ -387,11 +389,10 @@ void GptModel::BlockBackward(std::span<const float> up, const LayerStash& st,
           g + lo_.w_pr);
 
   Tensor dh1_t = NewAct({bs, im});
-  K::GeluBackward(st.h1.f32().data(), df_t.f32().data(), dh1_t.f32().data(),
-                  bs * im);
+  K::BiasGeluBackward(st.h1.f32().data(), df_t.f32().data(),
+                      dh1_t.f32().data(), g + lo_.b_fc, bs, im);
   df_t = Tensor();
 
-  K::BiasGradFromRows(dh1_t.f32().data(), g + lo_.b_fc, bs, im);
   K::Gemm(true, false, im, h, bs, 1.0f, dh1_t.f32().data(),
           st.b2.f32().data(), 1.0f, g + lo_.w_fc);
 

@@ -95,10 +95,9 @@ float MlpModel::Step(const Batch& batch, ParamProvider& params,
     std::span<const float> u = params.AcquireUnit(1, Phase::kForward);
     K::Gemm(false, true, rows, c.hidden, c.embed, 1.0f, h0.data(),
             u.data() + off_w1_, 0.0f, z1.data());
-    K::AddBiasRows(z1.data(), u.data() + off_b1_, rows, c.hidden);
-    for (std::size_t i = 0; i < z1.size(); ++i) {
-      h1[i] = z1[i] > 0.0f ? z1[i] : 0.0f;  // ReLU
-    }
+    // Fused bias + ReLU; z1 keeps the pre-activation for backward.
+    K::BiasReluForward(z1.data(), u.data() + off_b1_, z1.data(), h1.data(),
+                       rows, c.hidden);
     params.ReleaseUnit(1, Phase::kForward);
   }
 
@@ -141,15 +140,13 @@ float MlpModel::Step(const Batch& batch, ParamProvider& params,
   std::vector<float> dh0(h0.size());
   {
     std::span<const float> u = params.AcquireUnit(1, Phase::kBackward);
-    // ReLU backward in place on dh1.
-    for (std::size_t i = 0; i < dh1.size(); ++i) {
-      if (z1[i] <= 0.0f) dh1[i] = 0.0f;
-    }
     std::vector<float> g1(
         static_cast<std::size_t>(layout_.UnitNumel(1)), 0.0f);
+    // Fused ReLU backward (in place on dh1) + bias grad.
+    K::BiasReluBackward(z1.data(), dh1.data(), dh1.data(),
+                        g1.data() + off_b1_, rows, c.hidden);
     K::Gemm(true, false, c.hidden, c.embed, rows, 1.0f, dh1.data(),
             h0.data(), 1.0f, g1.data() + off_w1_);
-    K::BiasGradFromRows(dh1.data(), g1.data() + off_b1_, rows, c.hidden);
     K::Gemm(false, false, rows, c.embed, c.hidden, 1.0f, dh1.data(),
             u.data() + off_w1_, 0.0f, dh0.data());
     params.ReleaseUnit(1, Phase::kBackward);

@@ -3,8 +3,17 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/parallel_for.hpp"
 
 namespace zero::optim {
+
+namespace {
+// Elementwise kernels below are row-partitioned over the intra-op pool;
+// each element is touched by exactly one chunk, so the update is
+// bitwise-identical at any worker count.
+constexpr std::int64_t kAdamChunk = 1 << 12;
+}  // namespace
 
 void AdamUpdate(const AdamConfig& cfg, std::int64_t t,
                 std::span<float> master, std::span<const float> grad,
@@ -19,14 +28,18 @@ void AdamUpdate(const AdamConfig& cfg, std::int64_t t,
   const float bc2 =
       1.0f - std::pow(b2, static_cast<float>(t));
   const float step_size = cfg.lr / bc1;
-  for (std::size_t i = 0; i < master.size(); ++i) {
-    float gi = grad[i];
-    if (cfg.weight_decay != 0.0f) gi += cfg.weight_decay * master[i];
-    m[i] = b1 * m[i] + (1.0f - b1) * gi;
-    v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
-    const float denom = std::sqrt(v[i] / bc2) + cfg.eps;
-    master[i] -= step_size * m[i] / denom;
-  }
+  tensor::ParallelFor(
+      0, static_cast<std::int64_t>(master.size()), kAdamChunk,
+      [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+          float gi = grad[i];
+          if (cfg.weight_decay != 0.0f) gi += cfg.weight_decay * master[i];
+          m[i] = b1 * m[i] + (1.0f - b1) * gi;
+          v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
+          const float denom = std::sqrt(v[i] / bc2) + cfg.eps;
+          master[i] -= step_size * m[i] / denom;
+        }
+      });
 }
 
 namespace {
@@ -59,13 +72,19 @@ void MixedPrecisionAdam::Step(std::span<Half> params_f16,
              "shard size mismatch");
   grad_scratch_.resize(static_cast<std::size_t>(numel_));
   const float inv_scale = 1.0f / loss_scale;
-  for (std::size_t i = 0; i < grad_scratch_.size(); ++i) {
-    grad_scratch_[i] = grads_f16[i].ToFloat() * inv_scale;
-  }
+  const float* lut = HalfDecodeTable();
+  tensor::ParallelFor(0, numel_, kAdamChunk,
+                      [&](std::int64_t b, std::int64_t e) {
+                        for (std::int64_t i = b; i < e; ++i) {
+                          grad_scratch_[static_cast<std::size_t>(i)] =
+                              lut[grads_f16[static_cast<std::size_t>(i)]
+                                      .bits()] *
+                              inv_scale;
+                        }
+                      });
   ++t_;
   AdamUpdate(cfg_, t_, master_.f32(), grad_scratch_, m_.f32(), v_.f32());
-  FloatToHalf(master_.f32().data(), params_f16.data(),
-              static_cast<std::size_t>(numel_));
+  tensor::CastFloatToHalf(master_.f32().data(), params_f16.data(), numel_);
 }
 
 void MixedPrecisionAdam::StepFromF32(std::span<Half> params_f16,
@@ -75,13 +94,16 @@ void MixedPrecisionAdam::StepFromF32(std::span<Half> params_f16,
                  grads.size() == static_cast<std::size_t>(numel_),
              "shard size mismatch");
   grad_scratch_.resize(static_cast<std::size_t>(numel_));
-  for (std::size_t i = 0; i < grad_scratch_.size(); ++i) {
-    grad_scratch_[i] = grads[i] * grad_scale;
-  }
+  tensor::ParallelFor(0, numel_, kAdamChunk,
+                      [&](std::int64_t b, std::int64_t e) {
+                        for (std::int64_t i = b; i < e; ++i) {
+                          grad_scratch_[static_cast<std::size_t>(i)] =
+                              grads[static_cast<std::size_t>(i)] * grad_scale;
+                        }
+                      });
   ++t_;
   AdamUpdate(cfg_, t_, master_.f32(), grad_scratch_, m_.f32(), v_.f32());
-  FloatToHalf(master_.f32().data(), params_f16.data(),
-              static_cast<std::size_t>(numel_));
+  tensor::CastFloatToHalf(master_.f32().data(), params_f16.data(), numel_);
 }
 
 void MixedPrecisionAdam::StepF32(std::span<float> params_out,
@@ -91,9 +113,13 @@ void MixedPrecisionAdam::StepF32(std::span<float> params_out,
                  grads.size() == static_cast<std::size_t>(numel_),
              "shard size mismatch");
   grad_scratch_.resize(static_cast<std::size_t>(numel_));
-  for (std::size_t i = 0; i < grad_scratch_.size(); ++i) {
-    grad_scratch_[i] = grads[i] * grad_scale;
-  }
+  tensor::ParallelFor(0, numel_, kAdamChunk,
+                      [&](std::int64_t b, std::int64_t e) {
+                        for (std::int64_t i = b; i < e; ++i) {
+                          grad_scratch_[static_cast<std::size_t>(i)] =
+                              grads[static_cast<std::size_t>(i)] * grad_scale;
+                        }
+                      });
   ++t_;
   AdamUpdate(cfg_, t_, master_.f32(), grad_scratch_, m_.f32(), v_.f32());
   std::memcpy(params_out.data(), master_.f32().data(),

@@ -4,32 +4,192 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
-#include <vector>
 
+#include "alloc/scratch.hpp"
 #include "common/error.hpp"
+#include "tensor/parallel_for.hpp"
 
 namespace zero::tensor {
 
 namespace {
 
-// Blocked i-k-j GEMM core for the no-transpose case: streams B rows,
-// accumulates into C rows — the cache-friendly ordering for row-major.
-void GemmNN(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-            const float* a, const float* b, float* c) {
-  constexpr std::int64_t kBlock = 64;
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlock) {
-    const std::int64_t i1 = std::min(i0 + kBlock, m);
-    for (std::int64_t k0 = 0; k0 < k; k0 += kBlock) {
-      const std::int64_t k1 = std::min(k0 + kBlock, k);
-      for (std::int64_t i = i0; i < i1; ++i) {
-        float* ci = c + i * n;
-        for (std::int64_t kk = k0; kk < k1; ++kk) {
-          const float aik = alpha * a[i * k + kk];
-          if (aik == 0.0f) continue;
-          const float* bk = b + kk * n;
-          for (std::int64_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+// ---------------------------------------------------------------------------
+// Blocking parameters.
+//
+// The micro-kernel computes a kMr x kNr register tile: 4x32 floats is 8
+// AVX-512 (or 16 AVX2) accumulator vectors, leaving room for the A
+// broadcast and B loads. Panel sizes keep the packed B strip (kKc x kNr
+// = 16 KiB) L1-resident and the packed A block (kMc x kKc = 128 KiB)
+// L2-resident.
+constexpr std::int64_t kMr = 4;
+constexpr std::int64_t kNr = 32;
+constexpr std::int64_t kMc = 256;
+constexpr std::int64_t kKc = 128;
+constexpr std::int64_t kNc = 4096;
+
+// Below this flop count the packing overhead dominates; use a direct
+// strided path (attention runs many tiny per-head GEMMs).
+constexpr std::int64_t kSmallGemmFlops = 1 << 15;
+
+// Chunk sizes for deterministic parallel partitioning. These are part
+// of each kernel's numeric contract: partials are combined in
+// chunk-index order, so results are bitwise-stable for any worker
+// count (the chunking depends only on the problem shape).
+constexpr std::int64_t kElemChunk = 1 << 13;  // elementwise kernels
+constexpr std::int64_t kRedChunk = 1 << 14;   // scalar reductions
+constexpr std::int64_t kRowChunk = 64;        // column-reduction partials
+constexpr std::int64_t kCeRowChunk = 16;      // cross-entropy rows
+
+std::int64_t RowGrain(std::int64_t cols) {
+  return std::max<std::int64_t>(1, kElemChunk / std::max<std::int64_t>(cols, 1));
+}
+
+// op(A)[i, kk] for A stored row-major as [m, k] (or [k, m] transposed).
+inline float OpA(const float* a, bool trans, std::int64_t m, std::int64_t k,
+                 std::int64_t i, std::int64_t kk) {
+  return trans ? a[kk * m + i] : a[i * k + kk];
+}
+
+// op(B)[kk, j] for B stored row-major as [k, n] (or [n, k] transposed).
+inline float OpB(const float* b, bool trans, std::int64_t k, std::int64_t n,
+                 std::int64_t kk, std::int64_t j) {
+  return trans ? b[j * k + kk] : b[kk * n + j];
+}
+
+// Direct path for small problems: every C element is one serial dot
+// product, row-partitioned. No zero-multiplicand skipping — 0 * Inf
+// must produce NaN for the loss-scaler's overflow detection.
+void SmallGemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+               std::int64_t k, float alpha, const float* a, const float* b,
+               float* c) {
+  ParallelFor(0, m, RowGrain(n * k), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float* ci = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          acc += OpA(a, trans_a, m, k, i, kk) * OpB(b, trans_b, k, n, kk, j);
         }
+        ci[j] += alpha * acc;
       }
+    }
+  });
+}
+
+// Packs rows [i0, i0+mc) x k-range [p0, p0+kc) of op(A) into micro-panels
+// of kMr rows: dst[(panel * kc + kk) * kMr + r], zero-padded past mc.
+// alpha is folded in here (the seed kernel multiplied it into A too).
+void PackA(const float* a, bool trans, std::int64_t m, std::int64_t k,
+           std::int64_t i0, std::int64_t mc, std::int64_t p0, std::int64_t kc,
+           float alpha, float* dst) {
+  const std::int64_t panels = (mc + kMr - 1) / kMr;
+  for (std::int64_t p = 0; p < panels; ++p) {
+    float* dp = dst + p * kc * kMr;
+    const std::int64_t rbase = i0 + p * kMr;
+    const std::int64_t rvalid = std::min<std::int64_t>(kMr, i0 + mc - rbase);
+    for (std::int64_t kk = 0; kk < kc; ++kk) {
+      float* drow = dp + kk * kMr;
+      for (std::int64_t r = 0; r < rvalid; ++r) {
+        drow[r] = alpha * OpA(a, trans, m, k, rbase + r, p0 + kk);
+      }
+      for (std::int64_t r = rvalid; r < kMr; ++r) drow[r] = 0.0f;
+    }
+  }
+}
+
+// Packs k-range [p0, p0+kc) x cols [j0, j0+nc) of op(B) into micro-panels
+// of kNr columns: dst[(panel * kc + kk) * kNr + j], zero-padded past nc.
+void PackB(const float* b, bool trans, std::int64_t k, std::int64_t n,
+           std::int64_t p0, std::int64_t kc, std::int64_t j0, std::int64_t nc,
+           float* dst) {
+  const std::int64_t panels = (nc + kNr - 1) / kNr;
+  for (std::int64_t p = 0; p < panels; ++p) {
+    float* dp = dst + p * kc * kNr;
+    const std::int64_t cbase = j0 + p * kNr;
+    const std::int64_t cvalid = std::min<std::int64_t>(kNr, j0 + nc - cbase);
+    for (std::int64_t kk = 0; kk < kc; ++kk) {
+      float* drow = dp + kk * kNr;
+      for (std::int64_t j = 0; j < cvalid; ++j) {
+        drow[j] = OpB(b, trans, k, n, p0 + kk, cbase + j);
+      }
+      for (std::int64_t j = cvalid; j < kNr; ++j) drow[j] = 0.0f;
+    }
+  }
+}
+
+// C_tile[mr_e, nr_e] += packed-A panel x packed-B panel. The accumulator
+// tile lives in registers across the whole kc loop; compile-time bounds
+// let the compiler unroll and vectorize the j loop. Padded lanes (r >=
+// mr_e, j >= nr_e) compute garbage that is never written back.
+void MicroKernel(std::int64_t kc, const float* pa, const float* pb, float* c,
+                 std::int64_t ldc, std::int64_t mr_e, std::int64_t nr_e) {
+  float acc[kMr][kNr] = {};
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const float* arow = pa + kk * kMr;
+    const float* brow = pb + kk * kNr;
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      const float av = arow[r];
+      for (std::int64_t j = 0; j < kNr; ++j) {
+        acc[r][j] += av * brow[j];
+      }
+    }
+  }
+  if (mr_e == kMr && nr_e == kNr) {
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      float* cr = c + r * ldc;
+      for (std::int64_t j = 0; j < kNr; ++j) cr[j] += acc[r][j];
+    }
+  } else {
+    for (std::int64_t r = 0; r < mr_e; ++r) {
+      float* cr = c + r * ldc;
+      for (std::int64_t j = 0; j < nr_e; ++j) cr[j] += acc[r][j];
+    }
+  }
+}
+
+void PackedGemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+                std::int64_t k, float alpha, const float* a, const float* b,
+                float* c) {
+  alloc::ScratchArena& scratch = alloc::ThreadScratch();
+  alloc::ScratchGuard guard(scratch);
+  const std::int64_t nc_max = std::min(n, kNc);
+  const std::int64_t b_panels = (nc_max + kNr - 1) / kNr;
+  float* pb = scratch.AllocateT<float>(
+      static_cast<std::size_t>(b_panels * kKc * kNr));
+  const std::int64_t n_iblocks = (m + kMc - 1) / kMc;
+
+  for (std::int64_t jc = 0; jc < n; jc += kNc) {
+    const std::int64_t nc = std::min(kNc, n - jc);
+    const std::int64_t jr_panels = (nc + kNr - 1) / kNr;
+    for (std::int64_t pc = 0; pc < k; pc += kKc) {
+      const std::int64_t kc = std::min(kKc, k - pc);
+      PackB(b, trans_b, k, n, pc, kc, jc, nc, pb);
+      // Row blocks are independent: each C element accumulates its
+      // kc-panel contribution in the same serial order no matter which
+      // worker owns the block (the pc loop is a barrier).
+      ParallelFor(0, n_iblocks, 1, [&](std::int64_t ib0, std::int64_t ib1) {
+        alloc::ScratchArena& task_scratch = alloc::ThreadScratch();
+        alloc::ScratchGuard task_guard(task_scratch);
+        float* pa = task_scratch.AllocateT<float>(
+            static_cast<std::size_t>(((kMc + kMr - 1) / kMr) * kMr * kKc));
+        for (std::int64_t ib = ib0; ib < ib1; ++ib) {
+          const std::int64_t i0 = ib * kMc;
+          const std::int64_t mc = std::min(kMc, m - i0);
+          PackA(a, trans_a, m, k, i0, mc, pc, kc, alpha, pa);
+          const std::int64_t ir_panels = (mc + kMr - 1) / kMr;
+          for (std::int64_t jr = 0; jr < jr_panels; ++jr) {
+            const float* pbp = pb + jr * kc * kNr;
+            const std::int64_t j0 = jc + jr * kNr;
+            const std::int64_t nr_e = std::min<std::int64_t>(kNr, n - j0);
+            for (std::int64_t ir = 0; ir < ir_panels; ++ir) {
+              const std::int64_t r0 = i0 + ir * kMr;
+              const std::int64_t mr_e = std::min<std::int64_t>(kMr, m - r0);
+              MicroKernel(kc, pa + ir * kc * kMr, pbp, c + r0 * n + j0, n,
+                          mr_e, nr_e);
+            }
+          }
+        }
+      });
     }
   }
 }
@@ -40,234 +200,367 @@ void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, float alpha, const float* a, const float* b,
           float beta, float* c) {
   if (beta == 0.0f) {
-    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+    ParallelFor(0, m * n, kElemChunk, [&](std::int64_t b0, std::int64_t e0) {
+      std::memset(c + b0, 0, static_cast<std::size_t>(e0 - b0) * sizeof(float));
+    });
   } else if (beta != 1.0f) {
     Scale(c, beta, m * n);
   }
+  if (m <= 0 || n <= 0 || k <= 0) return;
 
-  if (!trans_a && !trans_b) {
-    GemmNN(m, n, k, alpha, a, b, c);
-    return;
-  }
-
-  if (!trans_a && trans_b) {
-    // C[i,j] += alpha * A[i,:] . B[j,:]  (B is [n, k]) — dot of two rows.
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float* ai = a + i * k;
-      float* ci = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        const float* bj = b + j * k;
-        float acc = 0.0f;
-        for (std::int64_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
-        ci[j] += alpha * acc;
-      }
-    }
-    return;
-  }
-
-  if (trans_a && !trans_b) {
-    // C[i,j] += alpha * sum_kk A[kk,i] * B[kk,j]  (A is [k, m]).
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float* ak = a + kk * m;
-      const float* bk = b + kk * n;
-      for (std::int64_t i = 0; i < m; ++i) {
-        const float av = alpha * ak[i];
-        if (av == 0.0f) continue;
-        float* ci = c + i * n;
-        for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bk[j];
-      }
-    }
-    return;
-  }
-
-  // trans_a && trans_b: C[i,j] += alpha * sum_kk A[kk,i] * B[j,kk].
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* ci = c + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* bj = b + j * k;
-      float acc = 0.0f;
-      for (std::int64_t kk = 0; kk < k; ++kk) acc += a[kk * m + i] * bj[kk];
-      ci[j] += alpha * acc;
-    }
+  if (m * n * k <= kSmallGemmFlops) {
+    SmallGemm(trans_a, trans_b, m, n, k, alpha, a, b, c);
+  } else {
+    PackedGemm(trans_a, trans_b, m, n, k, alpha, a, b, c);
   }
 }
 
 void AddBiasRows(float* x, const float* bias, std::int64_t rows,
                  std::int64_t cols) {
-  for (std::int64_t r = 0; r < rows; ++r) {
-    float* xr = x + r * cols;
-    for (std::int64_t c = 0; c < cols; ++c) xr[c] += bias[c];
-  }
+  ParallelFor(0, rows, RowGrain(cols), [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      float* xr = x + r * cols;
+      for (std::int64_t c = 0; c < cols; ++c) xr[c] += bias[c];
+    }
+  });
 }
 
 void BiasGradFromRows(const float* dy, float* dbias, std::int64_t rows,
                       std::int64_t cols) {
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* dyr = dy + r * cols;
-    for (std::int64_t c = 0; c < cols; ++c) dbias[c] += dyr[c];
+  const std::int64_t nchunks = (rows + kRowChunk - 1) / kRowChunk;
+  alloc::ScratchArena& scratch = alloc::ThreadScratch();
+  alloc::ScratchGuard guard(scratch);
+  float* partials =
+      scratch.AllocateT<float>(static_cast<std::size_t>(nchunks * cols));
+  ParallelFor(0, nchunks, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t ch = c0; ch < c1; ++ch) {
+      float* p = partials + ch * cols;
+      std::memset(p, 0, static_cast<std::size_t>(cols) * sizeof(float));
+      const std::int64_t r1 = std::min(rows, (ch + 1) * kRowChunk);
+      for (std::int64_t r = ch * kRowChunk; r < r1; ++r) {
+        const float* dyr = dy + r * cols;
+        for (std::int64_t c = 0; c < cols; ++c) p[c] += dyr[c];
+      }
+    }
+  });
+  for (std::int64_t ch = 0; ch < nchunks; ++ch) {
+    const float* p = partials + ch * cols;
+    for (std::int64_t c = 0; c < cols; ++c) dbias[c] += p[c];
   }
 }
 
 namespace {
 constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
 constexpr float kGeluA = 0.044715f;
+
+inline float GeluVal(float v) {
+  const float u = kGeluC * (v + kGeluA * v * v * v);
+  return 0.5f * v * (1.0f + std::tanh(u));
+}
+
+inline float GeluGrad(float v) {
+  const float u = kGeluC * (v + kGeluA * v * v * v);
+  const float t = std::tanh(u);
+  const float du = kGeluC * (1.0f + 3.0f * kGeluA * v * v);
+  return 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+}
 }  // namespace
 
 void GeluForward(const float* x, float* y, std::int64_t n) {
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float v = x[i];
-    const float u = kGeluC * (v + kGeluA * v * v * v);
-    y[i] = 0.5f * v * (1.0f + std::tanh(u));
-  }
+  ParallelFor(0, n, kElemChunk, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) y[i] = GeluVal(x[i]);
+  });
 }
 
 void GeluBackward(const float* x, const float* dy, float* dx,
                   std::int64_t n) {
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float v = x[i];
-    const float u = kGeluC * (v + kGeluA * v * v * v);
-    const float t = std::tanh(u);
-    const float du = kGeluC * (1.0f + 3.0f * kGeluA * v * v);
-    const float grad = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
-    dx[i] = dy[i] * grad;
+  ParallelFor(0, n, kElemChunk, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) dx[i] = dy[i] * GeluGrad(x[i]);
+  });
+}
+
+void BiasGeluForward(const float* x, const float* bias, float* z, float* y,
+                     std::int64_t rows, std::int64_t cols) {
+  ParallelFor(0, rows, RowGrain(cols), [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * cols;
+      float* zr = z + r * cols;
+      float* yr = y + r * cols;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const float v = xr[c] + bias[c];
+        zr[c] = v;
+        yr[c] = GeluVal(v);
+      }
+    }
+  });
+}
+
+void BiasGeluBackward(const float* z, const float* dy, float* dx,
+                      float* dbias, std::int64_t rows, std::int64_t cols) {
+  const std::int64_t nchunks = (rows + kRowChunk - 1) / kRowChunk;
+  alloc::ScratchArena& scratch = alloc::ThreadScratch();
+  alloc::ScratchGuard guard(scratch);
+  float* partials =
+      scratch.AllocateT<float>(static_cast<std::size_t>(nchunks * cols));
+  ParallelFor(0, nchunks, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t ch = c0; ch < c1; ++ch) {
+      float* p = partials + ch * cols;
+      std::memset(p, 0, static_cast<std::size_t>(cols) * sizeof(float));
+      const std::int64_t r1 = std::min(rows, (ch + 1) * kRowChunk);
+      for (std::int64_t r = ch * kRowChunk; r < r1; ++r) {
+        const float* zr = z + r * cols;
+        const float* dyr = dy + r * cols;
+        float* dxr = dx + r * cols;
+        for (std::int64_t c = 0; c < cols; ++c) {
+          const float g = dyr[c] * GeluGrad(zr[c]);
+          dxr[c] = g;
+          p[c] += g;
+        }
+      }
+    }
+  });
+  for (std::int64_t ch = 0; ch < nchunks; ++ch) {
+    const float* p = partials + ch * cols;
+    for (std::int64_t c = 0; c < cols; ++c) dbias[c] += p[c];
+  }
+}
+
+void BiasReluForward(const float* x, const float* bias, float* z, float* y,
+                     std::int64_t rows, std::int64_t cols) {
+  ParallelFor(0, rows, RowGrain(cols), [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * cols;
+      float* zr = z + r * cols;
+      float* yr = y + r * cols;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const float v = xr[c] + bias[c];
+        zr[c] = v;
+        yr[c] = v > 0.0f ? v : 0.0f;
+      }
+    }
+  });
+}
+
+void BiasReluBackward(const float* z, const float* dy, float* dx,
+                      float* dbias, std::int64_t rows, std::int64_t cols) {
+  const std::int64_t nchunks = (rows + kRowChunk - 1) / kRowChunk;
+  alloc::ScratchArena& scratch = alloc::ThreadScratch();
+  alloc::ScratchGuard guard(scratch);
+  float* partials =
+      scratch.AllocateT<float>(static_cast<std::size_t>(nchunks * cols));
+  ParallelFor(0, nchunks, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t ch = c0; ch < c1; ++ch) {
+      float* p = partials + ch * cols;
+      std::memset(p, 0, static_cast<std::size_t>(cols) * sizeof(float));
+      const std::int64_t r1 = std::min(rows, (ch + 1) * kRowChunk);
+      for (std::int64_t r = ch * kRowChunk; r < r1; ++r) {
+        const float* zr = z + r * cols;
+        const float* dyr = dy + r * cols;
+        float* dxr = dx + r * cols;
+        for (std::int64_t c = 0; c < cols; ++c) {
+          const float g = zr[c] > 0.0f ? dyr[c] : 0.0f;
+          dxr[c] = g;
+          p[c] += g;
+        }
+      }
+    }
+  });
+  for (std::int64_t ch = 0; ch < nchunks; ++ch) {
+    const float* p = partials + ch * cols;
+    for (std::int64_t c = 0; c < cols; ++c) dbias[c] += p[c];
   }
 }
 
 void LayerNormForward(const float* x, const float* gamma, const float* beta,
                       float* y, float* mean, float* rstd, std::int64_t rows,
                       std::int64_t cols, float eps) {
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* xr = x + r * cols;
-    float mu = 0.0f;
-    for (std::int64_t c = 0; c < cols; ++c) mu += xr[c];
-    mu /= static_cast<float>(cols);
-    float var = 0.0f;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      const float d = xr[c] - mu;
-      var += d * d;
+  ParallelFor(0, rows, RowGrain(cols), [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * cols;
+      float mu = 0.0f;
+      for (std::int64_t c = 0; c < cols; ++c) mu += xr[c];
+      mu /= static_cast<float>(cols);
+      float var = 0.0f;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const float d = xr[c] - mu;
+        var += d * d;
+      }
+      var /= static_cast<float>(cols);
+      const float rs = 1.0f / std::sqrt(var + eps);
+      mean[r] = mu;
+      rstd[r] = rs;
+      float* yr = y + r * cols;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        yr[c] = (xr[c] - mu) * rs * gamma[c] + beta[c];
+      }
     }
-    var /= static_cast<float>(cols);
-    const float rs = 1.0f / std::sqrt(var + eps);
-    mean[r] = mu;
-    rstd[r] = rs;
-    float* yr = y + r * cols;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      yr[c] = (xr[c] - mu) * rs * gamma[c] + beta[c];
-    }
-  }
+  });
 }
 
 void LayerNormBackward(const float* x, const float* gamma, const float* mean,
                        const float* rstd, const float* dy, float* dx,
                        float* dgamma, float* dbeta, std::int64_t rows,
                        std::int64_t cols) {
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* xr = x + r * cols;
-    const float* dyr = dy + r * cols;
-    float* dxr = dx + r * cols;
-    const float mu = mean[r];
-    const float rs = rstd[r];
+  const std::int64_t nchunks = (rows + kRowChunk - 1) / kRowChunk;
+  alloc::ScratchArena& scratch = alloc::ThreadScratch();
+  alloc::ScratchGuard guard(scratch);
+  // Per-chunk [dgamma; dbeta] partials, combined in chunk order below.
+  float* partials =
+      scratch.AllocateT<float>(static_cast<std::size_t>(nchunks * 2 * cols));
+  ParallelFor(0, nchunks, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t ch = c0; ch < c1; ++ch) {
+      float* pg = partials + ch * 2 * cols;
+      float* pb = pg + cols;
+      std::memset(pg, 0, static_cast<std::size_t>(2 * cols) * sizeof(float));
+      const std::int64_t r1 = std::min(rows, (ch + 1) * kRowChunk);
+      for (std::int64_t r = ch * kRowChunk; r < r1; ++r) {
+        const float* xr = x + r * cols;
+        const float* dyr = dy + r * cols;
+        float* dxr = dx + r * cols;
+        const float mu = mean[r];
+        const float rs = rstd[r];
 
-    float sum_dy_g = 0.0f;   // sum of dy * gamma
-    float sum_dy_gx = 0.0f;  // sum of dy * gamma * xhat
-    for (std::int64_t c = 0; c < cols; ++c) {
-      const float xhat = (xr[c] - mu) * rs;
-      const float g = dyr[c] * gamma[c];
-      sum_dy_g += g;
-      sum_dy_gx += g * xhat;
-      dgamma[c] += dyr[c] * xhat;
-      dbeta[c] += dyr[c];
+        float sum_dy_g = 0.0f;   // sum of dy * gamma
+        float sum_dy_gx = 0.0f;  // sum of dy * gamma * xhat
+        for (std::int64_t c = 0; c < cols; ++c) {
+          const float xhat = (xr[c] - mu) * rs;
+          const float g = dyr[c] * gamma[c];
+          sum_dy_g += g;
+          sum_dy_gx += g * xhat;
+          pg[c] += dyr[c] * xhat;
+          pb[c] += dyr[c];
+        }
+        const float inv_cols = 1.0f / static_cast<float>(cols);
+        for (std::int64_t c = 0; c < cols; ++c) {
+          const float xhat = (xr[c] - mu) * rs;
+          const float g = dyr[c] * gamma[c];
+          dxr[c] = rs * (g - inv_cols * (sum_dy_g + xhat * sum_dy_gx));
+        }
+      }
     }
-    const float inv_cols = 1.0f / static_cast<float>(cols);
+  });
+  for (std::int64_t ch = 0; ch < nchunks; ++ch) {
+    const float* pg = partials + ch * 2 * cols;
+    const float* pb = pg + cols;
     for (std::int64_t c = 0; c < cols; ++c) {
-      const float xhat = (xr[c] - mu) * rs;
-      const float g = dyr[c] * gamma[c];
-      dxr[c] = rs * (g - inv_cols * (sum_dy_g + xhat * sum_dy_gx));
+      dgamma[c] += pg[c];
+      dbeta[c] += pb[c];
     }
   }
 }
 
-void SoftmaxRows(float* x, std::int64_t rows, std::int64_t cols) {
-  for (std::int64_t r = 0; r < rows; ++r) {
-    float* xr = x + r * cols;
-    float mx = -std::numeric_limits<float>::infinity();
-    for (std::int64_t c = 0; c < cols; ++c) mx = std::max(mx, xr[c]);
-    float sum = 0.0f;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      xr[c] = std::exp(xr[c] - mx);
-      sum += xr[c];
-    }
-    const float inv = 1.0f / sum;
-    for (std::int64_t c = 0; c < cols; ++c) xr[c] *= inv;
+namespace {
+// One row, in place — shared by the softmax entry points so the causal
+// kernel can fuse masking without a nested parallel call.
+inline void SoftmaxRow(float* xr, std::int64_t cols) {
+  float mx = -std::numeric_limits<float>::infinity();
+  for (std::int64_t c = 0; c < cols; ++c) mx = std::max(mx, xr[c]);
+  float sum = 0.0f;
+  for (std::int64_t c = 0; c < cols; ++c) {
+    xr[c] = std::exp(xr[c] - mx);
+    sum += xr[c];
   }
+  const float inv = 1.0f / sum;
+  for (std::int64_t c = 0; c < cols; ++c) xr[c] *= inv;
+}
+}  // namespace
+
+void SoftmaxRows(float* x, std::int64_t rows, std::int64_t cols) {
+  ParallelFor(0, rows, RowGrain(cols), [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) SoftmaxRow(x + r * cols, cols);
+  });
 }
 
 void SoftmaxBackwardRows(const float* y, const float* dy, float* dx,
                          std::int64_t rows, std::int64_t cols) {
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* yr = y + r * cols;
-    const float* dyr = dy + r * cols;
-    float* dxr = dx + r * cols;
-    float dot = 0.0f;
-    for (std::int64_t c = 0; c < cols; ++c) dot += yr[c] * dyr[c];
-    for (std::int64_t c = 0; c < cols; ++c) {
-      dxr[c] = yr[c] * (dyr[c] - dot);
+  ParallelFor(0, rows, RowGrain(cols), [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* yr = y + r * cols;
+      const float* dyr = dy + r * cols;
+      float* dxr = dx + r * cols;
+      float dot = 0.0f;
+      for (std::int64_t c = 0; c < cols; ++c) dot += yr[c] * dyr[c];
+      for (std::int64_t c = 0; c < cols; ++c) {
+        dxr[c] = yr[c] * (dyr[c] - dot);
+      }
     }
-  }
+  });
 }
 
 void CausalMaskedSoftmax(float* scores, std::int64_t batch_heads,
                          std::int64_t q_len, std::int64_t k_len) {
   ZERO_CHECK(k_len >= q_len, "causal mask assumes k_len >= q_len");
   const std::int64_t offset = k_len - q_len;
-  for (std::int64_t b = 0; b < batch_heads; ++b) {
-    for (std::int64_t i = 0; i < q_len; ++i) {
-      float* row = scores + (b * q_len + i) * k_len;
-      for (std::int64_t j = offset + i + 1; j < k_len; ++j) {
-        row[j] = -std::numeric_limits<float>::infinity();
-      }
-      SoftmaxRows(row, 1, k_len);
-    }
-  }
+  ParallelFor(0, batch_heads * q_len, RowGrain(k_len),
+              [&](std::int64_t r0, std::int64_t r1) {
+                for (std::int64_t r = r0; r < r1; ++r) {
+                  const std::int64_t i = r % q_len;
+                  float* row = scores + r * k_len;
+                  for (std::int64_t j = offset + i + 1; j < k_len; ++j) {
+                    row[j] = -std::numeric_limits<float>::infinity();
+                  }
+                  SoftmaxRow(row, k_len);
+                }
+              });
 }
 
 float CrossEntropyLoss(const float* logits, const std::int32_t* targets,
                        std::int64_t rows, std::int64_t vocab, float* dlogits) {
-  double total = 0.0;
+  const std::int64_t nchunks = (rows + kCeRowChunk - 1) / kCeRowChunk;
+  alloc::ScratchArena& scratch = alloc::ThreadScratch();
+  alloc::ScratchGuard guard(scratch);
+  double* partials =
+      scratch.AllocateT<double>(static_cast<std::size_t>(nchunks));
   const float inv_rows = 1.0f / static_cast<float>(rows);
-  std::vector<float> probs(static_cast<std::size_t>(vocab));
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* lr = logits + r * vocab;
-    float mx = -std::numeric_limits<float>::infinity();
-    for (std::int64_t c = 0; c < vocab; ++c) mx = std::max(mx, lr[c]);
-    double sum = 0.0;
-    for (std::int64_t c = 0; c < vocab; ++c) {
-      probs[static_cast<std::size_t>(c)] = std::exp(lr[c] - mx);
-      sum += probs[static_cast<std::size_t>(c)];
-    }
-    const std::int32_t t = targets[r];
-    ZERO_CHECK(t >= 0 && t < vocab, "target out of vocab range");
-    const double pt =
-        static_cast<double>(probs[static_cast<std::size_t>(t)]) / sum;
-    total += -std::log(std::max(pt, 1e-30));
-    if (dlogits != nullptr) {
-      float* dr = dlogits + r * vocab;
-      const float inv_sum = static_cast<float>(1.0 / sum);
-      for (std::int64_t c = 0; c < vocab; ++c) {
-        dr[c] = probs[static_cast<std::size_t>(c)] * inv_sum * inv_rows;
+  ParallelFor(0, nchunks, 1, [&](std::int64_t c0, std::int64_t c1) {
+    // Probability rows live in the executing thread's scratch, not a
+    // per-call heap vector (this runs rows x per step at vocab size).
+    alloc::ScratchArena& task_scratch = alloc::ThreadScratch();
+    alloc::ScratchGuard task_guard(task_scratch);
+    float* probs =
+        task_scratch.AllocateT<float>(static_cast<std::size_t>(vocab));
+    for (std::int64_t ch = c0; ch < c1; ++ch) {
+      double total = 0.0;
+      const std::int64_t r1 = std::min(rows, (ch + 1) * kCeRowChunk);
+      for (std::int64_t r = ch * kCeRowChunk; r < r1; ++r) {
+        const float* lr = logits + r * vocab;
+        float mx = -std::numeric_limits<float>::infinity();
+        for (std::int64_t c = 0; c < vocab; ++c) mx = std::max(mx, lr[c]);
+        double sum = 0.0;
+        for (std::int64_t c = 0; c < vocab; ++c) {
+          probs[c] = std::exp(lr[c] - mx);
+          sum += probs[c];
+        }
+        const std::int32_t t = targets[r];
+        ZERO_CHECK(t >= 0 && t < vocab, "target out of vocab range");
+        const double pt = static_cast<double>(probs[t]) / sum;
+        total += -std::log(std::max(pt, 1e-30));
+        if (dlogits != nullptr) {
+          float* dr = dlogits + r * vocab;
+          const float inv_sum = static_cast<float>(1.0 / sum);
+          for (std::int64_t c = 0; c < vocab; ++c) {
+            dr[c] = probs[c] * inv_sum * inv_rows;
+          }
+          dr[t] -= inv_rows;
+        }
       }
-      dr[t] -= inv_rows;
+      partials[ch] = total;
     }
-  }
+  });
+  double total = 0.0;
+  for (std::int64_t ch = 0; ch < nchunks; ++ch) total += partials[ch];
   return static_cast<float>(total / static_cast<double>(rows));
 }
 
 void EmbeddingGather(const float* table, const std::int32_t* ids, float* out,
                      std::int64_t n_ids, std::int64_t dim) {
-  for (std::int64_t i = 0; i < n_ids; ++i) {
-    std::memcpy(out + i * dim, table + static_cast<std::int64_t>(ids[i]) * dim,
-                static_cast<std::size_t>(dim) * sizeof(float));
-  }
+  ParallelFor(0, n_ids, RowGrain(dim), [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      std::memcpy(out + i * dim,
+                  table + static_cast<std::int64_t>(ids[i]) * dim,
+                  static_cast<std::size_t>(dim) * sizeof(float));
+    }
+  });
 }
 
 void EmbeddingScatterAdd(float* dtable, const std::int32_t* ids,
@@ -281,27 +574,82 @@ void EmbeddingScatterAdd(float* dtable, const std::int32_t* ids,
 }
 
 void Axpy(float a, const float* x, float* y, std::int64_t n) {
-  for (std::int64_t i = 0; i < n; ++i) y[i] += a * x[i];
+  ParallelFor(0, n, kElemChunk, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) y[i] += a * x[i];
+  });
 }
 
 void Scale(float* x, float a, std::int64_t n) {
-  for (std::int64_t i = 0; i < n; ++i) x[i] *= a;
+  ParallelFor(0, n, kElemChunk, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) x[i] *= a;
+  });
 }
 
-float SquaredNorm(const float* x, std::int64_t n) {
+namespace {
+// Shared shape of the deterministic scalar reductions: fixed kRedChunk
+// element chunks accumulate in double, partials combine in chunk order.
+template <typename ChunkFn>
+float ChunkedReduce(std::int64_t n, const ChunkFn& chunk_fn) {
+  const std::int64_t nchunks = (n + kRedChunk - 1) / kRedChunk;
+  if (nchunks <= 0) return 0.0f;
+  alloc::ScratchArena& scratch = alloc::ThreadScratch();
+  alloc::ScratchGuard guard(scratch);
+  double* partials =
+      scratch.AllocateT<double>(static_cast<std::size_t>(nchunks));
+  ParallelFor(0, nchunks, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t ch = c0; ch < c1; ++ch) {
+      partials[ch] =
+          chunk_fn(ch * kRedChunk, std::min(n, (ch + 1) * kRedChunk));
+    }
+  });
   double acc = 0.0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    acc += static_cast<double>(x[i]) * x[i];
-  }
+  for (std::int64_t ch = 0; ch < nchunks; ++ch) acc += partials[ch];
   return static_cast<float>(acc);
+}
+}  // namespace
+
+float SquaredNorm(const float* x, std::int64_t n) {
+  return ChunkedReduce(n, [&](std::int64_t b, std::int64_t e) {
+    double acc = 0.0;
+    for (std::int64_t i = b; i < e; ++i) {
+      acc += static_cast<double>(x[i]) * x[i];
+    }
+    return acc;
+  });
+}
+
+float SquaredNormF16(const Half* x, std::int64_t n) {
+  const float* lut = HalfDecodeTable();
+  return ChunkedReduce(n, [&](std::int64_t b, std::int64_t e) {
+    double acc = 0.0;
+    for (std::int64_t i = b; i < e; ++i) {
+      const double v = lut[x[i].bits()];
+      acc += v * v;
+    }
+    return acc;
+  });
 }
 
 float Dot(const float* a, const float* b, std::int64_t n) {
-  double acc = 0.0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    acc += static_cast<double>(a[i]) * b[i];
-  }
-  return static_cast<float>(acc);
+  return ChunkedReduce(n, [&](std::int64_t b0, std::int64_t e0) {
+    double acc = 0.0;
+    for (std::int64_t i = b0; i < e0; ++i) {
+      acc += static_cast<double>(a[i]) * b[i];
+    }
+    return acc;
+  });
+}
+
+void CastHalfToFloat(const Half* src, float* dst, std::int64_t n) {
+  ParallelFor(0, n, kElemChunk, [&](std::int64_t b, std::int64_t e) {
+    HalfToFloat(src + b, dst + b, static_cast<std::size_t>(e - b));
+  });
+}
+
+void CastFloatToHalf(const float* src, Half* dst, std::int64_t n) {
+  ParallelFor(0, n, kElemChunk, [&](std::int64_t b, std::int64_t e) {
+    FloatToHalf(src + b, dst + b, static_cast<std::size_t>(e - b));
+  });
 }
 
 }  // namespace zero::tensor

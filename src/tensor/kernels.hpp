@@ -1,13 +1,27 @@
 // fp32 compute kernels (forward + backward) for the transformer runtime.
 //
 // These are the CPU stand-ins for the cuBLAS/cuDNN calls the paper's
-// implementation makes. They are written for correctness and reasonable
-// cache behaviour (blocked i-k-j GEMM), not peak flops — simulated
-// cluster *performance* comes from zero::sim, while these kernels carry
-// the *numerics* that the ZeRO-equivalence tests check.
+// implementation makes. The GEMM is a packed, register-blocked
+// micro-kernel (BLIS-style: A/B panels are packed into contiguous tile
+// buffers from thread-local scratch so all four transpose cases hit the
+// same cache-friendly inner loop), and the large kernels partition their
+// output rows across the opt-in intra-op worker pool (parallel_for.hpp).
+//
+// Determinism contract: every kernel returns bitwise-identical results
+// at any worker count. Elementwise and per-row kernels get this for
+// free (each output element is produced by exactly one chunk in serial
+// order); reductions (bias grads, dgamma/dbeta, squared norms, the
+// cross-entropy total) use fixed-size chunks whose partials are
+// combined in chunk-index order on the calling thread. This is what
+// keeps the ZeRO stage-equivalence tests exact while the kernels run
+// parallel. Nothing here requires -ffast-math, and NaN/Inf propagate
+// exactly (0 * Inf = NaN is preserved — the fp16 overflow detection in
+// the loss scaler depends on seeing it).
 #pragma once
 
 #include <cstdint>
+
+#include "common/half.hpp"
 
 namespace zero::tensor {
 
@@ -28,6 +42,20 @@ void BiasGradFromRows(const float* dy, float* dbias, std::int64_t rows,
 // tanh-approximation GELU, the variant GPT-2 uses.
 void GeluForward(const float* x, float* y, std::int64_t n);
 void GeluBackward(const float* x, const float* dy, float* dx, std::int64_t n);
+
+// Fused bias + activation epilogues: one pass over the activations
+// instead of separate bias-add and activation kernels.
+//   forward:  z = x + bias (saved for backward), y = act(z); z may alias x.
+//   backward: dx = dy * act'(z), dbias[cols] += column sums of dx;
+//             dx may alias dy.
+void BiasGeluForward(const float* x, const float* bias, float* z, float* y,
+                     std::int64_t rows, std::int64_t cols);
+void BiasGeluBackward(const float* z, const float* dy, float* dx,
+                      float* dbias, std::int64_t rows, std::int64_t cols);
+void BiasReluForward(const float* x, const float* bias, float* z, float* y,
+                     std::int64_t rows, std::int64_t cols);
+void BiasReluBackward(const float* z, const float* dy, float* dx,
+                      float* dbias, std::int64_t rows, std::int64_t cols);
 
 // Row-wise layer norm over `cols` features. mean/rstd ([rows]) are saved
 // for backward.
@@ -52,14 +80,16 @@ void CausalMaskedSoftmax(float* scores, std::int64_t batch_heads,
                          std::int64_t q_len, std::int64_t k_len);
 
 // Mean cross-entropy over rows; writes dlogits = (softmax - onehot)/rows.
-// dlogits may be null (loss only).
+// dlogits may be null (loss only). Probability rows live in thread-local
+// scratch — no per-call allocation.
 float CrossEntropyLoss(const float* logits, const std::int32_t* targets,
                        std::int64_t rows, std::int64_t vocab, float* dlogits);
 
 // out[i, :] = table[ids[i], :].
 void EmbeddingGather(const float* table, const std::int32_t* ids, float* out,
                      std::int64_t n_ids, std::int64_t dim);
-// dtable[ids[i], :] += dout[i, :].
+// dtable[ids[i], :] += dout[i, :]. Serial: ids may repeat, so row
+// partitioning would race on dtable.
 void EmbeddingScatterAdd(float* dtable, const std::int32_t* ids,
                          const float* dout, std::int64_t n_ids,
                          std::int64_t dim);
@@ -67,6 +97,13 @@ void EmbeddingScatterAdd(float* dtable, const std::int32_t* ids,
 void Axpy(float a, const float* x, float* y, std::int64_t n);
 void Scale(float* x, float a, std::int64_t n);
 [[nodiscard]] float SquaredNorm(const float* x, std::int64_t n);
+[[nodiscard]] float SquaredNormF16(const Half* x, std::int64_t n);
 [[nodiscard]] float Dot(const float* a, const float* b, std::int64_t n);
+
+// Bulk fp16 <-> fp32 conversion, row-partitioned over the worker pool.
+// Same bit-exact semantics as the serial common/half.hpp converters
+// (LUT decode, round-to-nearest-even encode).
+void CastHalfToFloat(const Half* src, float* dst, std::int64_t n);
+void CastFloatToHalf(const float* src, Half* dst, std::int64_t n);
 
 }  // namespace zero::tensor

@@ -3,6 +3,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "tensor/kernels.hpp"
+
 namespace zero::tensor {
 
 std::int64_t NumelOf(const Shape& shape) {
@@ -118,11 +120,9 @@ void Tensor::CopyFrom(const Tensor& src) {
   if (dtype_ == src.dtype_) {
     std::memcpy(raw(), src.raw(), nbytes());
   } else if (dtype_ == DType::kF32 && src.dtype_ == DType::kF16) {
-    HalfToFloat(src.f16().data(), f32().data(),
-                static_cast<std::size_t>(numel_));
+    CastHalfToFloat(src.f16().data(), f32().data(), numel_);
   } else {
-    FloatToHalf(src.f32().data(), f16().data(),
-                static_cast<std::size_t>(numel_));
+    CastFloatToHalf(src.f32().data(), f16().data(), numel_);
   }
 }
 

@@ -1,0 +1,102 @@
+// The fp16 fast paths (decode LUT, batched encode) must be bit-exact
+// with the scalar Half conversions — exhaustively for decode (only
+// 65536 inputs exist), and across the interesting encode boundary
+// cases for the round-to-nearest-even encoder.
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/half.hpp"
+#include "common/rng.hpp"
+
+namespace zero {
+namespace {
+
+std::uint32_t BitsOf(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+TEST(HalfLutTest, DecodeTableMatchesScalarDecoderExhaustively) {
+  const float* table = HalfDecodeTable();
+  for (std::uint32_t b = 0; b < (1u << 16); ++b) {
+    const float want = Half::ToFloatImpl(static_cast<std::uint16_t>(b));
+    const float got = table[b];
+    // Bit equality, not ==: NaN payloads must survive the table.
+    ASSERT_EQ(BitsOf(want), BitsOf(got)) << "half bits " << b;
+  }
+}
+
+TEST(HalfLutTest, BulkDecodeMatchesScalarExhaustively) {
+  std::vector<Half> src(1u << 16);
+  for (std::uint32_t b = 0; b < (1u << 16); ++b) {
+    src[b] = Half::FromBits(static_cast<std::uint16_t>(b));
+  }
+  std::vector<float> dst(src.size());
+  HalfToFloat(src.data(), dst.data(), src.size());
+  for (std::uint32_t b = 0; b < (1u << 16); ++b) {
+    ASSERT_EQ(BitsOf(Half::ToFloatImpl(static_cast<std::uint16_t>(b))),
+              BitsOf(dst[b]))
+        << "half bits " << b;
+  }
+}
+
+TEST(HalfLutTest, BulkEncodeMatchesScalarEncoder) {
+  // Boundary cases plus a random sweep. Every bulk-encoded value must
+  // equal Half::FromFloat bit for bit.
+  std::vector<float> inputs = {
+      0.0f,
+      -0.0f,
+      1.0f,
+      -1.0f,
+      Half::kMax,
+      -Half::kMax,
+      65520.0f,  // rounds to Inf
+      Half::kMinNormal,
+      Half::kMinSubnormal,
+      Half::kMinSubnormal * 0.5f,   // rounds to zero (ties-to-even)
+      Half::kMinSubnormal * 0.75f,  // rounds up to min subnormal
+      1.0f + Half::kEpsilon * 0.5f,
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+      std::numeric_limits<float>::quiet_NaN(),
+      std::numeric_limits<float>::denorm_min(),
+  };
+  Rng rng(4242);
+  for (int i = 0; i < 20000; ++i) {
+    inputs.push_back(rng.NextGaussian() * 100.0f);
+  }
+  std::vector<Half> bulk(inputs.size());
+  FloatToHalf(inputs.data(), bulk.data(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(Half::FromFloat(inputs[i]), bulk[i].bits()) << "i=" << i;
+  }
+}
+
+TEST(HalfLutTest, RoundTripThroughBulkConvertersIsExact) {
+  // Any value that is exactly representable in fp16 must survive
+  // float -> half -> float unchanged through the bulk converters.
+  std::vector<Half> all(1u << 16);
+  for (std::uint32_t b = 0; b < (1u << 16); ++b) {
+    all[b] = Half::FromBits(static_cast<std::uint16_t>(b));
+  }
+  std::vector<float> f32(all.size());
+  HalfToFloat(all.data(), f32.data(), all.size());
+  std::vector<Half> back(f32.size());
+  FloatToHalf(f32.data(), back.data(), f32.size());
+  for (std::uint32_t b = 0; b < (1u << 16); ++b) {
+    if (Half::FromBits(static_cast<std::uint16_t>(b)).IsNan()) {
+      EXPECT_TRUE(back[b].IsNan()) << "half bits " << b;
+    } else {
+      EXPECT_EQ(back[b].bits(), b) << "half bits " << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zero

@@ -1,0 +1,92 @@
+// End-to-end check of the kernel determinism contract: a full fp16 GPT
+// training trajectory through the ZeRO engine must be bitwise-identical
+// whether the intra-op pool runs serial or with several workers. This
+// is the property that lets deployments turn the pool on without
+// changing any numeric result.
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/world.hpp"
+#include "core/dp_engine.hpp"
+#include "model/corpus.hpp"
+#include "model/gpt.hpp"
+#include "tensor/parallel_for.hpp"
+
+namespace zero::core {
+namespace {
+
+using model::ZeroStage;
+
+std::pair<std::vector<float>, std::vector<float>> RunGptTrajectory(
+    ZeroStage stage, int workers) {
+  tensor::IntraOpWorkersGuard guard(workers);
+  model::GptConfig gcfg;
+  gcfg.vocab = 13;
+  gcfg.seq = 4;
+  gcfg.hidden = 8;
+  gcfg.layers = 2;
+  gcfg.heads = 2;
+  const int nd = 2;
+  const int steps = 3;
+
+  std::vector<float> params;
+  std::vector<float> losses;
+  comm::World world(nd);
+  std::mutex mu;
+  world.Run([&](comm::RankContext& ctx) {
+    comm::Communicator dp = comm::Communicator::WholeWorld(ctx);
+    model::GptModel gpt(gcfg, {});
+    EngineConfig cfg;
+    cfg.stage = stage;
+    cfg.fp16 = true;
+    cfg.loss_scale = 128.0f;
+    cfg.max_grad_norm = 1.0f;  // cover the SquaredNorm clip path too
+    cfg.adam.lr = 1e-3f;
+    ZeroDpEngine engine(cfg, gpt, dp, nullptr, 7);
+    model::MarkovCorpus corpus(gcfg.vocab, 3, 91,
+                               static_cast<std::uint64_t>(ctx.rank));
+    std::vector<float> local;
+    for (int step = 0; step < steps; ++step) {
+      local.push_back(engine.TrainStep(corpus.NextBatch(2, gcfg.seq)));
+    }
+    auto full = engine.GatherFullParams();
+    std::lock_guard<std::mutex> lock(mu);
+    if (ctx.rank == 0) {
+      params = std::move(full);
+      losses = std::move(local);
+    }
+  });
+  return {params, losses};
+}
+
+class IntraOpEngineTest : public ::testing::TestWithParam<ZeroStage> {};
+
+TEST_P(IntraOpEngineTest, GptTrajectoryBitwiseStableAcrossWorkerCounts) {
+  const auto [serial_params, serial_losses] = RunGptTrajectory(GetParam(), 1);
+  ASSERT_FALSE(serial_params.empty());
+  for (int workers : {3}) {
+    const auto [params, losses] = RunGptTrajectory(GetParam(), workers);
+    ASSERT_EQ(serial_params.size(), params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      ASSERT_EQ(serial_params[i], params[i])
+          << "workers=" << workers << " param " << i;
+    }
+    ASSERT_EQ(serial_losses.size(), losses.size());
+    for (std::size_t i = 0; i < losses.size(); ++i) {
+      ASSERT_EQ(serial_losses[i], losses[i])
+          << "workers=" << workers << " step " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStages, IntraOpEngineTest,
+                         ::testing::Values(ZeroStage::kNone, ZeroStage::kOs,
+                                           ZeroStage::kOsG,
+                                           ZeroStage::kOsGP));
+
+}  // namespace
+}  // namespace zero::core
