@@ -49,12 +49,13 @@ int main() {
       cfg.bucket_elems = bucket;
       core::ZeroDpEngine engine(cfg, m, dp, nullptr, 1);
       (void)engine.TrainStep(MakeBatch(ctx.rank, 0));
-      const auto before = dp.stats();
+      comm::CommDelta step(dp);
       (void)engine.TrainStep(MakeBatch(ctx.rank, 1));
       if (ctx.rank == 0) {
+        const comm::CommStats d = step.Delta();
         std::lock_guard<std::mutex> lock(mu);
-        messages = dp.stats().messages_sent - before.messages_sent;
-        bytes = dp.stats().bytes_sent - before.bytes_sent;
+        messages = d.messages_sent;
+        bytes = d.bytes_sent;
       }
     });
     table.AddRow({std::to_string(bucket), std::to_string(messages),

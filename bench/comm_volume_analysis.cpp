@@ -62,11 +62,11 @@ int main() {
         cfg.fp16 = true;
         core::ZeroDpEngine engine(cfg, m, dp, nullptr, 1);
         (void)engine.TrainStep(MakeBatch(ctx.rank, 0));  // warm-up
-        const std::uint64_t before = dp.stats().bytes_sent;
+        comm::CommDelta step(dp);
         (void)engine.TrainStep(MakeBatch(ctx.rank, 1));
         if (ctx.rank == 0) {
           std::lock_guard<std::mutex> lock(mu);
-          sent = dp.stats().bytes_sent - before;
+          sent = step.Delta().bytes_sent;
         }
       });
       char factor[16];

@@ -1,0 +1,128 @@
+// Telemetry overhead gate.
+//
+// The trace spans are compiled into the hot paths permanently and only
+// dynamically disabled, so the thing to prove is that a disabled span is
+// too cheap to matter. This bench measures
+//   * disabled_ns:   cost of one disabled TRACE_SPAN (tight loop),
+//   * enabled_ns:    cost of one recorded span (ring-buffer write),
+//   * spans_per_step: how many spans a stage-3 dp=2 training step emits
+//                     (counted from a briefly-enabled in-memory trace),
+//   * step_ns:       wall time of that step with telemetry off,
+// and gates the implied disabled overhead
+//   spans_per_step * disabled_ns / step_ns < 2%.
+// Results land in BENCH_telemetry.json next to BENCH_kernels.json.
+// ZERO_BENCH_RELAX=1 downgrades a gate failure to a warning.
+//
+// Usage: telemetry_overhead [out.json]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "core/trainer.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double NsPerSpan(int iters) {
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    TRACE_SPAN("bench/span");
+  }
+  const auto t1 = Clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                 .count()) /
+         iters;
+}
+
+zero::core::TrainOptions BenchOptions() {
+  zero::core::TrainOptions options;
+  options.model.vocab = 48;
+  options.model.seq = 16;
+  options.model.hidden = 32;
+  options.model.layers = 3;
+  options.model.heads = 4;
+  options.engine.stage = zero::model::ZeroStage::kOsGP;
+  options.cluster.dp_degree = 2;
+  options.batch_per_rank = 4;
+  options.steps = 6;
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zero;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_telemetry.json";
+  const bool relax = std::getenv("ZERO_BENCH_RELAX") != nullptr;
+
+  // 1) Per-span costs. Warm up first so the lazy ring registration and
+  // branch predictors settle before the measured loops.
+  obs::DisableTracing();
+  NsPerSpan(100000);
+  const double disabled_ns = NsPerSpan(20000000);
+
+  obs::SetTraceBufferCapacity(1 << 20);
+  obs::ResetTrace();
+  obs::EnableTracing();
+  NsPerSpan(100000);
+  const double enabled_ns = NsPerSpan(2000000);
+  obs::DisableTracing();
+  obs::ResetTrace();
+
+  // 2) Spans per training step, counted from a short traced run of the
+  // heaviest-instrumented stage (3: param materialization + bucketized
+  // gradients). In-memory only; no artifacts are written.
+  core::TrainOptions traced = BenchOptions();
+  traced.engine.telemetry.enabled = true;
+  traced.engine.telemetry.validate = false;
+  core::TrainGpt(traced);
+  const double spans_per_step =
+      static_cast<double>(obs::TraceEventCount() + obs::TraceDroppedCount()) /
+      traced.steps;
+  obs::ResetTrace();
+
+  // 3) Step wall time with telemetry off (the production default).
+  core::TrainOptions plain = BenchOptions();
+  const auto t0 = Clock::now();
+  core::TrainGpt(plain);
+  const auto t1 = Clock::now();
+  const double step_ns =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()) /
+      plain.steps;
+
+  const double overhead_pct = 100.0 * spans_per_step * disabled_ns / step_ns;
+
+  std::printf("telemetry overhead:\n");
+  std::printf("  disabled span      %8.3f ns\n", disabled_ns);
+  std::printf("  enabled span       %8.3f ns\n", enabled_ns);
+  std::printf("  spans per step     %8.1f\n", spans_per_step);
+  std::printf("  step time          %8.3f ms\n", step_ns / 1e6);
+  std::printf("  disabled overhead  %8.4f %% of a step (gate: < 2%%)\n",
+              overhead_pct);
+
+  std::ofstream f(out_path, std::ios::trunc);
+  f << "{\n"
+    << "  \"disabled_span_ns\": " << disabled_ns << ",\n"
+    << "  \"enabled_span_ns\": " << enabled_ns << ",\n"
+    << "  \"spans_per_step\": " << spans_per_step << ",\n"
+    << "  \"step_ns\": " << step_ns << ",\n"
+    << "  \"disabled_overhead_pct\": " << overhead_pct << ",\n"
+    << "  \"gate_pct\": 2.0\n"
+    << "}\n";
+  f.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (overhead_pct >= 2.0) {
+    std::printf("%s: disabled-telemetry overhead %.4f%% exceeds 2%% gate\n",
+                relax ? "WARNING (relaxed)" : "FAIL", overhead_pct);
+    return relax ? 0 : 1;
+  }
+  return 0;
+}

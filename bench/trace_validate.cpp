@@ -1,0 +1,26 @@
+// Validates a Chrome trace_event JSON artifact with the repo's strict
+// parser — the CI smoke gate runs this over the trace the stage-3 run
+// emits, and it works on any ZERO_TRACE output.
+//
+// Usage: trace_validate <trace.json> [more.json...]
+#include <cstdio>
+
+#include "obs/chrome_trace.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_validate <trace.json>...\n");
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string error;
+    if (zero::obs::ValidateChromeTraceFile(argv[i], &error)) {
+      std::printf("%s: valid Chrome trace\n", argv[i]);
+    } else {
+      std::printf("%s: INVALID: %s\n", argv[i], error.c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -21,6 +21,25 @@ echo "==> bench: kernel perf gate (release build)"
 # downgrades failures to warnings on throttled machines.
 ./build/bench/kernel_perf BENCH_kernels.json bench/kernels_baseline.json
 
+echo "==> bench: telemetry overhead gate (release build)"
+# Proves the always-compiled-in trace spans cost <2% of a training step
+# while disabled; writes BENCH_telemetry.json. Same ZERO_BENCH_RELAX=1
+# escape hatch as the kernel gate.
+./build/bench/telemetry_overhead BENCH_telemetry.json
+
+echo "==> smoke: 2-rank stage-3 run with telemetry artifacts"
+# End-to-end telemetry check: the run must produce a valid Chrome trace,
+# per-step metrics, and a step report whose measured memory/comm match
+# the paper equations (the trainer logs divergences; the report JSON's
+# "ok" field is asserted below).
+rm -f build/smoke_trace.json build/smoke_trace.json.metrics.json \
+  build/smoke_trace.json.report.json
+ZERO_TRACE=build/smoke_trace.json ./build/examples/train_gpt_mini 3 2 1 3
+./build/bench/trace_validate build/smoke_trace.json
+test -s build/smoke_trace.json.metrics.json
+# Top-level "ok" (indent 2) — the per-check ok fields are indented deeper.
+grep -q '^  "ok": true' build/smoke_trace.json.report.json
+
 echo "==> tsan: configure + build + ctest"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}"

@@ -4,10 +4,14 @@
 // once with checkpoints interleaved in the general allocator, once with
 // MD's contiguous arena — and prints the allocator statistics that show
 // why Sec 6.3 exists: fragmentation, largest free block, and whether the
-// run survives.
+// run survives. The counters come from the process-wide metrics
+// registry (src/obs/metrics.hpp) — the same series a dashboard would
+// scrape — cross-checked against the per-rank RankMetrics structs; the
+// full registry snapshot is dumped as JSON at the end.
 #include <cstdio>
 
 #include "core/trainer.hpp"
+#include "obs/metrics.hpp"
 
 int main() {
   using namespace zero;
@@ -24,6 +28,12 @@ int main() {
   base.steps = 3;
   base.zero_r.activation_checkpointing = true;
 
+  obs::MetricsRegistry& metrics = obs::Metrics();
+  obs::Counter& cache_hits = metrics.counter("alloc.cache.hits");
+  obs::Counter& cache_misses = metrics.counter("alloc.cache.misses");
+  obs::Counter& device_oom = metrics.counter("alloc.device.oom");
+  obs::Counter& steps_done = metrics.counter("engine.steps");
+
   struct Variant {
     const char* name;
     bool md;
@@ -35,28 +45,38 @@ int main() {
     opt.zero_r.arena_bytes = 2ull << 20;
     opt.cluster.device_capacity_bytes = 24ull << 20;
 
+    metrics.ResetValues();  // per-variant deltas; handles stay valid
     const core::TrainResult result = core::TrainGpt(opt);
     std::printf("%s:\n", v.name);
     if (result.oom) {
-      std::printf("  OOM: %s\n\n", result.oom_message.c_str());
+      std::printf("  OOM: %s\n", result.oom_message.c_str());
+      std::printf("  registry saw %llu failed device allocations\n\n",
+                  static_cast<unsigned long long>(device_oom.value()));
       continue;
     }
     const core::RankMetrics& r = result.ranks[0];
-    std::printf("  completed %zu steps, final loss %.4f\n",
-                result.losses.size(), result.final_loss());
+    std::printf("  completed %zu steps (%llu engine steps across ranks), "
+                "final loss %.4f\n",
+                result.losses.size(),
+                static_cast<unsigned long long>(steps_done.value()),
+                result.final_loss());
     std::printf("  device: peak in use %.2f MB of %.0f MB, %llu allocs\n",
                 static_cast<double>(r.device.peak_in_use) / 1e6,
                 static_cast<double>(r.device.capacity) / 1e6,
                 static_cast<unsigned long long>(r.device.total_allocs));
-    std::printf("  cache: peak cached %.2f MB, hits %llu, misses %llu\n",
-                static_cast<double>(r.cache.peak_cached) / 1e6,
-                static_cast<unsigned long long>(r.cache.cache_hits),
-                static_cast<unsigned long long>(r.cache.cache_misses));
+    std::printf("  cache (all ranks): %llu hits, %llu misses; rank 0 peak "
+                "cached %.2f MB\n",
+                static_cast<unsigned long long>(cache_hits.value()),
+                static_cast<unsigned long long>(cache_misses.value()),
+                static_cast<double>(r.cache.peak_cached) / 1e6);
     std::printf("  end-of-run fragmentation: %.1f%% (largest free block "
                 "%.2f MB of %.2f MB free)\n\n",
                 r.device.ExternalFragmentation() * 100.0,
                 static_cast<double>(r.device.largest_free_block) / 1e6,
                 static_cast<double>(r.device.free_total) / 1e6);
   }
+
+  std::printf("metrics registry snapshot (last variant):\n%s\n",
+              metrics.SnapshotJson().c_str());
   return 0;
 }

@@ -5,11 +5,16 @@
 //
 // Prints a loss curve, final perplexity, and the per-rank memory and
 // communication report that a real ZeRO user would read after a run.
+// With ZERO_TRACE=/path/trace.json set (or engine.telemetry filled in),
+// the run also emits a Chrome trace, a per-step metrics dump, and a
+// step report validating the paper's memory/communication equations
+// against the measured run.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
 #include "core/trainer.hpp"
+#include "obs/telemetry.hpp"
 
 int main(int argc, char** argv) {
   using namespace zero;
@@ -61,5 +66,23 @@ int main(int argc, char** argv) {
   std::printf("  DP traffic: %.1f KB sent, MP traffic: %.1f KB sent\n",
               static_cast<double>(r0.dp_comm.bytes_sent) / 1e3,
               static_cast<double>(r0.mp_comm.bytes_sent) / 1e3);
+
+  obs::TelemetryOptions telemetry = options.engine.telemetry.enabled
+                                        ? options.engine.telemetry
+                                        : obs::TelemetryOptions::FromEnv();
+  if (telemetry.enabled) {
+    telemetry.ResolvePaths();
+    std::printf("\ntelemetry artifacts:\n");
+    std::printf("  trace   %s  (load in ui.perfetto.dev)\n",
+                telemetry.trace_path.c_str());
+    std::printf("  metrics %s\n", telemetry.metrics_path.c_str());
+    std::printf("  report  %s\n", telemetry.report_path.c_str());
+    if (result.report.has_value()) {
+      std::printf("  %s\n", result.report->Summary().c_str());
+    }
+  } else {
+    std::printf("\n(set ZERO_TRACE=/tmp/trace.json to record a Chrome trace "
+                "and paper-equation report)\n");
+  }
   return 0;
 }

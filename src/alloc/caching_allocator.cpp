@@ -1,5 +1,7 @@
 #include "alloc/caching_allocator.hpp"
 
+#include "obs/metrics.hpp"
+
 #include <algorithm>
 #include <utility>
 
@@ -52,12 +54,16 @@ CachedBlock CachingAllocator::Malloc(std::size_t bytes) {
     stats_.live_bytes += seg.size;
     stats_.peak_live = std::max(stats_.peak_live, stats_.live_bytes);
     ++stats_.cache_hits;
+    static obs::Counter& hits = obs::Metrics().counter("alloc.cache.hits");
+    hits.Add();
     return CachedBlock(this, id, seg.allocation.data(), seg.size);
   }
 
   // 2. Fresh device allocation; on OOM, flush the cache and retry once
   //    (the empty_cache fallback PyTorch performs before surfacing OOM).
   ++stats_.cache_misses;
+  static obs::Counter& misses = obs::Metrics().counter("alloc.cache.misses");
+  misses.Add();
   Allocation alloc;
   try {
     alloc = device_.Allocate(need);

@@ -1,5 +1,7 @@
 #include "alloc/device_memory.hpp"
 
+#include "obs/metrics.hpp"
+
 #include <utility>
 
 namespace zero::alloc {
@@ -78,6 +80,14 @@ Allocation DeviceMemory::Allocate(std::size_t bytes) {
   if (it == free_blocks_.end()) {
     ++failed_allocs_;
     const DeviceStats s = Stats();
+    static obs::Counter& failed = obs::Metrics().counter("alloc.device.oom");
+    failed.Add();
+    // Fragmentation at the moment of failure is the interesting sample:
+    // it distinguishes "genuinely out of memory" from "memory is there
+    // but shredded" (the ZeRO-R MD motivation).
+    static obs::Histogram& frag =
+        obs::Metrics().histogram("alloc.fragmentation_pct");
+    frag.Observe(s.ExternalFragmentation() * 100.0);
     throw DeviceOomError(need, s.free_total, s.largest_free_block, name_);
   }
   const std::size_t offset = it->first;

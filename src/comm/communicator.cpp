@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+
 namespace zero::comm {
 
 Communicator::Communicator(RankContext& ctx, std::vector<int> members,
@@ -101,7 +103,14 @@ void CommRequest::Complete(std::vector<std::byte> msg) {
 
 void CommRequest::Wait() {
   if (done()) return;
+  // A blocking wait on a pending recv is exactly the "all-gather stall" /
+  // "bucket-flush wait" the step report wants visible: record how long
+  // the rank sat here.
+  TRACE_SPAN("comm/p2p_wait");
+  const std::uint64_t t0 = obs::TraceNowNs();
   Complete(state_->comm->RecvBytes(state_->peer, state_->tag));
+  static obs::Histogram& wait_us = obs::Metrics().histogram("comm.p2p_wait_us");
+  wait_us.Observe(static_cast<double>(obs::TraceNowNs() - t0) / 1000.0);
 }
 
 bool CommRequest::Test() {

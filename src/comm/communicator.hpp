@@ -33,6 +33,7 @@
 #include "comm/world.hpp"
 #include "common/error.hpp"
 #include "common/half.hpp"
+#include "obs/trace.hpp"
 
 namespace zero::comm {
 
@@ -50,6 +51,29 @@ struct CommStats {
     messages_sent += o.messages_sent;
     collectives += o.collectives;
     return *this;
+  }
+  // Counters are monotonic, so a-b is only meaningful when a was sampled
+  // after b on the same communicator; CommDelta provides that pattern.
+  CommStats& operator-=(const CommStats& o) {
+    bytes_sent -= o.bytes_sent;
+    bytes_received -= o.bytes_received;
+    messages_sent -= o.messages_sent;
+    collectives -= o.collectives;
+    return *this;
+  }
+  friend CommStats operator+(CommStats a, const CommStats& b) {
+    a += b;
+    return a;
+  }
+  friend CommStats operator-(CommStats a, const CommStats& b) {
+    a -= b;
+    return a;
+  }
+  friend bool operator==(const CommStats& a, const CommStats& b) {
+    return a.bytes_sent == b.bytes_sent &&
+           a.bytes_received == b.bytes_received &&
+           a.messages_sent == b.messages_sent &&
+           a.collectives == b.collectives;
   }
 };
 
@@ -207,6 +231,7 @@ class Communicator {
   // In-place sum/avg/max across the group. Any length.
   template <typename T>
   void AllReduce(std::span<T> data, ReduceOp op = ReduceOp::kSum) {
+    TRACE_SPAN("comm/all_reduce");
     const std::uint64_t seq = NextSeq();
     if (size() == 1) {
       return;  // single rank: reduction is the identity
@@ -229,6 +254,7 @@ class Communicator {
                "ReduceScatter length must divide evenly (pad first)");
     const std::size_t chunk = data.size() / static_cast<std::size_t>(p);
     ZERO_CHECK(out.size() == chunk, "ReduceScatter output size mismatch");
+    TRACE_SPAN("comm/reduce_scatter");
     const std::uint64_t seq = NextSeq();
     if (p > 1) RingReduceScatterInPlace(data, op, seq);
     std::memcpy(out.data(), data.data() + chunk * static_cast<std::size_t>(rank()),
@@ -243,6 +269,7 @@ class Communicator {
     const int p = size();
     ZERO_CHECK(out.size() == chunk.size() * static_cast<std::size_t>(p),
                "AllGather output size mismatch");
+    TRACE_SPAN("comm/all_gather");
     std::memcpy(out.data() + chunk.size() * static_cast<std::size_t>(rank()),
                 chunk.data(), chunk.size() * sizeof(T));
     const std::uint64_t seq = NextSeq();
@@ -252,6 +279,7 @@ class Communicator {
   // Ring-pipelined broadcast from group rank `root`; per-rank volume ~= M.
   template <typename T>
   void Broadcast(std::span<T> data, int root) {
+    TRACE_SPAN("comm/broadcast");
     const std::uint64_t seq = NextSeq();
     if (size() == 1) return;
     RingBroadcast(std::as_writable_bytes(data), root, seq);
@@ -274,6 +302,7 @@ class Communicator {
   //     every rank, including the degenerate single-rank group.
   template <typename T>
   void Reduce(std::span<T> data, int root, ReduceOp op = ReduceOp::kSum) {
+    TRACE_SPAN("comm/reduce");
     const int p = size();
     const std::uint64_t seq = NextSeq();
     ++stats_.collectives;
@@ -306,6 +335,7 @@ class Communicator {
   // root's `out` (out is only written at the root).
   template <typename T>
   void Gather(std::span<const T> chunk, std::span<T> out, int root) {
+    TRACE_SPAN("comm/gather");
     const int p = size();
     const std::uint64_t seq = NextSeq();
     if (rank() == root) {
@@ -336,6 +366,7 @@ class Communicator {
                    send.size() % static_cast<std::size_t>(p) == 0,
                "AllToAll buffers must be p equal chunks");
     const std::size_t chunk = send.size() / static_cast<std::size_t>(p);
+    TRACE_SPAN("comm/all_to_all");
     const std::uint64_t seq = NextSeq();
     // Post all sends first (deposits are non-blocking), then receive.
     for (int i = 0; i < p; ++i) {
@@ -360,6 +391,7 @@ class Communicator {
   // rank i's `out`.
   template <typename T>
   void Scatter(std::span<const T> data, std::span<T> out, int root) {
+    TRACE_SPAN("comm/scatter");
     const int p = size();
     ZERO_CHECK(out.size() * static_cast<std::size_t>(p) == data.size() ||
                    rank() != root,
@@ -466,5 +498,28 @@ void Communicator::RingAllGatherInPlace(std::span<T> data, std::uint64_t seq) {
   }
   ++stats_.collectives;
 }
+
+// Measures the communication attributable to a region of code without
+// resetting the communicator's monotonic counters:
+//
+//   comm::CommDelta step(dp);
+//   ... one training step ...
+//   comm::CommStats used = step.Delta();
+//
+// Replaces the old pattern of calling ResetStats() between steps, which
+// destroyed the run-lifetime totals other readers (the trainer's
+// RankMetrics) depend on.
+class CommDelta {
+ public:
+  explicit CommDelta(const Communicator& comm)
+      : comm_(&comm), start_(comm.stats()) {}
+  [[nodiscard]] CommStats Delta() const { return comm_->stats() - start_; }
+  // Re-bases the helper so the next Delta() starts from now.
+  void Rebase() { start_ = comm_->stats(); }
+
+ private:
+  const Communicator* comm_;
+  CommStats start_;
+};
 
 }  // namespace zero::comm

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 
 namespace zero::comm {
 
@@ -30,6 +31,9 @@ void World::Run(const std::function<void(RankContext&)>& body) {
 
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([this, r, &body, &errors] {
+      // Tag the thread so log lines and trace events attribute to the
+      // rank without call sites threading it through.
+      SetThreadLogRank(r);
       RankContext ctx;
       ctx.world = this;
       ctx.rank = r;

@@ -1,7 +1,9 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 #include "common/error.hpp"
@@ -10,8 +12,36 @@
 namespace zero {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_emit_mutex;
+thread_local int tl_log_rank = -1;
+
+int InitialLevel() {
+  if (const char* env = std::getenv("ZERO_LOG_LEVEL")) {
+    if (std::optional<LogLevel> parsed = ParseLogLevel(env)) {
+      return static_cast<int>(*parsed);
+    }
+    std::fprintf(stderr,
+                 "[zero WARN ] ignoring unrecognized ZERO_LOG_LEVEL=\"%s\" "
+                 "(want debug/info/warn/error)\n",
+                 env);
+  }
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+std::atomic<int>& Level() {
+  static std::atomic<int> level{InitialLevel()};
+  return level;
+}
+
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Touch the epoch at static-init time so "+0.000s" really means process
+// start, not first log line.
+const bool g_epoch_primed = (ProcessEpoch(), true);
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,17 +56,62 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+char AsciiLower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+void SetLogLevel(LogLevel level) {
+  Level().store(static_cast<int>(level));
+}
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+LogLevel GetLogLevel() { return static_cast<LogLevel>(Level().load()); }
+
+std::optional<LogLevel> ParseLogLevel(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) lower += AsciiLower(c);
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "2") {
+    return LogLevel::kWarn;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  return std::nullopt;
+}
+
+void SetThreadLogRank(int rank) { tl_log_rank = rank; }
+
+int GetThreadLogRank() { return tl_log_rank; }
+
+double LogUptimeSeconds() {
+  (void)g_epoch_primed;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       ProcessEpoch())
+      .count();
+}
 
 namespace detail {
 
+std::string FormatLogLine(LogLevel level, double uptime_s, int rank,
+                          const std::string& message) {
+  char head[64];
+  if (rank >= 0) {
+    std::snprintf(head, sizeof(head), "[zero %-5s +%.3fs r%d] ",
+                  LevelName(level), uptime_s, rank);
+  } else {
+    std::snprintf(head, sizeof(head), "[zero %-5s +%.3fs] ",
+                  LevelName(level), uptime_s);
+  }
+  return head + message;
+}
+
 void Emit(LogLevel level, const std::string& message) {
+  const std::string line =
+      FormatLogLine(level, LogUptimeSeconds(), tl_log_rank, message);
   std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[zero %-5s] %s\n", LevelName(level), message.c_str());
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 void CheckFailed(const char* expr, const char* file, int line,

@@ -1,10 +1,23 @@
 // Minimal leveled logger. Multi-rank code logs with a rank prefix; output
 // is serialized with a process-wide mutex so interleaved rank logs stay
 // line-atomic.
+//
+// Every line carries a monotonic timestamp (seconds since process start)
+// and, when the emitting thread has a rank tag, the rank:
+//
+//   [zero INFO  +12.345s r3] stage-3 all-gather complete
+//
+// The initial level comes from ZERO_LOG_LEVEL (debug/info/warn/error,
+// case-insensitive; default warn); SetLogLevel overrides at runtime.
+// World::Run tags each SPMD rank thread via SetThreadLogRank, and the
+// intra-op worker pool inherits its owner's tag, so telemetry (obs/) and
+// log lines agree on which rank did what.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace zero {
 
@@ -13,8 +26,25 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+// "debug"/"info"/"warn"/"warning"/"error" (any case) or "0".."3";
+// nullopt on anything else.
+[[nodiscard]] std::optional<LogLevel> ParseLogLevel(std::string_view text);
+
+// Per-thread rank tag stamped onto log lines and telemetry events.
+// -1 (the default) means untagged. Inherited by nothing automatically —
+// thread spawners that want attribution must propagate it.
+void SetThreadLogRank(int rank);
+[[nodiscard]] int GetThreadLogRank();
+
+// Monotonic seconds since process start (the log-line clock).
+[[nodiscard]] double LogUptimeSeconds();
+
 namespace detail {
 void Emit(LogLevel level, const std::string& message);
+// The exact line Emit writes (sans trailing newline); split out so the
+// format is testable.
+[[nodiscard]] std::string FormatLogLine(LogLevel level, double uptime_s,
+                                        int rank, const std::string& message);
 }
 
 class LogLine {

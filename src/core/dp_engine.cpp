@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/parallel_for.hpp"
 
@@ -108,14 +110,24 @@ void ZeroDpEngine::EmitUnitGrad(int u, std::span<const float> grad) {
 // ---------------------------------------------------------------------
 
 float ZeroDpEngine::TrainStep(const model::Batch& batch) {
+  TRACE_SPAN("engine/step");
+  const std::uint64_t step_t0 = obs::TraceNowNs();
   ctx_.loss_scale = current_loss_scale();
   strategy_->OnStepBegin();
 
-  const float loss = model_->Step(batch, *this, *this);
+  float loss;
+  {
+    TRACE_SPAN("engine/fwd_bwd");
+    loss = model_->Step(batch, *this, *this);
+  }
 
-  strategy_->ReduceGradients();
+  {
+    TRACE_SPAN("engine/reduce_grads");
+    strategy_->ReduceGradients();
+  }
 
   if (cfg_.accumulation_steps > 1) {
+    TRACE_SPAN("engine/accumulate");
     AccumulateReduced();
     if (++micro_ < cfg_.accumulation_steps) {
       return loss;  // mid-cycle micro-step: no update, no all-gather
@@ -124,10 +136,20 @@ float ZeroDpEngine::TrainStep(const model::Batch& batch) {
     micro_ = 1;
   }
 
-  ApplyUpdate();
+  {
+    TRACE_SPAN("engine/apply_update");
+    ApplyUpdate();
+  }
   micro_ = 0;
   if (acc_.defined()) acc_.FillZero();
   ++steps_;
+
+  static obs::Counter& steps_total = obs::Metrics().counter("engine.steps");
+  static obs::Histogram& step_ms = obs::Metrics().histogram("engine.step_ms");
+  static obs::Gauge& scale = obs::Metrics().gauge("engine.loss_scale");
+  steps_total.Add();
+  step_ms.Observe(static_cast<double>(obs::TraceNowNs() - step_t0) / 1e6);
+  scale.Set(current_loss_scale());
   return loss;
 }
 
@@ -221,18 +243,26 @@ void ZeroDpEngine::ApplyUpdate() {
               (cfg_.fp16 ? current_loss_scale() : 1.0f));
 
   if (scaler_.has_value()) {
-    const bool overflow = DetectGlobalOverflow();
+    bool overflow;
+    {
+      TRACE_SPAN("engine/overflow_detect");
+      overflow = DetectGlobalOverflow();
+    }
     if (!scaler_->Update(overflow)) {
       // Skip this update entirely; the scale has been backed off. The
       // strategy's post-update work (parameter all-gather, gradient
       // zeroing) is skipped with it — grads are overwritten next step.
       ++skipped_;
+      static obs::Counter& skipped =
+          obs::Metrics().counter("engine.skipped_steps");
+      skipped.Add();
       return;
     }
   }
 
   float grad_scale = base_scale;
   if (cfg_.max_grad_norm > 0.0f) {
+    TRACE_SPAN("engine/clip_norm");
     grad_scale *= ComputeClipCoefficient(base_scale);
   }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "model/transformer_spec.hpp"
+#include "obs/telemetry.hpp"
 #include "optim/adam.hpp"
 #include "optim/loss_scaler.hpp"
 
@@ -45,6 +46,10 @@ struct EngineConfig {
   // rank_threads x workers never exceeds the hardware thread count.
   int intra_op_workers = 0;
   optim::AdamConfig adam;
+  // Runtime telemetry: tracing/metrics/step-report switches for the run.
+  // TelemetryOptions::FromEnv() honors ZERO_TRACE; spans are compiled in
+  // regardless and cost ~a relaxed atomic load while disabled.
+  obs::TelemetryOptions telemetry;
 };
 
 }  // namespace zero::core

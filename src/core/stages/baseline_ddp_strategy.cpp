@@ -1,5 +1,7 @@
 #include "core/stages/baseline_ddp_strategy.hpp"
 
+#include "obs/trace.hpp"
+
 namespace zero::core {
 
 void BaselineDdpStrategy::InitParams(std::span<const float> padded_init) {
@@ -14,6 +16,7 @@ void BaselineDdpStrategy::EmitUnitGrad(int u, std::span<const float> grad) {
 
 void BaselineDdpStrategy::ReduceGradients() {
   CheckUnitsReleased();
+  TRACE_SPAN("grads/all_reduce");
   // All-reduce full gradients in place.
   if (ctx_->cfg->fp16) {
     ctx_->dp->AllReduce(grads_.f16(), comm::ReduceOp::kSum);

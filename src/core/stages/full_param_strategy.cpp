@@ -1,6 +1,8 @@
 #include "core/stages/full_param_strategy.hpp"
 
 #include <cstring>
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/kernels.hpp"
 
 namespace zero::core {
@@ -88,6 +90,8 @@ void FullParamStrategy::GatherFullParams(std::span<float> out) {
 }
 
 void FullParamStrategy::AllGatherParams() {
+  TRACE_SPAN("params/all_gather");
+  const std::uint64_t t0 = obs::TraceNowNs();
   // Copy the owned chunk out first: AllGather writes the chunk into the
   // full buffer at this rank's offset, which would otherwise alias.
   const Range own = ctx_->part->PartitionRange(ctx_->rank());
@@ -103,6 +107,9 @@ void FullParamStrategy::AllGatherParams() {
                 chunk.size() * sizeof(float));
     ctx_->dp->AllGather(std::span<const float>(chunk), params_.f32());
   }
+  static obs::Histogram& gather_us =
+      obs::Metrics().histogram("params.allgather_us");
+  gather_us.Observe(static_cast<double>(obs::TraceNowNs() - t0) / 1000.0);
 }
 
 }  // namespace zero::core

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace zero::core {
 
 GradBucketizer::GradBucketizer(StageContext& ctx, tensor::Tensor* owner_grads)
@@ -65,6 +68,7 @@ void GradBucketizer::Emit(int u, std::span<const float> grad) {
 }
 
 void GradBucketizer::Flush(int j) {
+  TRACE_SPAN("grads/bucket_flush");
   auto it = segments_.find(j);
   ZERO_CHECK(it != segments_.end(), "flushing a partition with no segment");
   Segment seg = std::move(it->second);
@@ -204,7 +208,13 @@ void GradBucketizer::FinishPending() {
 void GradBucketizer::Drain() {
   ZERO_CHECK(emit_frontier_ == 0 && segments_.empty(),
              "backward did not cover the full parameter space");
+  // Time the blocking tail of the reduction: this is the bucket-flush
+  // wait the overlap machinery exists to hide.
+  const std::uint64_t t0 = obs::TraceNowNs();
   Progress(/*block=*/true);
+  static obs::Histogram& drain_us =
+      obs::Metrics().histogram("bucket.drain_wait_us");
+  drain_us.Observe(static_cast<double>(obs::TraceNowNs() - t0) / 1000.0);
   ZERO_CHECK(!pending_.has_value(), "in-flight reduction failed to drain");
 }
 

@@ -1,6 +1,8 @@
 #include "core/stages/pos_g_p_strategy.hpp"
 
 #include <cstring>
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/kernels.hpp"
 
 namespace zero::core {
@@ -36,6 +38,10 @@ std::span<const float> PosGPStrategy::AcquireUnit(int u, Phase phase) {
   // Materialize the unit from its partition owners, on demand.
   MaterializedUnit& mu = units_[u];
   if (mu.refcount == 0) {
+    TRACE_SPAN("params/materialize_unit");
+    static obs::Counter& materializations =
+        obs::Metrics().counter("stage3.unit_materializations");
+    materializations.Add();
     const Range unit_range{ub, ue};
     const Range own = ctx_->part->PartitionRange(ctx_->rank());
     if (ctx_->cfg->fp16) {
@@ -85,6 +91,7 @@ void PosGPStrategy::ReleaseUnit(int u, Phase phase) {
 
 void PosGPStrategy::ReduceGradients() {
   ZERO_CHECK(units_.empty(), "model leaked acquired units");
+  TRACE_SPAN("grads/bucket_drain");
   // Gradients were already reduced to their owners during backward; wait
   // out whatever is still in flight and verify full coverage.
   bucketizer_->Drain();

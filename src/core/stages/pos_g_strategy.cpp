@@ -1,5 +1,7 @@
 #include "core/stages/pos_g_strategy.hpp"
 
+#include "obs/trace.hpp"
+
 namespace zero::core {
 
 void PosGStrategy::InitParams(std::span<const float> padded_init) {
@@ -11,6 +13,7 @@ void PosGStrategy::InitParams(std::span<const float> padded_init) {
 
 void PosGStrategy::ReduceGradients() {
   CheckUnitsReleased();
+  TRACE_SPAN("grads/bucket_drain");
   // Gradients were already reduced to their owners during backward; wait
   // out whatever is still in flight and verify full coverage.
   bucketizer_->Drain();

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/trace.hpp"
+
 namespace zero::core {
 
 void PosStrategy::InitParams(std::span<const float> padded_init) {
@@ -19,6 +21,7 @@ void PosStrategy::EmitUnitGrad(int u, std::span<const float> grad) {
 
 void PosStrategy::ReduceGradients() {
   CheckUnitsReleased();
+  TRACE_SPAN("grads/reduce_scatter");
   // Reduce-scatter into this rank's reduced shard. Volume Ψ; the
   // parameter all-gather after the update is the other Ψ.
   const std::int64_t shard = ctx_->part->partition_size();

@@ -1,9 +1,14 @@
 #include "core/trainer.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <mutex>
 
+#include "common/logging.hpp"
 #include "core/zero_r.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace zero::core {
 
@@ -38,6 +43,27 @@ TrainResult TrainGpt(const TrainOptions& options) {
 
   comm::World world(world_size);
   comm::GridTopology grid(world_size, options.cluster.mp_degree);
+
+  // Telemetry: explicit config wins; otherwise ZERO_TRACE activates it.
+  obs::TelemetryOptions telemetry = options.engine.telemetry;
+  telemetry.ResolvePaths();
+  if (!telemetry.enabled) {
+    const obs::TelemetryOptions env = obs::TelemetryOptions::FromEnv();
+    if (env.enabled) telemetry = env;
+  }
+  if (telemetry.enabled) {
+    // Fresh buffers + zeroed metrics so the artifacts describe this run
+    // only. Safe here: no rank thread is recording yet.
+    obs::SetTraceBufferCapacity(telemetry.trace_buffer_events);
+    obs::ResetTrace();
+    obs::Metrics().ResetValues();
+    obs::EnableTracing();
+  }
+  // Rank-0 measurements feeding the step report, captured inside Run.
+  double measured_state_bytes = 0;
+  double measured_comm_bytes = 0;
+  int comm_steps_measured = 0;
+  std::vector<std::string> step_metric_snapshots;
 
   TrainResult result;
   result.losses.assign(static_cast<std::size_t>(options.steps), 0.0f);
@@ -97,11 +123,31 @@ TrainResult TrainGpt(const TrainOptions& options) {
                                  options.corpus_branching, options.seed,
                                  static_cast<std::uint64_t>(dp.rank()));
 
+      if (ctx.rank == 0) {
+        std::lock_guard<std::mutex> lock(result_mutex);
+        result.psi = engine.partitioner().total();
+        result.padded_psi = engine.partitioner().padded_total();
+      }
+
       std::vector<float> local_validation;
+      // Steady-state comm accounting: step 0 is warm-up (stage 3's first
+      // step materializes cold caches), so the delta is rebased after it
+      // and the report divides by the remaining steps.
+      comm::CommDelta dp_delta(dp);
+      int steps_measured = 0;
+      std::vector<std::string> local_snapshots;
       for (int s = 0; s < options.steps; ++s) {
         model::Batch batch =
             corpus.NextBatch(options.batch_per_rank, options.model.seq);
         local_losses[static_cast<std::size_t>(s)] = engine.TrainStep(batch);
+        if (s == 0 && options.steps > 1) {
+          dp_delta.Rebase();
+        } else {
+          ++steps_measured;
+        }
+        if (telemetry.enabled && ctx.rank == 0) {
+          local_snapshots.push_back(obs::Metrics().SnapshotJson());
+        }
         if (options.eval_every > 0 && (s + 1) % options.eval_every == 0) {
           // Identical validation stream on every rank (collective under
           // stage 3, so all ranks must participate regardless).
@@ -121,6 +167,12 @@ TrainResult TrainGpt(const TrainOptions& options) {
       if (ctx.rank == 0) {
         std::lock_guard<std::mutex> lock(result_mutex);
         result.validation_losses = std::move(local_validation);
+        measured_state_bytes =
+            static_cast<double>(metrics.model_states.total());
+        measured_comm_bytes =
+            static_cast<double>(dp_delta.Delta().bytes_sent);
+        comm_steps_measured = steps_measured;
+        step_metric_snapshots = std::move(local_snapshots);
       }
     } catch (const DeviceOomError& e) {
       // Experiment configs are symmetric across ranks, so every rank hits
@@ -152,6 +204,56 @@ TrainResult TrainGpt(const TrainOptions& options) {
   });
 
   if (result.oom) result.losses.clear();
+
+  if (telemetry.enabled) {
+    obs::DisableTracing();
+    if (!telemetry.trace_path.empty()) {
+      obs::WriteChromeTraceFile(telemetry.trace_path);
+    }
+    if (!telemetry.metrics_path.empty() && !step_metric_snapshots.empty()) {
+      std::ofstream f(telemetry.metrics_path,
+                      std::ios::binary | std::ios::trunc);
+      if (f) {
+        f << "[\n";
+        for (std::size_t i = 0; i < step_metric_snapshots.size(); ++i) {
+          f << step_metric_snapshots[i];
+          if (i + 1 < step_metric_snapshots.size()) f << ",";
+          f << "\n";
+        }
+        f << "]\n";
+      } else {
+        ZLOG_ERROR << "cannot open metrics output " << telemetry.metrics_path;
+      }
+    }
+    if (!result.oom && comm_steps_measured > 0) {
+      obs::StepReportInputs in;
+      in.stage = static_cast<int>(options.engine.stage);
+      in.nd = options.cluster.dp_degree;
+      in.fp16 = options.engine.fp16;
+      in.psi = static_cast<double>(result.psi);
+      in.padded_psi = static_cast<double>(result.padded_psi);
+      in.measured_state_bytes = measured_state_bytes;
+      in.measured_comm_bytes = measured_comm_bytes;
+      in.steps = comm_steps_measured;
+      obs::StepReport report = obs::BuildStepReport(in);
+      if (telemetry.validate) {
+        ZLOG_INFO << "step report: " << report.Summary();
+        for (const std::string& d : report.divergences) {
+          ZLOG_WARN << "paper-equation divergence: " << d;
+        }
+      }
+      if (!telemetry.report_path.empty()) {
+        std::ofstream f(telemetry.report_path,
+                        std::ios::binary | std::ios::trunc);
+        if (f) {
+          f << report.ToJson() << "\n";
+        } else {
+          ZLOG_ERROR << "cannot open report output " << telemetry.report_path;
+        }
+      }
+      result.report = std::move(report);
+    }
+  }
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include "core/dp_engine.hpp"
 #include "model/corpus.hpp"
 #include "model/gpt.hpp"
+#include "obs/step_report.hpp"
 
 namespace zero::core {
 
@@ -71,6 +72,13 @@ struct TrainResult {
   std::vector<RankMetrics> ranks;
   bool oom = false;
   std::string oom_message;
+  // Flat parameter space of the per-engine model (after any MP split):
+  // logical and partition-padded element counts.
+  std::int64_t psi = 0;
+  std::int64_t padded_psi = 0;
+  // Measured-vs-analytic validation, populated when telemetry is enabled
+  // for the run (EngineConfig::telemetry or ZERO_TRACE).
+  std::optional<obs::StepReport> report;
 
   [[nodiscard]] float final_loss() const {
     return losses.empty() ? 0.0f : losses.back();

@@ -1,0 +1,204 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "obs/json.hpp"
+
+namespace zero::obs {
+
+namespace {
+
+struct FlatEvent {
+  const TraceEvent* e;
+  int pid;
+  int tid;
+};
+
+void AppendMicros(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<ThreadEvents>& threads) {
+  std::vector<FlatEvent> flat;
+  // pid -> process label; tid lanes are globally unique already.
+  std::map<int, std::string> processes;
+  std::map<int, std::pair<int, std::string>> lanes;  // tid -> (pid, name)
+  std::uint64_t dropped = 0;
+  for (const ThreadEvents& te : threads) {
+    dropped += te.dropped;
+    int lane_pid = 0;
+    for (const TraceEvent& e : te.events) {
+      const int pid = e.rank >= 0 ? e.rank + 1 : 0;
+      lane_pid = pid;  // last rank tag wins for the lane's home process
+      flat.push_back({&e, pid, te.tid});
+      auto [it, inserted] = processes.try_emplace(pid);
+      if (inserted) {
+        it->second =
+            pid == 0 ? "untagged" : "rank " + std::to_string(pid - 1);
+      }
+    }
+    if (!te.events.empty()) {
+      lanes[te.tid] = {lane_pid, te.name};
+    }
+  }
+  std::stable_sort(flat.begin(), flat.end(),
+                   [](const FlatEvent& a, const FlatEvent& b) {
+                     return a.e->start_ns < b.e->start_ns;
+                   });
+
+  // Hand-built output: event volume makes the generic json::Value dump
+  // needlessly slow, and the format is fixed anyway.
+  std::string out;
+  out.reserve(flat.size() * 96 + 1024);
+  out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":";
+  out += std::to_string(dropped);
+  out += "},\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+  for (const auto& [pid, name] : processes) {
+    comma();
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":0,\"args\":{\"name\":\"";
+    out += json::Escape(name);
+    out += "\"}}";
+  }
+  for (const auto& [tid, lane] : lanes) {
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":";
+    out += std::to_string(lane.first);
+    out += ",\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"args\":{\"name\":\"";
+    out += json::Escape(lane.second);
+    out += "\"}}";
+  }
+  for (const FlatEvent& fe : flat) {
+    comma();
+    out += "{\"name\":\"";
+    out += json::Escape(fe.e->name);
+    out += "\",\"cat\":\"zero\",\"ph\":\"X\",\"ts\":";
+    AppendMicros(out, fe.e->start_ns);
+    out += ",\"dur\":";
+    AppendMicros(out, fe.e->dur_ns);
+    out += ",\"pid\":";
+    out += std::to_string(fe.pid);
+    out += ",\"tid\":";
+    out += std::to_string(fe.tid);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+bool WriteChromeTraceFile(const std::string& path) {
+  const std::string text = ChromeTraceJson(CollectEvents());
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    ZLOG_ERROR << "cannot open trace output " << path;
+    return false;
+  }
+  f << text;
+  f.flush();
+  if (!f) {
+    ZLOG_ERROR << "short write to trace output " << path;
+    return false;
+  }
+  ZLOG_INFO << "wrote chrome trace (" << TraceEventCount() << " events, "
+            << TraceDroppedCount() << " dropped) to " << path;
+  return true;
+}
+
+namespace {
+
+bool EventError(std::size_t index, const std::string& what,
+                std::string* error) {
+  if (error != nullptr) {
+    *error = "traceEvents[" + std::to_string(index) + "]: " + what;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ValidateChromeTrace(const std::string& text, std::string* error) {
+  json::Value root;
+  std::string perr;
+  if (!json::Parse(text, &root, &perr)) {
+    if (error != nullptr) *error = "JSON parse failed: " + perr;
+    return false;
+  }
+  if (!root.is_object()) {
+    if (error != nullptr) *error = "top level is not an object";
+    return false;
+  }
+  const json::Value* events = root.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    if (error != nullptr) *error = "missing traceEvents array";
+    return false;
+  }
+  double last_ts = -1.0;
+  for (std::size_t i = 0; i < events->as_array().size(); ++i) {
+    const json::Value& ev = events->as_array()[i];
+    if (!ev.is_object()) return EventError(i, "not an object", error);
+    const json::Value* name = ev.Find("name");
+    if (name == nullptr || !name->is_string() || name->as_string().empty()) {
+      return EventError(i, "missing string name", error);
+    }
+    const json::Value* ph = ev.Find("ph");
+    if (ph == nullptr || !ph->is_string()) {
+      return EventError(i, "missing string ph", error);
+    }
+    for (const char* key : {"pid", "tid"}) {
+      const json::Value* v = ev.Find(key);
+      if (v == nullptr || !v->is_number()) {
+        return EventError(i, std::string("missing numeric ") + key, error);
+      }
+    }
+    const std::string& phase = ph->as_string();
+    if (phase == "M") continue;  // metadata carries no timestamp
+    if (phase != "X") {
+      return EventError(i, "unexpected phase \"" + phase + "\"", error);
+    }
+    const json::Value* ts = ev.Find("ts");
+    const json::Value* dur = ev.Find("dur");
+    if (ts == nullptr || !ts->is_number() || ts->as_number() < 0) {
+      return EventError(i, "X event needs numeric ts >= 0", error);
+    }
+    if (dur == nullptr || !dur->is_number() || dur->as_number() < 0) {
+      return EventError(i, "X event needs numeric dur >= 0", error);
+    }
+    if (ts->as_number() < last_ts) {
+      return EventError(i, "timestamps not monotonically ordered", error);
+    }
+    last_ts = ts->as_number();
+  }
+  return true;
+}
+
+bool ValidateChromeTraceFile(const std::string& path, std::string* error) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ValidateChromeTrace(ss.str(), error);
+}
+
+}  // namespace zero::obs

@@ -1,0 +1,409 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace zero::obs::json {
+
+const Value* Value::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  auto it = obj_->find(std::string(key));
+  return it == obj_->end() ? nullptr : &it->second;
+}
+
+namespace {
+
+void AppendNumber(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";
+    return;
+  }
+  // Integers up to 2^53 print exactly; everything else round-trips
+  // through %.17g and is trimmed by the shorter %g when lossless.
+  char buf[40];
+  if (d == static_cast<double>(static_cast<std::int64_t>(d)) &&
+      std::fabs(d) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.10g", d);
+    double back = std::strtod(buf, nullptr);
+    if (back != d) std::snprintf(buf, sizeof(buf), "%.17g", d);
+  }
+  out += buf;
+}
+
+void Indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Value::DumpTo(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      AppendNumber(out, num_);
+      break;
+    case Kind::kString:
+      out += '"';
+      out += Escape(str_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& v : *arr_) {
+        if (!first) out += ',';
+        first = false;
+        Indent(out, indent, depth + 1);
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!first) Indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : *obj_) {
+        if (!first) out += ',';
+        first = false;
+        Indent(out, indent, depth + 1);
+        out += '"';
+        out += Escape(k);
+        out += "\":";
+        if (indent > 0) out += ' ';
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!first) Indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool ParseDocument(Value* out) {
+    SkipWs();
+    if (!ParseValue(out, 0)) return false;
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing characters after value");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  bool Fail(const std::string& msg) {
+    if (error_ != nullptr) {
+      *error_ = "offset " + std::to_string(pos_) + ": " + msg;
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool AtEnd() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char Peek() const { return text_[pos_]; }
+
+  bool Expect(char c) {
+    if (AtEnd() || text_[pos_] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (AtEnd()) return Fail("unexpected end of input");
+    switch (Peek()) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) return false;
+        *out = Value(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!ConsumeLiteral("true")) return false;
+        *out = Value(true);
+        return true;
+      case 'f':
+        if (!ConsumeLiteral("false")) return false;
+        *out = Value(false);
+        return true;
+      case 'n':
+        if (!ConsumeLiteral("null")) return false;
+        *out = Value();
+        return true;
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return Fail("invalid literal");
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ParseObject(Value* out, int depth) {
+    ++pos_;  // '{'
+    Object obj;
+    SkipWs();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      *out = Value(std::move(obj));
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (AtEnd() || Peek() != '"') return Fail("expected object key");
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (!Expect(':')) return false;
+      SkipWs();
+      Value v;
+      if (!ParseValue(&v, depth + 1)) return false;
+      if (!obj.emplace(std::move(key), std::move(v)).second) {
+        return Fail("duplicate object key");
+      }
+      SkipWs();
+      if (AtEnd()) return Fail("unterminated object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        *out = Value(std::move(obj));
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseArray(Value* out, int depth) {
+    ++pos_;  // '['
+    Array arr;
+    SkipWs();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      *out = Value(std::move(arr));
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      Value v;
+      if (!ParseValue(&v, depth + 1)) return false;
+      arr.push_back(std::move(v));
+      SkipWs();
+      if (AtEnd()) return Fail("unterminated array");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        *out = Value(std::move(arr));
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseHex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else return Fail("invalid \\u escape");
+    }
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+
+  static void AppendUtf8(std::string* s, unsigned cp) {
+    if (cp < 0x80) {
+      *s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *s += static_cast<char>(0xC0 | (cp >> 6));
+      *s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *s += static_cast<char>(0xE0 | (cp >> 12));
+      *s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *s += static_cast<char>(0xF0 | (cp >> 18));
+      *s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // '"'
+    std::string s;
+    for (;;) {
+      if (AtEnd()) return Fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c != '\\') {
+        s += c;
+        continue;
+      }
+      if (AtEnd()) return Fail("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': s += '"'; break;
+        case '\\': s += '\\'; break;
+        case '/': s += '/'; break;
+        case 'b': s += '\b'; break;
+        case 'f': s += '\f'; break;
+        case 'n': s += '\n'; break;
+        case 'r': s += '\r'; break;
+        case 't': s += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!ParseHex4(&cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require the low half.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Fail("unpaired high surrogate");
+            }
+            pos_ += 2;
+            unsigned lo = 0;
+            if (!ParseHex4(&lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return Fail("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Fail("unpaired low surrogate");
+          }
+          AppendUtf8(&s, cp);
+          break;
+        }
+        default:
+          return Fail("invalid escape character");
+      }
+    }
+    *out = std::move(s);
+    return true;
+  }
+
+  bool ParseNumber(Value* out) {
+    const std::size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    if (AtEnd()) return Fail("invalid number");
+    if (Peek() == '0') {
+      ++pos_;
+    } else if (Peek() >= '1' && Peek() <= '9') {
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    } else {
+      return Fail("invalid number");
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Fail("digits required after decimal point");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Fail("digits required in exponent");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    *out = Value(std::strtod(token.c_str(), nullptr));
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Parse(std::string_view text, Value* out, std::string* error) {
+  Parser p(text, error);
+  return p.ParseDocument(out);
+}
+
+}  // namespace zero::obs::json

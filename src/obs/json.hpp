@@ -1,0 +1,105 @@
+// Minimal strict JSON value, parser and writer for the telemetry layer.
+//
+// The trace recorder, metrics registry and step report all emit JSON that
+// external tools (chrome://tracing, Perfetto, CI scripts) must be able to
+// load, so the repo carries its own strict parser to round-trip-validate
+// everything it writes: the trace test parses the recorder's output with
+// this, and ci.sh runs the same validation over the smoke-run artifacts.
+// Strictness follows RFC 8259: no trailing commas, no comments, no bare
+// NaN/Infinity, \uXXXX escapes checked, one value per document.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zero::obs::json {
+
+class Value;
+using Array = std::vector<Value>;
+// std::map keeps object keys sorted, which makes writer output
+// deterministic — handy for golden tests.
+using Object = std::map<std::string, Value>;
+
+enum class Kind : unsigned char {
+  kNull,
+  kBool,
+  kNumber,
+  kString,
+  kArray,
+  kObject,
+};
+
+class Value {
+ public:
+  Value() : kind_(Kind::kNull) {}
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}                 // NOLINT
+  Value(double d) : kind_(Kind::kNumber), num_(d) {}              // NOLINT
+  Value(std::int64_t i)                                           // NOLINT
+      : kind_(Kind::kNumber), num_(static_cast<double>(i)) {}
+  Value(std::string s)                                            // NOLINT
+      : kind_(Kind::kString), str_(std::move(s)) {}
+  Value(const char* s) : kind_(Kind::kString), str_(s) {}         // NOLINT
+  Value(Array a)                                                  // NOLINT
+      : kind_(Kind::kArray), arr_(std::make_shared<Array>(std::move(a))) {}
+  Value(Object o)                                                 // NOLINT
+      : kind_(Kind::kObject), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return num_; }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+  [[nodiscard]] const Array& as_array() const { return *arr_; }
+  [[nodiscard]] const Object& as_object() const { return *obj_; }
+  [[nodiscard]] Array& as_array() { return *arr_; }
+  [[nodiscard]] Object& as_object() { return *obj_; }
+
+  [[nodiscard]] static Value MakeObject() { return Value(Object{}); }
+  [[nodiscard]] static Value MakeArray() { return Value(Array{}); }
+
+  // Builder helpers for emit sites. Set requires an object value,
+  // Append an array value; both are no-ops on other kinds.
+  void Set(std::string_view key, Value v) {
+    if (is_object()) (*obj_)[std::string(key)] = std::move(v);
+  }
+  void Append(Value v) {
+    if (is_array()) arr_->push_back(std::move(v));
+  }
+
+  // Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* Find(std::string_view key) const;
+
+  // Serializes with stable key order. Numbers use shortest round-trip
+  // formatting; non-finite numbers are emitted as null (valid JSON).
+  [[nodiscard]] std::string Dump(int indent = 0) const;
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+// Strict parse of one JSON document. On failure returns nullopt-like
+// null value and sets *error to "offset N: message".
+[[nodiscard]] bool Parse(std::string_view text, Value* out,
+                         std::string* error);
+
+// Escapes a string for embedding in hand-built JSON output.
+[[nodiscard]] std::string Escape(std::string_view s);
+
+}  // namespace zero::obs::json

@@ -1,0 +1,179 @@
+#include "obs/step_report.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "model/transformer_spec.hpp"
+#include "obs/json.hpp"
+
+namespace zero::obs {
+
+namespace {
+
+double RelError(double measured, double predicted) {
+  if (predicted == 0.0) return measured == 0.0 ? 0.0 : 1.0;
+  return std::abs(measured - predicted) / predicted;
+}
+
+std::string Fmt(const char* fmt, double a, double b) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  return buf;
+}
+
+}  // namespace
+
+double PredictedStateBytes(int stage, int nd, bool fp16, double psi) {
+  model::ModelStateBytes s = model::PerDeviceModelStates(
+      psi, static_cast<model::ZeroStage>(stage), nd);
+  // The Figure 1 equations assume fp16 params/grads (2 bytes each). In
+  // fp32 mode both are 4 bytes; the K=12 optimizer term is fp32 either
+  // way. (kStateBytesPerParam in optim/adam matches K.)
+  const double prec = fp16 ? 1.0 : 2.0;
+  return s.parameters * prec + s.gradients * prec + s.optimizer;
+}
+
+double PredictedCommBytesPerStep(int stage, int nd, bool fp16, double psi,
+                                 double padded_psi) {
+  const double e = fp16 ? 2.0 : 4.0;
+  const double ring = nd > 0 ? static_cast<double>(nd - 1) / nd : 0.0;
+  if (stage <= 2) {
+    // All-reduce (stage 0) or reduce-scatter + all-gather (stages 1-2):
+    // both move 2x the padded volume through the ring.
+    return 2.0 * ring * padded_psi * e;
+  }
+  // Stage 3: every parameter is broadcast from its owner twice per step
+  // (forward and backward materialization) over the full unpadded model,
+  // and gradients are reduce-scattered once over the padded flat buffer.
+  return ring * (2.0 * psi + padded_psi) * e;
+}
+
+StepReport BuildStepReport(const StepReportInputs& inputs) {
+  StepReport r;
+  r.inputs = inputs;
+  const int stage = inputs.stage;
+  const int nd = inputs.nd;
+  const int steps = inputs.steps > 0 ? inputs.steps : 1;
+
+  // --- Memory: Figure 1 equations at the actual Nd -------------------
+  MemoryCheck& mem = r.memory;
+  mem.measured_bytes = inputs.measured_state_bytes;
+  mem.predicted_bytes =
+      PredictedStateBytes(stage, nd, inputs.fp16, inputs.padded_psi);
+  mem.baseline_bytes =
+      PredictedStateBytes(0, nd, inputs.fp16, inputs.padded_psi);
+  if (mem.measured_bytes > 0) {
+    mem.measured_reduction = mem.baseline_bytes / mem.measured_bytes;
+  }
+  if (mem.predicted_bytes > 0) {
+    mem.predicted_reduction = mem.baseline_bytes / mem.predicted_bytes;
+  }
+  // Nd->infinity limits of the same equations: 16/16, 16/4, 16/2, Nd.
+  switch (stage) {
+    case 1:
+      mem.asymptotic_reduction = 4.0;
+      break;
+    case 2:
+      mem.asymptotic_reduction = 8.0;
+      break;
+    case 3:
+      mem.asymptotic_reduction = static_cast<double>(nd);
+      break;
+    default:
+      mem.asymptotic_reduction = 1.0;
+      break;
+  }
+  mem.rel_error = RelError(mem.measured_bytes, mem.predicted_bytes);
+  mem.ok = mem.rel_error <= inputs.tolerance;
+  if (!mem.ok) {
+    r.divergences.push_back(
+        "memory: measured model states " +
+        Fmt("%.0f B diverge from analytic %.0f B", mem.measured_bytes,
+            mem.predicted_bytes) +
+        Fmt(" (rel err %.3f > tol %.3f)", mem.rel_error, inputs.tolerance));
+  }
+
+  // --- Communication: 1x/1x/1x/1.5x of baseline DP volume ------------
+  CommCheck& comm = r.comm;
+  comm.measured_bytes_per_step = inputs.measured_comm_bytes / steps;
+  comm.predicted_bytes_per_step = PredictedCommBytesPerStep(
+      stage, nd, inputs.fp16, inputs.psi, inputs.padded_psi);
+  const double baseline_comm = PredictedCommBytesPerStep(
+      0, nd, inputs.fp16, inputs.psi, inputs.padded_psi);
+  if (baseline_comm > 0) {
+    comm.measured_ratio = comm.measured_bytes_per_step / baseline_comm;
+    comm.predicted_ratio = comm.predicted_bytes_per_step / baseline_comm;
+  }
+  comm.rel_error =
+      RelError(comm.measured_bytes_per_step, comm.predicted_bytes_per_step);
+  comm.ok = comm.rel_error <= inputs.tolerance;
+  if (!comm.ok) {
+    r.divergences.push_back(
+        "comm: measured per-rank " +
+        Fmt("%.0f B/step diverge from analytic %.0f B/step",
+            comm.measured_bytes_per_step, comm.predicted_bytes_per_step) +
+        Fmt(" (rel err %.3f > tol %.3f)", comm.rel_error, inputs.tolerance));
+  }
+  return r;
+}
+
+std::string StepReport::ToJson() const {
+  json::Value in = json::Value::MakeObject();
+  in.Set("stage", json::Value(static_cast<std::int64_t>(inputs.stage)));
+  in.Set("nd", json::Value(static_cast<std::int64_t>(inputs.nd)));
+  in.Set("fp16", json::Value(inputs.fp16));
+  in.Set("psi", json::Value(inputs.psi));
+  in.Set("padded_psi", json::Value(inputs.padded_psi));
+  in.Set("steps", json::Value(static_cast<std::int64_t>(inputs.steps)));
+  in.Set("tolerance", json::Value(inputs.tolerance));
+
+  json::Value mem = json::Value::MakeObject();
+  mem.Set("measured_bytes", json::Value(memory.measured_bytes));
+  mem.Set("predicted_bytes", json::Value(memory.predicted_bytes));
+  mem.Set("baseline_bytes", json::Value(memory.baseline_bytes));
+  mem.Set("measured_reduction", json::Value(memory.measured_reduction));
+  mem.Set("predicted_reduction", json::Value(memory.predicted_reduction));
+  mem.Set("asymptotic_reduction", json::Value(memory.asymptotic_reduction));
+  mem.Set("rel_error", json::Value(memory.rel_error));
+  mem.Set("ok", json::Value(memory.ok));
+
+  json::Value cm = json::Value::MakeObject();
+  cm.Set("measured_bytes_per_step",
+         json::Value(comm.measured_bytes_per_step));
+  cm.Set("predicted_bytes_per_step",
+         json::Value(comm.predicted_bytes_per_step));
+  cm.Set("measured_ratio", json::Value(comm.measured_ratio));
+  cm.Set("predicted_ratio", json::Value(comm.predicted_ratio));
+  cm.Set("rel_error", json::Value(comm.rel_error));
+  cm.Set("ok", json::Value(comm.ok));
+
+  json::Value div = json::Value::MakeArray();
+  for (const std::string& d : divergences) div.Append(json::Value(d));
+
+  json::Value root = json::Value::MakeObject();
+  root.Set("inputs", std::move(in));
+  root.Set("memory", std::move(mem));
+  root.Set("comm", std::move(cm));
+  root.Set("divergences", std::move(div));
+  root.Set("ok", json::Value(ok()));
+  return root.Dump(2);
+}
+
+std::string StepReport::Summary() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "stage %d nd=%d: memory %.3g B measured vs %.3g B analytic "
+      "(%.2fx reduction, asymptotic %.3gx, err %.1f%%); comm "
+      "%.3g B/step vs %.3g analytic (%.2fx of baseline DP volume, "
+      "err %.1f%%); %s",
+      inputs.stage, inputs.nd, memory.measured_bytes, memory.predicted_bytes,
+      memory.measured_reduction, memory.asymptotic_reduction,
+      memory.rel_error * 100.0,
+      comm.measured_bytes_per_step, comm.predicted_bytes_per_step,
+      comm.measured_ratio, comm.rel_error * 100.0,
+      ok() ? "matches paper equations" : "DIVERGES");
+  return buf;
+}
+
+}  // namespace zero::obs

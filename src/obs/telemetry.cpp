@@ -1,0 +1,27 @@
+#include "obs/telemetry.hpp"
+
+#include <cstdlib>
+
+namespace zero::obs {
+
+TelemetryOptions& TelemetryOptions::ResolvePaths() {
+  if (!trace_path.empty()) {
+    if (metrics_path.empty()) metrics_path = trace_path + ".metrics.json";
+    if (report_path.empty()) report_path = trace_path + ".report.json";
+  }
+  return *this;
+}
+
+TelemetryOptions TelemetryOptions::FromEnv() {
+  TelemetryOptions opts;
+  if (const char* env = std::getenv("ZERO_TRACE")) {
+    if (env[0] != '\0') {
+      opts.enabled = true;
+      opts.trace_path = env;
+      opts.ResolvePaths();
+    }
+  }
+  return opts;
+}
+
+}  // namespace zero::obs

@@ -1,0 +1,46 @@
+// Run-level telemetry switches, threaded through EngineConfig into the
+// trainer. Tracing is always compiled in; these options decide whether
+// the recorder is turned on for a run and where artifacts land.
+//
+// Environment activation: setting ZERO_TRACE=/path/to/trace.json turns
+// telemetry on for any binary that consults FromEnv (the trainer and the
+// examples do). The metrics snapshot and step report derive their paths
+// from the trace path unless overridden:
+//   <trace>.metrics.json   per-step metrics registry snapshots
+//   <trace>.report.json    paper-equation step report
+#pragma once
+
+#include <string>
+
+namespace zero::obs {
+
+struct TelemetryOptions {
+  // Master switch: spans are recorded, metrics snapshotted per step, and
+  // the artifacts below written at the end of the run.
+  bool enabled = false;
+
+  // Chrome trace_event JSON output path ("" = do not write a trace).
+  std::string trace_path;
+
+  // Per-step metrics JSON ("" = derive from trace_path).
+  std::string metrics_path;
+
+  // Step report JSON with measured-vs-analytic checks ("" = derive).
+  std::string report_path;
+
+  // Run the paper-equation validation (memory 4x/8x/Nd, comm 1x/1x/1.5x)
+  // and log divergences. Independent of whether a report file is written.
+  bool validate = true;
+
+  // Per-thread ring capacity in events while this run records.
+  std::size_t trace_buffer_events = 16384;
+
+  // Fills the derived paths in place and returns self.
+  TelemetryOptions& ResolvePaths();
+
+  // Reads ZERO_TRACE; a non-empty value enables telemetry with that
+  // trace path and derived metrics/report paths.
+  static TelemetryOptions FromEnv();
+};
+
+}  // namespace zero::obs

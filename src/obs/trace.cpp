@@ -1,0 +1,187 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "common/logging.hpp"
+
+namespace zero::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::size_t> g_capacity{16384};
+
+std::chrono::steady_clock::time_point& Epoch() {
+  static std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// One thread's ring. Written only by the owning thread; read by the
+// collector under the registry's collection contract (no concurrent
+// recording).
+struct ThreadBuffer {
+  int tid = 0;
+  std::string name;
+  std::size_t capacity = 0;
+  std::uint64_t head = 0;  // monotonic count of events ever recorded
+  std::vector<TraceEvent> ring;
+
+  void Record(const char* name_str, std::uint64_t start_ns,
+              std::uint64_t end_ns) {
+    TraceEvent& e = ring[static_cast<std::size_t>(head % capacity)];
+    std::strncpy(e.name, name_str, TraceEvent::kNameCap - 1);
+    e.name[TraceEvent::kNameCap - 1] = '\0';
+    e.rank = GetThreadLogRank();
+    e.start_ns = start_ns;
+    e.dur_ns = end_ns - start_ns;
+    ++head;
+  }
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint64_t generation = 0;  // bumped by ResetTrace
+  int next_tid = 0;
+};
+
+Registry& TheRegistry() {
+  static Registry* r = new Registry();  // leaked: threads may outlive exit
+  return *r;
+}
+
+thread_local std::string tl_pending_name;
+struct TlSlot {
+  std::shared_ptr<ThreadBuffer> buffer;
+  std::uint64_t generation = 0;
+};
+thread_local TlSlot tl_slot;
+
+ThreadBuffer* RegisterThisThread() {
+  Registry& reg = TheRegistry();
+  auto buf = std::make_shared<ThreadBuffer>();
+  buf->capacity = g_capacity.load(std::memory_order_relaxed);
+  buf->ring.resize(buf->capacity);
+  buf->name = tl_pending_name;
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  buf->tid = reg.next_tid++;
+  if (buf->name.empty()) {
+    const int rank = GetThreadLogRank();
+    buf->name = rank >= 0 ? "rank " + std::to_string(rank)
+                          : "thread " + std::to_string(buf->tid);
+  }
+  reg.buffers.push_back(buf);
+  tl_slot.buffer = std::move(buf);
+  tl_slot.generation = reg.generation;
+  return tl_slot.buffer.get();
+}
+
+}  // namespace
+
+bool TracingEnabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void EnableTracing() {
+  Epoch();  // pin the epoch no later than the first enable
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void DisableTracing() { g_enabled.store(false, std::memory_order_relaxed); }
+
+void ResetTrace() {
+  Registry& reg = TheRegistry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.buffers.clear();
+  reg.next_tid = 0;
+  ++reg.generation;
+  Epoch() = std::chrono::steady_clock::now();
+}
+
+void SetTraceBufferCapacity(std::size_t events) {
+  events = std::clamp<std::size_t>(events, 64, std::size_t{1} << 22);
+  g_capacity.store(events, std::memory_order_relaxed);
+}
+
+void SetThreadTraceName(std::string name) {
+  tl_pending_name = std::move(name);
+  if (tl_slot.buffer != nullptr) {
+    // Already registered: rename in place (registry holds a reference,
+    // but `name` is only read by the collector, which cannot run
+    // concurrently with the owning thread by contract).
+    tl_slot.buffer->name = tl_pending_name;
+  }
+}
+
+std::uint64_t TraceNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Epoch())
+          .count());
+}
+
+namespace detail {
+
+void RecordSpan(const char* name, std::uint64_t start_ns,
+                std::uint64_t end_ns) {
+  ThreadBuffer* buf = tl_slot.buffer.get();
+  if (buf == nullptr ||
+      tl_slot.generation != TheRegistry().generation) {
+    buf = RegisterThisThread();
+  }
+  buf->Record(name, start_ns, end_ns);
+}
+
+}  // namespace detail
+
+std::vector<ThreadEvents> CollectEvents() {
+  Registry& reg = TheRegistry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<ThreadEvents> out;
+  out.reserve(reg.buffers.size());
+  for (const auto& buf : reg.buffers) {
+    ThreadEvents te;
+    te.tid = buf->tid;
+    te.name = buf->name;
+    const std::uint64_t held =
+        std::min<std::uint64_t>(buf->head, buf->capacity);
+    te.dropped = buf->head - held;
+    te.events.reserve(static_cast<std::size_t>(held));
+    for (std::uint64_t i = buf->head - held; i < buf->head; ++i) {
+      te.events.push_back(
+          buf->ring[static_cast<std::size_t>(i % buf->capacity)]);
+    }
+    out.push_back(std::move(te));
+  }
+  return out;
+}
+
+std::size_t TraceEventCount() {
+  Registry& reg = TheRegistry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::size_t n = 0;
+  for (const auto& buf : reg.buffers) {
+    n += static_cast<std::size_t>(
+        std::min<std::uint64_t>(buf->head, buf->capacity));
+  }
+  return n;
+}
+
+std::uint64_t TraceDroppedCount() {
+  Registry& reg = TheRegistry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::uint64_t n = 0;
+  for (const auto& buf : reg.buffers) {
+    const std::uint64_t held =
+        std::min<std::uint64_t>(buf->head, buf->capacity);
+    n += buf->head - held;
+  }
+  return n;
+}
+
+}  // namespace zero::obs

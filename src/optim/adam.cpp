@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/parallel_for.hpp"
 
@@ -67,6 +68,7 @@ MixedPrecisionAdam::MixedPrecisionAdam(AdamConfig cfg,
 void MixedPrecisionAdam::Step(std::span<Half> params_f16,
                               std::span<const Half> grads_f16,
                               float loss_scale) {
+  TRACE_SPAN("optim/adam_step");
   ZERO_CHECK(params_f16.size() == static_cast<std::size_t>(numel_) &&
                  grads_f16.size() == static_cast<std::size_t>(numel_),
              "shard size mismatch");
@@ -90,6 +92,7 @@ void MixedPrecisionAdam::Step(std::span<Half> params_f16,
 void MixedPrecisionAdam::StepFromF32(std::span<Half> params_f16,
                                      std::span<const float> grads,
                                      float grad_scale) {
+  TRACE_SPAN("optim/adam_step");
   ZERO_CHECK(params_f16.size() == static_cast<std::size_t>(numel_) &&
                  grads.size() == static_cast<std::size_t>(numel_),
              "shard size mismatch");
@@ -109,6 +112,7 @@ void MixedPrecisionAdam::StepFromF32(std::span<Half> params_f16,
 void MixedPrecisionAdam::StepF32(std::span<float> params_out,
                                  std::span<const float> grads,
                                  float grad_scale) {
+  TRACE_SPAN("optim/adam_step");
   ZERO_CHECK(params_out.size() == static_cast<std::size_t>(numel_) &&
                  grads.size() == static_cast<std::size_t>(numel_),
              "shard size mismatch");

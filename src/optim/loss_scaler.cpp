@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace zero::optim {
 
@@ -22,12 +23,18 @@ bool DynamicLossScaler::Update(bool found_overflow) {
     scale_ = std::max(config_.min_scale, scale_ * config_.backoff_factor);
     steps_since_backoff_ = 0;
     ++skipped_;
+    static obs::Counter& overflows =
+        obs::Metrics().counter("loss_scale.overflows");
+    overflows.Add();
     return false;
   }
   ++good_;
   if (++steps_since_backoff_ >= config_.growth_interval) {
     scale_ = std::min(config_.max_scale, scale_ * config_.growth_factor);
     steps_since_backoff_ = 0;
+    static obs::Counter& growths =
+        obs::Metrics().counter("loss_scale.growths");
+    growths.Add();
   }
   return true;
 }

@@ -10,6 +10,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/logging.hpp"
+#include "obs/trace.hpp"
+
 namespace zero::tensor {
 
 namespace {
@@ -35,9 +38,20 @@ thread_local bool tl_in_parallel_region = false;
 class WorkerPool {
  public:
   explicit WorkerPool(int helpers) {
+    // Workers inherit the owning thread's rank tag so their log lines
+    // and trace events land in the owner's process lane; the trace name
+    // distinguishes the worker lanes ("r<rank> w<i>").
+    const int owner_rank = GetThreadLogRank();
     threads_.reserve(static_cast<std::size_t>(helpers));
     for (int i = 0; i < helpers; ++i) {
-      threads_.emplace_back([this] { WorkerLoop(); });
+      threads_.emplace_back([this, owner_rank, i] {
+        SetThreadLogRank(owner_rank);
+        obs::SetThreadTraceName(
+            (owner_rank >= 0 ? "r" + std::to_string(owner_rank) + " w"
+                             : "w") +
+            std::to_string(i));
+        WorkerLoop();
+      });
     }
   }
 
@@ -195,6 +209,10 @@ void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
   }
   const int helpers =
       static_cast<int>(std::min<std::int64_t>(workers - 1, nchunks - 1));
+  // Only the pooled path gets a span: the serial path above runs inside
+  // tight per-kernel loops where even a disabled span's check would show
+  // up in the kernel microbenchmarks.
+  TRACE_SPAN("tensor/parallel_for");
   ThreadPool(helpers)->Run(begin, end, grain, nchunks, fn);
 }
 

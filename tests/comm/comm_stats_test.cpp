@@ -1,0 +1,70 @@
+// CommStats arithmetic and the CommDelta scoped-delta helper that
+// replaced hand-reset counter bookkeeping in the benches and trainer.
+#include <gtest/gtest.h>
+
+#include "comm/communicator.hpp"
+#include "comm/world.hpp"
+
+namespace zero::comm {
+namespace {
+
+TEST(CommStatsTest, ArithmeticAndEquality) {
+  CommStats a{/*bytes_sent=*/100, /*bytes_received=*/50,
+              /*messages_sent=*/4, /*collectives=*/2};
+  CommStats b{/*bytes_sent=*/40, /*bytes_received=*/10,
+              /*messages_sent=*/1, /*collectives=*/1};
+
+  const CommStats sum = a + b;
+  EXPECT_EQ(sum.bytes_sent, 140u);
+  EXPECT_EQ(sum.bytes_received, 60u);
+  EXPECT_EQ(sum.messages_sent, 5u);
+  EXPECT_EQ(sum.collectives, 3u);
+
+  const CommStats diff = sum - b;
+  EXPECT_TRUE(diff == a);
+  EXPECT_FALSE(diff == b);
+
+  CommStats c = a;
+  c += b;
+  EXPECT_TRUE(c == sum);
+  c -= b;
+  EXPECT_TRUE(c == a);
+}
+
+// Regression for the pattern the helper replaced: measuring one window
+// of traffic on a live communicator without resetting its counters, so
+// later windows and whole-run totals stay intact.
+TEST(CommStatsTest, CommDeltaMeasuresWindowsWithoutReset) {
+  World world(2);
+  world.Run([](RankContext& ctx) {
+    Communicator comm = Communicator::WholeWorld(ctx);
+    std::vector<float> buf(256, ctx.rank == 0 ? 1.0f : 2.0f);
+
+    // Warm-up traffic that a naive "read stats at the end" would lump in.
+    comm.AllReduce(std::span<float>(buf));
+    const CommStats after_warmup = comm.stats();
+    EXPECT_GT(after_warmup.bytes_sent, 0u);
+
+    CommDelta window(comm);
+    EXPECT_TRUE(window.Delta() == CommStats{});  // empty window
+
+    comm.AllReduce(std::span<float>(buf));
+    const CommStats one_op = window.Delta();
+    EXPECT_GT(one_op.bytes_sent, 0u);
+    // Ring all-reduce = reduce-scatter + all-gather phases.
+    EXPECT_GE(one_op.collectives, 1u);
+
+    // Rebase starts a fresh window; the same op costs the same bytes.
+    window.Rebase();
+    comm.AllReduce(std::span<float>(buf));
+    EXPECT_TRUE(window.Delta() == one_op);
+
+    // The communicator's own counters were never reset.
+    EXPECT_EQ(comm.stats().collectives, 3 * one_op.collectives);
+    EXPECT_EQ(comm.stats().bytes_sent,
+              after_warmup.bytes_sent + 2 * one_op.bytes_sent);
+  });
+}
+
+}  // namespace
+}  // namespace zero::comm

@@ -1,0 +1,68 @@
+// Leveled logger: ZERO_LOG_LEVEL parsing, the log-line format, and the
+// per-thread rank tag that attributes SPMD output.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/logging.hpp"
+
+namespace zero {
+namespace {
+
+TEST(LoggingTest, ParseLogLevelAcceptsNamesAndDigits) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("0"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("3"), LogLevel::kError);
+}
+
+TEST(LoggingTest, ParseLogLevelRejectsGarbage) {
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("4"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("-1"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("info "), std::nullopt);
+}
+
+TEST(LoggingTest, FormatLogLineCarriesLevelUptimeAndRank) {
+  EXPECT_EQ(detail::FormatLogLine(LogLevel::kInfo, 12.345, 3, "hello"),
+            "[zero INFO  +12.345s r3] hello");
+  EXPECT_EQ(detail::FormatLogLine(LogLevel::kError, 0.001, 0, "boom"),
+            "[zero ERROR +0.001s r0] boom");
+  // Untagged threads (rank -1) omit the rank field.
+  EXPECT_EQ(detail::FormatLogLine(LogLevel::kWarn, 1.5, -1, "no rank"),
+            "[zero WARN  +1.500s] no rank");
+}
+
+TEST(LoggingTest, ThreadRankTagIsPerThread) {
+  SetThreadLogRank(7);
+  EXPECT_EQ(GetThreadLogRank(), 7);
+  int other_thread_rank = 0;
+  std::thread t([&] { other_thread_rank = GetThreadLogRank(); });
+  t.join();
+  EXPECT_EQ(other_thread_rank, -1);  // tags do not leak across threads
+  SetThreadLogRank(-1);
+  EXPECT_EQ(GetThreadLogRank(), -1);
+}
+
+TEST(LoggingTest, UptimeIsMonotonic) {
+  const double a = LogUptimeSeconds();
+  const double b = LogUptimeSeconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(LoggingTest, SetLogLevelRoundTrips) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace zero

@@ -1,0 +1,160 @@
+// Metrics registry: counters, gauges, histogram quantiles, name/type
+// collisions, reset semantics, and the JSON snapshot contract.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace zero::obs {
+namespace {
+
+// The process-wide registry (obs::Metrics()) is shared with every other
+// suite in the binary, so these tests use private registries except
+// where the singleton itself is the subject.
+
+TEST(MetricsTest, CounterAddAndReset) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name returns the same instance.
+  EXPECT_EQ(&reg.counter("test.counter"), &c);
+  reg.ResetValues();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsTest, CounterIsThreadSafe) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kAddsPerThread; ++i) c.Add();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(MetricsTest, GaugeSetAndReset) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("test.gauge");
+  g.Set(1024.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1024.0);
+  g.Set(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), -2.5);
+  reg.ResetValues();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(MetricsTest, HistogramSummaryStatistics) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.hist");
+  for (int i = 1; i <= 100; ++i) h.Observe(static_cast<double>(i));
+  const Histogram::Summary s = h.Snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  // Log2 buckets give coarse quantiles; demand the right neighborhood
+  // rather than exact order statistics.
+  EXPECT_GE(s.p50, 25.0);
+  EXPECT_LE(s.p50, 75.0);
+  EXPECT_GE(s.p95, s.p50);
+  EXPECT_GE(s.p99, s.p95);
+  EXPECT_LE(s.p99, 100.0);
+
+  reg.ResetValues();
+  EXPECT_EQ(h.Snapshot().count, 0u);
+}
+
+TEST(MetricsTest, HistogramSingleObservationIsItsOwnQuantiles) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.single");
+  h.Observe(7.5);
+  const Histogram::Summary s = h.Snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 7.5);
+  EXPECT_DOUBLE_EQ(s.max, 7.5);
+  EXPECT_DOUBLE_EQ(s.p50, 7.5);
+  EXPECT_DOUBLE_EQ(s.p99, 7.5);
+}
+
+TEST(MetricsTest, NameCollisionAcrossKindsThrows) {
+  MetricsRegistry reg;
+  reg.counter("test.kind");
+  EXPECT_NO_THROW(reg.counter("test.kind"));
+  EXPECT_ANY_THROW(reg.gauge("test.kind"));
+  EXPECT_ANY_THROW(reg.histogram("test.kind"));
+}
+
+TEST(MetricsTest, SnapshotJsonParsesAndCarriesValues) {
+  MetricsRegistry reg;
+  reg.counter("c.one").Add(3);
+  reg.gauge("g.one").Set(0.5);
+  Histogram& h = reg.histogram("h.one");
+  h.Observe(10.0);
+  h.Observe(20.0);
+
+  const std::string text = reg.SnapshotJson();
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::Parse(text, &doc, &error)) << error;
+
+  const json::Value* counters = doc.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("c.one")->as_number(), 3.0);
+
+  const json::Value* gauges = doc.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->Find("g.one")->as_number(), 0.5);
+
+  const json::Value* hist = doc.Find("histograms")->Find("h.one");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->Find("count")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(hist->Find("sum")->as_number(), 30.0);
+  EXPECT_DOUBLE_EQ(hist->Find("min")->as_number(), 10.0);
+  EXPECT_DOUBLE_EQ(hist->Find("max")->as_number(), 20.0);
+}
+
+TEST(MetricsTest, VisitorsEnumerateRegisteredSeries) {
+  MetricsRegistry reg;
+  reg.counter("a");
+  reg.counter("b");
+  reg.gauge("g");
+  reg.histogram("h");
+  std::vector<std::string> counter_names;
+  reg.VisitCounters([&](const std::string& name, const Counter&) {
+    counter_names.push_back(name);
+  });
+  EXPECT_EQ(counter_names, (std::vector<std::string>{"a", "b"}));
+  int gauges = 0, hists = 0;
+  reg.VisitGauges([&](const std::string&, const Gauge&) { ++gauges; });
+  reg.VisitHistograms([&](const std::string&, const Histogram&) { ++hists; });
+  EXPECT_EQ(gauges, 1);
+  EXPECT_EQ(hists, 1);
+}
+
+TEST(MetricsTest, GlobalRegistryIsAStableSingleton) {
+  MetricsRegistry& a = Metrics();
+  MetricsRegistry& b = Metrics();
+  EXPECT_EQ(&a, &b);
+  // Handles into the singleton stay valid across ResetValues (the
+  // instrument-site pattern caches them in function-local statics).
+  Counter& c = a.counter("metrics_test.global");
+  c.Add(5);
+  a.ResetValues();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+}  // namespace
+}  // namespace zero::obs

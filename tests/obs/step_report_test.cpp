@@ -1,0 +1,127 @@
+// Step report: analytic predictions match the paper's equations, live
+// runs across every ZeRO stage validate within tolerance, and synthetic
+// divergences are flagged.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/trainer.hpp"
+#include "obs/json.hpp"
+#include "obs/step_report.hpp"
+
+namespace zero::obs {
+namespace {
+
+constexpr double kAdamK = 12.0;  // bytes/param of fp32 Adam state (Sec 3)
+
+TEST(StepReportTest, PredictedStateBytesMatchesFigure1) {
+  const double psi = 1e6;
+  const int nd = 64;
+  // Baseline fp16: (2 + 2 + K) * psi.
+  EXPECT_DOUBLE_EQ(PredictedStateBytes(0, nd, true, psi), (2 + 2 + kAdamK) * psi);
+  // Pos: 2*psi + 2*psi + K*psi/Nd.
+  EXPECT_DOUBLE_EQ(PredictedStateBytes(1, nd, true, psi),
+                   4 * psi + kAdamK * psi / nd);
+  // Pos+g: 2*psi + (2 + K)*psi/Nd.
+  EXPECT_DOUBLE_EQ(PredictedStateBytes(2, nd, true, psi),
+                   2 * psi + (2 + kAdamK) * psi / nd);
+  // Pos+g+p: (2 + 2 + K)*psi/Nd.
+  EXPECT_DOUBLE_EQ(PredictedStateBytes(3, nd, true, psi),
+                   (2 + 2 + kAdamK) * psi / nd);
+}
+
+TEST(StepReportTest, AsymptoticReductionsAre4x8xNd) {
+  const double psi = 1e6;
+  const double nd = 1024;  // large enough that 1/Nd terms vanish
+  const double base = PredictedStateBytes(0, static_cast<int>(nd), true, psi);
+  EXPECT_NEAR(base / PredictedStateBytes(1, static_cast<int>(nd), true, psi),
+              4.0, 0.1);
+  EXPECT_NEAR(base / PredictedStateBytes(2, static_cast<int>(nd), true, psi),
+              8.0, 0.1);
+  EXPECT_NEAR(base / PredictedStateBytes(3, static_cast<int>(nd), true, psi),
+              nd, 1.0);
+}
+
+TEST(StepReportTest, PredictedCommRatiosAre1x1x1xAnd1p5x) {
+  const double psi = 1e6;
+  const int nd = 16;
+  const double base = PredictedCommBytesPerStep(0, nd, true, psi, psi);
+  // Stages 1 and 2 move exactly baseline DP volume.
+  EXPECT_DOUBLE_EQ(PredictedCommBytesPerStep(1, nd, true, psi, psi), base);
+  EXPECT_DOUBLE_EQ(PredictedCommBytesPerStep(2, nd, true, psi, psi), base);
+  // Stage 3: (2T + P) vs 2P nominal volume -> 1.5x when P == T.
+  EXPECT_DOUBLE_EQ(PredictedCommBytesPerStep(3, nd, true, psi, psi),
+                   1.5 * base);
+}
+
+TEST(StepReportTest, CleanInputsPassAndJsonParses) {
+  StepReportInputs in;
+  in.stage = 2;
+  in.nd = 8;
+  in.fp16 = true;
+  in.psi = 4e6;
+  in.padded_psi = 4e6;
+  in.steps = 4;
+  in.measured_state_bytes = PredictedStateBytes(2, 8, true, in.psi);
+  in.measured_comm_bytes =
+      4 * PredictedCommBytesPerStep(2, 8, true, in.psi, in.padded_psi);
+  const StepReport report = BuildStepReport(in);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_TRUE(report.memory.ok);
+  EXPECT_TRUE(report.comm.ok);
+  EXPECT_NEAR(report.memory.rel_error, 0.0, 1e-9);
+  EXPECT_NEAR(report.comm.measured_ratio, 1.0, 1e-9);
+
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::Parse(report.ToJson(), &doc, &error)) << error;
+  EXPECT_TRUE(doc.Find("ok")->as_bool());
+  EXPECT_DOUBLE_EQ(doc.Find("inputs")->Find("stage")->as_number(), 2.0);
+}
+
+TEST(StepReportTest, DivergenceOutsideToleranceIsFlagged) {
+  StepReportInputs in;
+  in.stage = 1;
+  in.nd = 4;
+  in.psi = 1e6;
+  in.padded_psi = 1e6;
+  in.steps = 2;
+  // Memory 30% over prediction, comm 50% under: both must be called out.
+  in.measured_state_bytes = 1.3 * PredictedStateBytes(1, 4, true, in.psi);
+  in.measured_comm_bytes =
+      0.5 * 2 * PredictedCommBytesPerStep(1, 4, true, in.psi, in.padded_psi);
+  const StepReport report = BuildStepReport(in);
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.memory.ok);
+  EXPECT_FALSE(report.comm.ok);
+  EXPECT_EQ(report.divergences.size(), 2u);
+}
+
+// End-to-end: run real training at every stage with telemetry on (no
+// artifact files) and demand the measured run matches the equations.
+TEST(StepReportTest, LiveRunsMatchPaperEquationsAtEveryStage) {
+  for (int stage = 0; stage <= 3; ++stage) {
+    core::TrainOptions options;
+    options.model.vocab = 32;
+    options.model.seq = 16;
+    options.model.hidden = 32;
+    options.model.layers = 2;
+    options.model.heads = 4;
+    options.engine.stage = static_cast<model::ZeroStage>(stage);
+    options.cluster.dp_degree = 2;
+    options.batch_per_rank = 2;
+    options.steps = 3;
+    options.engine.telemetry.enabled = true;  // no paths: report only
+    const core::TrainResult result = core::TrainGpt(options);
+    ASSERT_FALSE(result.oom) << "stage " << stage;
+    ASSERT_TRUE(result.report.has_value()) << "stage " << stage;
+    EXPECT_TRUE(result.report->ok())
+        << "stage " << stage << ": " << result.report->Summary();
+    EXPECT_EQ(result.report->inputs.stage, stage);
+    EXPECT_GT(result.report->memory.measured_bytes, 0.0);
+    EXPECT_GT(result.report->comm.measured_bytes_per_step, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace zero::obs
