@@ -1,0 +1,244 @@
+// Fault-tolerance characterization bench.
+//
+// Two measurements land in BENCH_fault.json:
+//   * detection latency: a rank hangs silently (no exception, no
+//     heartbeat) and survivors must notice via the heartbeat deadline.
+//     Reported as the gap between the injection instant and the first
+//     death record, over several trials and deadlines.
+//   * recovery time vs checkpoint interval: a 12-step run loses a rank
+//     after its 9th applied step; the coordinator resumes from the last
+//     elastic checkpoint. Denser checkpoints replay fewer steps but pay
+//     more ExportState collectives during normal operation — this table
+//     is the tradeoff curve.
+//
+// Usage: fault_recovery [out.json]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/world.hpp"
+#include "core/dp_engine.hpp"
+#include "fault/injector.hpp"
+#include "fault/recovery.hpp"
+#include "model/quad_model.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace zero;
+
+double ElapsedMs(Clock::time_point t0) {
+  return static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now() - t0)
+                                 .count()) /
+         1e6;
+}
+
+// One hang-detection trial: returns injection->death-record latency, ms.
+double DetectionTrialMs(std::uint64_t deadline_ms) {
+  const int nd = 4;
+  fault::FaultInjector injector(fault::FaultPlan::Parse("hang@1:step#2=30s"),
+                                nd);
+  comm::World world(nd);
+  world.SetCommDeadline(std::chrono::milliseconds(deadline_ms));
+  world.SetFaultHooks(&injector);
+
+  std::uint64_t detected_ns = 0;
+  std::thread run([&] {
+    (void)world.TryRun([&](comm::RankContext& ctx) {
+      comm::Communicator comm = comm::Communicator::WholeWorld(ctx);
+      for (int s = 0; s < 4; ++s) {
+        comm.FaultPoint("step");  // rank 1 freezes at its 2nd step
+        std::vector<float> data(256, 1.0f);
+        comm.AllReduce(std::span<float>(data));
+      }
+    });
+  });
+  // Sample the death record from outside the world.
+  while (detected_ns == 0) {
+    if (world.health().IsDead(1)) detected_ns = obs::TraceNowNs();
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  run.join();
+  const std::uint64_t injected_ns = injector.FirstLethalNs();
+  return static_cast<double>(detected_ns - injected_ns) / 1e6;
+}
+
+constexpr std::int64_t kNumel = 4096;
+constexpr int kUnits = 8;
+constexpr int kSteps = 12;
+
+model::Batch RankBatch(int rank, int step) {
+  model::Batch b;
+  b.rows = 1;
+  b.cols = 4;
+  for (int i = 0; i < 4; ++i) {
+    b.inputs.push_back(rank * 31 + step * 7 + i);
+    b.targets.push_back(0);
+  }
+  return b;
+}
+
+core::EngineConfig EngineCfg() {
+  core::EngineConfig cfg;
+  cfg.stage = model::ZeroStage::kOsG;
+  cfg.fp16 = true;
+  cfg.loss_scale = 64.0f;
+  cfg.adam.lr = 0.01f;
+  return cfg;
+}
+
+struct RecoveryPoint {
+  int interval;
+  double total_ms;       // crash + detect + reform + replay + finish
+  std::int64_t resume_step;
+  int replayed_steps;    // work lost to the checkpoint gap
+};
+
+RecoveryPoint RecoveryTrial(int checkpoint_interval) {
+  const int nd = 2;
+  fault::FaultInjector injector(fault::FaultPlan::Parse("crash@1:step#10"),
+                                nd);
+  fault::RecoveryOptions opts;
+  opts.world_size = nd;
+  opts.max_attempts = 3;
+  opts.comm_deadline = std::chrono::milliseconds(200);
+  opts.hooks = &injector;
+  fault::RecoveryCoordinator coordinator(opts);
+
+  const auto t0 = Clock::now();
+  const fault::RecoveryReport report = coordinator.Train(
+      [&](comm::RankContext& ctx, const fault::AttemptContext& at) {
+        comm::Communicator dp = comm::Communicator::WholeWorld(ctx);
+        model::QuadModel m(kNumel, kUnits);
+        core::ZeroDpEngine engine(EngineCfg(), m, dp, nullptr, 42);
+        if (at.resume_state != nullptr) {
+          engine.ImportState(
+              core::TrainingState::Deserialize(*at.resume_state));
+        }
+        for (int s = static_cast<int>(at.resume_step); s < kSteps; ++s) {
+          (void)engine.TrainStep(RankBatch(ctx.rank, s));
+          if ((s + 1) % checkpoint_interval == 0) {
+            core::TrainingState st = engine.ExportState();
+            if (ctx.rank == 0) {
+              coordinator.vault().Store(s + 1, st.Serialize());
+            }
+          }
+        }
+      });
+  RecoveryPoint point;
+  point.interval = checkpoint_interval;
+  point.total_ms = ElapsedMs(t0);
+  point.resume_step =
+      report.history.size() > 1 ? report.history[1].resume_step : -1;
+  // The crash lands entering step 10, i.e. after 9 applied steps.
+  point.replayed_steps = static_cast<int>(9 - point.resume_step);
+  if (!report.succeeded) point.replayed_steps = -1;
+  return point;
+}
+
+double BaselineMs() {
+  const int nd = 2;
+  comm::World world(nd);
+  const auto t0 = Clock::now();
+  world.Run([&](comm::RankContext& ctx) {
+    comm::Communicator dp = comm::Communicator::WholeWorld(ctx);
+    model::QuadModel m(kNumel, kUnits);
+    core::ZeroDpEngine engine(EngineCfg(), m, dp, nullptr, 42);
+    for (int s = 0; s < kSteps; ++s) {
+      (void)engine.TrainStep(RankBatch(ctx.rank, s));
+    }
+  });
+  return ElapsedMs(t0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_fault.json";
+
+  std::printf("fault detection latency (hang, heartbeat deadline):\n");
+  const std::uint64_t deadlines[] = {10, 20, 50};
+  struct DetectionRow {
+    std::uint64_t deadline_ms;
+    double mean_ms;
+    double max_ms;
+  };
+  std::vector<DetectionRow> detection;
+  for (std::uint64_t d : deadlines) {
+    const int trials = 3;
+    double sum = 0, mx = 0;
+    for (int t = 0; t < trials; ++t) {
+      const double ms = DetectionTrialMs(d);
+      sum += ms;
+      if (ms > mx) mx = ms;
+    }
+    detection.push_back({d, sum / trials, mx});
+    std::printf("  deadline %3llu ms -> mean %7.2f ms, max %7.2f ms\n",
+                static_cast<unsigned long long>(d), sum / trials, mx);
+  }
+
+  std::printf("recovery time vs checkpoint interval (12 steps, crash after 9):\n");
+  const double baseline_ms = BaselineMs();
+  std::printf("  uninterrupted baseline  %8.2f ms\n", baseline_ms);
+  std::vector<RecoveryPoint> recovery;
+  for (int interval : {1, 2, 4}) {
+    const RecoveryPoint p = RecoveryTrial(interval);
+    recovery.push_back(p);
+    std::printf(
+        "  interval %d -> total %8.2f ms, resumed at step %lld, replayed %d\n",
+        p.interval, p.total_ms, static_cast<long long>(p.resume_step),
+        p.replayed_steps);
+  }
+
+  std::ofstream f(out_path, std::ios::trunc);
+  f << "{\n  \"detection\": [\n";
+  for (std::size_t i = 0; i < detection.size(); ++i) {
+    f << "    {\"deadline_ms\": " << detection[i].deadline_ms
+      << ", \"mean_latency_ms\": " << detection[i].mean_ms
+      << ", \"max_latency_ms\": " << detection[i].max_ms << "}"
+      << (i + 1 < detection.size() ? "," : "") << "\n";
+  }
+  f << "  ],\n  \"recovery\": [\n";
+  for (std::size_t i = 0; i < recovery.size(); ++i) {
+    f << "    {\"checkpoint_interval\": " << recovery[i].interval
+      << ", \"total_ms\": " << recovery[i].total_ms
+      << ", \"resume_step\": " << recovery[i].resume_step
+      << ", \"replayed_steps\": " << recovery[i].replayed_steps << "}"
+      << (i + 1 < recovery.size() ? "," : "") << "\n";
+  }
+  f << "  ],\n  \"baseline_ms\": " << baseline_ms << "\n}\n";
+  f.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Sanity gates: every recovery trial must actually have recovered, and
+  // detection must land within a generous multiple of the deadline.
+  bool ok = true;
+  for (const RecoveryPoint& p : recovery) {
+    if (p.replayed_steps < 0) {
+      std::printf("FAIL: recovery with interval %d did not succeed\n",
+                  p.interval);
+      ok = false;
+    }
+  }
+  for (const DetectionRow& row : detection) {
+    const double bound_ms = 5.0 * static_cast<double>(row.deadline_ms) + 100.0;
+    if (row.max_ms > bound_ms) {
+      std::printf("FAIL: detection at deadline %llu ms took %.2f ms (> %.0f)\n",
+                  static_cast<unsigned long long>(row.deadline_ms), row.max_ms,
+                  bound_ms);
+      ok = false;
+    }
+  }
+  if (!ok && std::getenv("ZERO_BENCH_RELAX") != nullptr) {
+    std::printf("WARN: gate failed but ZERO_BENCH_RELAX is set\n");
+    return 0;
+  }
+  return ok ? 0 : 1;
+}

@@ -27,6 +27,12 @@ echo "==> bench: telemetry overhead gate (release build)"
 # escape hatch as the kernel gate.
 ./build/bench/telemetry_overhead BENCH_telemetry.json
 
+echo "==> bench: fault detection + recovery characterization (release build)"
+# Measures hang-detection latency against the heartbeat deadline and
+# recovery wall time vs checkpoint interval; writes BENCH_fault.json and
+# fails if any recovery trial does not complete.
+./build/bench/fault_recovery BENCH_fault.json
+
 echo "==> smoke: 2-rank stage-3 run with telemetry artifacts"
 # End-to-end telemetry check: the run must produce a valid Chrome trace,
 # per-step metrics, and a step report whose measured memory/comm match
@@ -44,5 +50,12 @@ echo "==> tsan: configure + build + ctest"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}"
 ctest --preset tsan -j "${JOBS}"
+
+echo "==> tsan: extra chaos soak (fresh seeds)"
+# The default chaos seeds already ran inside ctest above; this pass
+# throws a second, disjoint seed set at the trainer under TSan. Any
+# failure reproduces with ZERO_CHAOS_SEEDS=<seed> on test_fault.
+ZERO_CHAOS_SEEDS=101,202,303 ./build-tsan/tests/test_fault \
+  --gtest_filter='ChaosTest.*'
 
 echo "CI OK"

@@ -50,6 +50,11 @@ int main() {
       std::printf("%-30s OOM: %s\n", s.name, result.oom_message.c_str());
       continue;
     }
+    if (result.failed) {
+      std::printf("%-30s killed by fault: %s\n", s.name,
+                  result.failure_message.c_str());
+      continue;
+    }
     const core::RankMetrics& r0 = result.ranks[0];
     std::printf("%-30s loss %.4f -> %.4f\n", s.name, result.losses.front(),
                 result.losses.back());

@@ -30,6 +30,10 @@ int main() {
       std::printf("OOM: %s\n", result.oom_message.c_str());
       return 1;
     }
+    if (result.failed) {
+      std::printf("run killed by fault: %s\n", result.failure_message.c_str());
+      return 1;
+    }
     std::printf("%s:\n",
                 stage == model::ZeroStage::kNone ? "baseline DP"
                                                  : "ZeRO stage 2 (Pos+g)");

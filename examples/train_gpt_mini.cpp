@@ -47,6 +47,10 @@ int main(int argc, char** argv) {
     std::printf("OOM: %s\n", result.oom_message.c_str());
     return 1;
   }
+  if (result.failed) {
+    std::printf("run killed by fault: %s\n", result.failure_message.c_str());
+    return 1;
+  }
 
   for (std::size_t s = 0; s < result.losses.size(); s += 10) {
     std::printf("  step %3zu  loss %.4f  ppl %.2f\n", s, result.losses[s],

@@ -1,7 +1,9 @@
 #include "comm/communicator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "obs/metrics.hpp"
 
@@ -29,17 +31,47 @@ Communicator Communicator::WholeWorld(RankContext& ctx) {
 }
 
 void Communicator::Barrier() {
+  FaultPoint("barrier");
   // Distinct barrier key per group; all members pass the same key.
   ctx_->world->SharedBarrier(0x5A5A000000000000ull ^ group_id_, size())
       .Arrive();
+}
+
+void Communicator::FaultPoint(const char* site) {
+  World* w = ctx_->world;
+  if (FaultHooks* hooks = w->fault_hooks()) {
+    hooks->AtPoint(ctx_->rank, site);  // may throw / block / sleep
+  }
+  if (w->comm_deadline_ns() != 0) {
+    w->health().Beat(ctx_->rank, obs::TraceNowNs());
+    if (w->health().AbortRequested()) {
+      throw StepAbortedError("step aborted at fault point '" +
+                             std::string(site) + "' on rank " +
+                             std::to_string(ctx_->rank));
+    }
+  }
 }
 
 void Communicator::SendBytes(int peer, std::span<const std::byte> data,
                              std::uint64_t tag) {
   ZERO_CHECK(peer >= 0 && peer < size(), "send peer out of range");
   const int global_peer = members_[static_cast<std::size_t>(peer)];
-  ctx_->world->mailbox(global_peer)
-      .Deposit(ctx_->rank, tag ^ (group_id_ << 52), data);
+  World* w = ctx_->world;
+  int deposits = 1;
+  if (FaultHooks* hooks = w->fault_hooks()) {
+    const FaultSendVerdict v =
+        hooks->OnSend(ctx_->rank, global_peer, tag, data.size());
+    if (v.delay_ns != 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(v.delay_ns));
+    }
+    deposits = v.drop ? 0 : 1 + v.duplicates;
+  }
+  if (w->comm_deadline_ns() != 0) {
+    w->health().Beat(ctx_->rank, obs::TraceNowNs());
+  }
+  for (int i = 0; i < deposits; ++i) {
+    w->mailbox(global_peer).Deposit(ctx_->rank, tag ^ (group_id_ << 52), data);
+  }
   stats_.bytes_sent += data.size();
   ++stats_.messages_sent;
 }
@@ -47,8 +79,74 @@ void Communicator::SendBytes(int peer, std::span<const std::byte> data,
 std::vector<std::byte> Communicator::RecvBytes(int peer, std::uint64_t tag) {
   ZERO_CHECK(peer >= 0 && peer < size(), "recv peer out of range");
   const int global_peer = members_[static_cast<std::size_t>(peer)];
-  std::vector<std::byte> msg = ctx_->world->mailbox(ctx_->rank)
-                                   .Take(global_peer, tag ^ (group_id_ << 52));
+  World* w = ctx_->world;
+  Mailbox& box = w->mailbox(ctx_->rank);
+  const std::uint64_t full_tag = tag ^ (group_id_ << 52);
+  const std::uint64_t deadline_ns = w->comm_deadline_ns();
+  const std::uint64_t wait_start = deadline_ns != 0 ? obs::TraceNowNs() : 0;
+  std::vector<std::byte> msg;
+
+  for (;;) {
+    // A queued message wins over failure state (checked inside TakeFor's
+    // predicate too): drain what was delivered before unwinding, so a
+    // completed send is never lost to a concurrent abort.
+    if (w->health().IsDead(global_peer)) {
+      const TakeStatus st =
+          box.TakeFor(global_peer, full_tag, std::chrono::nanoseconds(0), msg);
+      if (st == TakeStatus::kOk) break;
+      throw PeerFailedError(
+          global_peer, "recv from rank " + std::to_string(global_peer) +
+                           " which is dead: " +
+                           w->health().DeathReason(global_peer));
+    }
+    if (w->health().AbortRequested()) {
+      const TakeStatus st =
+          box.TakeFor(global_peer, full_tag, std::chrono::nanoseconds(0), msg);
+      if (st == TakeStatus::kOk) break;
+      throw StepAbortedError("recv aborted on rank " +
+                             std::to_string(ctx_->rank) +
+                             ": step abort requested");
+    }
+    if (deadline_ns != 0) {
+      w->health().Beat(ctx_->rank, obs::TraceNowNs());
+    }
+    const TakeStatus st = box.TakeFor(
+        global_peer, full_tag,
+        deadline_ns == 0 ? Mailbox::kForever
+                         : std::chrono::nanoseconds(deadline_ns),
+        msg);
+    if (st == TakeStatus::kOk) break;
+    if (st == TakeStatus::kShutdown) {
+      throw CommError("mailbox shut down during recv on rank " +
+                      std::to_string(ctx_->rank));
+    }
+    if (st == TakeStatus::kInterrupted) continue;  // re-check failure state
+
+    // kTimeout: decide between a dead peer (no heartbeat for a full
+    // deadline window) and a lost/stalled message (peer still beating).
+    const std::uint64_t now = obs::TraceNowNs();
+    const std::uint64_t last_seen =
+        std::max(w->health().LastBeatNs(global_peer), wait_start);
+    if (now >= last_seen + deadline_ns) {
+      static obs::Counter& detected =
+          obs::Metrics().counter("fault.detected_failures");
+      detected.Add();
+      w->DeclareDead(global_peer,
+                     "no heartbeat within deadline (detected by rank " +
+                         std::to_string(ctx_->rank) + ")");
+      throw PeerFailedError(global_peer,
+                            "rank " + std::to_string(global_peer) +
+                                " missed its heartbeat deadline");
+    }
+    if (now >= wait_start + static_cast<std::uint64_t>(kStallFactor) *
+                                deadline_ns) {
+      throw CommTimeoutError(
+          "recv on rank " + std::to_string(ctx_->rank) + " from rank " +
+          std::to_string(global_peer) + " tag " + std::to_string(tag) +
+          " stalled: peer is alive but the message never arrived");
+    }
+    // Peer is alive and we are within the stall budget: keep waiting.
+  }
   stats_.bytes_received += msg.size();
   return msg;
 }

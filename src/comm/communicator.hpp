@@ -181,8 +181,24 @@ class Communicator {
 
   void Barrier();
 
+  // ---- fault tolerance ----
+  // Named injectable point: runs the world's fault hooks (if any),
+  // publishes a heartbeat (when a comm deadline is configured), and
+  // surfaces a pending step abort as StepAbortedError. One pointer load
+  // plus two relaxed atomic loads when fault tolerance is off. Called at
+  // every collective entry; the engine calls it at the top of each
+  // training step with site "step".
+  void FaultPoint(const char* site);
+
   // ---- point to point (peer is a group-relative rank) ----
   void SendBytes(int peer, std::span<const std::byte> data, std::uint64_t tag);
+  // Blocks until the matching message arrives. With a world comm
+  // deadline configured, the wait is bounded and failure-aware: a peer
+  // declared dead (or heartbeat-silent past the deadline) surfaces as
+  // PeerFailedError, a pending step abort as StepAbortedError, and a
+  // wait that starves past kStallFactor deadlines with the peer still
+  // beating as CommTimeoutError (lost message). With deadline 0 the wait
+  // is unbounded but still wakes when the world declares a death.
   [[nodiscard]] std::vector<std::byte> RecvBytes(int peer, std::uint64_t tag);
   // Nonblocking poll for a matching message; nullopt if none is queued.
   [[nodiscard]] std::optional<std::vector<std::byte>> TryRecvBytes(
@@ -232,6 +248,7 @@ class Communicator {
   template <typename T>
   void AllReduce(std::span<T> data, ReduceOp op = ReduceOp::kSum) {
     TRACE_SPAN("comm/all_reduce");
+    FaultPoint("collective");
     const std::uint64_t seq = NextSeq();
     if (size() == 1) {
       return;  // single rank: reduction is the identity
@@ -255,6 +272,7 @@ class Communicator {
     const std::size_t chunk = data.size() / static_cast<std::size_t>(p);
     ZERO_CHECK(out.size() == chunk, "ReduceScatter output size mismatch");
     TRACE_SPAN("comm/reduce_scatter");
+    FaultPoint("collective");
     const std::uint64_t seq = NextSeq();
     if (p > 1) RingReduceScatterInPlace(data, op, seq);
     std::memcpy(out.data(), data.data() + chunk * static_cast<std::size_t>(rank()),
@@ -270,6 +288,7 @@ class Communicator {
     ZERO_CHECK(out.size() == chunk.size() * static_cast<std::size_t>(p),
                "AllGather output size mismatch");
     TRACE_SPAN("comm/all_gather");
+    FaultPoint("collective");
     std::memcpy(out.data() + chunk.size() * static_cast<std::size_t>(rank()),
                 chunk.data(), chunk.size() * sizeof(T));
     const std::uint64_t seq = NextSeq();
@@ -280,6 +299,7 @@ class Communicator {
   template <typename T>
   void Broadcast(std::span<T> data, int root) {
     TRACE_SPAN("comm/broadcast");
+    FaultPoint("collective");
     const std::uint64_t seq = NextSeq();
     if (size() == 1) return;
     RingBroadcast(std::as_writable_bytes(data), root, seq);
@@ -303,6 +323,7 @@ class Communicator {
   template <typename T>
   void Reduce(std::span<T> data, int root, ReduceOp op = ReduceOp::kSum) {
     TRACE_SPAN("comm/reduce");
+    FaultPoint("collective");
     const int p = size();
     const std::uint64_t seq = NextSeq();
     ++stats_.collectives;
@@ -336,6 +357,7 @@ class Communicator {
   template <typename T>
   void Gather(std::span<const T> chunk, std::span<T> out, int root) {
     TRACE_SPAN("comm/gather");
+    FaultPoint("collective");
     const int p = size();
     const std::uint64_t seq = NextSeq();
     if (rank() == root) {
@@ -367,6 +389,7 @@ class Communicator {
                "AllToAll buffers must be p equal chunks");
     const std::size_t chunk = send.size() / static_cast<std::size_t>(p);
     TRACE_SPAN("comm/all_to_all");
+    FaultPoint("collective");
     const std::uint64_t seq = NextSeq();
     // Post all sends first (deposits are non-blocking), then receive.
     for (int i = 0; i < p; ++i) {
@@ -392,6 +415,7 @@ class Communicator {
   template <typename T>
   void Scatter(std::span<const T> data, std::span<T> out, int root) {
     TRACE_SPAN("comm/scatter");
+    FaultPoint("collective");
     const int p = size();
     ZERO_CHECK(out.size() * static_cast<std::size_t>(p) == data.size() ||
                    rank() != root,
@@ -412,6 +436,10 @@ class Communicator {
     }
     ++stats_.collectives;
   }
+
+  // A bounded wait gives up with CommTimeoutError (lost message) after
+  // this many comm-deadline windows with the peer still heartbeating.
+  static constexpr int kStallFactor = 8;
 
  private:
   static constexpr std::uint64_t kStepStride = 1ull << 20;

@@ -1,0 +1,54 @@
+// Fault-injection seam of the communication layer.
+//
+// The comm layer knows nothing about fault *plans* — it only exposes two
+// hook points that src/fault/'s FaultInjector implements:
+//
+//   - AtPoint(rank, site): named injectable points ("step" at the top of
+//     every engine TrainStep, "collective" at every collective entry,
+//     "barrier" before a barrier). An implementation may throw
+//     InjectedFaultError (simulated crash), block until the world aborts
+//     (simulated hang), or sleep (simulated straggler).
+//   - OnSend(src, dst, tag, bytes): consulted for every point-to-point
+//     deposit; the verdict can drop the message, delay it (modeled as a
+//     sender-side stall, the way a congested NIC back-pressures), or
+//     duplicate it.
+//
+// Zero-cost-when-off contract: World stores a plain FaultHooks pointer
+// that is null by default; every hook site is one pointer load and a
+// branch, cheap enough to stay compiled into the hot paths permanently
+// (the telemetry-overhead CI gate covers it). Set the hooks before
+// World::Run and do not change them while ranks execute.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace zero::comm {
+
+class World;
+
+struct FaultSendVerdict {
+  bool drop = false;         // message is never deposited
+  int duplicates = 0;        // extra deposits after the real one
+  std::uint64_t delay_ns = 0;  // sender-side stall before depositing
+};
+
+class FaultHooks {
+ public:
+  virtual ~FaultHooks() = default;
+
+  // Called at named injectable points. May throw (crash), block (hang),
+  // or sleep (straggler); must be safe to call from any rank thread.
+  virtual void AtPoint(int rank, const char* site) = 0;
+
+  // Called before every point-to-point deposit. `dst_rank` is the global
+  // (world) rank of the receiver.
+  virtual FaultSendVerdict OnSend(int src_rank, int dst_rank,
+                                  std::uint64_t tag, std::size_t bytes) = 0;
+
+  // World::SetFaultHooks hands the hooks their world so hang-style
+  // faults can watch the health board for the abort that releases them.
+  virtual void BindWorld(World* /*world*/) {}
+};
+
+}  // namespace zero::comm

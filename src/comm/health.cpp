@@ -1,0 +1,80 @@
+#include "comm/health.hpp"
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "obs/metrics.hpp"
+
+namespace zero::comm {
+
+HealthBoard::HealthBoard(int size)
+    : size_(size),
+      beats_(new std::atomic<std::uint64_t>[static_cast<std::size_t>(size)]),
+      dead_(new std::atomic<bool>[static_cast<std::size_t>(size)]),
+      reasons_(static_cast<std::size_t>(size)) {
+  ZERO_CHECK(size >= 1, "health board needs at least one rank");
+  for (int i = 0; i < size; ++i) {
+    beats_[i].store(0, std::memory_order_relaxed);
+    dead_[i].store(false, std::memory_order_relaxed);
+  }
+}
+
+void HealthBoard::Beat(int rank, std::uint64_t now_ns) {
+  beats_[rank].store(now_ns, std::memory_order_relaxed);
+}
+
+std::uint64_t HealthBoard::LastBeatNs(int rank) const {
+  return beats_[rank].load(std::memory_order_relaxed);
+}
+
+void HealthBoard::MarkDead(int rank, const std::string& reason) {
+  bool expected = false;
+  if (!dead_[rank].compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+    return;  // already declared; first reason wins
+  }
+  {
+    std::lock_guard<std::mutex> lock(reasons_mutex_);
+    reasons_[static_cast<std::size_t>(rank)] = reason;
+  }
+  dead_count_.fetch_add(1, std::memory_order_acq_rel);
+  static obs::Counter& deaths = obs::Metrics().counter("fault.rank_deaths");
+  deaths.Add();
+  ZLOG_WARN << "rank " << rank << " declared dead: " << reason;
+  RequestAbort();
+}
+
+bool HealthBoard::IsDead(int rank) const {
+  return dead_[rank].load(std::memory_order_acquire);
+}
+
+bool HealthBoard::AnyDead() const {
+  return dead_count_.load(std::memory_order_acquire) > 0;
+}
+
+int HealthBoard::AliveCount() const {
+  return size_ - dead_count_.load(std::memory_order_acquire);
+}
+
+std::vector<int> HealthBoard::AliveRanks() const {
+  std::vector<int> alive;
+  alive.reserve(static_cast<std::size_t>(size_));
+  for (int i = 0; i < size_; ++i) {
+    if (!IsDead(i)) alive.push_back(i);
+  }
+  return alive;
+}
+
+std::string HealthBoard::DeathReason(int rank) const {
+  std::lock_guard<std::mutex> lock(reasons_mutex_);
+  return reasons_[static_cast<std::size_t>(rank)];
+}
+
+void HealthBoard::RequestAbort() {
+  abort_.store(true, std::memory_order_release);
+}
+
+bool HealthBoard::AbortRequested() const {
+  return abort_.load(std::memory_order_acquire);
+}
+
+}  // namespace zero::comm

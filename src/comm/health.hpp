@@ -1,0 +1,68 @@
+// Per-world rank liveness: heartbeats, death records, and the
+// cooperative step-abort flag. The detection half of the fault subsystem
+// (the injection half lives in src/fault/).
+//
+// Heartbeats are published by each rank from inside the communicator's
+// blocking paths (only when a comm deadline is configured — with
+// detection off, no clock is read). A rank is declared dead either
+// directly (its thread unwound with an exception; World::Run observes
+// this immediately) or by inference (a peer's bounded wait expired with
+// no heartbeat inside the deadline window). Every declaration also
+// raises the abort flag: a synchronous SPMD step cannot survive a lost
+// rank, so all survivors should unwind with StepAbortedError at their
+// next blocking point rather than discover the death one timeout at a
+// time.
+//
+// All state is atomics (TSan-clean, no locks on the beat path) except
+// the death reasons, which are mutex-guarded strings read only after a
+// failure.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace zero::comm {
+
+class HealthBoard {
+ public:
+  explicit HealthBoard(int size);
+  HealthBoard(const HealthBoard&) = delete;
+  HealthBoard& operator=(const HealthBoard&) = delete;
+
+  [[nodiscard]] int size() const { return size_; }
+
+  // ---- heartbeats ----
+  // Publishes "rank was alive at time now_ns". Relaxed store; callers
+  // pass obs::TraceNowNs().
+  void Beat(int rank, std::uint64_t now_ns);
+  // 0 until the first beat.
+  [[nodiscard]] std::uint64_t LastBeatNs(int rank) const;
+
+  // ---- death records ----
+  // Idempotent: the first reason wins. Also raises the abort flag.
+  void MarkDead(int rank, const std::string& reason);
+  [[nodiscard]] bool IsDead(int rank) const;
+  [[nodiscard]] bool AnyDead() const;
+  [[nodiscard]] int AliveCount() const;
+  [[nodiscard]] std::vector<int> AliveRanks() const;
+  [[nodiscard]] std::string DeathReason(int rank) const;
+
+  // ---- cooperative step abort ----
+  void RequestAbort();
+  [[nodiscard]] bool AbortRequested() const;
+
+ private:
+  int size_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> beats_;
+  std::unique_ptr<std::atomic<bool>[]> dead_;
+  std::atomic<int> dead_count_{0};
+  std::atomic<bool> abort_{false};
+  mutable std::mutex reasons_mutex_;
+  std::vector<std::string> reasons_;
+};
+
+}  // namespace zero::comm

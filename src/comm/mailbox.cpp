@@ -1,5 +1,7 @@
 #include "comm/mailbox.hpp"
 
+#include "common/error.hpp"
+
 namespace zero::comm {
 
 void Mailbox::Deposit(int source, std::uint64_t tag,
@@ -7,25 +9,63 @@ void Mailbox::Deposit(int source, std::uint64_t tag,
   std::vector<std::byte> copy(data.begin(), data.end());
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;  // late sender into a dying world
     queues_[{source, tag}].push_back(std::move(copy));
     ++pending_;
   }
   cv_.notify_all();
 }
 
+void Mailbox::PopLocked(
+    std::map<Key, std::deque<std::vector<std::byte>>>::iterator it,
+    std::vector<std::byte>& out) {
+  out = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) queues_.erase(it);
+  --pending_;
+}
+
 std::vector<std::byte> Mailbox::Take(int source, std::uint64_t tag) {
   std::unique_lock<std::mutex> lock(mutex_);
   const Key key{source, tag};
   cv_.wait(lock, [&] {
+    if (shutdown_) return true;
     auto it = queues_.find(key);
     return it != queues_.end() && !it->second.empty();
   });
   auto it = queues_.find(key);
-  std::vector<std::byte> msg = std::move(it->second.front());
-  it->second.pop_front();
-  if (it->second.empty()) queues_.erase(it);
-  --pending_;
+  if (it == queues_.end() || it->second.empty()) {
+    // Only reachable via shutdown with no queued message.
+    throw CommError("mailbox shut down while blocked in Take");
+  }
+  std::vector<std::byte> msg;
+  PopLocked(it, msg);
   return msg;
+}
+
+TakeStatus Mailbox::TakeFor(int source, std::uint64_t tag,
+                            std::chrono::nanoseconds timeout,
+                            std::vector<std::byte>& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const Key key{source, tag};
+  const std::uint64_t epoch = interrupts_;
+  auto ready = [&] {
+    if (shutdown_ || interrupts_ != epoch) return true;
+    auto it = queues_.find(key);
+    return it != queues_.end() && !it->second.empty();
+  };
+  if (timeout == kForever) {
+    cv_.wait(lock, ready);
+  } else if (!cv_.wait_for(lock, timeout, ready)) {
+    return TakeStatus::kTimeout;
+  }
+  // Delivery wins over a racing shutdown/interrupt.
+  auto it = queues_.find(key);
+  if (it != queues_.end() && !it->second.empty()) {
+    PopLocked(it, out);
+    return TakeStatus::kOk;
+  }
+  return shutdown_ ? TakeStatus::kShutdown : TakeStatus::kInterrupted;
 }
 
 std::optional<std::vector<std::byte>> Mailbox::TryTake(int source,
@@ -35,11 +75,30 @@ std::optional<std::vector<std::byte>> Mailbox::TryTake(int source,
   if (it == queues_.end() || it->second.empty()) {
     return std::nullopt;
   }
-  std::vector<std::byte> msg = std::move(it->second.front());
-  it->second.pop_front();
-  if (it->second.empty()) queues_.erase(it);
-  --pending_;
+  std::vector<std::byte> msg;
+  PopLocked(it, msg);
   return msg;
+}
+
+void Mailbox::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Mailbox::Interrupt() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++interrupts_;
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::shut_down() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shutdown_;
 }
 
 std::size_t Mailbox::PendingCount() const {

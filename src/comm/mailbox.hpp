@@ -5,8 +5,22 @@
 // arrives. This is the only synchronization primitive under the
 // collective library — everything above it is the same SPMD
 // message-passing structure an MPI/NCCL implementation would have.
+//
+// Wakeup audit (the rules every entry point below follows):
+//   - Every waiter is a condition_variable wait with a predicate checked
+//     under mutex_, so spurious wakeups and deposit/notify races cannot
+//     strand a waiter (the predicate re-check closes them).
+//   - Every state change a predicate reads (queues_, shutdown_,
+//     interrupts_) is written under mutex_ BEFORE the notify, so a
+//     waiter either observes the new state in its predicate or is
+//     notified after it went to sleep — never neither (the classic
+//     missed wakeup requires mutating the flag outside the mutex).
+//   - notify_all, not notify_one: distinct waiters wait on distinct
+//     (source, tag) keys, so a single-wakeup policy could wake the wrong
+//     waiter and strand the right one.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -25,16 +39,42 @@ struct Message {
   std::vector<std::byte> payload;
 };
 
+// Outcome of a bounded/interruptible Take.
+enum class TakeStatus : unsigned char {
+  kOk,           // message delivered into `out`
+  kTimeout,      // deadline expired with no matching message
+  kShutdown,     // the box was shut down while (or before) waiting
+  kInterrupted,  // Interrupt() was called; caller should re-check health
+};
+
 class Mailbox {
  public:
+  // Sentinel timeout for TakeFor: wait forever (still wakes on
+  // Shutdown/Interrupt, unlike Take).
+  static constexpr std::chrono::nanoseconds kForever =
+      std::chrono::nanoseconds::max();
+
   Mailbox() = default;
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
+  // Deposits are dropped silently after Shutdown (the world is tearing
+  // down; late senders must not crash).
   void Deposit(int source, std::uint64_t tag, std::span<const std::byte> data);
 
   // Blocks until a message with exactly this (source, tag) is available.
+  // Throws CommError if the box is shut down while (or before) blocking —
+  // the regression case for shutdown-while-blocked.
   [[nodiscard]] std::vector<std::byte> Take(int source, std::uint64_t tag);
+
+  // Bounded, interruptible Take: waits up to `timeout` (kForever = no
+  // deadline) for a matching message. A queued message wins over a
+  // concurrent shutdown/interrupt — delivery is never dropped on the
+  // floor. kInterrupted reports that Interrupt() bumped the epoch during
+  // the wait so the caller can re-check failure state and re-enter.
+  [[nodiscard]] TakeStatus TakeFor(int source, std::uint64_t tag,
+                                   std::chrono::nanoseconds timeout,
+                                   std::vector<std::byte>& out);
 
   // Nonblocking variant: returns the message if one is already queued
   // for (source, tag), nullopt otherwise. The polling primitive under
@@ -42,14 +82,33 @@ class Mailbox {
   [[nodiscard]] std::optional<std::vector<std::byte>> TryTake(
       int source, std::uint64_t tag);
 
+  // Wakes every blocked waiter: Take throws CommError, TakeFor returns
+  // kShutdown. Idempotent. Used at world teardown.
+  void Shutdown();
+
+  // Wakes every blocked TakeFor so it can re-check external failure
+  // state (dead peers, abort requests). Blocking Take is NOT woken — it
+  // predates the fault layer and keeps its pure semantics; detection
+  // paths must go through TakeFor.
+  void Interrupt();
+
+  [[nodiscard]] bool shut_down() const;
   [[nodiscard]] std::size_t PendingCount() const;
 
  private:
   using Key = std::pair<int, std::uint64_t>;  // (source, tag)
+
+  // Pops the front message for `key` into `out`; caller holds mutex_ and
+  // has verified availability.
+  void PopLocked(std::map<Key, std::deque<std::vector<std::byte>>>::iterator it,
+                 std::vector<std::byte>& out);
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::map<Key, std::deque<std::vector<std::byte>>> queues_;
   std::size_t pending_ = 0;
+  bool shutdown_ = false;
+  std::uint64_t interrupts_ = 0;
 };
 
 }  // namespace zero::comm

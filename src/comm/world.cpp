@@ -7,7 +7,33 @@
 
 namespace zero::comm {
 
-World::World(int size) : size_(size) {
+void Barrier::Arrive() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (aborted_) {
+    throw StepAbortedError("barrier aborted: a party rank failed");
+  }
+  const std::uint64_t gen = generation_;
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] { return generation_ != gen || aborted_; });
+    if (generation_ == gen && aborted_) {
+      throw StepAbortedError("barrier aborted: a party rank failed");
+    }
+  }
+}
+
+void Barrier::Abort() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+World::World(int size) : size_(size), health_(size >= 1 ? size : 1) {
   ZERO_CHECK(size >= 1, "world size must be positive");
   mailboxes_.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) {
@@ -15,22 +41,65 @@ World::World(int size) : size_(size) {
   }
 }
 
+void World::SetFaultHooks(FaultHooks* hooks) {
+  fault_hooks_ = hooks;
+  if (hooks != nullptr) hooks->BindWorld(this);
+}
+
+void World::DeclareDead(int rank, const std::string& reason) {
+  health_.MarkDead(rank, reason);  // also raises the abort flag
+  InterruptAll();
+}
+
+void World::InterruptAll() {
+  for (auto& box : mailboxes_) box->Interrupt();
+  std::lock_guard<std::mutex> lock(barriers_mutex_);
+  for (auto& [key, barrier] : barriers_) barrier->Abort();
+}
+
 Barrier& World::SharedBarrier(std::uint64_t key, int parties) {
   std::lock_guard<std::mutex> lock(barriers_mutex_);
   auto it = barriers_.find(key);
   if (it == barriers_.end()) {
     it = barriers_.emplace(key, std::make_unique<Barrier>(parties)).first;
+    if (health_.AbortRequested()) it->second->Abort();
   }
   return *it->second;
 }
 
-void World::Run(const std::function<void(RankContext&)>& body) {
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
+bool IsSecondaryFault(const std::exception_ptr& e) {
+  if (!e) return false;
+  try {
+    std::rethrow_exception(e);
+  } catch (const StepAbortedError&) {
+    return true;
+  } catch (const PeerFailedError&) {
+    return true;
+  } catch (const CommTimeoutError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+std::exception_ptr World::RunReport::RootCause() const {
+  std::exception_ptr first;
+  for (const auto& e : errors) {
+    if (!e) continue;
+    if (!first) first = e;
+    if (!IsSecondaryFault(e)) return e;
+  }
+  return first;
+}
+
+World::RunReport World::TryRun(const std::function<void(RankContext&)>& body) {
+  RunReport report;
+  report.errors.resize(static_cast<std::size_t>(size_));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(size_));
 
   for (int r = 0; r < size_; ++r) {
-    threads.emplace_back([this, r, &body, &errors] {
+    threads.emplace_back([this, r, &body, &report] {
       // Tag the thread so log lines and trace events attribute to the
       // rank without call sites threading it through.
       SetThreadLogRank(r);
@@ -40,15 +109,26 @@ void World::Run(const std::function<void(RankContext&)>& body) {
       ctx.world_size = size_;
       try {
         body(ctx);
+      } catch (const std::exception& e) {
+        report.errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // A rank whose body unwound is gone as far as the SPMD step is
+        // concerned; declare it so blocked survivors wake with a typed
+        // error instead of deadlocking on its messages.
+        DeclareDead(r, e.what());
       } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        report.errors[static_cast<std::size_t>(r)] = std::current_exception();
+        DeclareDead(r, "unknown exception");
       }
     });
   }
   for (auto& t : threads) t.join();
+  return report;
+}
 
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+void World::Run(const std::function<void(RankContext&)>& body) {
+  const RunReport report = TryRun(body);
+  if (std::exception_ptr root = report.RootCause()) {
+    std::rethrow_exception(root);
   }
 }
 

@@ -6,37 +6,47 @@
 // synchronization. Exceptions thrown by any rank are captured and
 // rethrown on the launching thread after all ranks join, so a device OOM
 // on rank k surfaces as a normal C++ exception in the test/bench.
+//
+// Fault tolerance: the world carries a HealthBoard (heartbeats + death
+// records + step-abort flag), an optional comm deadline (bounded waits
+// in Communicator::RecvBytes, 0 = classic blocking behavior for hangs
+// but crash deaths still propagate), and an optional FaultHooks pointer
+// (deterministic fault injection, null = zero-cost). When any rank's
+// body unwinds with an exception, Run declares it dead, raises the
+// abort flag, and interrupts every blocked waiter — survivors surface a
+// typed CommError (PeerFailedError / StepAbortedError) instead of
+// deadlocking on messages that will never arrive. TryRun is the
+// recovery-oriented variant that returns the per-rank outcomes instead
+// of rethrowing.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "comm/fault_hooks.hpp"
+#include "comm/health.hpp"
 #include "comm/mailbox.hpp"
 
 namespace zero::comm {
 
 // Reusable generation-counted barrier for an arbitrary subset size.
+// Abort-aware: Abort() permanently wakes and fails every current and
+// future Arrive with StepAbortedError (a barrier party died; the step
+// cannot complete).
 class Barrier {
  public:
   explicit Barrier(int parties) : parties_(parties) {}
 
-  void Arrive() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    const std::uint64_t gen = generation_;
-    if (++waiting_ == parties_) {
-      waiting_ = 0;
-      ++generation_;
-      cv_.notify_all();
-    } else {
-      cv_.wait(lock, [&] { return generation_ != gen; });
-    }
-  }
+  void Arrive();
+  void Abort();
 
  private:
   std::mutex mutex_;
@@ -44,6 +54,7 @@ class Barrier {
   int parties_;
   int waiting_ = 0;
   std::uint64_t generation_ = 0;
+  bool aborted_ = false;
 };
 
 class World;
@@ -62,6 +73,30 @@ class World {
 
   [[nodiscard]] int size() const { return size_; }
   [[nodiscard]] Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
+  [[nodiscard]] HealthBoard& health() { return health_; }
+
+  // ---- fault-tolerance configuration (set before Run) ----
+  // Deadline for bounded communicator waits; 0 (default) disables
+  // heartbeat-based detection (crash deaths still propagate via the
+  // abort cascade).
+  void SetCommDeadline(std::chrono::nanoseconds deadline) {
+    comm_deadline_ns_.store(
+        static_cast<std::uint64_t>(deadline.count()),
+        std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t comm_deadline_ns() const {
+    return comm_deadline_ns_.load(std::memory_order_relaxed);
+  }
+  // Borrowed pointer, null disables injection. Calls hooks->BindWorld.
+  void SetFaultHooks(FaultHooks* hooks);
+  [[nodiscard]] FaultHooks* fault_hooks() const { return fault_hooks_; }
+
+  // Declares `rank` dead, raises the step-abort flag, and wakes every
+  // blocked mailbox/barrier waiter so survivors can unwind.
+  void DeclareDead(int rank, const std::string& reason);
+  // Wakes all blocked waiters without declaring a death (used after
+  // RequestAbort).
+  void InterruptAll();
 
   // Obtain (lazily creating) a barrier shared by all callers that pass
   // the same key with the same party count. Used by communicators over
@@ -69,15 +104,41 @@ class World {
   [[nodiscard]] Barrier& SharedBarrier(std::uint64_t key, int parties);
 
   // SPMD entry point: runs body once per rank on its own thread and
-  // joins. If any rank throws, the first exception (by rank order) is
-  // rethrown here after all threads complete or abort their wait.
+  // joins. If any rank throws, the most root-cause exception (first by
+  // rank order that is not a secondary StepAborted/PeerFailed/
+  // CommTimeout) is rethrown here after all threads complete.
   void Run(const std::function<void(RankContext&)>& body);
+
+  // Per-rank outcomes of one Run attempt, for callers (recovery) that
+  // must inspect failures rather than crash on them.
+  struct RunReport {
+    std::vector<std::exception_ptr> errors;  // null = rank completed
+    [[nodiscard]] bool ok() const {
+      for (const auto& e : errors) {
+        if (e) return false;
+      }
+      return true;
+    }
+    // First error by rank order that is not collateral damage
+    // (StepAborted/PeerFailed/CommTimeout); falls back to the first
+    // error of any kind; null when ok().
+    [[nodiscard]] std::exception_ptr RootCause() const;
+  };
+  // Like Run but never throws from rank failures.
+  RunReport TryRun(const std::function<void(RankContext&)>& body);
 
  private:
   int size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  HealthBoard health_;
+  std::atomic<std::uint64_t> comm_deadline_ns_{0};
+  FaultHooks* fault_hooks_ = nullptr;
   std::mutex barriers_mutex_;
   std::map<std::uint64_t, std::unique_ptr<Barrier>> barriers_;
 };
+
+// True when `e` is one of the collateral fault types a survivor throws
+// while unwinding from someone else's failure.
+[[nodiscard]] bool IsSecondaryFault(const std::exception_ptr& e);
 
 }  // namespace zero::comm

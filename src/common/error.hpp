@@ -56,6 +56,51 @@ class CommError : public Error {
   using Error::Error;
 };
 
+// ---- fault-tolerance taxonomy (src/fault/, comm detection paths) ----
+//
+// Failures surface on *surviving* ranks as one of three CommError
+// subclasses, so recovery code can tell root causes from collateral:
+//   - PeerFailedError: the awaited peer was declared dead (its thread
+//     unwound with an exception, or its heartbeat went silent past the
+//     configured deadline). Root-cause signal on the detector side.
+//   - CommTimeoutError: the wait exceeded the stall bound while the peer
+//     was still heartbeating — a lost/dropped message, not a dead rank.
+//   - StepAbortedError: another rank already detected a failure and the
+//     world is cooperatively tearing the step down; purely collateral.
+
+// A peer rank is dead (observed crash or heartbeat silence).
+class PeerFailedError : public CommError {
+ public:
+  PeerFailedError(int failed_rank, const std::string& what)
+      : CommError(what), failed_rank_(failed_rank) {}
+  [[nodiscard]] int failed_rank() const { return failed_rank_; }
+
+ private:
+  int failed_rank_;
+};
+
+// A blocking wait starved past the stall bound with the peer still alive
+// (lost-message pathology rather than rank death).
+class CommTimeoutError : public CommError {
+ public:
+  using CommError::CommError;
+};
+
+// The in-flight step is being torn down because some rank failed; the
+// thrower is a healthy survivor unwinding cooperatively.
+class StepAbortedError : public CommError {
+ public:
+  using CommError::CommError;
+};
+
+// Thrown by the fault injector to simulate a rank death (crash or the
+// unblocking of a hung rank after the world aborted). Escapes the rank
+// body by design; World::Run marks the rank dead when it does.
+class InjectedFaultError : public Error {
+ public:
+  using Error::Error;
+};
+
 class ConfigError : public Error {
  public:
   using Error::Error;

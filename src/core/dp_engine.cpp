@@ -111,6 +111,9 @@ void ZeroDpEngine::EmitUnitGrad(int u, std::span<const float> grad) {
 
 float ZeroDpEngine::TrainStep(const model::Batch& batch) {
   TRACE_SPAN("engine/step");
+  // Named injectable point: a crash/hang/slow rule scheduled "at the
+  // step" fires here, before any collective of the step has started.
+  dp_->FaultPoint("step");
   const std::uint64_t step_t0 = obs::TraceNowNs();
   ctx_.loss_scale = current_loss_scale();
   strategy_->OnStepBegin();

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "model/transformer_spec.hpp"
 #include "obs/telemetry.hpp"
@@ -50,6 +51,23 @@ struct EngineConfig {
   // TelemetryOptions::FromEnv() honors ZERO_TRACE; spans are compiled in
   // regardless and cost ~a relaxed atomic load while disabled.
   obs::TelemetryOptions telemetry;
+
+  // ---- fault tolerance (src/fault/, src/comm/health.hpp) ----
+  // Heartbeat-based failure detection: bounded communicator waits with
+  // this deadline; a silent peer is declared dead and every survivor
+  // unwinds with a typed CommError instead of deadlocking. 0 (default)
+  // keeps classic unbounded blocking. Env ZERO_COMM_DEADLINE_MS applies
+  // when this is 0.
+  std::uint64_t comm_deadline_ms = 0;
+  // Elastic checkpointing: every N applied steps, all ranks collectively
+  // ExportState and rank 0 writes the Nd-independent TrainingState to
+  // checkpoint_path (latest wins). 0 disables.
+  int checkpoint_every_n_steps = 0;
+  std::string checkpoint_path;
+  // Deterministic fault injection, same grammar as the ZERO_FAULT env
+  // variable (see fault/fault_plan.hpp). The explicit spec wins over the
+  // environment; empty + no env means no injection and no overhead.
+  std::string fault_spec;
 };
 
 }  // namespace zero::core

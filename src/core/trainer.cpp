@@ -1,11 +1,15 @@
 #include "core/trainer.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <mutex>
 
 #include "common/logging.hpp"
 #include "core/zero_r.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -44,6 +48,26 @@ TrainResult TrainGpt(const TrainOptions& options) {
   comm::World world(world_size);
   comm::GridTopology grid(world_size, options.cluster.mp_degree);
 
+  // Fault tolerance: an explicit config spec wins over ZERO_FAULT.
+  fault::FaultPlan fault_plan =
+      options.engine.fault_spec.empty()
+          ? fault::FaultPlan::FromEnv()
+          : fault::FaultPlan::Parse(options.engine.fault_spec);
+  std::optional<fault::FaultInjector> injector;
+  if (!fault_plan.empty()) {
+    injector.emplace(std::move(fault_plan), world_size);
+    world.SetFaultHooks(&*injector);
+  }
+  std::uint64_t deadline_ms = options.engine.comm_deadline_ms;
+  if (deadline_ms == 0) {
+    if (const char* env = std::getenv("ZERO_COMM_DEADLINE_MS")) {
+      deadline_ms = std::strtoull(env, nullptr, 10);
+    }
+  }
+  if (deadline_ms != 0) {
+    world.SetCommDeadline(std::chrono::milliseconds(deadline_ms));
+  }
+
   // Telemetry: explicit config wins; otherwise ZERO_TRACE activates it.
   obs::TelemetryOptions telemetry = options.engine.telemetry;
   telemetry.ResolvePaths();
@@ -70,7 +94,8 @@ TrainResult TrainGpt(const TrainOptions& options) {
   result.ranks.resize(static_cast<std::size_t>(world_size));
   std::mutex result_mutex;
 
-  world.Run([&](comm::RankContext& ctx) {
+  const comm::World::RunReport run = world.TryRun([&](comm::RankContext&
+                                                          ctx) {
     // --- per-rank substrate ---
     alloc::DeviceMemory device_mem(options.cluster.device_capacity_bytes,
                                    "rank" + std::to_string(ctx.rank));
@@ -148,6 +173,17 @@ TrainResult TrainGpt(const TrainOptions& options) {
         if (telemetry.enabled && ctx.rank == 0) {
           local_snapshots.push_back(obs::Metrics().SnapshotJson());
         }
+        if (options.engine.checkpoint_every_n_steps > 0 &&
+            (s + 1) % options.engine.checkpoint_every_n_steps == 0) {
+          // Collective: every rank re-assembles the Nd-independent state;
+          // rank 0 persists it (latest wins). Covers the DP dimension
+          // only — elastic resume under MP > 1 is an open item.
+          TRACE_SPAN("fault/checkpoint");
+          TrainingState ckpt = engine.ExportState();
+          if (ctx.rank == 0 && !options.engine.checkpoint_path.empty()) {
+            ckpt.SaveToFile(options.engine.checkpoint_path);
+          }
+        }
         if (options.eval_every > 0 && (s + 1) % options.eval_every == 0) {
           // Identical validation stream on every rank (collective under
           // stage 3, so all ranks must participate regardless).
@@ -202,6 +238,29 @@ TrainResult TrainGpt(const TrainOptions& options) {
       }
     }
   });
+
+  if (!run.ok()) {
+    // Injected faults and comm failures are expected outcomes of a
+    // fault-injection run: report them. Anything else is a real bug and
+    // keeps the old throwing behavior.
+    const std::exception_ptr root = run.RootCause();
+    bool fault_like = false;
+    std::string message = "unknown failure";
+    try {
+      std::rethrow_exception(root);
+    } catch (const InjectedFaultError& e) {
+      fault_like = true;
+      message = e.what();
+    } catch (const CommError& e) {
+      fault_like = true;
+      message = e.what();
+    } catch (...) {
+    }
+    if (!fault_like) std::rethrow_exception(root);
+    result.failed = true;
+    result.failure_message = message;
+    result.losses.clear();
+  }
 
   if (result.oom) result.losses.clear();
 

@@ -72,6 +72,11 @@ struct TrainResult {
   std::vector<RankMetrics> ranks;
   bool oom = false;
   std::string oom_message;
+  // Fault outcome: when an injected or detected failure killed the run,
+  // the root cause is recorded here instead of thrown (genuine bugs —
+  // anything that is not an InjectedFaultError/CommError — still throw).
+  bool failed = false;
+  std::string failure_message;
   // Flat parameter space of the per-engine model (after any MP split):
   // logical and partition-padded element counts.
   std::int64_t psi = 0;

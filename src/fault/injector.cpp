@@ -1,0 +1,143 @@
+#include "fault/injector.hpp"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "comm/world.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace zero::fault {
+namespace {
+
+// A hang releases when the world aborts (peers detected the silence); the
+// cap keeps a misconfigured run (no comm deadline -> nobody detects the
+// hang) from deadlocking forever.
+constexpr std::uint64_t kDefaultHangCapNs = 60ull * 1000 * 1000 * 1000;
+
+void CountInjected(FaultKind kind) {
+  static obs::Counter& injected = obs::Metrics().counter("fault.injected");
+  injected.Add();
+  (void)kind;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, int world_size)
+    : plan_(std::move(plan)), world_size_(world_size) {
+  ZERO_CHECK(world_size >= 1, "injector needs a positive world size");
+  const std::size_t n =
+      plan_.rules.size() * static_cast<std::size_t>(world_size);
+  counters_.reset(new std::atomic<std::uint64_t>[n > 0 ? n : 1]);
+  for (std::size_t i = 0; i < (n > 0 ? n : 1); ++i) {
+    counters_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t FaultInjector::InjectedCount(FaultKind kind) const {
+  return injected_by_kind_[static_cast<std::size_t>(kind)].load(
+      std::memory_order_acquire);
+}
+
+bool FaultInjector::Fires(std::size_t rule_index, const FaultRule& rule,
+                          int rank) {
+  const std::size_t idx =
+      rule_index * static_cast<std::size_t>(world_size_) +
+      static_cast<std::size_t>(rank);
+  const std::uint64_t count =
+      counters_[idx].fetch_add(1, std::memory_order_relaxed) + 1;
+  if (rule.occurrence != 0 && count != rule.occurrence) return false;
+  if (rule.probability < 1.0) {
+    // Stateless deterministic draw: same (seed, rule, rank, count) ->
+    // same verdict, independent of scheduling.
+    Rng draw(plan_.seed ^ (0x9E3779B97F4A7C15ull * (rule_index + 1)) ^
+             (0xC2B2AE3D27D4EB4Full * static_cast<std::uint64_t>(rank + 1)) ^
+             count);
+    if (draw.NextDouble() >= rule.probability) return false;
+  }
+  injected_by_kind_[static_cast<std::size_t>(rule.kind)].fetch_add(
+      1, std::memory_order_acq_rel);
+  CountInjected(rule.kind);
+  return true;
+}
+
+void FaultInjector::AtPoint(int rank, const char* site) {
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& rule = plan_.rules[i];
+    if (!IsPointFault(rule.kind)) continue;
+    if (rule.rank != rank || rank >= world_size_) continue;
+    if (!rule.site.empty() && rule.site != site) continue;
+    if (!Fires(i, rule, rank)) continue;
+
+    switch (rule.kind) {
+      case FaultKind::kCrash: {
+        std::uint64_t expected = 0;
+        first_lethal_ns_.compare_exchange_strong(expected, obs::TraceNowNs(),
+                                                 std::memory_order_acq_rel);
+        ZLOG_WARN << "injected crash on rank " << rank << " at '" << site
+                  << "'";
+        throw InjectedFaultError("injected crash on rank " +
+                                 std::to_string(rank) + " at '" + site + "'");
+      }
+      case FaultKind::kHang: {
+        std::uint64_t expected = 0;
+        first_lethal_ns_.compare_exchange_strong(expected, obs::TraceNowNs(),
+                                                 std::memory_order_acq_rel);
+        ZLOG_WARN << "injected hang on rank " << rank << " at '" << site
+                  << "'";
+        const std::uint64_t cap =
+            rule.duration_ns != 0 ? rule.duration_ns : kDefaultHangCapNs;
+        const std::uint64_t start = obs::TraceNowNs();
+        while (obs::TraceNowNs() - start < cap) {
+          if (world_ != nullptr && world_->health().AbortRequested()) break;
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        // The hung rank is gone as far as the step is concerned; unwind
+        // with the root-cause type so recovery attributes it correctly.
+        throw InjectedFaultError("injected hang on rank " +
+                                 std::to_string(rank) + " at '" + site + "'");
+      }
+      case FaultKind::kSlow:
+        if (rule.duration_ns != 0) {
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(rule.duration_ns));
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+comm::FaultSendVerdict FaultInjector::OnSend(int src_rank, int /*dst_rank*/,
+                                             std::uint64_t /*tag*/,
+                                             std::size_t /*bytes*/) {
+  comm::FaultSendVerdict verdict;
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& rule = plan_.rules[i];
+    if (IsPointFault(rule.kind)) continue;
+    if (rule.rank != src_rank || src_rank >= world_size_) continue;
+    if (!Fires(i, rule, src_rank)) continue;
+
+    switch (rule.kind) {
+      case FaultKind::kDrop:
+        verdict.drop = true;
+        break;
+      case FaultKind::kDelay:
+        verdict.delay_ns += rule.duration_ns;
+        break;
+      case FaultKind::kDup:
+        verdict.duplicates += 1;
+        break;
+      default:
+        break;
+    }
+  }
+  return verdict;
+}
+
+}  // namespace zero::fault

@@ -1,0 +1,64 @@
+// FaultInjector: the comm::FaultHooks implementation that executes a
+// FaultPlan deterministically.
+//
+// Determinism: each (rule, rank) pair owns an atomic trigger counter
+// that only that rank's own thread ever bumps (AtPoint is called with
+// the calling rank; OnSend with the sending rank), so the sequence of
+// counter values a rule observes on a given rank is independent of
+// thread interleaving. Probability draws hash (plan seed, rule index,
+// rank, counter value) through splitmix64 — no shared RNG stream, same
+// verdicts every run.
+//
+// The injector outlives the World(s) it is attached to: counters
+// persist across recovery attempts, which is what makes an exact-
+// occurrence crash rule one-shot (the counter has moved past n when the
+// replacement world re-executes the same points).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "comm/fault_hooks.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace zero::fault {
+
+class FaultInjector final : public comm::FaultHooks {
+ public:
+  // `world_size` bounds the per-rank counter arrays; rules naming ranks
+  // >= world_size simply never fire.
+  FaultInjector(FaultPlan plan, int world_size);
+
+  void AtPoint(int rank, const char* site) override;
+  comm::FaultSendVerdict OnSend(int src_rank, int dst_rank,
+                                std::uint64_t tag,
+                                std::size_t bytes) override;
+  void BindWorld(comm::World* world) override { world_ = world; }
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  // ---- injection ledger (for tests and the detection-latency bench) ----
+  // Count of faults actually executed, by kind.
+  [[nodiscard]] std::uint64_t InjectedCount(FaultKind kind) const;
+  // Trace timestamp of the first lethal (crash/hang) injection; 0 until
+  // one fires. Detection latency = survivor's error time minus this.
+  [[nodiscard]] std::uint64_t FirstLethalNs() const {
+    return first_lethal_ns_.load(std::memory_order_acquire);
+  }
+
+ private:
+  // True (and counts the event) when rule `i` fires for this trigger.
+  bool Fires(std::size_t rule_index, const FaultRule& rule, int rank);
+
+  FaultPlan plan_;
+  int world_size_;
+  // counters_[rule * world_size + rank]
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counters_;
+  std::atomic<std::uint64_t> injected_by_kind_[6] = {};
+  std::atomic<std::uint64_t> first_lethal_ns_{0};
+  comm::World* world_ = nullptr;
+};
+
+}  // namespace zero::fault

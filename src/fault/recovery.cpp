@@ -1,0 +1,115 @@
+#include "fault/recovery.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "obs/metrics.hpp"
+
+namespace zero::fault {
+
+void CheckpointVault::Store(std::int64_t step, std::vector<std::byte> bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (step <= step_) return;  // stale offer (e.g. replayed step)
+  step_ = step;
+  bytes_ = std::move(bytes);
+}
+
+bool CheckpointVault::HasCheckpoint() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return step_ >= 0;
+}
+
+std::int64_t CheckpointVault::LatestStep() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return step_;
+}
+
+std::vector<std::byte> CheckpointVault::LatestBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+RecoveryCoordinator::RecoveryCoordinator(RecoveryOptions options)
+    : opts_(options) {
+  ZERO_CHECK(opts_.world_size >= 1, "recovery needs a positive world size");
+  ZERO_CHECK(opts_.max_attempts >= 1, "recovery needs at least one attempt");
+  ZERO_CHECK(opts_.min_world_size >= 1, "min world size must be positive");
+}
+
+RecoveryReport RecoveryCoordinator::Train(const RankBody& body) {
+  RecoveryReport report;
+  int world_size = opts_.world_size;
+
+  for (int attempt = 0; attempt < opts_.max_attempts; ++attempt) {
+    ++report.attempts;
+    AttemptInfo info;
+    info.world_size = world_size;
+
+    // Snapshot the resume point before launching: a checkpoint stored
+    // mid-attempt must not retroactively change this attempt's schedule.
+    std::vector<std::byte> resume_bytes;
+    if (vault_.HasCheckpoint()) {
+      info.resume_step = vault_.LatestStep();
+      resume_bytes = vault_.LatestBytes();
+    }
+
+    comm::World world(world_size);
+    world.SetCommDeadline(opts_.comm_deadline);
+    if (opts_.hooks != nullptr) world.SetFaultHooks(opts_.hooks);
+
+    AttemptContext actx;
+    actx.index = attempt;
+    actx.world_size = world_size;
+    actx.resume_step = info.resume_step;
+    actx.resume_state = resume_bytes.empty() ? nullptr : &resume_bytes;
+
+    const comm::World::RunReport run = world.TryRun(
+        [&](comm::RankContext& ctx) { body(ctx, actx); });
+
+    if (run.ok()) {
+      info.ok = true;
+      report.history.push_back(std::move(info));
+      report.succeeded = true;
+      break;
+    }
+
+    static obs::Counter& recoveries =
+        obs::Metrics().counter("fault.recovery_attempts");
+    recoveries.Add();
+
+    for (std::size_t r = 0; r < run.errors.size(); ++r) {
+      if (run.errors[r] && !comm::IsSecondaryFault(run.errors[r])) {
+        info.failed_ranks.push_back(static_cast<int>(r));
+      }
+    }
+    if (std::exception_ptr root = run.RootCause()) {
+      try {
+        std::rethrow_exception(root);
+      } catch (const std::exception& e) {
+        info.error = e.what();
+      } catch (...) {
+        info.error = "unknown error";
+      }
+    }
+    ZLOG_WARN << "attempt " << attempt << " failed (" << info.error
+              << "), resuming from step "
+              << (vault_.HasCheckpoint() ? vault_.LatestStep() : 0);
+    report.history.push_back(info);
+
+    if (opts_.policy == RestartPolicy::kShrinkToSurvivors) {
+      const int lost =
+          info.failed_ranks.empty() ? 1
+                                    : static_cast<int>(info.failed_ranks.size());
+      world_size -= lost;
+      if (world_size < opts_.min_world_size) break;
+    }
+    // kRestartRank: same Nd; the dead thread is simply re-launched as
+    // part of the fresh world.
+  }
+
+  report.final_world_size = world_size;
+  return report;
+}
+
+}  // namespace zero::fault

@@ -1,0 +1,130 @@
+// Elastic checkpoint-based recovery (the third leg of the fault
+// subsystem, after injection and detection).
+//
+// The model is fail-stop with whole-step abort: once any rank is dead,
+// the in-flight synchronous step cannot complete, every survivor unwinds
+// with a typed CommError, and World::TryRun returns the per-rank
+// outcomes. The RecoveryCoordinator then runs the world-per-attempt
+// loop:
+//
+//   1. run an attempt on a fresh World (ranks are threads, so a "node
+//      replacement" is just a new thread set);
+//   2. on failure, classify ranks: genuinely failed (root-cause error,
+//      e.g. InjectedFaultError) vs collateral (StepAborted/PeerFailed/
+//      CommTimeout survivors);
+//   3. choose the next world size by policy — kRestartRank keeps Nd (the
+//      failed rank is "replaced", trajectory stays bit-exact), kShrink
+//      drops to the survivor count Nd' (elastic: the Nd-independent
+//      TrainingState re-partitions onto fewer ranks; the data schedule
+//      changes, so the trajectory is equivalent-but-not-identical);
+//   4. resume from the CheckpointVault's latest state (or from scratch
+//      when no checkpoint was ever stored) and repeat until a clean run
+//      or the attempt budget is spent.
+//
+// The coordinator is deliberately engine-agnostic: the caller's RankBody
+// builds whatever engine it wants, imports `resume_state` when present,
+// skips the already-consumed part of its data schedule, and offers
+// checkpoints back through the vault.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "comm/fault_hooks.hpp"
+#include "comm/world.hpp"
+
+namespace zero::fault {
+
+// Latest-wins store of one serialized TrainingState. Thread-safe: during
+// a step all ranks export collectively but only one deposits.
+class CheckpointVault {
+ public:
+  void Store(std::int64_t step, std::vector<std::byte> bytes);
+  [[nodiscard]] bool HasCheckpoint() const;
+  // -1 when empty; otherwise the number of completed steps the stored
+  // state reflects.
+  [[nodiscard]] std::int64_t LatestStep() const;
+  [[nodiscard]] std::vector<std::byte> LatestBytes() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::int64_t step_ = -1;
+  std::vector<std::byte> bytes_;
+};
+
+enum class RestartPolicy : unsigned char {
+  kRestartRank,        // replace the dead rank; same Nd, bit-exact replay
+  kShrinkToSurvivors,  // continue at Nd' = survivors (elastic)
+};
+
+struct RecoveryOptions {
+  int world_size = 2;
+  int max_attempts = 4;
+  RestartPolicy policy = RestartPolicy::kRestartRank;
+  int min_world_size = 1;  // shrink policy gives up below this
+  // Passed to World::SetCommDeadline each attempt (0 disables heartbeat
+  // detection — only thrown exceptions then surface failures).
+  std::chrono::nanoseconds comm_deadline = std::chrono::milliseconds(100);
+  // Optional injection hooks, attached to every attempt's world. The
+  // injector's counters persist across attempts, so exact-occurrence
+  // rules fire once (see injector.hpp).
+  comm::FaultHooks* hooks = nullptr;
+};
+
+// What one attempt saw. `failed_ranks` holds only root-cause failures;
+// survivors that unwound with collateral StepAborted/PeerFailed errors
+// are not listed.
+struct AttemptInfo {
+  int world_size = 0;
+  std::int64_t resume_step = 0;
+  bool ok = false;
+  std::string error;
+  std::vector<int> failed_ranks;
+};
+
+struct RecoveryReport {
+  bool succeeded = false;
+  int attempts = 0;
+  int final_world_size = 0;
+  std::vector<AttemptInfo> history;
+
+  // Convenience for tests: total distinct failures recovered from.
+  [[nodiscard]] int failures() const {
+    int n = 0;
+    for (const AttemptInfo& a : history) n += a.ok ? 0 : 1;
+    return n;
+  }
+};
+
+// Per-attempt inputs handed to the rank body.
+struct AttemptContext {
+  int index = 0;       // 0-based attempt number
+  int world_size = 0;  // this attempt's Nd
+  std::int64_t resume_step = 0;  // completed steps in resume_state
+  // Serialized TrainingState to import, null on a from-scratch start.
+  const std::vector<std::byte>* resume_state = nullptr;
+};
+
+class RecoveryCoordinator {
+ public:
+  explicit RecoveryCoordinator(RecoveryOptions options);
+
+  using RankBody =
+      std::function<void(comm::RankContext&, const AttemptContext&)>;
+
+  // Runs attempts until one completes cleanly or the budget is spent.
+  RecoveryReport Train(const RankBody& body);
+
+  [[nodiscard]] CheckpointVault& vault() { return vault_; }
+  [[nodiscard]] const RecoveryOptions& options() const { return opts_; }
+
+ private:
+  RecoveryOptions opts_;
+  CheckpointVault vault_;
+};
+
+}  // namespace zero::fault

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
+
+#include "common/error.hpp"
 
 namespace zero::comm {
 namespace {
@@ -57,6 +60,100 @@ TEST(MailboxTest, PayloadIsCopiedNotAliased) {
   box.Deposit(0, 0, payload);
   payload[0] = static_cast<std::byte>(99);
   EXPECT_EQ(box.Take(0, 0), Bytes({7}));
+}
+
+TEST(MailboxTest, TakeForDeliversQueuedMessageImmediately) {
+  Mailbox box;
+  box.Deposit(0, 7, Bytes({5}));
+  std::vector<std::byte> out;
+  EXPECT_EQ(box.TakeFor(0, 7, std::chrono::milliseconds(0), out),
+            TakeStatus::kOk);
+  EXPECT_EQ(out, Bytes({5}));
+}
+
+TEST(MailboxTest, TakeForTimesOutWithoutMessage) {
+  Mailbox box;
+  std::vector<std::byte> out;
+  EXPECT_EQ(box.TakeFor(0, 7, std::chrono::milliseconds(5), out),
+            TakeStatus::kTimeout);
+}
+
+TEST(MailboxTest, TakeForWakesOnConcurrentDeposit) {
+  Mailbox box;
+  std::vector<std::byte> out;
+  TakeStatus status = TakeStatus::kTimeout;
+  std::thread receiver(
+      [&] { status = box.TakeFor(1, 2, std::chrono::seconds(10), out); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  box.Deposit(1, 2, Bytes({9}));
+  receiver.join();
+  EXPECT_EQ(status, TakeStatus::kOk);
+  EXPECT_EQ(out, Bytes({9}));
+}
+
+// Regression: shutting down a mailbox with a blocked Take must wake the
+// waiter with CommError, not strand it (the shutdown-while-blocked race).
+TEST(MailboxTest, ShutdownWakesBlockedTake) {
+  Mailbox box;
+  std::thread receiver([&] {
+    EXPECT_THROW({ auto msg = box.Take(0, 1); (void)msg; }, CommError);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  box.Shutdown();
+  receiver.join();
+}
+
+TEST(MailboxTest, ShutdownWakesBlockedTakeFor) {
+  Mailbox box;
+  std::vector<std::byte> out;
+  TakeStatus status = TakeStatus::kOk;
+  std::thread receiver(
+      [&] { status = box.TakeFor(0, 1, Mailbox::kForever, out); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  box.Shutdown();
+  receiver.join();
+  EXPECT_EQ(status, TakeStatus::kShutdown);
+}
+
+TEST(MailboxTest, TakeAfterShutdownThrowsImmediately) {
+  Mailbox box;
+  box.Shutdown();
+  EXPECT_TRUE(box.shut_down());
+  EXPECT_THROW({ auto msg = box.Take(0, 1); (void)msg; }, CommError);
+}
+
+TEST(MailboxTest, QueuedMessageWinsOverShutdown) {
+  Mailbox box;
+  box.Deposit(0, 1, Bytes({4}));
+  box.Shutdown();
+  std::vector<std::byte> out;
+  EXPECT_EQ(box.TakeFor(0, 1, std::chrono::milliseconds(0), out),
+            TakeStatus::kOk);
+  EXPECT_EQ(out, Bytes({4}));
+}
+
+TEST(MailboxTest, DepositAfterShutdownIsDropped) {
+  Mailbox box;
+  box.Shutdown();
+  box.Deposit(0, 1, Bytes({1}));
+  EXPECT_EQ(box.PendingCount(), 0u);
+}
+
+TEST(MailboxTest, InterruptWakesTakeForButNotDelivery) {
+  Mailbox box;
+  std::vector<std::byte> out;
+  TakeStatus status = TakeStatus::kOk;
+  std::thread receiver(
+      [&] { status = box.TakeFor(0, 1, Mailbox::kForever, out); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  box.Interrupt();
+  receiver.join();
+  EXPECT_EQ(status, TakeStatus::kInterrupted);
+  // The box still works after an interrupt.
+  box.Deposit(0, 1, Bytes({3}));
+  EXPECT_EQ(box.TakeFor(0, 1, std::chrono::milliseconds(0), out),
+            TakeStatus::kOk);
+  EXPECT_EQ(out, Bytes({3}));
 }
 
 }  // namespace

@@ -1,0 +1,190 @@
+// Failure detection: an injected crash/hang/drop must surface as a typed
+// CommError on every survivor within the deadline — never a deadlock.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/world.hpp"
+#include "common/error.hpp"
+#include "fault/injector.hpp"
+#include "obs/trace.hpp"
+
+namespace zero::fault {
+namespace {
+
+using comm::Communicator;
+using comm::RankContext;
+using comm::World;
+
+template <typename E>
+bool ErrorIs(const std::exception_ptr& e) {
+  if (!e) return false;
+  try {
+    std::rethrow_exception(e);
+  } catch (const E&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+// A crashed rank's unwind must wake peers blocked in a collective.
+TEST(DetectionTest, CrashDuringCollectiveUnblocksSurvivors) {
+  const int nd = 3;
+  FaultInjector injector(FaultPlan::Parse("crash@1:step#1"), nd);
+  World world(nd);
+  world.SetCommDeadline(std::chrono::milliseconds(100));
+  world.SetFaultHooks(&injector);
+
+  const World::RunReport report = world.TryRun([&](RankContext& ctx) {
+    Communicator comm = Communicator::WholeWorld(ctx);
+    comm.FaultPoint("step");  // rank 1 dies here
+    std::vector<float> data(64, 1.0f);
+    comm.AllReduce(std::span<float>(data));
+  });
+
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(ErrorIs<InjectedFaultError>(report.errors[1]));
+  for (int r : {0, 2}) {
+    ASSERT_TRUE(report.errors[static_cast<std::size_t>(r)] != nullptr)
+        << "rank " << r << " should have unwound";
+    EXPECT_TRUE(comm::IsSecondaryFault(report.errors[static_cast<std::size_t>(r)]))
+        << "rank " << r;
+  }
+  EXPECT_TRUE(ErrorIs<InjectedFaultError>(report.RootCause()));
+  // Everyone unwound, so everyone is recorded dead — but the ledger
+  // keeps the root cause on rank 1.
+  EXPECT_TRUE(world.health().IsDead(1));
+  EXPECT_NE(world.health().DeathReason(1).find("injected crash"),
+            std::string::npos);
+}
+
+// A hang produces no exception on the hung rank until peers detect the
+// missing heartbeat; every rank must still come back within the deadline.
+TEST(DetectionTest, HangIsDetectedByHeartbeatTimeout) {
+  const int nd = 3;
+  // 10s hang cap >> test runtime: release comes from the abort cascade.
+  FaultInjector injector(FaultPlan::Parse("hang@1:step#1=10s"), nd);
+  World world(nd);
+  world.SetCommDeadline(std::chrono::milliseconds(50));
+  world.SetFaultHooks(&injector);
+
+  const std::uint64_t t0 = obs::TraceNowNs();
+  const World::RunReport report = world.TryRun([&](RankContext& ctx) {
+    Communicator comm = Communicator::WholeWorld(ctx);
+    comm.FaultPoint("step");  // rank 1 freezes here
+    // Ring exchange: rank 2 waits on rank 1 and must detect the silence.
+    std::vector<float> data(16, 1.0f);
+    comm.AllReduce(std::span<float>(data));
+  });
+  const double elapsed_ms =
+      static_cast<double>(obs::TraceNowNs() - t0) / 1e6;
+
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(world.health().IsDead(1));
+  // Detection must happen via heartbeats, far sooner than the 10s hang
+  // cap (bound is loose for sanitizer builds).
+  EXPECT_LT(elapsed_ms, 5000.0);
+  // The hung rank unwinds with the injected fault once released.
+  EXPECT_TRUE(ErrorIs<InjectedFaultError>(report.errors[1]));
+}
+
+// A dropped message with the peer still alive is a CommTimeoutError
+// (lost message), not a false death declaration.
+TEST(DetectionTest, DroppedMessageSurfacesAsTimeoutNotDeath) {
+  const int nd = 2;
+  FaultInjector injector(FaultPlan::Parse("drop@1#1"), nd);
+  World world(nd);
+  const std::chrono::milliseconds deadline(30);
+  world.SetCommDeadline(deadline);
+  world.SetFaultHooks(&injector);
+
+  const World::RunReport report = world.TryRun([&](RankContext& ctx) {
+    Communicator comm = Communicator::WholeWorld(ctx);
+    std::vector<std::byte> payload(8);
+    if (ctx.rank == 1) {
+      comm.Send(0, std::span<const std::byte>(payload), 1);  // dropped
+      // Stay alive (heartbeating) until the receiver gives up, so the
+      // timeout is attributed to the message, not to us.
+      const std::uint64_t start = obs::TraceNowNs();
+      while (!ctx.world->health().AbortRequested() &&
+             obs::TraceNowNs() - start < 5ull * 1000 * 1000 * 1000) {
+        ctx.world->health().Beat(ctx.rank, obs::TraceNowNs());
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    } else {
+      std::vector<std::byte> got = comm.RecvBytes(1, 1);
+      (void)got;
+    }
+  });
+
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(ErrorIs<CommTimeoutError>(report.errors[0]));
+  EXPECT_FALSE(world.health().IsDead(1));
+}
+
+// A rank that dies outside any mailbox wait must still break peers out
+// of a barrier.
+TEST(DetectionTest, BarrierAbortsWhenPartyDies) {
+  const int nd = 2;
+  World world(nd);
+  world.SetCommDeadline(std::chrono::milliseconds(100));
+
+  const World::RunReport report = world.TryRun([&](RankContext& ctx) {
+    Communicator comm = Communicator::WholeWorld(ctx);
+    if (ctx.rank == 1) {
+      throw InjectedFaultError("simulated rank loss before the barrier");
+    }
+    comm.Barrier();
+  });
+
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(ErrorIs<InjectedFaultError>(report.errors[1]));
+  EXPECT_TRUE(ErrorIs<StepAbortedError>(report.errors[0]));
+}
+
+// Slow-rank injection is non-fatal: the straggler finishes the step.
+TEST(DetectionTest, SlowRankIsOnlyAStraggler) {
+  const int nd = 2;
+  FaultInjector injector(FaultPlan::Parse("slow@0:step=5ms"), nd);
+  World world(nd);
+  world.SetCommDeadline(std::chrono::milliseconds(200));
+  world.SetFaultHooks(&injector);
+
+  const World::RunReport report = world.TryRun([&](RankContext& ctx) {
+    Communicator comm = Communicator::WholeWorld(ctx);
+    comm.FaultPoint("step");
+    std::vector<float> data(32, 1.0f);
+    comm.AllReduce(std::span<float>(data));
+    EXPECT_FLOAT_EQ(data[0], 2.0f);
+  });
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(injector.InjectedCount(FaultKind::kSlow), 1u);
+}
+
+// With no deadline configured, a crash death still propagates through
+// the abort cascade (only silent hangs need heartbeats).
+TEST(DetectionTest, CrashPropagatesWithoutDeadline) {
+  const int nd = 2;
+  FaultInjector injector(FaultPlan::Parse("crash@0:collective#1"), nd);
+  World world(nd);
+  world.SetFaultHooks(&injector);
+
+  const World::RunReport report = world.TryRun([&](RankContext& ctx) {
+    Communicator comm = Communicator::WholeWorld(ctx);
+    std::vector<float> data(32, 1.0f);
+    comm.AllReduce(std::span<float>(data));
+  });
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(ErrorIs<InjectedFaultError>(report.errors[0]));
+  ASSERT_TRUE(report.errors[1] != nullptr);
+  EXPECT_TRUE(comm::IsSecondaryFault(report.errors[1]));
+}
+
+}  // namespace
+}  // namespace zero::fault

@@ -1,0 +1,129 @@
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "fault/injector.hpp"
+
+namespace zero::fault {
+namespace {
+
+TEST(FaultPlanTest, ParsesFullGrammar) {
+  const FaultPlan plan =
+      FaultPlan::Parse("seed=7;crash@1:step#6;drop@0%0.25;slow@2:collective=5ms;"
+                       "delay@3=250us%0.5;dup@1#10;hang@0:barrier");
+  EXPECT_EQ(plan.seed, 7u);
+  ASSERT_EQ(plan.rules.size(), 6u);
+
+  EXPECT_EQ(plan.rules[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(plan.rules[0].rank, 1);
+  EXPECT_EQ(plan.rules[0].site, "step");
+  EXPECT_EQ(plan.rules[0].occurrence, 6u);
+  EXPECT_EQ(plan.rules[0].probability, 1.0);
+
+  EXPECT_EQ(plan.rules[1].kind, FaultKind::kDrop);
+  EXPECT_EQ(plan.rules[1].rank, 0);
+  EXPECT_EQ(plan.rules[1].probability, 0.25);
+
+  EXPECT_EQ(plan.rules[2].kind, FaultKind::kSlow);
+  EXPECT_EQ(plan.rules[2].duration_ns, 5u * 1000 * 1000);
+
+  EXPECT_EQ(plan.rules[3].kind, FaultKind::kDelay);
+  EXPECT_EQ(plan.rules[3].duration_ns, 250u * 1000);
+  EXPECT_EQ(plan.rules[3].probability, 0.5);
+
+  EXPECT_EQ(plan.rules[4].kind, FaultKind::kDup);
+  EXPECT_EQ(plan.rules[4].occurrence, 10u);
+
+  EXPECT_EQ(plan.rules[5].kind, FaultKind::kHang);
+  EXPECT_EQ(plan.rules[5].site, "barrier");
+}
+
+TEST(FaultPlanTest, BareDurationIsMilliseconds) {
+  const FaultPlan plan = FaultPlan::Parse("slow@0=2");
+  EXPECT_EQ(plan.rules[0].duration_ns, 2u * 1000 * 1000);
+}
+
+TEST(FaultPlanTest, EmptySpecYieldsEmptyPlan) {
+  EXPECT_TRUE(FaultPlan::Parse("").empty());
+  EXPECT_TRUE(FaultPlan::Parse("  ;  ").empty());
+}
+
+TEST(FaultPlanTest, SpecRoundTripsThroughToSpec) {
+  const std::string spec = "seed=11;crash@1:step#6;drop@0%0.25";
+  const FaultPlan plan = FaultPlan::Parse(spec);
+  const FaultPlan again = FaultPlan::Parse(plan.ToSpec());
+  EXPECT_EQ(again.seed, plan.seed);
+  ASSERT_EQ(again.rules.size(), plan.rules.size());
+  for (std::size_t i = 0; i < plan.rules.size(); ++i) {
+    EXPECT_EQ(again.rules[i].kind, plan.rules[i].kind);
+    EXPECT_EQ(again.rules[i].rank, plan.rules[i].rank);
+    EXPECT_EQ(again.rules[i].site, plan.rules[i].site);
+    EXPECT_EQ(again.rules[i].occurrence, plan.rules[i].occurrence);
+    EXPECT_EQ(again.rules[i].probability, plan.rules[i].probability);
+    EXPECT_EQ(again.rules[i].duration_ns, plan.rules[i].duration_ns);
+  }
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::Parse("explode@0"), Error);       // unknown kind
+  EXPECT_THROW(FaultPlan::Parse("crash"), Error);           // no rank
+  EXPECT_THROW(FaultPlan::Parse("crash@x"), Error);         // bad rank
+  EXPECT_THROW(FaultPlan::Parse("crash@0%1.5"), Error);     // bad probability
+  EXPECT_THROW(FaultPlan::Parse("slow@0=5lightyears"), Error);  // bad unit
+  EXPECT_THROW(FaultPlan::Parse("drop@0:step"), Error);     // site on send fault
+  EXPECT_THROW(FaultPlan::Parse("seed=abc;crash@0"), Error);
+}
+
+TEST(FaultInjectorTest, ExactOccurrenceFiresExactlyOnce) {
+  FaultInjector injector(FaultPlan::Parse("dup@0#3"), /*world_size=*/2);
+  for (int i = 0; i < 10; ++i) {
+    const comm::FaultSendVerdict v = injector.OnSend(0, 1, 0, 16);
+    EXPECT_EQ(v.duplicates, i == 2 ? 1 : 0) << "send " << i;
+  }
+  EXPECT_EQ(injector.InjectedCount(FaultKind::kDup), 1u);
+}
+
+TEST(FaultInjectorTest, ProbabilityDrawsAreDeterministic) {
+  const FaultPlan plan = FaultPlan::Parse("seed=5;drop@0%0.3");
+  std::vector<bool> first, second;
+  for (int run = 0; run < 2; ++run) {
+    FaultInjector injector(plan, 2);
+    std::vector<bool>& out = run == 0 ? first : second;
+    for (int i = 0; i < 200; ++i) {
+      out.push_back(injector.OnSend(0, 1, 0, 16).drop);
+    }
+  }
+  EXPECT_EQ(first, second);
+  // Roughly 30% of 200 draws should fire; determinism is the real claim,
+  // the bounds only catch an all-or-nothing bug.
+  const std::size_t fired =
+      static_cast<std::size_t>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fired, 30u);
+  EXPECT_LT(fired, 110u);
+}
+
+TEST(FaultInjectorTest, RulesOnlyFireForTheirRank) {
+  FaultInjector injector(FaultPlan::Parse("drop@1"), 2);
+  EXPECT_FALSE(injector.OnSend(0, 1, 0, 16).drop);
+  EXPECT_TRUE(injector.OnSend(1, 0, 0, 16).drop);
+  // Point rules never react to send triggers and vice versa.
+  injector.AtPoint(1, "step");
+  EXPECT_EQ(injector.InjectedCount(FaultKind::kCrash), 0u);
+}
+
+TEST(FaultInjectorTest, CrashRuleThrowsInjectedFaultError) {
+  FaultInjector injector(FaultPlan::Parse("crash@0:step#2"), 1);
+  injector.AtPoint(0, "step");                       // occurrence 1
+  injector.AtPoint(0, "collective");                 // wrong site
+  EXPECT_THROW(injector.AtPoint(0, "step"), InjectedFaultError);
+  EXPECT_GT(injector.FirstLethalNs(), 0u);
+  // Consumed: the same rule does not re-fire after a restart replays.
+  injector.AtPoint(0, "step");
+}
+
+}  // namespace
+}  // namespace zero::fault

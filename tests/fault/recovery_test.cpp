@@ -1,0 +1,232 @@
+// End-to-end recovery: a rank crashes mid-run, the coordinator reforms
+// the world, re-partitions the last elastic checkpoint, and resumes.
+// With the restart-rank policy the replayed trajectory must be
+// BIT-EXACT: the recovered fp32 master parameters (and Adam moments)
+// equal an uninterrupted run's at every ZeRO stage.
+#include "fault/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/world.hpp"
+#include "core/dp_engine.hpp"
+#include "fault/injector.hpp"
+#include "model/quad_model.hpp"
+
+namespace zero::fault {
+namespace {
+
+using comm::Communicator;
+using comm::RankContext;
+using comm::World;
+using core::EngineConfig;
+using core::TrainingState;
+using core::ZeroDpEngine;
+using model::ZeroStage;
+
+constexpr std::int64_t kNumel = 131;  // prime: exercises partition padding
+constexpr int kUnits = 5;
+constexpr int kSteps = 8;
+constexpr int kCheckpointEvery = 2;
+constexpr std::uint64_t kSeed = 42;
+
+model::Batch RankBatch(int rank, int step) {
+  model::Batch b;
+  b.rows = 1;
+  b.cols = 4;
+  for (int i = 0; i < 4; ++i) {
+    b.inputs.push_back(rank * 31 + step * 7 + i);
+    b.targets.push_back(0);
+  }
+  return b;
+}
+
+EngineConfig MakeConfig(ZeroStage stage) {
+  EngineConfig cfg;
+  cfg.stage = stage;
+  cfg.fp16 = true;
+  cfg.loss_scale = 64.0f;  // static: bit-exact replay needs a fixed scale
+  cfg.adam.lr = 0.01f;
+  cfg.bucket_elems = 16;
+  return cfg;
+}
+
+// Runs `steps` uninterrupted at `nd` and returns the final serialized
+// TrainingState.
+std::vector<std::byte> UninterruptedFinalState(ZeroStage stage, int nd) {
+  std::vector<std::byte> final_state;
+  std::mutex mu;
+  World world(nd);
+  world.Run([&](RankContext& ctx) {
+    Communicator dp = Communicator::WholeWorld(ctx);
+    model::QuadModel m(kNumel, kUnits);
+    ZeroDpEngine engine(MakeConfig(stage), m, dp, nullptr, kSeed);
+    for (int s = 0; s < kSteps; ++s) {
+      (void)engine.TrainStep(RankBatch(ctx.rank, s));
+    }
+    TrainingState st = engine.ExportState();
+    if (ctx.rank == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      final_state = st.Serialize();
+    }
+  });
+  return final_state;
+}
+
+// The shared rank body: build the engine, import the resume state if
+// any, skip the already-completed steps, checkpoint every
+// kCheckpointEvery applied steps.
+RecoveryCoordinator::RankBody MakeBody(ZeroStage stage,
+                                       RecoveryCoordinator& coordinator) {
+  return [stage, &coordinator](RankContext& ctx, const AttemptContext& at) {
+    Communicator dp = Communicator::WholeWorld(ctx);
+    model::QuadModel m(kNumel, kUnits);
+    ZeroDpEngine engine(MakeConfig(stage), m, dp, nullptr, kSeed);
+    if (at.resume_state != nullptr) {
+      engine.ImportState(TrainingState::Deserialize(*at.resume_state));
+    }
+    // Data-schedule resync: batches are a pure function of (rank, step),
+    // so resuming at resume_step replays exactly the batches the
+    // uninterrupted run would have consumed.
+    for (int s = static_cast<int>(at.resume_step); s < kSteps; ++s) {
+      (void)engine.TrainStep(RankBatch(ctx.rank, s));
+      if ((s + 1) % kCheckpointEvery == 0) {
+        TrainingState st = engine.ExportState();
+        if (ctx.rank == 0) coordinator.vault().Store(s + 1, st.Serialize());
+      }
+    }
+  };
+}
+
+class RecoveryStageTest : public ::testing::TestWithParam<ZeroStage> {};
+
+TEST_P(RecoveryStageTest, RestartRankRecoveryIsBitExact) {
+  const ZeroStage stage = GetParam();
+  const int nd = 2;
+  const std::vector<std::byte> expected = UninterruptedFinalState(stage, nd);
+
+  // Rank 1 dies entering its 6th step (after 5 applied updates); the
+  // last checkpoint then holds 4 steps, so the replay re-runs steps 4-7.
+  FaultInjector injector(FaultPlan::Parse("crash@1:step#6"), nd);
+  RecoveryOptions opts;
+  opts.world_size = nd;
+  opts.max_attempts = 3;
+  opts.policy = RestartPolicy::kRestartRank;
+  opts.comm_deadline = std::chrono::milliseconds(200);
+  opts.hooks = &injector;
+  RecoveryCoordinator coordinator(opts);
+
+  const RecoveryReport report =
+      coordinator.Train(MakeBody(stage, coordinator));
+
+  ASSERT_TRUE(report.succeeded);
+  EXPECT_EQ(report.attempts, 2);
+  ASSERT_EQ(report.history.size(), 2u);
+  EXPECT_FALSE(report.history[0].ok);
+  EXPECT_EQ(report.history[0].failed_ranks, std::vector<int>{1});
+  EXPECT_EQ(report.history[1].resume_step, 4);
+  EXPECT_TRUE(report.history[1].ok);
+  EXPECT_EQ(report.final_world_size, nd);
+  EXPECT_EQ(injector.InjectedCount(FaultKind::kCrash), 1u);
+
+  ASSERT_EQ(coordinator.vault().LatestStep(), kSteps);
+  EXPECT_EQ(coordinator.vault().LatestBytes(), expected)
+      << "recovered master state diverged from the uninterrupted run";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStages, RecoveryStageTest,
+                         ::testing::Values(ZeroStage::kNone, ZeroStage::kOs,
+                                           ZeroStage::kOsG,
+                                           ZeroStage::kOsGP));
+
+// A crash before the first checkpoint restarts from scratch — still
+// bit-exact, with resume_step 0 on the retry.
+TEST(RecoveryTest, CrashBeforeFirstCheckpointRestartsFromScratch) {
+  const ZeroStage stage = ZeroStage::kOsG;
+  const int nd = 2;
+  const std::vector<std::byte> expected = UninterruptedFinalState(stage, nd);
+
+  FaultInjector injector(FaultPlan::Parse("crash@0:step#1"), nd);
+  RecoveryOptions opts;
+  opts.world_size = nd;
+  opts.max_attempts = 3;
+  opts.comm_deadline = std::chrono::milliseconds(200);
+  opts.hooks = &injector;
+  RecoveryCoordinator coordinator(opts);
+
+  const RecoveryReport report =
+      coordinator.Train(MakeBody(stage, coordinator));
+  ASSERT_TRUE(report.succeeded);
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_EQ(report.history[1].resume_step, 0);
+  EXPECT_EQ(coordinator.vault().LatestBytes(), expected);
+}
+
+// Elastic shrink: the survivors re-partition the checkpoint at Nd' =
+// Nd - 1 and finish the run. The data schedule changes with Nd, so this
+// is equivalence-of-protocol, not bit-exactness.
+TEST(RecoveryTest, ShrinkToSurvivorsFinishesAtSmallerWorld) {
+  const ZeroStage stage = ZeroStage::kOsGP;
+  const int nd = 4;
+
+  FaultInjector injector(FaultPlan::Parse("crash@2:step#4"), nd);
+  RecoveryOptions opts;
+  opts.world_size = nd;
+  opts.max_attempts = 3;
+  opts.policy = RestartPolicy::kShrinkToSurvivors;
+  opts.min_world_size = 2;
+  opts.comm_deadline = std::chrono::milliseconds(200);
+  opts.hooks = &injector;
+  RecoveryCoordinator coordinator(opts);
+
+  const RecoveryReport report =
+      coordinator.Train(MakeBody(stage, coordinator));
+
+  ASSERT_TRUE(report.succeeded);
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_EQ(report.final_world_size, nd - 1);
+  EXPECT_EQ(report.history[1].world_size, nd - 1);
+  EXPECT_EQ(report.history[1].resume_step, 2);  // checkpoints at 2,4,6,8
+  ASSERT_EQ(coordinator.vault().LatestStep(), kSteps);
+
+  // The resumed state is sane: right shape, finite parameters, and the
+  // step clock reflects the full run.
+  const TrainingState final_state =
+      TrainingState::Deserialize(coordinator.vault().LatestBytes());
+  EXPECT_EQ(final_state.step_count, kSteps);
+  for (float v : final_state.master) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+// Budget exhaustion: a crash rule that fires on every attempt leaves a
+// truthful failure report instead of looping forever.
+TEST(RecoveryTest, GivesUpAfterMaxAttempts) {
+  const int nd = 2;
+  // occurrence 0 = every match: rank 0 dies at its first step of every
+  // attempt (the counter keeps matching).
+  FaultInjector injector(FaultPlan::Parse("crash@0:step"), nd);
+  RecoveryOptions opts;
+  opts.world_size = nd;
+  opts.max_attempts = 2;
+  opts.comm_deadline = std::chrono::milliseconds(200);
+  opts.hooks = &injector;
+  RecoveryCoordinator coordinator(opts);
+
+  const RecoveryReport report =
+      coordinator.Train(MakeBody(ZeroStage::kOs, coordinator));
+  EXPECT_FALSE(report.succeeded);
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_EQ(report.failures(), 2);
+  for (const AttemptInfo& a : report.history) {
+    EXPECT_NE(a.error.find("injected crash"), std::string::npos) << a.error;
+  }
+}
+
+}  // namespace
+}  // namespace zero::fault
