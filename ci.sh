@@ -33,6 +33,13 @@ echo "==> bench: fault detection + recovery characterization (release build)"
 # fails if any recovery trial does not complete.
 ./build/bench/fault_recovery BENCH_fault.json
 
+echo "==> bench: stage-3 prefetch overlap gate (release build)"
+# Blocking vs prefetched parameter gathers at lookahead {0,1,2,4}:
+# losses must stay bit-identical and the pipeline must hide a measured
+# fraction of gather latency (comm.overlap_frac); writes
+# BENCH_overlap.json. Same ZERO_BENCH_RELAX=1 escape hatch.
+./build/bench/overlap_step BENCH_overlap.json
+
 echo "==> smoke: 2-rank stage-3 run with telemetry artifacts"
 # End-to-end telemetry check: the run must produce a valid Chrome trace,
 # per-step metrics, and a step report whose measured memory/comm match
@@ -40,7 +47,10 @@ echo "==> smoke: 2-rank stage-3 run with telemetry artifacts"
 # "ok" field is asserted below).
 rm -f build/smoke_trace.json build/smoke_trace.json.metrics.json \
   build/smoke_trace.json.report.json
-ZERO_TRACE=build/smoke_trace.json ./build/examples/train_gpt_mini 3 2 1 3
+# ZERO_PREFETCH=2 exercises the stage-3 prefetch pipeline end to end;
+# the report's paper-equation checks must still pass with it on.
+ZERO_TRACE=build/smoke_trace.json ZERO_PREFETCH=2 \
+  ./build/examples/train_gpt_mini 3 2 1 3
 ./build/bench/trace_validate build/smoke_trace.json
 test -s build/smoke_trace.json.metrics.json
 # Top-level "ok" (indent 2) — the per-check ok fields are indented deeper.

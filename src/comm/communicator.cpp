@@ -220,6 +220,28 @@ bool CommRequest::Test() {
   return true;
 }
 
+void CommRequest::Cancel() {
+  if (!state_ || state_->done) {
+    state_.reset();
+    return;
+  }
+  if (state_->recv) {
+    // Drain a message that already landed so it cannot be mistaken for a
+    // later operation's payload. Tags are never reused, so a message
+    // arriving after this point is simply inert.
+    (void)state_->comm->TryRecvBytes(state_->peer, state_->tag);
+  }
+  state_->out = {};
+  state_->done = true;
+  state_.reset();
+}
+
+std::uint64_t Communicator::BeginCollective(const char* site, int sub_ops) {
+  FaultPoint(site);
+  stats_.collectives += static_cast<std::uint64_t>(sub_ops);
+  return NextSeq();
+}
+
 std::pair<std::size_t, std::size_t> Communicator::ChunkRange(
     std::size_t total, int chunk_index) const {
   const auto p = static_cast<std::size_t>(size());

@@ -143,6 +143,12 @@ class CommRequest {
 
   void Wait();
   [[nodiscard]] bool Test();
+  // Abandons a pending request: a matching message that already arrived
+  // is drained and discarded; one that arrives later rots in the mailbox
+  // under its never-reused tag. The landing buffer is released (safe to
+  // free afterwards) and the request reads as done. Used by the abort /
+  // elastic-resume paths to unwind with operations still in flight.
+  void Cancel();
   [[nodiscard]] bool done() const { return !state_ || state_->done; }
 
  private:
@@ -441,8 +447,33 @@ class Communicator {
   // this many comm-deadline windows with the peer still heartbeating.
   static constexpr int kStallFactor = 8;
 
- private:
+  // ---- nonblocking collective support (nonblocking_collectives.hpp) ----
+  // The chunked collective state machines replay the blocking ring
+  // schedules above as resumable steps, so they need the same tag
+  // arithmetic and ring geometry the blocking templates use.
   static constexpr std::uint64_t kStepStride = 1ull << 20;
+
+  [[nodiscard]] int Next() const { return (rank() + 1) % size(); }
+  [[nodiscard]] int Prev() const { return (rank() + size() - 1) % size(); }
+  [[nodiscard]] int Distance(int from, int to) const {
+    return (to - from + size()) % size();
+  }
+  // Chunk [begin, end) element range for ring step bookkeeping; chunks
+  // are as even as possible (first `rem` chunks one element longer).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> ChunkRange(
+      std::size_t total, int chunk_index) const;
+
+  // Entry point for one nonblocking collective launch: runs the fault
+  // point, counts `sub_ops` collectives in stats, and returns the base
+  // tag sequence (two kStepStride slots, like the blocking collectives).
+  std::uint64_t BeginCollective(const char* site, int sub_ops = 1);
+
+  // Group introspection for topology builders (comm/topology.hpp).
+  [[nodiscard]] const std::vector<int>& members() const { return members_; }
+  [[nodiscard]] RankContext& context() const { return *ctx_; }
+  [[nodiscard]] std::uint64_t group_id() const { return group_id_; }
+
+ private:
   static constexpr std::uint64_t kKindReduce = 1ull << 18;
   static constexpr std::uint64_t kKindScatter = 2ull << 18;
   static constexpr std::uint64_t kKindGather = 3ull << 18;
@@ -453,11 +484,6 @@ class Communicator {
   // collective tags are allocated above it.
   static constexpr std::uint64_t kUserTagLimit = 1ull << 40;
 
-  [[nodiscard]] int Next() const { return (rank() + 1) % size(); }
-  [[nodiscard]] int Prev() const { return (rank() + size() - 1) % size(); }
-  [[nodiscard]] int Distance(int from, int to) const {
-    return (to - from + size()) % size();
-  }
   std::uint64_t NextSeq() {
     // Two stride slots per collective so AllReduce's two phases never
     // collide with the next call's tags.
@@ -472,11 +498,6 @@ class Communicator {
   template <typename T>
   void RingAllGatherInPlace(std::span<T> data, std::uint64_t seq);
   void RingBroadcast(std::span<std::byte> data, int root, std::uint64_t seq);
-
-  // Chunk [begin, end) element range for ring step bookkeeping; chunks
-  // are as even as possible (first `rem` chunks one element longer).
-  [[nodiscard]] std::pair<std::size_t, std::size_t> ChunkRange(
-      std::size_t total, int chunk_index) const;
 
   RankContext* ctx_;
   std::vector<int> members_;

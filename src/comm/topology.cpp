@@ -38,4 +38,53 @@ Communicator GridTopology::MakeDpComm(RankContext& ctx) const {
       kDpGroupBase + static_cast<std::uint64_t>(DpGroupIndex(ctx.rank)));
 }
 
+NodeTopology::NodeTopology(const Communicator& within, int per_node)
+    : ranks_per_node(per_node), members(within.members()),
+      parent_low_(within.group_id() & 0xF) {
+  ZERO_CHECK(per_node >= 1, "ranks_per_node must be positive");
+  ZERO_CHECK(within.size() % per_node == 0,
+             "group size " + std::to_string(within.size()) +
+                 " not divisible by ranks_per_node " +
+                 std::to_string(per_node));
+  nodes = within.size() / per_node;
+}
+
+int NodeTopology::GroupRankOf(int global_rank) const {
+  auto it = std::find(members.begin(), members.end(), global_rank);
+  ZERO_CHECK(it != members.end(),
+             "rank " + std::to_string(global_rank) + " not in sliced group");
+  return static_cast<int>(it - members.begin());
+}
+
+std::vector<int> NodeTopology::LocalMembers(int group_rank) const {
+  const std::size_t base = static_cast<std::size_t>(NodeIndex(group_rank)) *
+                           static_cast<std::size_t>(ranks_per_node);
+  return {members.begin() + static_cast<std::ptrdiff_t>(base),
+          members.begin() +
+              static_cast<std::ptrdiff_t>(base + static_cast<std::size_t>(
+                                                     ranks_per_node))};
+}
+
+std::vector<int> NodeTopology::LeaderMembers() const {
+  std::vector<int> leaders(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    leaders[static_cast<std::size_t>(n)] =
+        members[static_cast<std::size_t>(n * ranks_per_node)];
+  }
+  return leaders;
+}
+
+Communicator NodeTopology::MakeLocalComm(RankContext& ctx) const {
+  const int g = GroupRankOf(ctx.rank);
+  return Communicator(ctx, LocalMembers(g),
+                      kLocalGroupBase + (parent_low_ << 4) +
+                          static_cast<std::uint64_t>(NodeIndex(g) & 0xF));
+}
+
+Communicator NodeTopology::MakeLeadersComm(RankContext& ctx) const {
+  const int g = GroupRankOf(ctx.rank);
+  ZERO_CHECK(IsLeader(g), "only local-rank-0 members join the leaders group");
+  return Communicator(ctx, LeaderMembers(), kLeadersGroupBase + parent_low_);
+}
+
 }  // namespace zero::comm

@@ -39,4 +39,51 @@ struct GridTopology {
   [[nodiscard]] Communicator MakeDpComm(RankContext& ctx) const;
 };
 
+// Node-aware slicing of an existing communicator (the engine's DP group)
+// into "nodes" of `ranks_per_node` consecutive group ranks, for the
+// two-level schedules in comm/hierarchical.hpp: an intra-node local
+// group per block, and one cross-node leaders' group holding each
+// block's first member.
+//
+// SPMD usage mirrors HierarchicalAllReduce's contract: every rank builds
+// its local communicator; only ranks with IsLeader() true may build the
+// leaders' communicator.
+struct NodeTopology {
+  // `within` supplies the member list being sliced; its size must divide
+  // evenly by ranks_per_node.
+  NodeTopology(const Communicator& within, int ranks_per_node);
+
+  int ranks_per_node = 1;
+  int nodes = 1;
+  std::vector<int> members;  // parent group's global ranks, in group order
+
+  // Group-id bases; disjoint from the MP/DP grid bases above. Local
+  // groups of different parents may alias ids, which is harmless: their
+  // member sets are disjoint, and mailbox matching is (source, tag).
+  static constexpr std::uint64_t kLocalGroupBase = 0x300;
+  static constexpr std::uint64_t kLeadersGroupBase = 0x400;
+
+  [[nodiscard]] int NodeIndex(int group_rank) const {
+    return group_rank / ranks_per_node;
+  }
+  [[nodiscard]] int LocalRank(int group_rank) const {
+    return group_rank % ranks_per_node;
+  }
+  [[nodiscard]] bool IsLeader(int group_rank) const {
+    return LocalRank(group_rank) == 0;
+  }
+
+  [[nodiscard]] std::vector<int> LocalMembers(int group_rank) const;
+  [[nodiscard]] std::vector<int> LeaderMembers() const;
+
+  // The calling rank's intra-node group.
+  [[nodiscard]] Communicator MakeLocalComm(RankContext& ctx) const;
+  // The cross-node leaders' group; caller must be a leader.
+  [[nodiscard]] Communicator MakeLeadersComm(RankContext& ctx) const;
+
+ private:
+  [[nodiscard]] int GroupRankOf(int global_rank) const;
+  std::uint64_t parent_low_ = 0;  // parent group id, folded into new ids
+};
+
 }  // namespace zero::comm

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "comm/topology.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/kernels.hpp"
@@ -55,6 +56,19 @@ void ZeroDpEngine::InitState(std::uint64_t seed) {
   ctx_.dp = dp_;
   ctx_.device = device_;
   ctx_.part = &part_;
+  if (cfg_.hierarchical_comm && cfg_.ranks_per_node > 1 && nd() > 1 &&
+      !cfg_.exact_reductions) {
+    // Slice the DP group into node-sized blocks for the two-level
+    // gradient all-reduce (exact_reductions keeps the rank-ordered flat
+    // schedule — hierarchical bracketing differs from it).
+    comm::NodeTopology topo(*dp_, cfg_.ranks_per_node);
+    local_comm_.emplace(topo.MakeLocalComm(dp_->context()));
+    if (topo.IsLeader(rank())) {
+      leaders_comm_.emplace(topo.MakeLeadersComm(dp_->context()));
+    }
+    ctx_.local = &*local_comm_;
+    ctx_.leaders = leaders_comm_.has_value() ? &*leaders_comm_ : nullptr;
+  }
   strategy_ = MakeStageStrategy(ctx_);
   strategy_->InitParams(init);
 
@@ -305,6 +319,12 @@ TrainingState ZeroDpEngine::ExportState() {
   state.total_numel = part_.total();
   state.step_count = opt_->step_count();
   state.loss_scale = current_loss_scale();
+  if (scaler_.has_value()) {
+    const optim::DynamicLossScaler::State s = scaler_->Export();
+    state.scaler_steps_since_backoff = s.steps_since_backoff;
+    state.scaler_skipped = s.skipped;
+    state.scaler_good = s.good;
+  }
 
   const std::size_t total = static_cast<std::size_t>(part_.total());
   const std::size_t padded = static_cast<std::size_t>(part_.padded_total());
@@ -367,10 +387,13 @@ void ZeroDpEngine::ImportState(const TrainingState& state) {
   if (acc_.defined()) acc_.FillZero();
   micro_ = 0;
   if (scaler_.has_value()) {
-    optim::DynamicLossScaler::Config cfg = cfg_.scaler;
-    cfg.init_scale = std::min(std::max(state.loss_scale, cfg.min_scale),
-                              cfg.max_scale);
-    scaler_.emplace(cfg);
+    // Resume the full control loop, not just the scale: the growth
+    // countdown must pick up exactly where the checkpoint left it or
+    // the next doubling lands on a different step.
+    scaler_.emplace(cfg_.scaler);
+    scaler_->Restore({state.loss_scale, state.scaler_steps_since_backoff,
+                      state.scaler_skipped, state.scaler_good});
+    skipped_ = state.scaler_skipped;
   }
 }
 

@@ -148,6 +148,12 @@ class ZeroDpEngine final : public model::ParamProvider, public model::GradSink {
   Partitioner part_;
   std::int64_t steps_ = 0;
 
+  // Node-aware slices of the DP group (EngineConfig::hierarchical_comm):
+  // this rank's intra-node block, plus the cross-node leaders' group on
+  // local-rank-0 members.
+  std::optional<comm::Communicator> local_comm_;
+  std::optional<comm::Communicator> leaders_comm_;
+
   // Per-stage behavior: parameter residency, gradient path, reduction.
   StageContext ctx_;
   std::unique_ptr<StageStrategy> strategy_;

@@ -2,6 +2,7 @@
 // dp_engine.hpp and the per-stage strategies in stages/).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -47,6 +48,32 @@ struct EngineConfig {
   // rank_threads x workers never exceeds the hardware thread count.
   int intra_op_workers = 0;
   optim::AdamConfig adam;
+
+  // ---- communication / compute overlap (stage 3) ----
+  // Number of schedule-ahead parameter units kept in flight by the
+  // ParamPrefetcher (core/stages/param_prefetcher.hpp): AcquireUnit
+  // completes an already-launched nonblocking gather instead of issuing
+  // a cold blocking broadcast. 0 (default) keeps the blocking path. The
+  // prefetched path is bit-exact vs blocking. Env ZERO_PREFETCH applies
+  // when this is 0.
+  int prefetch_lookahead = 0;
+  // Device-memory budget for in-flight prefetched units, in bytes. 0
+  // derives the budget from the group-wide minimum free device memory;
+  // lookahead degrades toward blocking when the budget is tight.
+  std::size_t prefetch_max_bytes = 0;
+
+  // ---- topology-aware collectives ----
+  // Two-level gradient all-reduce (comm/hierarchical.hpp): ring-reduce
+  // inside each block of `ranks_per_node` consecutive DP ranks, then
+  // across block leaders. Applies to the full-gradient all-reduce of the
+  // stage-0 baseline; partitioned stages already reduce shard-wise.
+  // Different bracketing than the flat ring, so NOT bit-exact vs flat
+  // (and ignored when exact_reductions is set).
+  bool hierarchical_comm = false;
+  // DP-group ranks per "node" block; must divide the DP degree. <= 1
+  // means flat.
+  int ranks_per_node = 1;
+
   // Runtime telemetry: tracing/metrics/step-report switches for the run.
   // TelemetryOptions::FromEnv() honors ZERO_TRACE; spans are compiled in
   // regardless and cost ~a relaxed atomic load while disabled.

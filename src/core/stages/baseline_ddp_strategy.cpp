@@ -17,13 +17,14 @@ void BaselineDdpStrategy::EmitUnitGrad(int u, std::span<const float> grad) {
 void BaselineDdpStrategy::ReduceGradients() {
   CheckUnitsReleased();
   TRACE_SPAN("grads/all_reduce");
-  // All-reduce full gradients in place.
+  // All-reduce full gradients in place (node-aware two-level schedule
+  // when hierarchical comm is configured).
   if (ctx_->cfg->fp16) {
-    ctx_->dp->AllReduce(grads_.f16(), comm::ReduceOp::kSum);
+    ctx_->AllReduceGradSum(grads_.f16());
   } else if (ctx_->cfg->exact_reductions) {
     ctx_->ExactAllReduceSum(grads_.f32());
   } else {
-    ctx_->dp->AllReduce(grads_.f32(), comm::ReduceOp::kSum);
+    ctx_->AllReduceGradSum(grads_.f32());
   }
 }
 

@@ -219,6 +219,12 @@ void GradBucketizer::Drain() {
 }
 
 void GradBucketizer::Reset() {
+  if (pending_.has_value()) {
+    // Cancel before dropping: a chunk that already arrived is drained so
+    // it cannot be mistaken for a later step's payload, and the staging
+    // buffers are released from the requests before they die.
+    for (comm::CommRequest& r : pending_->requests) r.Cancel();
+  }
   segments_.clear();
   pending_.reset();
   emit_frontier_ = 0;

@@ -28,6 +28,9 @@ void PosGPStrategy::InitParams(std::span<const float> padded_init) {
   grads_ = ctx_->NewDevice(shard, ctx_->work_dtype());
   grads_.FillZero();
   bucketizer_.emplace(*ctx_, &grads_);
+  if (ctx_->cfg->prefetch_lookahead > 0) {
+    prefetcher_.emplace(*ctx_, &params_);
+  }
 }
 
 std::span<const float> PosGPStrategy::AcquireUnit(int u, Phase phase) {
@@ -35,13 +38,27 @@ std::span<const float> PosGPStrategy::AcquireUnit(int u, Phase phase) {
   const auto [ub, ue] = ctx_->model->layout().UnitRange(u);
   const std::int64_t n = ue - ub;
 
-  // Materialize the unit from its partition owners, on demand.
+  // Materialize the unit from its partition owners: complete the
+  // prefetched gather when the look-ahead pipeline covers this
+  // materialization, otherwise broadcast on demand.
   MaterializedUnit& mu = units_[u];
   if (mu.refcount == 0) {
     TRACE_SPAN("params/materialize_unit");
     static obs::Counter& materializations =
         obs::Metrics().counter("stage3.unit_materializations");
     materializations.Add();
+    if (prefetcher_.has_value() && ctx_->cfg->fp16 &&
+        prefetcher_->Claim(u, &mu.f16, nullptr)) {
+      mu.f32.resize(static_cast<std::size_t>(n));
+      tensor::CastHalfToFloat(mu.f16.f16().data(), mu.f32.data(), n);
+      ++mu.refcount;
+      return mu.f32;
+    }
+    if (prefetcher_.has_value() && !ctx_->cfg->fp16 &&
+        prefetcher_->Claim(u, nullptr, &mu.f32)) {
+      ++mu.refcount;
+      return mu.f32;
+    }
     const Range unit_range{ub, ue};
     const Range own = ctx_->part->PartitionRange(ctx_->rank());
     if (ctx_->cfg->fp16) {
@@ -72,6 +89,9 @@ std::span<const float> PosGPStrategy::AcquireUnit(int u, Phase phase) {
         ctx_->dp->Broadcast(dst, j);
       }
     }
+    if (prefetcher_.has_value()) prefetcher_->Record(u);
+  } else if (prefetcher_.has_value()) {
+    prefetcher_->Progress();
   }
   ++mu.refcount;
   return mu.f32;
@@ -79,6 +99,7 @@ std::span<const float> PosGPStrategy::AcquireUnit(int u, Phase phase) {
 
 void PosGPStrategy::ReleaseUnit(int u, Phase phase) {
   (void)phase;
+  if (prefetcher_.has_value()) prefetcher_->Progress();
   auto it = units_.find(u);
   ZERO_CHECK(it != units_.end(), "ReleaseUnit without matching AcquireUnit");
   ZERO_CHECK(it->second.refcount > 0, "ReleaseUnit refcount underflow");
@@ -95,6 +116,7 @@ void PosGPStrategy::ReduceGradients() {
   // Gradients were already reduced to their owners during backward; wait
   // out whatever is still in flight and verify full coverage.
   bucketizer_->Drain();
+  if (prefetcher_.has_value()) prefetcher_->OnStepEnd();
 }
 
 void PosGPStrategy::ImportMasterParams(std::span<const float> padded_master) {
@@ -103,6 +125,7 @@ void PosGPStrategy::ImportMasterParams(std::span<const float> padded_master) {
 
 void PosGPStrategy::ResetInFlight() {
   bucketizer_->Reset();
+  if (prefetcher_.has_value()) prefetcher_->CancelAll();
   grads_.FillZero();
   units_.clear();
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/stages/grad_bucketizer.hpp"
+#include "core/stages/param_prefetcher.hpp"
 #include "core/stages/stage_strategy.hpp"
 
 namespace zero::core {
@@ -25,8 +26,14 @@ class PosGPStrategy final : public StageStrategy {
   void InitParams(std::span<const float> padded_init) override;
   std::span<const float> AcquireUnit(int u, model::Phase phase) override;
   void ReleaseUnit(int u, model::Phase phase) override;
-  void OnStepBegin() override { bucketizer_->BeginStep(); }
+  void OnStepBegin() override {
+    bucketizer_->BeginStep();
+    if (prefetcher_.has_value()) prefetcher_->OnStepBegin();
+  }
   void EmitUnitGrad(int u, std::span<const float> grad) override {
+    // Drive in-flight prefetched gathers from the backward compute path
+    // (ring chunks forward while this rank is busy with gradients).
+    if (prefetcher_.has_value()) prefetcher_->Progress();
     bucketizer_->Emit(u, grad);
   }
   void ReduceGradients() override;
@@ -58,6 +65,9 @@ class PosGPStrategy final : public StageStrategy {
   tensor::Tensor params_;  // this rank's partition (1/Nd)
   tensor::Tensor grads_;   // this rank's reduced partition (1/Nd)
   std::optional<GradBucketizer> bucketizer_;
+  // Look-ahead gather pipeline (EngineConfig::prefetch_lookahead > 0);
+  // bit-exact vs the blocking materialization below.
+  std::optional<ParamPrefetcher> prefetcher_;
   std::map<int, MaterializedUnit> units_;
 };
 

@@ -30,6 +30,7 @@
 
 #include "alloc/caching_allocator.hpp"
 #include "comm/communicator.hpp"
+#include "comm/hierarchical.hpp"
 #include "core/engine_config.hpp"
 #include "core/partition.hpp"
 #include "model/flat_model.hpp"
@@ -43,6 +44,11 @@ struct StageContext {
   const EngineConfig* cfg = nullptr;
   model::FlatParamModel* model = nullptr;
   comm::Communicator* dp = nullptr;
+  // Topology-aware slices of `dp` (EngineConfig::hierarchical_comm):
+  // the intra-node block, plus the cross-node leaders' group on
+  // local-rank-0 members only. Null when hierarchical comm is off.
+  comm::Communicator* local = nullptr;
+  comm::Communicator* leaders = nullptr;
   alloc::CachingAllocator* device = nullptr;  // null => heap-backed state
   const Partitioner* part = nullptr;
   // Loss scale applied to fp16 gradient emission; the orchestrator
@@ -67,6 +73,20 @@ struct StageContext {
   // so every stage produces bit-identical sums.
   void ExactReduceToRoot(std::span<float> data, int root);
   void ExactAllReduceSum(std::span<float> data);
+
+  // Full-gradient sum all-reduce, routed through the two-level node-
+  // aware schedule when hierarchical comm is configured (stage-0
+  // baseline path; different bracketing than the flat ring, so only
+  // taken when exactness vs flat is not required).
+  template <typename T>
+  void AllReduceGradSum(std::span<T> data) {
+    if (local != nullptr) {
+      comm::HierarchicalAllReduce(*local, leaders, data,
+                                  comm::ReduceOp::kSum);
+    } else {
+      dp->AllReduce(data, comm::ReduceOp::kSum);
+    }
+  }
 };
 
 class StageStrategy {

@@ -1,5 +1,6 @@
 #include "core/state_checkpoint.hpp"
 
+#include <cstddef>
 #include <cstring>
 #include <fstream>
 
@@ -10,7 +11,11 @@ namespace zero::core {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x5A45524F434B5054ull;  // "ZEROCKPT"
-constexpr std::uint32_t kVersion = 1;
+// v2 extends the header with the dynamic loss scaler's full control
+// loop; v1 checkpoints (40-byte header) still load with those fields
+// defaulted to a freshly-backed-off scaler.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::size_t kV1HeaderBytes = 40;
 
 struct Header {
   std::uint64_t magic = kMagic;
@@ -20,8 +25,15 @@ struct Header {
   std::int64_t step_count = 0;
   float loss_scale = 1.0f;
   float pad = 0.0f;
+  // --- v2 fields (absent from v1 files) ---
+  std::int32_t scaler_steps_since_backoff = 0;
+  std::int32_t pad2 = 0;
+  std::int64_t scaler_skipped = 0;
+  std::int64_t scaler_good = 0;
 };
-static_assert(sizeof(Header) == 40, "header layout must stay stable");
+static_assert(sizeof(Header) == 64, "header layout must stay stable");
+static_assert(offsetof(Header, scaler_steps_since_backoff) == kV1HeaderBytes,
+              "v2 fields must start exactly where the v1 header ended");
 
 }  // namespace
 
@@ -34,6 +46,9 @@ std::vector<std::byte> TrainingState::Serialize() const {
   header.total_numel = total_numel;
   header.step_count = step_count;
   header.loss_scale = loss_scale;
+  header.scaler_steps_since_backoff = scaler_steps_since_backoff;
+  header.scaler_skipped = scaler_skipped;
+  header.scaler_good = scaler_good;
 
   const std::size_t array_bytes = master.size() * sizeof(float);
   std::vector<std::byte> out(sizeof(Header) + 3 * array_bytes);
@@ -49,26 +64,36 @@ std::vector<std::byte> TrainingState::Serialize() const {
 }
 
 TrainingState TrainingState::Deserialize(std::span<const std::byte> bytes) {
-  ZERO_CHECK(bytes.size() >= sizeof(Header), "checkpoint truncated");
+  ZERO_CHECK(bytes.size() >= kV1HeaderBytes, "checkpoint truncated");
   Header header;
-  std::memcpy(&header, bytes.data(), sizeof(Header));
+  std::memcpy(&header, bytes.data(), kV1HeaderBytes);
   ZERO_CHECK(header.magic == kMagic, "not a ZeRO checkpoint");
-  ZERO_CHECK(header.version == kVersion, "unsupported checkpoint version");
+  ZERO_CHECK(header.version == 1 || header.version == kVersion,
+             "unsupported checkpoint version");
   ZERO_CHECK(header.total_numel >= 0, "corrupt checkpoint header");
+  const std::size_t header_bytes =
+      header.version == 1 ? kV1HeaderBytes : sizeof(Header);
+  ZERO_CHECK(bytes.size() >= header_bytes, "checkpoint truncated");
+  if (header.version == kVersion) {
+    std::memcpy(&header, bytes.data(), sizeof(Header));
+  }
 
   const std::size_t array_bytes =
       static_cast<std::size_t>(header.total_numel) * sizeof(float);
-  ZERO_CHECK(bytes.size() == sizeof(Header) + 3 * array_bytes,
+  ZERO_CHECK(bytes.size() == header_bytes + 3 * array_bytes,
              "checkpoint size does not match its header");
 
   TrainingState state;
   state.total_numel = header.total_numel;
   state.step_count = header.step_count;
   state.loss_scale = header.loss_scale;
+  state.scaler_steps_since_backoff = header.scaler_steps_since_backoff;
+  state.scaler_skipped = header.scaler_skipped;
+  state.scaler_good = header.scaler_good;
   state.master.resize(static_cast<std::size_t>(header.total_numel));
   state.momentum.resize(state.master.size());
   state.variance.resize(state.master.size());
-  const std::byte* p = bytes.data() + sizeof(Header);
+  const std::byte* p = bytes.data() + header_bytes;
   std::memcpy(state.master.data(), p, array_bytes);
   p += array_bytes;
   std::memcpy(state.momentum.data(), p, array_bytes);

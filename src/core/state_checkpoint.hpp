@@ -24,6 +24,12 @@ struct TrainingState {
   std::int64_t total_numel = 0;
   std::int64_t step_count = 0;    // Adam's bias-correction clock
   float loss_scale = 1.0f;        // dynamic scaler position (fp16 runs)
+  // Rest of the dynamic scaler's control loop (v2 checkpoints): without
+  // the growth countdown, a resumed run re-doubles the scale at the
+  // wrong step and its fp16 trajectory diverges from the original.
+  std::int32_t scaler_steps_since_backoff = 0;
+  std::int64_t scaler_skipped = 0;
+  std::int64_t scaler_good = 0;
   std::vector<float> master;
   std::vector<float> momentum;
   std::vector<float> variance;

@@ -68,6 +68,15 @@ TrainResult TrainGpt(const TrainOptions& options) {
     world.SetCommDeadline(std::chrono::milliseconds(deadline_ms));
   }
 
+  // Stage-3 parameter prefetch: explicit config wins over ZERO_PREFETCH.
+  EngineConfig engine_cfg = options.engine;
+  if (engine_cfg.prefetch_lookahead == 0) {
+    if (const char* env = std::getenv("ZERO_PREFETCH")) {
+      engine_cfg.prefetch_lookahead =
+          static_cast<int>(std::strtol(env, nullptr, 10));
+    }
+  }
+
   // Telemetry: explicit config wins; otherwise ZERO_TRACE activates it.
   obs::TelemetryOptions telemetry = options.engine.telemetry;
   telemetry.ResolvePaths();
@@ -86,6 +95,7 @@ TrainResult TrainGpt(const TrainOptions& options) {
   // Rank-0 measurements feeding the step report, captured inside Run.
   double measured_state_bytes = 0;
   double measured_comm_bytes = 0;
+  double measured_overlap_frac = -1.0;  // -1 = prefetch off
   int comm_steps_measured = 0;
   std::vector<std::string> step_metric_snapshots;
 
@@ -139,7 +149,7 @@ TrainResult TrainGpt(const TrainOptions& options) {
           options.zero_r.activation_checkpointing;
       model::GptModel gpt(model_cfg, session);
 
-      ZeroDpEngine engine(options.engine, gpt, dp, &cache, options.seed);
+      ZeroDpEngine engine(engine_cfg, gpt, dp, &cache, options.seed);
 
       // One shared language (table seed); each DP column reads its own
       // shard (stream seed). MP ranks in a column must see identical
@@ -207,6 +217,10 @@ TrainResult TrainGpt(const TrainOptions& options) {
             static_cast<double>(metrics.model_states.total());
         measured_comm_bytes =
             static_cast<double>(dp_delta.Delta().bytes_sent);
+        if (engine_cfg.prefetch_lookahead > 0) {
+          measured_overlap_frac =
+              obs::Metrics().gauge("comm.overlap_frac").value();
+        }
         comm_steps_measured = steps_measured;
         step_metric_snapshots = std::move(local_snapshots);
       }
@@ -294,6 +308,7 @@ TrainResult TrainGpt(const TrainOptions& options) {
       in.measured_state_bytes = measured_state_bytes;
       in.measured_comm_bytes = measured_comm_bytes;
       in.steps = comm_steps_measured;
+      in.overlap_frac = measured_overlap_frac;
       obs::StepReport report = obs::BuildStepReport(in);
       if (telemetry.validate) {
         ZLOG_INFO << "step report: " << report.Summary();

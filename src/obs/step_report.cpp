@@ -126,6 +126,7 @@ std::string StepReport::ToJson() const {
   in.Set("padded_psi", json::Value(inputs.padded_psi));
   in.Set("steps", json::Value(static_cast<std::int64_t>(inputs.steps)));
   in.Set("tolerance", json::Value(inputs.tolerance));
+  in.Set("overlap_frac", json::Value(inputs.overlap_frac));
 
   json::Value mem = json::Value::MakeObject();
   mem.Set("measured_bytes", json::Value(memory.measured_bytes));

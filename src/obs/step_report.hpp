@@ -56,6 +56,10 @@ struct StepReportInputs {
   double measured_comm_bytes = 0;
   int steps = 1;
   double tolerance = 0.10;  // relative error allowed before divergence
+  // Fraction of stage-3 gather time hidden behind compute by the
+  // parameter prefetcher (metrics gauge comm.overlap_frac); -1 when
+  // prefetch was off. Informational — never a divergence.
+  double overlap_frac = -1.0;
 };
 
 struct StepReport {

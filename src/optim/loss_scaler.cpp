@@ -39,4 +39,18 @@ bool DynamicLossScaler::Update(bool found_overflow) {
   return true;
 }
 
+DynamicLossScaler::State DynamicLossScaler::Export() const {
+  return State{scale_, steps_since_backoff_, skipped_, good_};
+}
+
+void DynamicLossScaler::Restore(const State& state) {
+  ZERO_CHECK(state.steps_since_backoff >= 0 && state.skipped >= 0 &&
+                 state.good >= 0,
+             "corrupt loss-scaler state");
+  scale_ = std::clamp(state.scale, config_.min_scale, config_.max_scale);
+  steps_since_backoff_ = state.steps_since_backoff;
+  skipped_ = state.skipped;
+  good_ = state.good;
+}
+
 }  // namespace zero::optim

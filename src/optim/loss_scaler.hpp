@@ -39,6 +39,20 @@ class DynamicLossScaler {
   [[nodiscard]] std::int64_t skipped_steps() const { return skipped_; }
   [[nodiscard]] std::int64_t good_steps() const { return good_; }
 
+  // Full control-loop position, for checkpointing: restoring it resumes
+  // the growth countdown exactly where the saved run left off (the
+  // scale alone is not enough — a reset growth counter delays the next
+  // doubling and diverges the fp16 trajectory).
+  struct State {
+    float scale = 1.0f;
+    int steps_since_backoff = 0;
+    std::int64_t skipped = 0;
+    std::int64_t good = 0;
+  };
+  [[nodiscard]] State Export() const;
+  // Adopts `state` verbatim (scale clamped into [min_scale, max_scale]).
+  void Restore(const State& state);
+
  private:
   Config config_;
   float scale_;

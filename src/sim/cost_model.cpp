@@ -63,6 +63,15 @@ ThroughputEstimate EstimateThroughput(const ClusterSpec& cluster,
       elem_bytes = 4.0;
       if (mp == 1) overlap = 0.0;
     }
+    if (job.stage == model::ZeroStage::kOsGP) {
+      // Stage 3's 3 Psi splits into 2 Psi gradient traffic (hidden by
+      // the bucketizer) and 1 Psi parameter broadcasts, hidden only as
+      // far as the prefetcher keeps gathers in flight: lookahead >= 2
+      // pipelines them fully, 0 exposes them cold at every unit.
+      const double hidden =
+          std::min(1.0, static_cast<double>(job.prefetch_lookahead) / 2.0);
+      overlap *= (2.0 + hidden) / 3.0;
+    }
     const double volume = volume_factor * elem_bytes * job.psi_local();
     dp_time = volume / cluster.DpBandwidth();
   }

@@ -18,6 +18,10 @@ struct JobConfig {
   bool pa_cpu = false;           // + host offload
   bool constant_buffers = true;  // CB
   bool defrag = true;            // MD
+  // Stage-3 parameter-gather look-ahead (Sec 7.2.2's pipelining). 2+
+  // hides the extra 1 Psi broadcast traffic behind compute; 0 exposes
+  // it. Mirrors EngineConfig::prefetch_lookahead.
+  int prefetch_lookahead = 2;
 
   [[nodiscard]] int dp() const { return gpus / mp; }
   [[nodiscard]] std::int64_t psi() const { return model.NumParameters(); }

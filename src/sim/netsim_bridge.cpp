@@ -64,7 +64,14 @@ ThroughputEstimate EstimateThroughputSimulatedNetwork(
       dp_time *= 1.5;  // Sec 7.2.2: 3 Psi instead of 2 Psi
     }
   }
-  out.dp_comm_s = std::max(0.0, dp_time - cluster.dp_overlap * out.compute_s);
+  double dp_overlap = cluster.dp_overlap;
+  if (nd > 1 && job.stage == model::ZeroStage::kOsGP) {
+    // Same prefetch-depth split as the analytic model (cost_model.cpp).
+    const double hidden =
+        std::min(1.0, static_cast<double>(job.prefetch_lookahead) / 2.0);
+    dp_overlap *= (2.0 + hidden) / 3.0;
+  }
+  out.dp_comm_s = std::max(0.0, dp_time - dp_overlap * out.compute_s);
 
   // --- Pa+cpu host transfers: identical to the analytic model ---
   double offload_time = 0;

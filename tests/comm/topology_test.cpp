@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
+#include "comm/hierarchical.hpp"
+#include "comm/world.hpp"
 #include "common/error.hpp"
 
 namespace zero::comm {
@@ -56,6 +60,76 @@ TEST(TopologyTest, CommunicatorsWorkOverGrid) {
     dp.AllReduce(std::span<float>(w), ReduceOp::kSum);
     // Columns: {0,2} -> 2, {1,3} -> 4.
     EXPECT_EQ(w[0], ctx.rank % 2 == 0 ? 2.0f : 4.0f);
+  });
+}
+
+TEST(NodeTopologyTest, ShapesAndMembership) {
+  World world(8);
+  world.Run([&](RankContext& ctx) {
+    Communicator dp = Communicator::WholeWorld(ctx);
+    NodeTopology topo(dp, 4);
+    EXPECT_EQ(topo.nodes, 2);
+    EXPECT_EQ(topo.ranks_per_node, 4);
+    EXPECT_EQ(topo.NodeIndex(5), 1);
+    EXPECT_EQ(topo.LocalRank(5), 1);
+    EXPECT_TRUE(topo.IsLeader(4));
+    EXPECT_FALSE(topo.IsLeader(5));
+    EXPECT_EQ(topo.LocalMembers(6), (std::vector<int>{4, 5, 6, 7}));
+    EXPECT_EQ(topo.LeaderMembers(), (std::vector<int>{0, 4}));
+  });
+}
+
+TEST(NodeTopologyTest, RejectsIndivisibleNodeSize) {
+  World world(4);
+  world.Run([&](RankContext& ctx) {
+    Communicator dp = Communicator::WholeWorld(ctx);
+    EXPECT_THROW(NodeTopology(dp, 3), Error);
+    EXPECT_THROW(NodeTopology(dp, 0), Error);
+  });
+}
+
+TEST(NodeTopologyTest, HierarchicalAllReduceOverSlicedComms) {
+  // 2 nodes x 2 ranks: local reduce-scatter, leaders all-reduce, local
+  // all-gather must equal the flat sum.
+  World world(4);
+  world.Run([&](RankContext& ctx) {
+    Communicator dp = Communicator::WholeWorld(ctx);
+    NodeTopology topo(dp, 2);
+    Communicator local = topo.MakeLocalComm(ctx);
+    std::optional<Communicator> leaders;
+    if (topo.IsLeader(dp.rank())) leaders.emplace(topo.MakeLeadersComm(ctx));
+    std::vector<float> v(6);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = static_cast<float>(ctx.rank * 10 + static_cast<int>(i));
+    }
+    HierarchicalAllReduce(local, leaders.has_value() ? &*leaders : nullptr,
+                          std::span<float>(v), ReduceOp::kSum);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      // Sum over ranks 0..3 of (r*10 + i) = 60 + 4i.
+      EXPECT_EQ(v[i], 60.0f + 4.0f * static_cast<float>(i));
+    }
+  });
+}
+
+TEST(NodeTopologyTest, SlicesOfSubgroupCommunicator) {
+  // NodeTopology over a non-whole-world parent: split 8 ranks into two
+  // 4-rank halves, then 2-rank nodes within each half.
+  World world(8);
+  world.Run([&](RankContext& ctx) {
+    Communicator dp = Communicator::WholeWorld(ctx);
+    std::vector<int> half;
+    const int base = ctx.rank < 4 ? 0 : 4;
+    for (int i = 0; i < 4; ++i) half.push_back(base + i);
+    Communicator sub(ctx, half, /*group_id=*/ctx.rank < 4 ? 1 : 2);
+    NodeTopology topo(sub, 2);
+    Communicator local = topo.MakeLocalComm(ctx);
+    std::optional<Communicator> leaders;
+    if (topo.IsLeader(sub.rank())) leaders.emplace(topo.MakeLeadersComm(ctx));
+    std::vector<float> v{static_cast<float>(ctx.rank)};
+    HierarchicalAllReduce(local, leaders.has_value() ? &*leaders : nullptr,
+                          std::span<float>(v), ReduceOp::kSum);
+    // Each half sums its own ranks: 0+1+2+3=6, 4+5+6+7=22.
+    EXPECT_EQ(v[0], ctx.rank < 4 ? 6.0f : 22.0f);
   });
 }
 

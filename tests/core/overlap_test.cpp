@@ -1,0 +1,273 @@
+// Stage-3 parameter prefetch (core/stages/param_prefetcher.hpp) must be
+// a pure latency optimization: every trajectory it produces — losses,
+// fp16 parameters, fp32 master state — must be bit-identical to the
+// blocking broadcast-on-demand path at every lookahead depth, in every
+// precision mode, under accumulation, and when the memory budget forces
+// it back to blocking.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "comm/world.hpp"
+#include "core/dp_engine.hpp"
+#include "model/checkpoint_store.hpp"
+#include "model/gpt.hpp"
+#include "model/quad_model.hpp"
+#include "obs/metrics.hpp"
+
+namespace zero::core {
+namespace {
+
+using model::Batch;
+using model::ZeroStage;
+
+Batch RankBatch(int rank, int step) {
+  Batch b;
+  b.rows = 1;
+  b.cols = 4;
+  for (int i = 0; i < 4; ++i) {
+    b.inputs.push_back(rank * 31 + step * 7 + i);
+    b.targets.push_back(0);
+  }
+  return b;
+}
+
+struct Trajectory {
+  std::vector<float> losses;   // rank 0's per-step losses
+  TrainingState state;         // reassembled full training state
+  friend bool operator==(const Trajectory&, const Trajectory&) = default;
+};
+
+// Runs `steps` training steps on an nd-rank world and returns rank 0's
+// loss sequence plus the exported (Nd-independent) training state.
+Trajectory RunTraining(EngineConfig cfg, int nd, int steps,
+                       std::int64_t numel, int units, std::uint64_t seed) {
+  Trajectory out;
+  comm::World world(nd);
+  world.Run([&](comm::RankContext& ctx) {
+    comm::Communicator dp = comm::Communicator::WholeWorld(ctx);
+    model::QuadModel m(numel, units);
+    ZeroDpEngine engine(cfg, m, dp, nullptr, seed);
+    std::vector<float> losses;
+    for (int step = 0; step < steps; ++step) {
+      losses.push_back(engine.TrainStep(RankBatch(ctx.rank, step)));
+    }
+    TrainingState state = engine.ExportState();
+    if (ctx.rank == 0) {
+      out.losses = std::move(losses);
+      out.state = std::move(state);
+    }
+  });
+  return out;
+}
+
+class PrefetchLookaheadTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefetchLookaheadTest, Stage3Fp16BitExactVsBlocking) {
+  const int lookahead = GetParam();
+  EngineConfig cfg;
+  cfg.stage = ZeroStage::kOsGP;
+  cfg.fp16 = true;
+  cfg.bucket_elems = 16;
+  const Trajectory blocking = RunTraining(cfg, 4, 5, 131, 5, 7);
+  cfg.prefetch_lookahead = lookahead;
+  const Trajectory prefetched = RunTraining(cfg, 4, 5, 131, 5, 7);
+  EXPECT_EQ(prefetched.losses, blocking.losses);
+  EXPECT_EQ(prefetched.state, blocking.state);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lookaheads, PrefetchLookaheadTest,
+                         ::testing::Values(1, 2, 4));
+
+TEST(PrefetchTest, AllStagesUnaffectedByPrefetchConfig) {
+  // prefetch_lookahead is a stage-3 knob; setting it on any stage must
+  // never change the trajectory.
+  for (ZeroStage stage : {ZeroStage::kNone, ZeroStage::kOs, ZeroStage::kOsG,
+                          ZeroStage::kOsGP}) {
+    EngineConfig cfg;
+    cfg.stage = stage;
+    cfg.fp16 = true;
+    const Trajectory blocking = RunTraining(cfg, 2, 3, 97, 4, 11);
+    cfg.prefetch_lookahead = 2;
+    const Trajectory prefetched = RunTraining(cfg, 2, 3, 97, 4, 11);
+    EXPECT_EQ(prefetched.losses, blocking.losses)
+        << "stage=" << static_cast<int>(stage);
+    EXPECT_EQ(prefetched.state, blocking.state)
+        << "stage=" << static_cast<int>(stage);
+  }
+}
+
+TEST(PrefetchTest, Fp32ExactReductionsBitExact) {
+  EngineConfig cfg;
+  cfg.stage = ZeroStage::kOsGP;
+  cfg.fp16 = false;
+  cfg.exact_reductions = true;
+  cfg.bucket_elems = 16;
+  const Trajectory blocking = RunTraining(cfg, 3, 4, 131, 5, 42);
+  cfg.prefetch_lookahead = 2;
+  const Trajectory prefetched = RunTraining(cfg, 3, 4, 131, 5, 42);
+  EXPECT_EQ(prefetched.losses, blocking.losses);
+  EXPECT_EQ(prefetched.state, blocking.state);
+}
+
+TEST(PrefetchTest, AccumulationBitExact) {
+  EngineConfig cfg;
+  cfg.stage = ZeroStage::kOsGP;
+  cfg.fp16 = true;
+  cfg.accumulation_steps = 2;
+  const Trajectory blocking = RunTraining(cfg, 2, 6, 97, 4, 5);
+  cfg.prefetch_lookahead = 2;
+  const Trajectory prefetched = RunTraining(cfg, 2, 6, 97, 4, 5);
+  EXPECT_EQ(prefetched.losses, blocking.losses);
+  EXPECT_EQ(prefetched.state, blocking.state);
+}
+
+TEST(PrefetchTest, TinyBudgetDegradesToBlockingAndStaysExact) {
+  // A 1-byte budget can never fit a unit: every claim becomes a miss
+  // launched on demand, which must still be bit-exact.
+  EngineConfig cfg;
+  cfg.stage = ZeroStage::kOsGP;
+  cfg.fp16 = true;
+  const Trajectory blocking = RunTraining(cfg, 2, 4, 97, 4, 9);
+  cfg.prefetch_lookahead = 2;
+  cfg.prefetch_max_bytes = 1;
+  const double misses_before =
+      obs::Metrics().counter("prefetch.misses").value();
+  const Trajectory degraded = RunTraining(cfg, 2, 4, 97, 4, 9);
+  EXPECT_EQ(degraded.losses, blocking.losses);
+  EXPECT_EQ(degraded.state, blocking.state);
+  EXPECT_GT(obs::Metrics().counter("prefetch.misses").value(),
+            misses_before);
+}
+
+TEST(PrefetchTest, ReplayStepsHitThePipeline) {
+  EngineConfig cfg;
+  cfg.stage = ZeroStage::kOsGP;
+  cfg.fp16 = true;
+  cfg.prefetch_lookahead = 2;
+  const double hits_before = obs::Metrics().counter("prefetch.hits").value();
+  (void)RunTraining(cfg, 2, 4, 97, 4, 9);
+  // Step 0 records; steps 1..3 replay and should claim prefetched
+  // gathers (QuadModel acquires every unit twice per step on 2 ranks).
+  EXPECT_GT(obs::Metrics().counter("prefetch.hits").value(), hits_before);
+}
+
+TEST(PrefetchTest, MidTrainingEvalDoesNotDerailOrDiverge) {
+  // EvalLoss materializes units outside the step bracket (prefetcher
+  // idle -> blocking path) and must not disturb replay on later steps.
+  EngineConfig cfg;
+  cfg.stage = ZeroStage::kOsGP;
+  cfg.fp16 = true;
+  auto run = [&](EngineConfig c) {
+    Trajectory out;
+    comm::World world(2);
+    world.Run([&](comm::RankContext& ctx) {
+      comm::Communicator dp = comm::Communicator::WholeWorld(ctx);
+      model::QuadModel m(97, 4);
+      ZeroDpEngine engine(c, m, dp, nullptr, 13);
+      std::vector<float> losses;
+      for (int step = 0; step < 4; ++step) {
+        losses.push_back(engine.TrainStep(RankBatch(ctx.rank, step)));
+        losses.push_back(engine.EvalLoss(RankBatch(ctx.rank, 50 + step)));
+      }
+      TrainingState state = engine.ExportState();
+      if (ctx.rank == 0) {
+        out.losses = std::move(losses);
+        out.state = std::move(state);
+      }
+    });
+    return out;
+  };
+  const Trajectory blocking = run(cfg);
+  cfg.prefetch_lookahead = 2;
+  const Trajectory prefetched = run(cfg);
+  EXPECT_EQ(prefetched.losses, blocking.losses);
+  EXPECT_EQ(prefetched.state, blocking.state);
+}
+
+TEST(PrefetchTest, GptTrainingBitExact) {
+  // End-to-end over the real transformer: recompute-driven re-acquires
+  // give the schedule its irregular shape.
+  model::GptConfig gc;
+  gc.layers = 2;
+  gc.hidden = 16;
+  gc.heads = 2;
+  gc.vocab = 31;
+  gc.seq = 8;
+  gc.activation_checkpointing = true;
+  auto run = [&](int lookahead) {
+    Trajectory out;
+    comm::World world(2);
+    world.Run([&](comm::RankContext& ctx) {
+      comm::Communicator dp = comm::Communicator::WholeWorld(ctx);
+      model::DeviceCheckpointStore store(nullptr);
+      model::GptSession session;
+      session.checkpoints = &store;
+      model::GptModel m(gc, session);
+      EngineConfig cfg;
+      cfg.stage = ZeroStage::kOsGP;
+      cfg.fp16 = true;
+      cfg.prefetch_lookahead = lookahead;
+      ZeroDpEngine engine(cfg, m, dp, nullptr, 17);
+      std::vector<float> losses;
+      for (int step = 0; step < 3; ++step) {
+        Batch b;
+        b.rows = 1;
+        b.cols = static_cast<int>(gc.seq);
+        for (int i = 0; i < gc.seq; ++i) {
+          b.inputs.push_back((ctx.rank * 13 + step * 5 + i) % gc.vocab);
+          b.targets.push_back((ctx.rank * 7 + step * 3 + i) % gc.vocab);
+        }
+        losses.push_back(engine.TrainStep(b));
+      }
+      TrainingState state = engine.ExportState();
+      if (ctx.rank == 0) {
+        out.losses = std::move(losses);
+        out.state = std::move(state);
+      }
+    });
+    return out;
+  };
+  const Trajectory blocking = run(0);
+  const Trajectory prefetched = run(2);
+  EXPECT_EQ(prefetched.losses, blocking.losses);
+  EXPECT_EQ(prefetched.state, blocking.state);
+}
+
+TEST(HierarchicalEngineTest, TrainsCloseToFlatAllReduce) {
+  // Hierarchical all-reduce brackets differently than the flat ring, so
+  // parity is approximate — the trajectories must stay close, and the
+  // hierarchical run must actually engage the node topology.
+  EngineConfig cfg;
+  cfg.stage = ZeroStage::kNone;
+  cfg.fp16 = true;
+  const Trajectory flat = RunTraining(cfg, 4, 4, 97, 4, 23);
+  cfg.hierarchical_comm = true;
+  cfg.ranks_per_node = 2;
+  const Trajectory hier = RunTraining(cfg, 4, 4, 97, 4, 23);
+  ASSERT_EQ(hier.losses.size(), flat.losses.size());
+  for (std::size_t i = 0; i < flat.losses.size(); ++i) {
+    EXPECT_NEAR(hier.losses[i], flat.losses[i],
+                1e-2f * (1.0f + std::abs(flat.losses[i])));
+  }
+}
+
+TEST(HierarchicalEngineTest, ExactReductionsIgnoreHierarchy) {
+  // exact_reductions promises rank-ordered deterministic sums, which
+  // the two-level reduction cannot honor — the engine must keep the
+  // flat path and stay bit-exact.
+  EngineConfig cfg;
+  cfg.stage = ZeroStage::kNone;
+  cfg.fp16 = false;
+  cfg.exact_reductions = true;
+  const Trajectory flat = RunTraining(cfg, 4, 3, 97, 4, 29);
+  cfg.hierarchical_comm = true;
+  cfg.ranks_per_node = 2;
+  const Trajectory hier = RunTraining(cfg, 4, 3, 97, 4, 29);
+  EXPECT_EQ(hier.losses, flat.losses);
+  EXPECT_EQ(hier.state, flat.state);
+}
+
+}  // namespace
+}  // namespace zero::core

@@ -11,7 +11,9 @@
 #include "comm/communicator.hpp"
 #include "comm/world.hpp"
 #include "common/error.hpp"
+#include "core/dp_engine.hpp"
 #include "fault/injector.hpp"
+#include "model/quad_model.hpp"
 #include "obs/trace.hpp"
 
 namespace zero::fault {
@@ -184,6 +186,52 @@ TEST(DetectionTest, CrashPropagatesWithoutDeadline) {
   EXPECT_TRUE(ErrorIs<InjectedFaultError>(report.errors[0]));
   ASSERT_TRUE(report.errors[1] != nullptr);
   EXPECT_TRUE(comm::IsSecondaryFault(report.errors[1]));
+}
+
+// A crash while stage-3 prefetched gathers are in flight: the engine's
+// unwind must cancel the nonblocking collective machines and drain
+// their pending CommRequests — this test completing (instead of
+// deadlocking or crashing in a landing-buffer destructor) is the
+// regression check.
+TEST(DetectionTest, AbortWithPrefetchedGathersUnwindsCleanly) {
+  const int nd = 3;
+  // Step 0 records the schedule; step 2 replays with lookahead-2
+  // gathers in flight when rank 1 dies at the step fault point.
+  FaultInjector injector(FaultPlan::Parse("crash@1:step#2"), nd);
+  World world(nd);
+  world.SetCommDeadline(std::chrono::milliseconds(200));
+  world.SetFaultHooks(&injector);
+
+  const World::RunReport report = world.TryRun([&](RankContext& ctx) {
+    Communicator dp = Communicator::WholeWorld(ctx);
+    model::QuadModel m(131, 5);
+    core::EngineConfig cfg;
+    cfg.stage = model::ZeroStage::kOsGP;
+    cfg.fp16 = true;
+    cfg.prefetch_lookahead = 2;
+    core::ZeroDpEngine engine(cfg, m, dp, nullptr, 11);
+    for (int s = 0; s < 4; ++s) {
+      model::Batch b;
+      b.rows = 1;
+      b.cols = 4;
+      for (int i = 0; i < 4; ++i) {
+        b.inputs.push_back(ctx.rank * 31 + s * 7 + i);
+        b.targets.push_back(0);
+      }
+      (void)engine.TrainStep(b);
+    }
+  });
+
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(ErrorIs<InjectedFaultError>(report.errors[1]));
+  for (int r : {0, 2}) {
+    ASSERT_TRUE(report.errors[static_cast<std::size_t>(r)] != nullptr)
+        << "rank " << r << " should have unwound";
+    EXPECT_TRUE(
+        comm::IsSecondaryFault(report.errors[static_cast<std::size_t>(r)]))
+        << "rank " << r;
+  }
+  EXPECT_TRUE(ErrorIs<InjectedFaultError>(report.RootCause()));
 }
 
 }  // namespace

@@ -9,6 +9,8 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <mutex>
 #include <vector>
 
@@ -58,14 +60,15 @@ EngineConfig MakeConfig(ZeroStage stage) {
 
 // Runs `steps` uninterrupted at `nd` and returns the final serialized
 // TrainingState.
-std::vector<std::byte> UninterruptedFinalState(ZeroStage stage, int nd) {
+std::vector<std::byte> UninterruptedFinalState(const EngineConfig& cfg,
+                                               int nd) {
   std::vector<std::byte> final_state;
   std::mutex mu;
   World world(nd);
   world.Run([&](RankContext& ctx) {
     Communicator dp = Communicator::WholeWorld(ctx);
     model::QuadModel m(kNumel, kUnits);
-    ZeroDpEngine engine(MakeConfig(stage), m, dp, nullptr, kSeed);
+    ZeroDpEngine engine(cfg, m, dp, nullptr, kSeed);
     for (int s = 0; s < kSteps; ++s) {
       (void)engine.TrainStep(RankBatch(ctx.rank, s));
     }
@@ -78,15 +81,19 @@ std::vector<std::byte> UninterruptedFinalState(ZeroStage stage, int nd) {
   return final_state;
 }
 
+std::vector<std::byte> UninterruptedFinalState(ZeroStage stage, int nd) {
+  return UninterruptedFinalState(MakeConfig(stage), nd);
+}
+
 // The shared rank body: build the engine, import the resume state if
 // any, skip the already-completed steps, checkpoint every
 // kCheckpointEvery applied steps.
-RecoveryCoordinator::RankBody MakeBody(ZeroStage stage,
+RecoveryCoordinator::RankBody MakeBody(const EngineConfig& cfg,
                                        RecoveryCoordinator& coordinator) {
-  return [stage, &coordinator](RankContext& ctx, const AttemptContext& at) {
+  return [cfg, &coordinator](RankContext& ctx, const AttemptContext& at) {
     Communicator dp = Communicator::WholeWorld(ctx);
     model::QuadModel m(kNumel, kUnits);
-    ZeroDpEngine engine(MakeConfig(stage), m, dp, nullptr, kSeed);
+    ZeroDpEngine engine(cfg, m, dp, nullptr, kSeed);
     if (at.resume_state != nullptr) {
       engine.ImportState(TrainingState::Deserialize(*at.resume_state));
     }
@@ -101,6 +108,11 @@ RecoveryCoordinator::RankBody MakeBody(ZeroStage stage,
       }
     }
   };
+}
+
+RecoveryCoordinator::RankBody MakeBody(ZeroStage stage,
+                                       RecoveryCoordinator& coordinator) {
+  return MakeBody(MakeConfig(stage), coordinator);
 }
 
 class RecoveryStageTest : public ::testing::TestWithParam<ZeroStage> {};
@@ -143,6 +155,70 @@ INSTANTIATE_TEST_SUITE_P(AllStages, RecoveryStageTest,
                          ::testing::Values(ZeroStage::kNone, ZeroStage::kOs,
                                            ZeroStage::kOsG,
                                            ZeroStage::kOsGP));
+
+// Bit-exact recovery under *dynamic* loss scaling: the v2 checkpoint
+// carries the scaler's growth countdown, so the resumed run doubles the
+// scale on exactly the same steps as the uninterrupted one. With
+// growth_interval=3 over 8 steps the scale grows at steps 3 and 6 —
+// the crash at step 6 resumes from the step-4 checkpoint with the
+// countdown at 1, and a scaler that restarted its countdown would grow
+// at the wrong step and diverge the fp16 rounding.
+TEST(RecoveryTest, DynamicLossScaleRecoveryIsBitExact) {
+  const int nd = 2;
+  EngineConfig cfg = MakeConfig(ZeroStage::kOsGP);
+  cfg.dynamic_loss_scale = true;
+  cfg.scaler.init_scale = 64.0f;
+  cfg.scaler.growth_interval = 3;
+  const std::vector<std::byte> expected = UninterruptedFinalState(cfg, nd);
+  // The uninterrupted run must actually exercise growth for this test
+  // to prove anything.
+  EXPECT_NE(TrainingState::Deserialize(expected).loss_scale, 64.0f);
+  EXPECT_EQ(TrainingState::Deserialize(expected).scaler_good, kSteps);
+
+  FaultInjector injector(FaultPlan::Parse("crash@1:step#6"), nd);
+  RecoveryOptions opts;
+  opts.world_size = nd;
+  opts.max_attempts = 3;
+  opts.policy = RestartPolicy::kRestartRank;
+  opts.comm_deadline = std::chrono::milliseconds(200);
+  opts.hooks = &injector;
+  RecoveryCoordinator coordinator(opts);
+
+  const RecoveryReport report = coordinator.Train(MakeBody(cfg, coordinator));
+
+  ASSERT_TRUE(report.succeeded);
+  EXPECT_EQ(report.attempts, 2);
+  ASSERT_EQ(coordinator.vault().LatestStep(), kSteps);
+  EXPECT_EQ(coordinator.vault().LatestBytes(), expected)
+      << "dynamic-scale recovery diverged from the uninterrupted run";
+}
+
+// A v1 (40-byte header) checkpoint still deserializes, with the scaler
+// control-loop fields defaulted.
+TEST(RecoveryTest, V1CheckpointStillLoads) {
+  TrainingState st;
+  st.total_numel = 3;
+  st.step_count = 7;
+  st.loss_scale = 128.0f;
+  st.scaler_steps_since_backoff = 2;
+  st.master = {1.0f, 2.0f, 3.0f};
+  st.momentum = {0.1f, 0.2f, 0.3f};
+  st.variance = {0.01f, 0.02f, 0.03f};
+  std::vector<std::byte> bytes = st.Serialize();
+  // Rewrite as v1: stamp version=1 and splice out the 24 v2 header
+  // bytes (offsets 40..63).
+  const std::uint32_t v1 = 1;
+  std::memcpy(bytes.data() + 8, &v1, sizeof(v1));
+  bytes.erase(bytes.begin() + 40, bytes.begin() + 64);
+  const TrainingState loaded = TrainingState::Deserialize(bytes);
+  EXPECT_EQ(loaded.total_numel, 3);
+  EXPECT_EQ(loaded.step_count, 7);
+  EXPECT_EQ(loaded.loss_scale, 128.0f);
+  EXPECT_EQ(loaded.scaler_steps_since_backoff, 0);  // defaulted
+  EXPECT_EQ(loaded.scaler_good, 0);
+  EXPECT_EQ(loaded.master, st.master);
+  EXPECT_EQ(loaded.variance, st.variance);
+}
 
 // A crash before the first checkpoint restarts from scratch — still
 // bit-exact, with resume_step 0 on the retry.

@@ -139,6 +139,37 @@ TEST(CostModelTest, Stage3CostsFiftyPercentMoreDpTraffic) {
   EXPECT_GT(s3.dp_comm_s, s2.dp_comm_s);
 }
 
+TEST(CostModelTest, Stage3PrefetchDepthControlsExposedParamTraffic) {
+  // Sec 7.2.2: the extra 1 Psi of stage-3 parameter broadcasts is only
+  // hidden when the gathers are pipelined ahead of the compute. Deeper
+  // lookahead monotonically shrinks the exposed DP time; at depth >= 2
+  // the analytic model treats the parameter traffic as fully
+  // pipelined.
+  ClusterSpec cluster;
+  JobConfig job;
+  job.model.layers = 40;
+  job.model.hidden = 4096;
+  job.model.heads = 32;
+  job.gpus = 64;
+  job.mp = 1;
+  job.batch_per_gpu = 1;  // tiny batch: communication dominates
+  job.stage = ZeroStage::kOsGP;
+
+  job.prefetch_lookahead = 0;
+  const ThroughputEstimate cold = EstimateThroughput(cluster, job);
+  job.prefetch_lookahead = 1;
+  const ThroughputEstimate shallow = EstimateThroughput(cluster, job);
+  job.prefetch_lookahead = 2;
+  const ThroughputEstimate deep = EstimateThroughput(cluster, job);
+  job.prefetch_lookahead = 8;
+  const ThroughputEstimate deeper = EstimateThroughput(cluster, job);
+
+  EXPECT_GT(cold.dp_comm_s, shallow.dp_comm_s);
+  EXPECT_GT(shallow.dp_comm_s, deep.dp_comm_s);
+  EXPECT_EQ(deep.dp_comm_s, deeper.dp_comm_s);  // saturates at full hide
+  EXPECT_LT(cold.tflops_per_gpu, deep.tflops_per_gpu);
+}
+
 TEST(CostModelTest, PaCpuExposesTransferCostAtSameBatch) {
   // Figure 8's 60B caveat: at the same batch size, C5 pays the PCIe
   // transfers and is strictly slower than C4.
