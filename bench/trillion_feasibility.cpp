@@ -3,6 +3,7 @@
 // plus the compute-power-gap arithmetic the paper closes with.
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -50,6 +51,38 @@ int main() {
               FormatCount(psi).c_str(),
               static_cast<long long>(trillion.layers),
               static_cast<long long>(trillion.hidden));
+
+  // Storage tiers (alloc/tier.hpp, core/offload_engine): moving the
+  // K*Psi/Nd fp32 state into host DRAM or NVMe shrinks the device
+  // footprint further and cuts the GPU count a trillion-parameter
+  // model needs to fit at all.
+  std::printf("\n== Optimizer offload: what fits on N GPUs ==\n\n");
+  Table tiers({"tier (Pos+g+p, batch 1)", "device/GPU @1024",
+               "host/GPU @1024", "nvme/GPU @1024", "min GPUs to fit"});
+  const struct {
+    const char* name;
+    sim::OffloadTier tier;
+  } tier_rows[] = {
+      {"device (no offload)", sim::OffloadTier::kNone},
+      {"host DRAM (ZeRO-Offload)", sim::OffloadTier::kHost},
+      {"NVMe (ZeRO-Infinity)", sim::OffloadTier::kNvme},
+  };
+  for (const auto& row : tier_rows) {
+    sim::JobConfig job;
+    job.model = trillion;
+    job.gpus = 1024;
+    job.mp = 1;
+    job.batch_per_gpu = 1;
+    job.stage = ZeroStage::kOsGP;
+    job.optimizer_tier = row.tier;
+    const sim::MemoryBreakdown mem = sim::EstimateMemory(cluster, job);
+    const int min_gpus = sim::MinGpusToFit(cluster, job);
+    tiers.AddRow({row.name, FormatBytes(mem.total()),
+                  FormatBytes(mem.host_total()),
+                  FormatBytes(mem.nvme_total()),
+                  min_gpus > 0 ? std::to_string(min_gpus) : "never"});
+  }
+  tiers.Print(std::cout);
 
   // Compute-power gap (Sec 9): ~3000x Bert-Large's compute per sample;
   // >140 days on today's cluster even at perfect efficiency.

@@ -40,6 +40,14 @@ echo "==> bench: stage-3 prefetch overlap gate (release build)"
 # BENCH_overlap.json. Same ZERO_BENCH_RELAX=1 escape hatch.
 ./build/bench/overlap_step BENCH_overlap.json
 
+echo "==> bench: optimizer-offload streaming gate (release build)"
+# In-device vs host/NVMe-tiered fp32 optimizer state: losses must stay
+# bit-identical across every tier, the eager host pipeline must hide
+# >= 50% of its link time behind compute, and the sim model must show
+# offload shrinking the 1T-parameter GPU floor; writes
+# BENCH_offload.json. Same ZERO_BENCH_RELAX=1 escape hatch.
+./build/bench/offload_step BENCH_offload.json
+
 echo "==> smoke: 2-rank stage-3 run with telemetry artifacts"
 # End-to-end telemetry check: the run must produce a valid Chrome trace,
 # per-step metrics, and a step report whose measured memory/comm match

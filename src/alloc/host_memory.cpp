@@ -2,19 +2,57 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace zero::alloc {
+
+HostMemory::HostMemory(std::string metric_prefix)
+    : metric_prefix_(std::move(metric_prefix)) {}
+
+void HostMemory::AddInUse(std::size_t bytes) {
+  stats_.in_use += bytes;
+  stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
+  PublishGauges();
+}
+
+void HostMemory::SubInUse(std::size_t bytes) {
+  stats_.in_use -= bytes;
+  PublishGauges();
+}
+
+void HostMemory::PublishGauges() {
+  obs::Metrics()
+      .gauge(metric_prefix_ + ".in_use")
+      .Set(static_cast<double>(stats_.in_use));
+  obs::Metrics()
+      .gauge(metric_prefix_ + ".peak")
+      .Set(static_cast<double>(stats_.peak_in_use));
+}
+
+void HostMemory::NoteToHost(std::size_t bytes) {
+  stats_.bytes_to_host += bytes;
+  obs::Metrics()
+      .counter(metric_prefix_ + ".bytes_to_host")
+      .Add(static_cast<std::uint64_t>(bytes));
+}
+
+void HostMemory::NoteFromHost(std::size_t bytes) {
+  stats_.bytes_from_host += bytes;
+  obs::Metrics()
+      .counter(metric_prefix_ + ".bytes_from_host")
+      .Add(static_cast<std::uint64_t>(bytes));
+}
 
 std::size_t HostMemory::Offload(const std::byte* src, std::size_t bytes) {
   std::vector<std::byte> buf(bytes);
   std::memcpy(buf.data(), src, bytes);
   const std::size_t handle = next_handle_++;
   buffers_.emplace(handle, std::move(buf));
-  stats_.in_use += bytes;
-  stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
-  stats_.bytes_to_host += bytes;
+  AddInUse(bytes);
+  NoteToHost(bytes);
   return handle;
 }
 
@@ -22,8 +60,8 @@ void HostMemory::Restore(std::size_t handle, std::byte* dst) {
   auto it = buffers_.find(handle);
   ZERO_CHECK(it != buffers_.end(), "restoring unknown host buffer");
   std::memcpy(dst, it->second.data(), it->second.size());
-  stats_.in_use -= it->second.size();
-  stats_.bytes_from_host += it->second.size();
+  SubInUse(it->second.size());
+  NoteFromHost(it->second.size());
   buffers_.erase(it);
 }
 
@@ -31,6 +69,26 @@ std::size_t HostMemory::SizeOfHandle(std::size_t handle) const {
   auto it = buffers_.find(handle);
   ZERO_CHECK(it != buffers_.end(), "querying unknown host buffer");
   return it->second.size();
+}
+
+std::size_t HostMemory::CreateRegion(std::size_t bytes) {
+  const std::size_t handle = next_handle_++;
+  regions_.emplace(handle, std::vector<std::byte>(bytes));
+  AddInUse(bytes);
+  return handle;
+}
+
+void HostMemory::ReleaseRegion(std::size_t handle) {
+  auto it = regions_.find(handle);
+  ZERO_CHECK(it != regions_.end(), "releasing unknown host region");
+  SubInUse(it->second.size());
+  regions_.erase(it);
+}
+
+std::span<std::byte> HostMemory::RegionBytes(std::size_t handle) {
+  auto it = regions_.find(handle);
+  ZERO_CHECK(it != regions_.end(), "addressing unknown host region");
+  return {it->second.data(), it->second.size()};
 }
 
 }  // namespace zero::alloc

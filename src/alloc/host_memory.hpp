@@ -1,13 +1,30 @@
 // Host (CPU) memory pool used by Pa+cpu activation-checkpoint offload
-// (Sec 6.1). Host memory is effectively unbounded relative to device
-// memory in the paper's setting, so this pool only tracks usage and
-// transfer volume — the quantity that matters for the Sec 8 analysis
-// ("2x added data movement to and from CPU memory compared to Pa").
+// (Sec 6.1) and by the tiered optimizer-state storage (ZeRO-Offload /
+// ZeRO-Infinity). Host memory is effectively unbounded relative to
+// device memory in the paper's setting, so this pool only tracks usage
+// and transfer volume — the quantity that matters for the Sec 8
+// analysis ("2x added data movement to and from CPU memory compared to
+// Pa").
+//
+// Two allocation idioms share the pool:
+//   - Offload/Restore: one-shot round trips (activation checkpoints).
+//     Restore consumes the handle.
+//   - CreateRegion/ReleaseRegion: persistent zero-initialized regions
+//     (offloaded fp32 optimizer shards) addressed in place via
+//     RegionBytes; streaming traffic that crosses the simulated PCIe
+//     link on their behalf is reported through NoteToHost/NoteFromHost.
+//
+// Usage and transfer volume are mirrored into the metrics registry
+// (`<prefix>.in_use`, `.peak`, `.bytes_to_host`, `.bytes_from_host`)
+// matching device_memory's instrumentation, so the step report can
+// surface host pressure next to device pressure.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <span>
+#include <string>
 #include <vector>
 
 namespace zero::alloc {
@@ -21,7 +38,10 @@ struct HostStats {
 
 class HostMemory {
  public:
-  HostMemory() = default;
+  // `metric_prefix` names this pool's registry series; pools backing
+  // different tiers use distinct prefixes so their traffic is not
+  // conflated.
+  explicit HostMemory(std::string metric_prefix = "alloc.host");
   HostMemory(const HostMemory&) = delete;
   HostMemory& operator=(const HostMemory&) = delete;
 
@@ -33,13 +53,35 @@ class HostMemory {
   void Restore(std::size_t handle, std::byte* dst);
 
   [[nodiscard]] std::size_t SizeOfHandle(std::size_t handle) const;
+
+  // Persistent zero-initialized region; stays alive until ReleaseRegion.
+  // Creation moves no data across the link, so only occupancy changes.
+  [[nodiscard]] std::size_t CreateRegion(std::size_t bytes);
+  void ReleaseRegion(std::size_t handle);
+  [[nodiscard]] std::span<std::byte> RegionBytes(std::size_t handle);
+
+  // Accounting hooks for link traffic that reads/writes regions in
+  // place (the streaming offload engine copies directly out of
+  // RegionBytes; these keep the pool's transfer ledger honest).
+  void NoteToHost(std::size_t bytes);
+  void NoteFromHost(std::size_t bytes);
+
   [[nodiscard]] HostStats Stats() const { return stats_; }
-  void ResetPeak() { stats_.peak_in_use = stats_.in_use; }
+  void ResetPeak() {
+    stats_.peak_in_use = stats_.in_use;
+    PublishGauges();
+  }
 
  private:
+  void AddInUse(std::size_t bytes);
+  void SubInUse(std::size_t bytes);
+  void PublishGauges();
+
   std::map<std::size_t, std::vector<std::byte>> buffers_;
+  std::map<std::size_t, std::vector<std::byte>> regions_;
   std::size_t next_handle_ = 1;
   HostStats stats_;
+  std::string metric_prefix_;
 };
 
 }  // namespace zero::alloc

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "comm/topology.hpp"
+#include "core/offload_engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/kernels.hpp"
@@ -17,11 +18,13 @@ using tensor::Tensor;
 
 ZeroDpEngine::ZeroDpEngine(EngineConfig config, model::FlatParamModel& model,
                            comm::Communicator& dp,
-                           alloc::CachingAllocator* device, std::uint64_t seed)
+                           alloc::CachingAllocator* device, std::uint64_t seed,
+                           alloc::HostMemory* host_pool)
     : cfg_(config),
       model_(&model),
       dp_(&dp),
       device_(device),
+      host_pool_(host_pool),
       part_(model.layout().total_numel(), dp.size()) {
   ZERO_CHECK(!cfg_.exact_reductions || !cfg_.fp16,
              "exact_reductions requires fp32 mode");
@@ -84,20 +87,44 @@ void ZeroDpEngine::InitState(std::uint64_t seed) {
 
   // Optimizer: full for baseline DDP, this rank's partition otherwise.
   // The fp32 master copy is seeded from the *unrounded* initialization —
-  // it is the authoritative weight state (Sec 3.1). With
-  // offload_optimizer the K=12 bytes/param live in host memory instead
-  // of the device.
-  alloc::CachingAllocator* opt_device =
-      cfg_.offload_optimizer ? nullptr : device_;
-  if (strategy_->state_partitioned()) {
-    opt_ = std::make_unique<optim::MixedPrecisionAdam>(
-        cfg_.adam, opt_device,
-        std::span<const float>(init.data() + own.begin,
-                               static_cast<std::size_t>(shard)));
+  // it is the authoritative weight state (Sec 3.1). With an offload
+  // tier the K=12 bytes/param live behind the storage tier (host DRAM
+  // or simulated NVMe) and stream through the OffloadEngine instead of
+  // sitting on the device.
+  const std::span<const float> opt_init =
+      strategy_->state_partitioned()
+          ? std::span<const float>(init.data() + own.begin,
+                                   static_cast<std::size_t>(shard))
+          : std::span<const float>(init);
+  const alloc::TierKind tier_kind = cfg_.resolved_offload_tier();
+  if (tier_kind == alloc::TierKind::kDevice) {
+    opt_ = std::make_unique<optim::MixedPrecisionAdam>(cfg_.adam, device_,
+                                                       opt_init);
   } else {
-    opt_ = std::make_unique<optim::MixedPrecisionAdam>(
-        cfg_.adam, opt_device, std::span<const float>(init));
+    if (tier_kind == alloc::TierKind::kHost && host_pool_ == nullptr) {
+      owned_host_.emplace();
+      host_pool_ = &*owned_host_;
+    }
+    tier_ = alloc::MakeStorageTier(tier_kind, host_pool_, device_,
+                                   cfg_.offload_bandwidth);
+    OffloadOptions opts;
+    opts.slice_elems = cfg_.offload_slice_elems;
+    opts.eager_grads =
+        cfg_.offload_eager_grads && cfg_.accumulation_steps == 1;
+    opts.max_inflight_bytes = cfg_.offload_max_inflight_bytes;
+    auto offload = std::make_unique<OffloadEngine>(cfg_.adam, *tier_,
+                                                   opt_init, opts);
+    // Gradient slices stream to the tier as the backward reduction
+    // finalizes them (rank-local: cannot perturb SPMD schedules).
+    if (opts.eager_grads) ctx_.grad_stream = offload.get();
+    opt_ = std::move(offload);
   }
+}
+
+const alloc::ChannelStats* ZeroDpEngine::offload_channel_stats() const {
+  return tier_ != nullptr && tier_->channel() != nullptr
+             ? &tier_->channel()->stats()
+             : nullptr;
 }
 
 // ---------------------------------------------------------------------
@@ -273,6 +300,9 @@ void ZeroDpEngine::ApplyUpdate() {
       static obs::Counter& skipped =
           obs::Metrics().counter("engine.skipped_steps");
       skipped.Add();
+      // Gradient slices staged ahead for the offloaded update are for a
+      // step that will never run.
+      opt_->DiscardStagedGradients();
       return;
     }
   }
@@ -296,14 +326,6 @@ void ZeroDpEngine::ApplyUpdate() {
   } else {
     opt_->StepF32(strategy_->UpdateTargetF32(), strategy_->ReducedF32(),
                   grad_scale);
-  }
-
-  if (cfg_.offload_optimizer) {
-    // Account the PCIe round trip: reduced gradients in (2 or 4 bytes
-    // per element) and updated fp16/fp32 parameters back out.
-    const std::size_t elem = cfg_.fp16 ? 2 : 4;
-    optimizer_transfer_bytes_ +=
-        static_cast<std::uint64_t>(opt_->numel()) * elem * 2;
   }
 
   strategy_->OnUpdateApplied();
@@ -330,24 +352,27 @@ TrainingState ZeroDpEngine::ExportState() {
   const std::size_t padded = static_cast<std::size_t>(part_.padded_total());
   const std::size_t shard = static_cast<std::size_t>(part_.partition_size());
 
-  auto assemble = [&](std::span<const float> local) {
+  auto assemble = [&](optim::OptStateKind kind) {
     std::vector<float> full(total);
     if (!strategy_->state_partitioned()) {
       // Every rank already holds the full (padded) state.
-      ZERO_CHECK(local.size() == padded, "unexpected full-state size");
+      std::vector<float> local(padded);
+      opt_->CopyStateOut(kind, local);
       std::memcpy(full.data(), local.data(), total * sizeof(float));
     } else {
-      ZERO_CHECK(local.size() == shard, "unexpected shard size");
+      std::vector<float> local(shard);
+      opt_->CopyStateOut(kind, local);
       std::vector<float> gathered(padded);
-      dp_->AllGather(local, std::span<float>(gathered));
+      dp_->AllGather(std::span<const float>(local),
+                     std::span<float>(gathered));
       std::memcpy(full.data(), gathered.data(), total * sizeof(float));
     }
     return full;
   };
 
-  state.master = assemble(opt_->master());
-  state.momentum = assemble(opt_->momentum());
-  state.variance = assemble(opt_->variance());
+  state.master = assemble(optim::OptStateKind::kMaster);
+  state.momentum = assemble(optim::OptStateKind::kMomentum);
+  state.variance = assemble(optim::OptStateKind::kVariance);
   return state;
 }
 
@@ -358,21 +383,22 @@ void ZeroDpEngine::ImportState(const TrainingState& state) {
   const std::size_t total = static_cast<std::size_t>(part_.total());
   const std::size_t padded = static_cast<std::size_t>(part_.padded_total());
 
-  auto scatter = [&](std::span<float> local, const std::vector<float>& full) {
+  auto scatter = [&](optim::OptStateKind kind, const std::vector<float>& full) {
     // Pad the full array so tail shards read zeros beyond total().
     std::vector<float> padded_full(padded, 0.0f);
     std::memcpy(padded_full.data(), full.data(), total * sizeof(float));
     if (!strategy_->state_partitioned()) {
-      std::memcpy(local.data(), padded_full.data(), padded * sizeof(float));
+      opt_->CopyStateIn(kind, padded_full);
     } else {
-      std::memcpy(local.data(), padded_full.data() + own.begin,
-                  static_cast<std::size_t>(own.size()) * sizeof(float));
+      opt_->CopyStateIn(
+          kind, std::span<const float>(padded_full.data() + own.begin,
+                                       static_cast<std::size_t>(own.size())));
     }
   };
 
-  scatter(opt_->master_mutable(), state.master);
-  scatter(opt_->momentum_mutable(), state.momentum);
-  scatter(opt_->variance_mutable(), state.variance);
+  scatter(optim::OptStateKind::kMaster, state.master);
+  scatter(optim::OptStateKind::kMomentum, state.momentum);
+  scatter(optim::OptStateKind::kVariance, state.variance);
   opt_->set_step_count(state.step_count);
   steps_ = state.step_count;
 
@@ -384,6 +410,7 @@ void ZeroDpEngine::ImportState(const TrainingState& state) {
 
   // Reset in-flight step state.
   strategy_->ResetInFlight();
+  opt_->DiscardStagedGradients();
   if (acc_.defined()) acc_.FillZero();
   micro_ = 0;
   if (scaler_.has_value()) {
@@ -413,7 +440,8 @@ ModelStateReport ZeroDpEngine::MeasureModelStates() const {
   r.optimizer_bytes = static_cast<std::size_t>(
       static_cast<double>(opt_->numel()) *
       optim::MixedPrecisionAdam::kStateBytesPerParam);
-  r.optimizer_on_host = cfg_.offload_optimizer;
+  r.optimizer_on_host =
+      cfg_.resolved_offload_tier() != alloc::TierKind::kDevice;
   return r;
 }
 

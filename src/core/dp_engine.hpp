@@ -41,6 +41,8 @@
 #include <vector>
 
 #include "alloc/caching_allocator.hpp"
+#include "alloc/host_memory.hpp"
+#include "alloc/tier.hpp"
 #include "comm/communicator.hpp"
 #include "core/engine_config.hpp"
 #include "core/partition.hpp"
@@ -50,6 +52,7 @@
 #include "model/transformer_spec.hpp"
 #include "optim/adam.hpp"
 #include "optim/loss_scaler.hpp"
+#include "optim/shard_optimizer.hpp"
 #include "tensor/tensor.hpp"
 
 namespace zero::core {
@@ -72,10 +75,12 @@ struct ModelStateReport {
 class ZeroDpEngine final : public model::ParamProvider, public model::GradSink {
  public:
   // `device` may be null (heap-backed state, no capacity accounting).
-  // All DP ranks must construct with identical config/seed.
+  // `host_pool` backs the host storage tier when the optimizer is
+  // offloaded; null makes the engine own a private pool. All DP ranks
+  // must construct with identical config/seed.
   ZeroDpEngine(EngineConfig config, model::FlatParamModel& model,
                comm::Communicator& dp, alloc::CachingAllocator* device,
-               std::uint64_t seed);
+               std::uint64_t seed, alloc::HostMemory* host_pool = nullptr);
   ~ZeroDpEngine() override;
 
   // One synchronous data-parallel training step on this rank's
@@ -106,10 +111,13 @@ class ZeroDpEngine final : public model::ParamProvider, public model::GradSink {
   // Global (clipped-from) gradient norm of the last completed update; 0
   // before the first update or when clipping is off.
   [[nodiscard]] float last_grad_norm() const { return last_grad_norm_; }
-  // Host<->device bytes attributable to optimizer offload so far.
+  // Host<->device bytes attributable to optimizer offload so far
+  // (measured on the storage tier's link; 0 when device-resident).
   [[nodiscard]] std::uint64_t optimizer_transfer_bytes() const {
-    return optimizer_transfer_bytes_;
+    return opt_->transfer_bytes();
   }
+  // Link ledger of the offload tier; null when device-resident.
+  [[nodiscard]] const alloc::ChannelStats* offload_channel_stats() const;
   // Materializes the full fp32 parameter vector. Collective for stage 3
   // (parameters must be fetched from their owners).
   [[nodiscard]] std::vector<float> GatherFullParams();
@@ -145,6 +153,7 @@ class ZeroDpEngine final : public model::ParamProvider, public model::GradSink {
   model::FlatParamModel* model_;
   comm::Communicator* dp_;
   alloc::CachingAllocator* device_;
+  alloc::HostMemory* host_pool_;  // backs the host tier (may be owned_host_)
   Partitioner part_;
   std::int64_t steps_ = 0;
 
@@ -163,13 +172,19 @@ class ZeroDpEngine final : public model::ParamProvider, public model::GradSink {
   tensor::Tensor acc_;
   int micro_ = 0;
 
-  // Partitioned (stages 1-3) or full (stage 0) mixed-precision Adam.
-  std::unique_ptr<optim::MixedPrecisionAdam> opt_;
+  // Storage tier behind the optimizer state (device/host/NVMe). Declared
+  // before opt_: the offload engine releases its regions into the tier
+  // on destruction.
+  std::optional<alloc::HostMemory> owned_host_;
+  std::unique_ptr<alloc::StorageTier> tier_;
+  // Partitioned (stages 1-3) or full (stage 0) optimizer shard:
+  // MixedPrecisionAdam on the device tier, the streaming OffloadEngine
+  // otherwise.
+  std::unique_ptr<optim::ShardOptimizer> opt_;
 
   std::optional<optim::DynamicLossScaler> scaler_;
   std::int64_t skipped_ = 0;
   float last_grad_norm_ = 0.0f;
-  std::uint64_t optimizer_transfer_bytes_ = 0;
 };
 
 }  // namespace zero::core

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "alloc/tier.hpp"
 #include "model/transformer_spec.hpp"
 #include "obs/telemetry.hpp"
 #include "optim/adam.hpp"
@@ -33,8 +34,40 @@ struct EngineConfig {
   // fp32 master/momentum/variance live in CPU memory; each update moves
   // the reduced gradient shard to the host and the updated fp16
   // parameters back, removing the K*Psi/Nd term from device memory at
-  // 4 bytes/param/step of PCIe traffic.
+  // 4 bytes/param/step of PCIe traffic. Shorthand for
+  // offload_tier = kHost; the explicit tier below wins when set.
   bool offload_optimizer = false;
+  // Storage tier for the fp32 optimizer state (alloc/tier.hpp +
+  // core/offload_engine.hpp): kDevice keeps the non-offloaded baseline,
+  // kHost streams through host DRAM (ZeRO-Offload), kNvme through the
+  // simulated NVMe tier (ZeRO-Infinity). Bit-exact vs kDevice at every
+  // stage. Env ZERO_OFFLOAD (host|nvme|1|0) applies when this is
+  // kDevice and offload_optimizer is false.
+  alloc::TierKind offload_tier = alloc::TierKind::kDevice;
+  // Simulated link bandwidth for the offload tier in bytes/second;
+  // 0 = instant link (tests). The bench sets PCIe/NVMe-like speeds.
+  double offload_bandwidth = 0.0;
+  // Streaming granularity of the offload pipeline in fp32 elements per
+  // slice: each slice's gradients move D2H, the host Adam updates it,
+  // and its parameters move H2D, double-buffered against the next
+  // slice's transfers.
+  std::int64_t offload_slice_elems = 1 << 15;
+  // Stream gradient slices to the host as they become final during
+  // backward (record/replay-scheduled, mirroring the prefetcher) rather
+  // than at update time. Disabled automatically under accumulation.
+  bool offload_eager_grads = true;
+  // Budget for gradient bytes staged ahead of the update; staging
+  // stops (degrading toward blocking at-update transfers) when a slice
+  // would exceed it. 0 = unlimited.
+  std::size_t offload_max_inflight_bytes = 0;
+
+  // The tier the engine will actually use once the offload_optimizer
+  // shorthand is folded in.
+  [[nodiscard]] alloc::TierKind resolved_offload_tier() const {
+    if (offload_tier != alloc::TierKind::kDevice) return offload_tier;
+    return offload_optimizer ? alloc::TierKind::kHost
+                             : alloc::TierKind::kDevice;
+  }
   // CB (Sec 6.2): collectives on gradient partitions are issued through
   // a constant-size fused buffer of at most this many elements, rather
   // than one model-size-proportional buffer.

@@ -26,6 +26,10 @@ void BaselineDdpStrategy::ReduceGradients() {
   } else {
     ctx_->AllReduceGradSum(grads_.f32());
   }
+  // The whole (unpartitioned) gradient buffer is final now.
+  ctx_->NotifyGradFinal(0, grads_.numel(),
+                        std::span<const std::byte>(grads_.raw(),
+                                                   grads_.nbytes()));
 }
 
 }  // namespace zero::core

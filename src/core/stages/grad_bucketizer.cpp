@@ -80,6 +80,10 @@ void GradBucketizer::Flush(int j) {
   }
   if (ctx_->nd() == 1) {
     std::memcpy(owner_grads_->raw(), seg.data.raw(), owner_grads_->nbytes());
+    ctx_->NotifyGradFinal(
+        0, owner_grads_->numel(),
+        std::span<const std::byte>(owner_grads_->raw(),
+                                   owner_grads_->nbytes()));
     return;
   }
 
@@ -148,6 +152,10 @@ void GradBucketizer::FlushExact(int j, Segment& seg) {
   }
   if (ctx_->rank() == j) {
     std::memcpy(owner_grads_->raw(), seg.data.raw(), owner_grads_->nbytes());
+    ctx_->NotifyGradFinal(
+        0, owner_grads_->numel(),
+        std::span<const std::byte>(owner_grads_->raw(),
+                                   owner_grads_->nbytes()));
   }
 }
 
@@ -189,7 +197,20 @@ void GradBucketizer::Progress(bool block) {
       }
       MergeChunk(c, cursor);
       ++cursor;
-      if (cursor == npeers) ++pr.merged_chunks;
+      if (cursor == npeers) {
+        ++pr.merged_chunks;
+        // Every peer is folded in: this chunk of the owner's partition
+        // gradient is final and can stream to the offload tier while
+        // backward (and the rest of the reduction) continues.
+        const auto [off, len] = ChunkSpan(c);
+        const std::size_t elem =
+            ctx_->cfg->fp16 ? sizeof(Half) : sizeof(float);
+        ctx_->NotifyGradFinal(
+            off, len,
+            std::span<const std::byte>(
+                pr.acc.raw() + static_cast<std::size_t>(off) * elem,
+                static_cast<std::size_t>(len) * elem));
+      }
     }
   }
   if (pr.merged_chunks == pr.num_chunks) {

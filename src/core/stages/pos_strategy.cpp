@@ -44,6 +44,11 @@ void PosStrategy::ReduceGradients() {
     ctx_->dp->ReduceScatter(grads_.f32(), reduced_shard_.f32(),
                             comm::ReduceOp::kSum);
   }
+  // This rank's reduced shard is final now.
+  ctx_->NotifyGradFinal(
+      0, reduced_shard_.numel(),
+      std::span<const std::byte>(reduced_shard_.raw(),
+                                 reduced_shard_.nbytes()));
 }
 
 }  // namespace zero::core

@@ -38,6 +38,23 @@
 
 namespace zero::core {
 
+// Observer for gradient finality during the backward reduction. A
+// strategy notifies when a contiguous element range of *this rank's
+// reduced gradient shard* holds its final bits (fully reduced, no
+// further writes this step): whole-shard after an all-reduce (stages
+// 0-1), per merged chunk as the bucketized reduce-to-owner completes
+// (stages 2-3). The byte span is in the working dtype and only valid
+// for the duration of the call. The offload engine uses this to stream
+// gradient slices off the device while backward is still running.
+class GradStreamSink {
+ public:
+  virtual ~GradStreamSink() = default;
+  // `bytes` views `numel` elements starting at shard element
+  // `begin_elem` (element width = bytes.size() / numel).
+  virtual void OnShardGradFinal(std::int64_t begin_elem, std::int64_t numel,
+                                std::span<const std::byte> bytes) = 0;
+};
+
 // Everything a strategy needs from its engine. Owned by the engine and
 // outlives the strategy; strategies hold a pointer.
 struct StageContext {
@@ -58,6 +75,17 @@ struct StageContext {
   // rank advances it at the same call sites, so a value drawn here
   // matches across ranks without negotiation.
   std::uint64_t p2p_tag = 1;
+  // When set, strategies report gradient finality here (see
+  // GradStreamSink). Rank-local: notifications never touch the
+  // communicator, so installing the sink cannot perturb SPMD schedules.
+  GradStreamSink* grad_stream = nullptr;
+
+  void NotifyGradFinal(std::int64_t begin_elem, std::int64_t numel,
+                       std::span<const std::byte> bytes) const {
+    if (grad_stream != nullptr) {
+      grad_stream->OnShardGradFinal(begin_elem, numel, bytes);
+    }
+  }
 
   [[nodiscard]] int rank() const { return dp->rank(); }
   [[nodiscard]] int nd() const { return dp->size(); }

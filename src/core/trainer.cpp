@@ -77,6 +77,28 @@ TrainResult TrainGpt(const TrainOptions& options) {
     }
   }
 
+  // Optimizer-state offload tier: explicit config wins over ZERO_OFFLOAD
+  // (host | nvme | 1 | 0). ZERO_OFFLOAD_BW sets the simulated link
+  // bandwidth in bytes/second when the config leaves it at 0 (instant).
+  if (engine_cfg.resolved_offload_tier() == alloc::TierKind::kDevice) {
+    if (const char* env = std::getenv("ZERO_OFFLOAD")) {
+      const std::string v(env);
+      if (v == "host" || v == "1") {
+        engine_cfg.offload_tier = alloc::TierKind::kHost;
+      } else if (v == "nvme") {
+        engine_cfg.offload_tier = alloc::TierKind::kNvme;
+      } else {
+        ZERO_CHECK(v == "0" || v.empty(),
+                   "ZERO_OFFLOAD must be host, nvme, 1 or 0");
+      }
+    }
+  }
+  if (engine_cfg.offload_bandwidth == 0.0) {
+    if (const char* env = std::getenv("ZERO_OFFLOAD_BW")) {
+      engine_cfg.offload_bandwidth = std::strtod(env, nullptr);
+    }
+  }
+
   // Telemetry: explicit config wins; otherwise ZERO_TRACE activates it.
   obs::TelemetryOptions telemetry = options.engine.telemetry;
   telemetry.ResolvePaths();
@@ -96,6 +118,12 @@ TrainResult TrainGpt(const TrainOptions& options) {
   double measured_state_bytes = 0;
   double measured_comm_bytes = 0;
   double measured_overlap_frac = -1.0;  // -1 = prefetch off
+  std::string measured_offload_tier;    // empty = device-resident
+  double measured_host_in_use = 0;
+  double measured_host_peak = 0;
+  double measured_offload_to_tier = 0;
+  double measured_offload_to_device = 0;
+  double measured_offload_hidden = -1.0;
   int comm_steps_measured = 0;
   std::vector<std::string> step_metric_snapshots;
 
@@ -149,7 +177,8 @@ TrainResult TrainGpt(const TrainOptions& options) {
           options.zero_r.activation_checkpointing;
       model::GptModel gpt(model_cfg, session);
 
-      ZeroDpEngine engine(engine_cfg, gpt, dp, &cache, options.seed);
+      ZeroDpEngine engine(engine_cfg, gpt, dp, &cache, options.seed,
+                          &host_mem);
 
       // One shared language (table seed); each DP column reads its own
       // shard (stream seed). MP ranks in a column must see identical
@@ -220,6 +249,21 @@ TrainResult TrainGpt(const TrainOptions& options) {
         if (engine_cfg.prefetch_lookahead > 0) {
           measured_overlap_frac =
               obs::Metrics().gauge("comm.overlap_frac").value();
+        }
+        if (engine_cfg.resolved_offload_tier() != alloc::TierKind::kDevice) {
+          measured_offload_tier =
+              alloc::TierKindName(engine_cfg.resolved_offload_tier());
+          const alloc::HostStats hs = host_mem.Stats();
+          measured_host_in_use = static_cast<double>(hs.in_use);
+          measured_host_peak = static_cast<double>(hs.peak_in_use);
+          if (const alloc::ChannelStats* cs =
+                  engine.offload_channel_stats()) {
+            measured_offload_to_tier =
+                static_cast<double>(cs->bytes_to_tier);
+            measured_offload_to_device =
+                static_cast<double>(cs->bytes_to_device);
+            measured_offload_hidden = cs->hidden_fraction();
+          }
         }
         comm_steps_measured = steps_measured;
         step_metric_snapshots = std::move(local_snapshots);
@@ -309,6 +353,12 @@ TrainResult TrainGpt(const TrainOptions& options) {
       in.measured_comm_bytes = measured_comm_bytes;
       in.steps = comm_steps_measured;
       in.overlap_frac = measured_overlap_frac;
+      in.offload_tier = measured_offload_tier;
+      in.host_in_use_bytes = measured_host_in_use;
+      in.host_peak_bytes = measured_host_peak;
+      in.offload_bytes_to_tier = measured_offload_to_tier;
+      in.offload_bytes_to_device = measured_offload_to_device;
+      in.offload_hidden_frac = measured_offload_hidden;
       obs::StepReport report = obs::BuildStepReport(in);
       if (telemetry.validate) {
         ZLOG_INFO << "step report: " << report.Summary();

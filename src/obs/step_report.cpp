@@ -155,6 +155,16 @@ std::string StepReport::ToJson() const {
   root.Set("inputs", std::move(in));
   root.Set("memory", std::move(mem));
   root.Set("comm", std::move(cm));
+  if (!inputs.offload_tier.empty()) {
+    json::Value off = json::Value::MakeObject();
+    off.Set("tier", json::Value(inputs.offload_tier));
+    off.Set("host_in_use_bytes", json::Value(inputs.host_in_use_bytes));
+    off.Set("host_peak_bytes", json::Value(inputs.host_peak_bytes));
+    off.Set("bytes_to_tier", json::Value(inputs.offload_bytes_to_tier));
+    off.Set("bytes_to_device", json::Value(inputs.offload_bytes_to_device));
+    off.Set("hidden_frac", json::Value(inputs.offload_hidden_frac));
+    root.Set("offload", std::move(off));
+  }
   root.Set("divergences", std::move(div));
   root.Set("ok", json::Value(ok()));
   return root.Dump(2);

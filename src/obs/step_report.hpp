@@ -60,6 +60,18 @@ struct StepReportInputs {
   // parameter prefetcher (metrics gauge comm.overlap_frac); -1 when
   // prefetch was off. Informational — never a divergence.
   double overlap_frac = -1.0;
+  // ---- optimizer-state offload (informational; never a divergence) ----
+  // Tier name ("host" / "nvme") when the fp32 optimizer state lives
+  // behind a storage tier; empty when device-resident. The byte ledgers
+  // mirror the alloc.host.* / offload.* metrics series.
+  std::string offload_tier;
+  double host_in_use_bytes = 0;       // alloc.host.in_use at run end
+  double host_peak_bytes = 0;         // alloc.host.peak
+  double offload_bytes_to_tier = 0;   // device -> tier link traffic
+  double offload_bytes_to_device = 0;  // tier -> device link traffic
+  // Fraction of offload link time hidden behind compute; -1 when the
+  // link was instant or the tier device-resident.
+  double offload_hidden_frac = -1.0;
 };
 
 struct StepReport {

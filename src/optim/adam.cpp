@@ -130,4 +130,33 @@ void MixedPrecisionAdam::StepF32(std::span<float> params_out,
               params_out.size_bytes());
 }
 
+namespace {
+std::span<float> StateSpan(OptStateKind kind, tensor::Tensor& master,
+                           tensor::Tensor& m, tensor::Tensor& v) {
+  switch (kind) {
+    case OptStateKind::kMaster:
+      return master.f32();
+    case OptStateKind::kMomentum:
+      return m.f32();
+    case OptStateKind::kVariance:
+      return v.f32();
+  }
+  return {};
+}
+}  // namespace
+
+void MixedPrecisionAdam::CopyStateOut(OptStateKind kind,
+                                      std::span<float> out) {
+  const std::span<float> src = StateSpan(kind, master_, m_, v_);
+  ZERO_CHECK(out.size() == src.size(), "state copy size mismatch");
+  std::memcpy(out.data(), src.data(), src.size_bytes());
+}
+
+void MixedPrecisionAdam::CopyStateIn(OptStateKind kind,
+                                     std::span<const float> in) {
+  const std::span<float> dst = StateSpan(kind, master_, m_, v_);
+  ZERO_CHECK(in.size() == dst.size(), "state copy size mismatch");
+  std::memcpy(dst.data(), in.data(), in.size_bytes());
+}
+
 }  // namespace zero::optim

@@ -20,6 +20,7 @@
 
 #include "alloc/caching_allocator.hpp"
 #include "common/half.hpp"
+#include "optim/shard_optimizer.hpp"
 #include "tensor/tensor.hpp"
 
 namespace zero::optim {
@@ -38,7 +39,7 @@ void AdamUpdate(const AdamConfig& cfg, std::int64_t t,
                 std::span<float> master, std::span<const float> grad,
                 std::span<float> m, std::span<float> v);
 
-class MixedPrecisionAdam {
+class MixedPrecisionAdam final : public ShardOptimizer {
  public:
   // State tensors (fp32 master + m + v, 12 bytes/param) are allocated
   // from `device` when non-null, else on the heap. `init` seeds the
@@ -50,19 +51,19 @@ class MixedPrecisionAdam {
   // master weights, and the updated weights are rounded back into
   // params_f16. Spans must match the shard size.
   void Step(std::span<Half> params_f16, std::span<const Half> grads_f16,
-            float loss_scale);
+            float loss_scale) override;
 
   // fp32 path (used when the engine keeps fp32 gradients, e.g. in exact
   // equivalence tests).
   void StepF32(std::span<float> params_out, std::span<const float> grads,
-               float grad_scale);
+               float grad_scale) override;
 
   // fp32 gradients (e.g. an accumulation buffer) updating fp16 params.
   void StepFromF32(std::span<Half> params_f16, std::span<const float> grads,
-                   float grad_scale);
+                   float grad_scale) override;
 
-  [[nodiscard]] std::int64_t numel() const { return numel_; }
-  [[nodiscard]] std::int64_t step_count() const { return t_; }
+  [[nodiscard]] std::int64_t numel() const override { return numel_; }
+  [[nodiscard]] std::int64_t step_count() const override { return t_; }
   [[nodiscard]] std::span<const float> master() const {
     return master_.f32();
   }
@@ -73,7 +74,10 @@ class MixedPrecisionAdam {
   [[nodiscard]] std::span<const float> variance() const { return v_.f32(); }
   [[nodiscard]] std::span<float> variance_mutable() { return v_.f32(); }
   // Restores the bias-correction clock when loading a checkpoint.
-  void set_step_count(std::int64_t t) { t_ = t; }
+  void set_step_count(std::int64_t t) override { t_ = t; }
+
+  void CopyStateOut(OptStateKind kind, std::span<float> out) override;
+  void CopyStateIn(OptStateKind kind, std::span<const float> in) override;
 
   // Bytes of optimizer state per parameter — the paper's K.
   static constexpr double kStateBytesPerParam = 12.0;

@@ -1,0 +1,61 @@
+// Storage-agnostic interface over a rank's optimizer-state shard.
+//
+// The engine drives the fp32 master state through this interface so the
+// state can live anywhere: on the device (MixedPrecisionAdam, the
+// non-offloaded baseline) or streamed through a storage tier
+// (core::OffloadEngine). Every implementation must compute the exact
+// same bits for the same inputs — tiering is a placement decision, not
+// an arithmetic one — which is why checkpoint access is copy-based
+// (CopyStateOut/CopyStateIn): a tier is not required to expose its
+// fp32 state as addressable spans.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/half.hpp"
+
+namespace zero::optim {
+
+enum class OptStateKind : unsigned char {
+  kMaster,    // fp32 master weights
+  kMomentum,  // Adam first moment
+  kVariance,  // Adam second moment
+};
+
+class ShardOptimizer {
+ public:
+  virtual ~ShardOptimizer() = default;
+
+  // One update from fp16 gradients (divided by `loss_scale`) into fp16
+  // parameters. Spans must match the shard size.
+  virtual void Step(std::span<Half> params_f16,
+                    std::span<const Half> grads_f16, float loss_scale) = 0;
+  // fp32 gradients (e.g. an accumulation buffer) updating fp16 params.
+  virtual void StepFromF32(std::span<Half> params_f16,
+                           std::span<const float> grads, float grad_scale) = 0;
+  // Pure fp32 path (exact-equivalence configurations).
+  virtual void StepF32(std::span<float> params_out,
+                       std::span<const float> grads, float grad_scale) = 0;
+
+  [[nodiscard]] virtual std::int64_t numel() const = 0;
+  [[nodiscard]] virtual std::int64_t step_count() const = 0;
+  // Restores the bias-correction clock when loading a checkpoint.
+  virtual void set_step_count(std::int64_t t) = 0;
+
+  // Copies one state tensor out of / into wherever it lives. Spans must
+  // be exactly `numel` floats.
+  virtual void CopyStateOut(OptStateKind kind, std::span<float> out) = 0;
+  virtual void CopyStateIn(OptStateKind kind, std::span<const float> in) = 0;
+
+  // Bytes moved across the storage link on this shard's behalf
+  // (0 for device-resident state).
+  [[nodiscard]] virtual std::uint64_t transfer_bytes() const { return 0; }
+
+  // Drops gradient bytes staged ahead of an update that will never
+  // happen (loss-scale overflow skip, state import). No-op unless the
+  // implementation streams gradients eagerly.
+  virtual void DiscardStagedGradients() {}
+};
+
+}  // namespace zero::optim

@@ -15,6 +15,47 @@ double Efficiency(const ClusterSpec& cluster, const JobConfig& job) {
   return cluster.eff_max * f_tokens * f_width;
 }
 
+double OptimizerOffloadBytesPerStep(const JobConfig& job) {
+  if (job.optimizer_tier == OffloadTier::kNone) return 0.0;
+  // The rank's optimizer shard: full model for the unpartitioned
+  // baseline, Psi/Nd under Pos and above.
+  const double shard = job.stage == model::ZeroStage::kNone
+                           ? job.psi_local()
+                           : job.psi_local() / job.dp();
+  // fp16 gradients in + fp16 parameters out (the fp32 casts happen on
+  // the host — ZeRO-Offload's compute split).
+  double bytes = 4.0 * shard;
+  if (job.optimizer_tier == OffloadTier::kNvme) {
+    // The fp32 state itself streams through the link both ways.
+    bytes += 24.0 * shard;
+  }
+  return bytes;
+}
+
+double ExposedOffloadSeconds(const ClusterSpec& cluster, const JobConfig& job,
+                             double compute_s) {
+  double exposed = 0.0;
+  if (job.pa_cpu) {
+    // Pa+cpu checkpoint slices: out during forward, back during
+    // backward, synchronous per-layer copies on the critical path.
+    const double slice = 2.0 * static_cast<double>(job.batch_per_gpu) *
+                         static_cast<double>(job.model.seq) *
+                         static_cast<double>(job.model.hidden) *
+                         static_cast<double>(job.model.layers) / job.mp;
+    const double t = 2.0 * slice / cluster.pcie_bw;
+    exposed += std::max(0.0, t - cluster.offload_overlap * compute_s);
+  }
+  if (job.optimizer_tier != OffloadTier::kNone) {
+    const double bw = job.optimizer_tier == OffloadTier::kNvme
+                          ? cluster.nvme_bw
+                          : cluster.pcie_bw;
+    const double t = OptimizerOffloadBytesPerStep(job) / bw;
+    exposed +=
+        std::max(0.0, t - cluster.optimizer_offload_overlap * compute_s);
+  }
+  return exposed;
+}
+
 ThroughputEstimate EstimateThroughput(const ClusterSpec& cluster,
                                       const JobConfig& job) {
   ZERO_CHECK(job.batch_per_gpu >= 1, "batch must be positive");
@@ -77,14 +118,8 @@ ThroughputEstimate EstimateThroughput(const ClusterSpec& cluster,
   }
   out.dp_comm_s = std::max(0.0, dp_time - overlap * out.compute_s);
 
-  // --- Pa+cpu host transfers ---
-  double offload_time = 0;
-  if (job.pa_cpu) {
-    const double slice = 2.0 * b * s * h * l / mp;  // this GPU's slices
-    offload_time = 2.0 * slice / cluster.pcie_bw;   // out and back
-  }
-  out.offload_s =
-      std::max(0.0, offload_time - cluster.offload_overlap * out.compute_s);
+  // --- off-device transfers (Pa+cpu + the optimizer tier) ---
+  out.offload_s = ExposedOffloadSeconds(cluster, job, out.compute_s);
 
   out.step_seconds =
       out.compute_s + out.mp_comm_s + out.dp_comm_s + out.offload_s;

@@ -35,6 +35,20 @@ struct ThroughputEstimate {
 // Fraction of peak the GEMMs achieve for this job.
 double Efficiency(const ClusterSpec& cluster, const JobConfig& job);
 
+// Per-rank optimizer-tier link traffic per step in bytes: ZeRO-Offload's
+// fp16 wire format (gradients to the tier + updated parameters back,
+// 4 B/param of this rank's shard); the NVMe tier additionally streams
+// the K = 12 B/param fp32 state in and back out each update because it
+// is not host-addressable. 0 when the optimizer is device-resident.
+double OptimizerOffloadBytesPerStep(const JobConfig& job);
+
+// Exposed (non-overlapped) off-device transfer seconds per step: Pa+cpu
+// checkpoint slices over PCIe, plus the optimizer-tier stream. One
+// definition shared by the analytic model and the simulated-network
+// bridge (they previously carried duplicate copies of this formula).
+double ExposedOffloadSeconds(const ClusterSpec& cluster, const JobConfig& job,
+                             double compute_s);
+
 ThroughputEstimate EstimateThroughput(const ClusterSpec& cluster,
                                       const JobConfig& job);
 

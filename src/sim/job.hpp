@@ -7,6 +7,16 @@
 
 namespace zero::sim {
 
+// Where the fp32 optimizer state lives (sim-side mirror of
+// alloc::TierKind; zero_sim deliberately does not link the runtime
+// allocator). kHost is ZeRO-Offload's split, kNvme the ZeRO-Infinity
+// direction the paper's Sec 2.2.2 contrasts with.
+enum class OffloadTier : unsigned char {
+  kNone,  // device-resident (the paper's default)
+  kHost,  // host DRAM behind PCIe
+  kNvme,  // NVMe behind a slower link; state streams through host
+};
+
 struct JobConfig {
   model::TransformerSpec model;
   int gpus = 400;
@@ -22,6 +32,10 @@ struct JobConfig {
   // hides the extra 1 Psi broadcast traffic behind compute; 0 exposes
   // it. Mirrors EngineConfig::prefetch_lookahead.
   int prefetch_lookahead = 2;
+  // Optimizer-state storage tier. Mirrors EngineConfig::offload_tier:
+  // K*Psi/Nd moves off the device in exchange for 4 B/param/step of
+  // fp16 wire traffic (plus the 24 B/param fp32 state stream for NVMe).
+  OffloadTier optimizer_tier = OffloadTier::kNone;
 
   [[nodiscard]] int dp() const { return gpus / mp; }
   [[nodiscard]] std::int64_t psi() const { return model.NumParameters(); }

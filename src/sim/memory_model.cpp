@@ -26,6 +26,16 @@ MemoryBreakdown EstimateMemory(const ClusterSpec& cluster,
   mem.params = states.parameters;
   mem.grads = states.gradients;
   mem.optimizer = states.optimizer;
+  // A storage tier relocates the K*Psi/Nd fp32 state off the device
+  // (ZeRO-Offload / ZeRO-Infinity); the wire traffic it costs is the
+  // cost model's ExposedOffloadSeconds.
+  if (job.optimizer_tier == OffloadTier::kHost) {
+    mem.host_optimizer = mem.optimizer;
+    mem.optimizer = 0.0;
+  } else if (job.optimizer_tier == OffloadTier::kNvme) {
+    mem.nvme_optimizer = mem.optimizer;
+    mem.optimizer = 0.0;
+  }
 
   // --- activations ---
   // Per-layer working activations split by what Megatron-style MP can
@@ -45,7 +55,10 @@ MemoryBreakdown EstimateMemory(const ClusterSpec& cluster,
     // moved to host entirely under Pa+cpu.
     double ckpt = 2.0 * b * s * h * l;
     if (job.pa) ckpt /= mp;
-    if (job.pa_cpu) ckpt = 0.0;
+    if (job.pa_cpu) {
+      mem.host_checkpoints = ckpt;
+      ckpt = 0.0;
+    }
     mem.checkpoints = ckpt;
     // Recompute materializes one block's activations at a time.
     mem.working = replicated_per_layer + sharded_per_layer;
@@ -77,8 +90,18 @@ MemoryBreakdown EstimateMemory(const ClusterSpec& cluster,
   return mem;
 }
 
+FitsReport CheckFits(const ClusterSpec& cluster, const JobConfig& job) {
+  const MemoryBreakdown mem = EstimateMemory(cluster, job);
+  const double gpus = static_cast<double>(cluster.gpus_per_node);
+  FitsReport r;
+  r.device = mem.total() <= cluster.usable_memory();
+  r.host = mem.host_total() <= cluster.host_memory_per_node / gpus;
+  r.nvme = mem.nvme_total() <= cluster.nvme_per_node / gpus;
+  return r;
+}
+
 bool Fits(const ClusterSpec& cluster, const JobConfig& job) {
-  return EstimateMemory(cluster, job).total() <= cluster.usable_memory();
+  return CheckFits(cluster, job).all();
 }
 
 }  // namespace zero::sim

@@ -11,20 +11,31 @@ namespace zero::sim {
 struct MemoryBreakdown {
   double params = 0;       // fp16 parameters
   double grads = 0;        // fp16 gradients
-  double optimizer = 0;    // fp32 master + momentum + variance (K = 12)
+  double optimizer = 0;    // device-resident fp32 master+m+v (K = 12)
   double checkpoints = 0;  // stored activation checkpoints
   double working = 0;      // live activations of one (or all) block(s)
   double logits = 0;       // output projection activations
   double buffers = 0;      // fused communication buffers (CB)
+  // Off-device tiers (JobConfig::optimizer_tier, pa_cpu): the same
+  // bytes the device fields would hold, relocated per Sec 6.1 /
+  // ZeRO-Offload / ZeRO-Infinity. Zero when everything is on-device.
+  double host_optimizer = 0;    // K*Psi/Nd in host DRAM
+  double nvme_optimizer = 0;    // K*Psi/Nd on NVMe
+  double host_checkpoints = 0;  // Pa+cpu activation checkpoints
   [[nodiscard]] double model_states() const {
     return params + grads + optimizer;
   }
   [[nodiscard]] double activations() const {
     return checkpoints + working + logits;
   }
+  // Per-GPU *device* bytes; the off-device tiers have their own totals.
   [[nodiscard]] double total() const {
     return model_states() + activations() + buffers;
   }
+  [[nodiscard]] double host_total() const {
+    return host_optimizer + host_checkpoints;
+  }
+  [[nodiscard]] double nvme_total() const { return nvme_optimizer; }
 };
 
 // Constant fused-buffer size used when CB is enabled (Sec 6.2).
@@ -33,7 +44,18 @@ inline constexpr double kConstantBufferBytes = 256.0 * MB;
 MemoryBreakdown EstimateMemory(const ClusterSpec& cluster,
                                const JobConfig& job);
 
-// True when the job fits in per-device memory.
+// Per-tier feasibility: device memory, this GPU's share of node DRAM,
+// and its share of the node's NVMe array.
+struct FitsReport {
+  bool device = false;
+  bool host = false;
+  bool nvme = false;
+  [[nodiscard]] bool all() const { return device && host && nvme; }
+};
+
+FitsReport CheckFits(const ClusterSpec& cluster, const JobConfig& job);
+
+// True when the job fits every tier it uses.
 bool Fits(const ClusterSpec& cluster, const JobConfig& job);
 
 }  // namespace zero::sim

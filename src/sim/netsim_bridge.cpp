@@ -73,17 +73,9 @@ ThroughputEstimate EstimateThroughputSimulatedNetwork(
   }
   out.dp_comm_s = std::max(0.0, dp_time - dp_overlap * out.compute_s);
 
-  // --- Pa+cpu host transfers: identical to the analytic model ---
-  double offload_time = 0;
-  if (job.pa_cpu) {
-    const double slice = 2.0 * static_cast<double>(job.batch_per_gpu) *
-                         static_cast<double>(m.seq) *
-                         static_cast<double>(m.hidden) *
-                         static_cast<double>(m.layers) / mp;
-    offload_time = 2.0 * slice / cluster.pcie_bw;
-  }
-  out.offload_s =
-      std::max(0.0, offload_time - cluster.offload_overlap * out.compute_s);
+  // --- off-device transfers: the shared helper the analytic model
+  // uses (cost_model.cpp) — the link does not contend with the network.
+  out.offload_s = ExposedOffloadSeconds(cluster, job, out.compute_s);
 
   out.step_seconds =
       out.compute_s + out.mp_comm_s + out.dp_comm_s + out.offload_s;

@@ -63,6 +63,34 @@ std::optional<ThroughputEstimate> BestThroughput(const ClusterSpec& cluster,
   return EstimateThroughput(cluster, job);
 }
 
+int MinGpusToFit(const ClusterSpec& cluster, JobConfig job, int limit) {
+  ZERO_CHECK(job.mp >= 1, "MP degree must be positive");
+  auto fits_at = [&](std::int64_t gpus) {
+    job.gpus = static_cast<int>(gpus);
+    return Fits(cluster, job);
+  };
+  // More GPUs never hurt feasibility (every partitioned term shrinks
+  // with Nd), so the predicate is monotone: exponential probe in
+  // multiples of mp, then binary search on the multiplier.
+  std::int64_t lo = 1;  // multiplier of mp; lo does not fit (yet)
+  if (fits_at(job.mp)) return job.mp;
+  std::int64_t hi = 2;
+  while (hi * job.mp <= limit && !fits_at(hi * job.mp)) {
+    lo = hi;
+    hi *= 2;
+  }
+  if (hi * job.mp > limit) return 0;
+  while (lo + 1 < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (fits_at(mid * job.mp)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return static_cast<int>(hi * job.mp);
+}
+
 double TheoreticalMaxParams(double capacity_bytes, model::ZeroStage stage,
                             int mp, int nd) {
   // Per-parameter bytes for one data-parallel device (Fig 1).

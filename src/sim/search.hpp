@@ -25,6 +25,15 @@ std::int64_t MaxLayers(const ClusterSpec& cluster, JobConfig job,
 std::optional<ThroughputEstimate> BestThroughput(const ClusterSpec& cluster,
                                                  JobConfig job);
 
+// Smallest GPU count at which the job fits every tier it uses (device
+// memory plus, with an offload tier, the per-GPU share of node DRAM /
+// NVMe). Scans multiples of the MP degree: mp, 2*mp, 4*mp, ... then
+// binary-searches. Returns 0 when the job does not fit even at `limit`.
+// This is the "what fits on N GPUs with offload" question ZeRO-Infinity
+// style planning asks.
+int MinGpusToFit(const ClusterSpec& cluster, JobConfig job,
+                 int limit = 1 << 20);
+
 // The paper's closed-form "max theoretical model size" (Table 2, left):
 // parameters such that per-device *model states alone* fill the device:
 //   psi = capacity * mp * nd / (per-param bytes under the stage).

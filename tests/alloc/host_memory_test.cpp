@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <span>
 #include <vector>
 
 #include "common/error.hpp"
@@ -44,6 +45,74 @@ TEST(HostMemoryTest, RestoreConsumesHandle) {
   const std::size_t h = host.Offload(buf.data(), buf.size());
   host.Restore(h, buf.data());
   EXPECT_THROW(host.Restore(h, buf.data()), Error);
+}
+
+TEST(HostMemoryTest, SizeOfUnknownHandleThrows) {
+  HostMemory host;
+  EXPECT_THROW((void)host.SizeOfHandle(42), Error);
+  std::vector<std::byte> buf(64);
+  const std::size_t h = host.Offload(buf.data(), buf.size());
+  host.Restore(h, buf.data());
+  // Consumed handles are unknown again.
+  EXPECT_THROW((void)host.SizeOfHandle(h), Error);
+}
+
+TEST(HostMemoryTest, ResetPeakRebasesToCurrentOccupancy) {
+  HostMemory host;
+  std::vector<std::byte> buf(4096);
+  const std::size_t h1 = host.Offload(buf.data(), buf.size());
+  const std::size_t h2 = host.Offload(buf.data(), buf.size());
+  host.Restore(h2, buf.data());
+  EXPECT_EQ(host.Stats().peak_in_use, 8192u);
+  // Peak rebases to what is still live, not to zero.
+  host.ResetPeak();
+  EXPECT_EQ(host.Stats().peak_in_use, 4096u);
+  EXPECT_EQ(host.Stats().in_use, 4096u);
+  host.Restore(h1, buf.data());
+  host.ResetPeak();
+  EXPECT_EQ(host.Stats().peak_in_use, 0u);
+  // Transfer ledgers are cumulative and unaffected by peak resets.
+  EXPECT_EQ(host.Stats().bytes_to_host, 8192u);
+  EXPECT_EQ(host.Stats().bytes_from_host, 8192u);
+}
+
+TEST(HostMemoryTest, RegionsAreZeroedPersistentAndCounted) {
+  HostMemory host;
+  const std::size_t rg = host.CreateRegion(512);
+  EXPECT_EQ(host.Stats().in_use, 512u);
+  // Region creation moves no data across the link.
+  EXPECT_EQ(host.Stats().bytes_to_host, 0u);
+  const std::span<std::byte> bytes = host.RegionBytes(rg);
+  ASSERT_EQ(bytes.size(), 512u);
+  for (std::byte b : bytes) EXPECT_EQ(b, std::byte{0});
+  bytes[0] = std::byte{0x7f};
+  // The region stays addressable (unlike Offload/Restore handles).
+  EXPECT_EQ(host.RegionBytes(rg)[0], std::byte{0x7f});
+
+  // In-place traffic is reported through the Note hooks.
+  host.NoteToHost(100);
+  host.NoteFromHost(60);
+  EXPECT_EQ(host.Stats().bytes_to_host, 100u);
+  EXPECT_EQ(host.Stats().bytes_from_host, 60u);
+
+  host.ReleaseRegion(rg);
+  EXPECT_EQ(host.Stats().in_use, 0u);
+  EXPECT_EQ(host.Stats().peak_in_use, 512u);
+  EXPECT_THROW((void)host.RegionBytes(rg), Error);
+  EXPECT_THROW(host.ReleaseRegion(rg), Error);
+}
+
+TEST(HostMemoryTest, RegionAndOffloadHandlesDoNotCollide) {
+  HostMemory host;
+  std::vector<std::byte> buf(32);
+  const std::size_t h = host.Offload(buf.data(), buf.size());
+  const std::size_t rg = host.CreateRegion(32);
+  EXPECT_NE(h, rg);
+  // An Offload handle is not a region and vice versa.
+  EXPECT_THROW((void)host.RegionBytes(h), Error);
+  EXPECT_THROW(host.Restore(rg, buf.data()), Error);
+  host.Restore(h, buf.data());
+  host.ReleaseRegion(rg);
 }
 
 }  // namespace
