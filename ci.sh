@@ -48,6 +48,13 @@ echo "==> bench: optimizer-offload streaming gate (release build)"
 # BENCH_offload.json. Same ZERO_BENCH_RELAX=1 escape hatch.
 ./build/bench/offload_step BENCH_offload.json
 
+echo "==> bench: ZeRO++ communication-compression gate (release build)"
+# Measures per-rank stage-3 DP-fabric bytes under qwZ/hpZ/qgZ against
+# exact stage 3 (Nd = 4, 2 ranks/node): the full stack must cut the
+# fabric volume >= 3x; writes BENCH_zeropp.json. Same ZERO_BENCH_RELAX=1
+# escape hatch.
+./build/bench/comm_volume_analysis BENCH_zeropp.json
+
 echo "==> smoke: 2-rank stage-3 run with telemetry artifacts"
 # End-to-end telemetry check: the run must produce a valid Chrome trace,
 # per-step metrics, and a step report whose measured memory/comm match
@@ -63,6 +70,27 @@ ZERO_TRACE=build/smoke_trace.json ZERO_PREFETCH=2 \
 test -s build/smoke_trace.json.metrics.json
 # Top-level "ok" (indent 2) — the per-check ok fields are indented deeper.
 grep -q '^  "ok": true' build/smoke_trace.json.report.json
+
+echo "==> smoke: 2-rank stage-3 run with every ZeRO++ path on"
+# Same smoke with qwZ + hpZ + qgZ engaged (2 ranks = 1 node group of 2,
+# so hpZ/qgZ run their intra-node schedules end to end). The report's
+# paper-equation checks are compression-aware: "ok" asserts the measured
+# bytes match the *rewritten* volume, and the rewritten volume must be
+# measurably below the exact run's.
+rm -f build/smoke_zpp.json build/smoke_zpp.json.metrics.json \
+  build/smoke_zpp.json.report.json
+ZERO_TRACE=build/smoke_zpp.json ZERO_PREFETCH=2 \
+  ZERO_QWZ=1 ZERO_HPZ=1 ZERO_QGZ=1 ZERO_RANKS_PER_NODE=2 \
+  ./build/examples/train_gpt_mini 3 2 1 3
+./build/bench/trace_validate build/smoke_zpp.json
+grep -q '^  "ok": true' build/smoke_zpp.json.report.json
+# Compressed DP volume strictly below the exact smoke's (python-free
+# integer compare on the two reports' measured_bytes_per_step fields).
+exact_bytes=$(sed -n 's/.*"measured_bytes_per_step": \([0-9]*\).*/\1/p' \
+  build/smoke_trace.json.report.json)
+zpp_bytes=$(sed -n 's/.*"measured_bytes_per_step": \([0-9]*\).*/\1/p' \
+  build/smoke_zpp.json.report.json)
+test "${zpp_bytes}" -lt "${exact_bytes}"
 
 echo "==> tsan: configure + build + ctest"
 cmake --preset tsan >/dev/null

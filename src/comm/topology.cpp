@@ -42,11 +42,11 @@ NodeTopology::NodeTopology(const Communicator& within, int per_node)
     : ranks_per_node(per_node), members(within.members()),
       parent_low_(within.group_id() & 0xF) {
   ZERO_CHECK(per_node >= 1, "ranks_per_node must be positive");
-  ZERO_CHECK(within.size() % per_node == 0,
-             "group size " + std::to_string(within.size()) +
-                 " not divisible by ranks_per_node " +
-                 std::to_string(per_node));
-  nodes = within.size() / per_node;
+  // Uneven worlds degrade cleanly: the last node is simply short (ceil
+  // division), single-rank nodes make every member its own leader, and
+  // per_node > size collapses to one node spanning the whole group. The
+  // leaders' group always has one member per node — never empty.
+  nodes = (within.size() + per_node - 1) / per_node;
 }
 
 int NodeTopology::GroupRankOf(int global_rank) const {
@@ -59,10 +59,10 @@ int NodeTopology::GroupRankOf(int global_rank) const {
 std::vector<int> NodeTopology::LocalMembers(int group_rank) const {
   const std::size_t base = static_cast<std::size_t>(NodeIndex(group_rank)) *
                            static_cast<std::size_t>(ranks_per_node);
+  const std::size_t end = std::min(
+      members.size(), base + static_cast<std::size_t>(ranks_per_node));
   return {members.begin() + static_cast<std::ptrdiff_t>(base),
-          members.begin() +
-              static_cast<std::ptrdiff_t>(base + static_cast<std::size_t>(
-                                                     ranks_per_node))};
+          members.begin() + static_cast<std::ptrdiff_t>(end)};
 }
 
 std::vector<int> NodeTopology::LeaderMembers() const {

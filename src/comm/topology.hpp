@@ -8,6 +8,7 @@
 // nodes").
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -49,8 +50,11 @@ struct GridTopology {
 // its local communicator; only ranks with IsLeader() true may build the
 // leaders' communicator.
 struct NodeTopology {
-  // `within` supplies the member list being sliced; its size must divide
-  // evenly by ranks_per_node.
+  // `within` supplies the member list being sliced. The size need not
+  // divide evenly by ranks_per_node: the last node is short (ceil
+  // division) and uniform() reports false. Schedules that require equal
+  // node sizes (hierarchical all-reduce, hpZ/qgZ) must check uniform()
+  // and fall back to flat when it does not hold.
   NodeTopology(const Communicator& within, int ranks_per_node);
 
   int ranks_per_node = 1;
@@ -71,6 +75,17 @@ struct NodeTopology {
   }
   [[nodiscard]] bool IsLeader(int group_rank) const {
     return LocalRank(group_rank) == 0;
+  }
+  // Members of a node, accounting for a short last node.
+  [[nodiscard]] int LocalSize(int group_rank) const {
+    const int size = static_cast<int>(members.size());
+    const int base = NodeIndex(group_rank) * ranks_per_node;
+    return std::min(ranks_per_node, size - base);
+  }
+  // True when every node has exactly ranks_per_node members — the
+  // precondition of the equal-shard two-level schedules.
+  [[nodiscard]] bool uniform() const {
+    return static_cast<int>(members.size()) % ranks_per_node == 0;
   }
 
   [[nodiscard]] std::vector<int> LocalMembers(int group_rank) const;

@@ -10,6 +10,7 @@
 #include "obs/trace.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/parallel_for.hpp"
+#include "tensor/quantize.hpp"
 
 namespace zero::core {
 
@@ -59,18 +60,37 @@ void ZeroDpEngine::InitState(std::uint64_t seed) {
   ctx_.dp = dp_;
   ctx_.device = device_;
   ctx_.part = &part_;
-  if (cfg_.hierarchical_comm && cfg_.ranks_per_node > 1 && nd() > 1 &&
-      !cfg_.exact_reductions) {
-    // Slice the DP group into node-sized blocks for the two-level
-    // gradient all-reduce (exact_reductions keeps the rank-ordered flat
-    // schedule — hierarchical bracketing differs from it).
+  // ---- resolve the node topology + ZeRO++ compression flags ----
+  // Every node-aware schedule needs equal node sizes; an uneven DP
+  // degree falls back to flat (NodeTopology itself degrades cleanly but
+  // the two-level shard math would not).
+  const bool nodes_uniform = cfg_.ranks_per_node > 1 && nd() > 1 &&
+                             nd() % cfg_.ranks_per_node == 0;
+  // exact_reductions is the bit-exact escape hatch: it disables every
+  // lossy or re-bracketed path wholesale, qwZ/hpZ/qgZ included.
+  const bool lossy_ok = cfg_.fp16 && !cfg_.exact_reductions;
+  ctx_.qwz = cfg_.qwz && lossy_ok && nd() > 1;
+  ctx_.hpz = cfg_.hpz && lossy_ok && nodes_uniform &&
+             cfg_.stage == model::ZeroStage::kOsGP;
+  ctx_.qgz = cfg_.qgz && lossy_ok && nodes_uniform &&
+             (cfg_.stage == model::ZeroStage::kOsG ||
+              cfg_.stage == model::ZeroStage::kOsGP);
+  ctx_.quant_block =
+      std::clamp<std::int64_t>(cfg_.quant_block, 1, tensor::kMaxQuantBlock);
+  ctx_.hierarchical_allreduce =
+      cfg_.hierarchical_comm && nodes_uniform && !cfg_.exact_reductions;
+  if (ctx_.hierarchical_allreduce || ctx_.hpz || ctx_.qgz) {
+    // Slice the DP group into node-sized blocks: the two-level gradient
+    // all-reduce, the hpZ secondary shard and the qgZ intra-node fold
+    // all run on the local slice (leaders only exist for the former).
     comm::NodeTopology topo(*dp_, cfg_.ranks_per_node);
     local_comm_.emplace(topo.MakeLocalComm(dp_->context()));
-    if (topo.IsLeader(rank())) {
+    if (ctx_.hierarchical_allreduce && topo.IsLeader(rank())) {
       leaders_comm_.emplace(topo.MakeLeadersComm(dp_->context()));
     }
     ctx_.local = &*local_comm_;
     ctx_.leaders = leaders_comm_.has_value() ? &*leaders_comm_ : nullptr;
+    ctx_.node_size = cfg_.ranks_per_node;
   }
   strategy_ = MakeStageStrategy(ctx_);
   strategy_->InitParams(init);

@@ -118,6 +118,19 @@ class ZeroDpEngine final : public model::ParamProvider, public model::GradSink {
   }
   // Link ledger of the offload tier; null when device-resident.
   [[nodiscard]] const alloc::ChannelStats* offload_channel_stats() const;
+  // The intra-node slice of the DP group; null unless a node-aware
+  // schedule (hierarchical all-reduce, hpZ, qgZ) is active. Its
+  // CommStats ledger is the intra-node traffic the DP ledger no longer
+  // sees — the step report splits measured volume on this boundary.
+  [[nodiscard]] const comm::Communicator* local_comm() const {
+    return local_comm_.has_value() ? &*local_comm_ : nullptr;
+  }
+  // The ZeRO++ compression paths actually engaged after the engine
+  // resolved fp16/exactness/topology requirements (in qwz/hpz/qgz
+  // order).
+  [[nodiscard]] bool qwz_active() const { return ctx_.qwz; }
+  [[nodiscard]] bool hpz_active() const { return ctx_.hpz; }
+  [[nodiscard]] bool qgz_active() const { return ctx_.qgz; }
   // Materializes the full fp32 parameter vector. Collective for stage 3
   // (parameters must be fetched from their owners).
   [[nodiscard]] std::vector<float> GatherFullParams();

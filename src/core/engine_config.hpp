@@ -103,9 +103,42 @@ struct EngineConfig {
   // Different bracketing than the flat ring, so NOT bit-exact vs flat
   // (and ignored when exact_reductions is set).
   bool hierarchical_comm = false;
-  // DP-group ranks per "node" block; must divide the DP degree. <= 1
-  // means flat.
+  // DP-group ranks per "node" block. <= 1 means flat; a DP degree that
+  // does not divide evenly falls back to flat for the schedules that
+  // need equal node sizes (hierarchical all-reduce, hpZ, qgZ). Env
+  // ZERO_RANKS_PER_NODE applies when this is 1.
   int ranks_per_node = 1;
+
+  // ---- ZeRO++ communication compression (arXiv:2306.10209) ----
+  // All three paths require fp16 mode, are lossy-but-deterministic, and
+  // are disabled wholesale by exact_reductions (the bit-exact escape
+  // hatch). Env knobs ZERO_QWZ / ZERO_HPZ / ZERO_QGZ apply when the
+  // fields are false.
+  //
+  // qwZ: parameter all-gathers/broadcasts (stage-3 unit materialization
+  // incl. prefetch, stage-1/2 post-update re-gather) ship blockwise int8
+  // codes + fp16 scales instead of the fp16 payload (~3.8x fewer bytes
+  // at quant_block 64).
+  bool qwz = false;
+  // hpZ: each rank additionally keeps a secondary fp16 parameter shard
+  // partitioned over its intra-node group (ranks_per_node), captured
+  // from forward materializations; stage-3 backward gathers then resolve
+  // entirely inside the node group. Forward gathers stay global (they
+  // refresh the secondary shard). Needs ranks_per_node > 1.
+  bool hpz = false;
+  // qgZ: bucketized gradient reduce-scatter goes hierarchical — fp16
+  // chunks fold into fp32 at a per-node relay, and only the relay's
+  // quantized int8 partial crosses the node boundary to the owner.
+  // Needs ranks_per_node > 1. Different bracketing than the flat path,
+  // so NOT bit-exact vs qgz=false.
+  bool qgz = false;
+  // Elements per quantization block for qwZ/qgZ (one fp16 scale each).
+  std::int64_t quant_block = 64;
+  // Memory budget for the hpZ secondary shard, in bytes per rank. If the
+  // shard would exceed it, hpZ disables itself uniformly across the
+  // group (the bound is config-derived, so the decision is SPMD-safe).
+  // 0 = unlimited.
+  std::size_t hpz_max_bytes = 0;
 
   // Runtime telemetry: tracing/metrics/step-report switches for the run.
   // TelemetryOptions::FromEnv() honors ZERO_TRACE; spans are compiled in

@@ -1,6 +1,7 @@
 #include "core/stages/full_param_strategy.hpp"
 
 #include <cstring>
+#include "comm/nonblocking_collectives.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/kernels.hpp"
@@ -100,7 +101,17 @@ void FullParamStrategy::AllGatherParams() {
     std::vector<Half> chunk(static_cast<std::size_t>(shard));
     std::memcpy(chunk.data(), params_.f16().data() + own.begin,
                 chunk.size() * sizeof(Half));
-    ctx_->dp->AllGather(std::span<const Half>(chunk), params_.f16());
+    if (ctx_->qwz) {
+      // qwZ: the step-end all-gather ships int8 + per-block scales.
+      // Lossy on this rank's own chunk too, but that is safe — the next
+      // update overwrites the working copy from the fp32 master, and
+      // dequantizing everywhere keeps all replicas bit-identical.
+      comm::IQuantAllGather(*ctx_->dp, std::span<const Half>(chunk),
+                            params_.f16(), ctx_->quant_block)
+          .Wait();
+    } else {
+      ctx_->dp->AllGather(std::span<const Half>(chunk), params_.f16());
+    }
   } else {
     std::vector<float> chunk(static_cast<std::size_t>(shard));
     std::memcpy(chunk.data(), params_.f32().data() + own.begin,

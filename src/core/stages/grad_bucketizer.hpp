@@ -27,6 +27,20 @@
 // sends nothing — (Nd-1)/Nd * 2Ψ bytes per step, the paper's stage-2
 // accounting. In exact_reductions mode (fp32 testing) the flush
 // degrades to the blocking rank-ordered reduce every stage shares.
+//
+// qgZ (StageContext::qgz, ZeRO++ arXiv:2306.10209): the flush goes
+// hierarchical. For partition j, each node elects the member with the
+// owner's local index as its *relay*; non-relays send their fp16
+// segment chunks over the intra-node communicator, the relay folds them
+// into an fp32 accumulator (widen-add in ascending local-rank order),
+// and only the relay's blockwise-int8-quantized partial crosses the
+// node boundary to the owner, who dequantize-accumulates node partials
+// in ascending node order before narrowing to the work dtype. Cross-
+// node bytes drop from (Nd-1)/Nd * 2Ψ fp16 to ~(nodes-1)/nodes * Ψ/s
+// int8 (+scales). Intra-node fp32 folding *tightens* rounding vs the
+// flat fp16 chain, but the bracketing differs, so qgZ is NOT bit-exact
+// vs the flat path (exact_reductions remains the bit-exact hatch and
+// disables it).
 #pragma once
 
 #include <cstdint>
@@ -78,11 +92,39 @@ class GradBucketizer {
     std::int64_t merged_chunks = 0;
   };
 
+  // One hierarchical (qgZ) reduction this rank relays or owns. Unlike
+  // the flat path, a rank is the relay of every partition whose owner
+  // shares its local index — up to `nodes` of these can be in flight.
+  struct HierReduce {
+    int partition = -1;
+    bool owner = false;
+    std::vector<float> acc32;  // fp32 fold target (shard-sized)
+    std::int64_t num_chunks = 0;
+    // Intra-node phase: staging[chunk * peers + k] from local_peers[k]
+    // (local ranks of this node except the relay, ascending).
+    std::vector<int> local_peers;
+    std::vector<std::vector<std::byte>> intra_staging;
+    std::vector<comm::CommRequest> intra_reqs;
+    std::vector<std::size_t> intra_next;  // per-chunk fold cursor
+    std::vector<std::uint8_t> intra_done;
+    std::vector<std::uint64_t> inter_tags;  // per chunk, pre-drawn
+    // Inter-node phase (owner only): staging[chunk * relays + k] from
+    // remote_relays[k] (group ranks, ascending node index).
+    std::vector<int> remote_relays;
+    std::vector<std::vector<std::byte>> inter_staging;
+    std::vector<comm::CommRequest> inter_reqs;
+    std::vector<std::size_t> inter_next;  // per-chunk fold cursor
+    std::vector<std::uint8_t> chunk_final;
+    std::int64_t done_chunks = 0;  // relay: sent; owner: narrowed
+  };
+
   void Flush(int j);
   void FlushExact(int j, Segment& seg);
+  void FlushHier(int j, Segment& seg);
   // Merges whatever completed chunks Test() can find without blocking
   // (block=false) or everything (block=true).
   void Progress(bool block);
+  void ProgressHier(bool block);
   void MergeChunk(std::int64_t c, std::size_t peer_index);
   void FinishPending();
   [[nodiscard]] std::pair<std::int64_t, std::int64_t> ChunkSpan(
@@ -93,6 +135,7 @@ class GradBucketizer {
   std::map<int, Segment> segments_;
   std::int64_t emit_frontier_ = 0;  // descending coverage check
   std::optional<PendingReduce> pending_;
+  std::vector<HierReduce> hier_;
 };
 
 }  // namespace zero::core

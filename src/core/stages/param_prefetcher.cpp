@@ -24,11 +24,17 @@ obs::Counter& DerailCounter() {
 }  // namespace
 
 ParamPrefetcher::ParamPrefetcher(StageContext& ctx,
-                                 const tensor::Tensor* own_params)
+                                 const tensor::Tensor* own_params,
+                                 const tensor::Tensor* secondary,
+                                 const Partitioner* hpz_part)
     : ctx_(&ctx),
       own_params_(own_params),
+      secondary_(secondary),
+      hpz_part_(hpz_part),
       lookahead_(ctx.cfg->prefetch_lookahead) {
   ZERO_CHECK(lookahead_ > 0, "ParamPrefetcher needs prefetch_lookahead > 0");
+  ZERO_CHECK((secondary == nullptr) == (hpz_part == nullptr),
+             "hpZ shard and its partitioner come together");
 }
 
 ParamPrefetcher::~ParamPrefetcher() { CancelAll(); }
@@ -91,8 +97,9 @@ std::size_t ParamPrefetcher::UnitBytes(int u) const {
          (ctx_->cfg->fp16 ? sizeof(Half) : sizeof(float));
 }
 
-ParamPrefetcher::InFlight ParamPrefetcher::Launch(int u, std::size_t pos) {
+ParamPrefetcher::InFlight ParamPrefetcher::Launch(Entry e, std::size_t pos) {
   TRACE_SPAN("params/prefetch_launch");
+  const int u = e.unit;
   const auto [ub, ue] = ctx_->model->layout().UnitRange(u);
   const std::int64_t n = ue - ub;
   const Range unit_range{ub, ue};
@@ -103,8 +110,30 @@ ParamPrefetcher::InFlight ParamPrefetcher::Launch(int u, std::size_t pos) {
   inf.schedule_pos = pos;
   inf.bytes = UnitBytes(u);
   inf.launch_ns = obs::TraceNowNs();
+  if (e.local) {
+    // hpZ backward gather: the unit resolves inside the node group from
+    // the secondary shard — fp16 byte moves, identical to what the
+    // recording step's blocking local materialization delivered.
+    ZERO_CHECK(secondary_ != nullptr && ctx_->local != nullptr,
+               "local prefetch launch without an hpZ shard");
+    inf.f16 = ctx_->NewDevice(n, DType::kF16);
+    const Range own2 = hpz_part_->PartitionRange(ctx_->local->rank());
+    for (const auto& [j2, overlap] : hpz_part_->Overlaps(unit_range)) {
+      std::span<Half> dst = inf.f16.f16().subspan(
+          static_cast<std::size_t>(overlap.begin - ub),
+          static_cast<std::size_t>(overlap.size()));
+      if (j2 == ctx_->local->rank()) {
+        std::memcpy(dst.data(),
+                    secondary_->f16().data() + (overlap.begin - own2.begin),
+                    dst.size_bytes());
+      }
+      inf.reqs.push_back(comm::IBroadcast(*ctx_->local, dst, j2));
+    }
+    return inf;
+  }
   // Same owner-slice copies and per-overlap broadcasts as the blocking
-  // materialization in PosGPStrategy::AcquireUnit — only nonblocking.
+  // materialization in PosGPStrategy::AcquireUnit — only nonblocking
+  // (and int8-quantized on the wire under qwZ).
   if (ctx_->cfg->fp16) {
     inf.f16 = ctx_->NewDevice(n, DType::kF16);
     for (const auto& [j, overlap] : ctx_->part->Overlaps(unit_range)) {
@@ -116,7 +145,10 @@ ParamPrefetcher::InFlight ParamPrefetcher::Launch(int u, std::size_t pos) {
                     own_params_->f16().data() + (overlap.begin - own.begin),
                     dst.size_bytes());
       }
-      inf.reqs.push_back(comm::IBroadcast(*ctx_->dp, dst, j));
+      inf.reqs.push_back(
+          ctx_->qwz
+              ? comm::IQuantBroadcast(*ctx_->dp, dst, j, ctx_->quant_block)
+              : comm::IBroadcast(*ctx_->dp, dst, j));
     }
   } else {
     inf.f32.assign(static_cast<std::size_t>(n), 0.0f);
@@ -137,13 +169,13 @@ ParamPrefetcher::InFlight ParamPrefetcher::Launch(int u, std::size_t pos) {
 void ParamPrefetcher::TopUp() {
   while (next_launch_ < schedule_.size() &&
          inflight_.size() < static_cast<std::size_t>(lookahead_)) {
-    const int u = schedule_[next_launch_];
-    const std::size_t bytes = UnitBytes(u);
+    const Entry e = schedule_[next_launch_];
+    const std::size_t bytes = UnitBytes(e.unit);
     // Stop — never skip — when the budget is exhausted, so launches
     // stay in schedule order and degrade toward blocking under
     // pressure.
     if (bytes > budget_ - std::min(budget_, inflight_bytes_)) break;
-    inflight_.push_back(Launch(u, next_launch_));
+    inflight_.push_back(Launch(e, next_launch_));
     inflight_bytes_ += bytes;
     ++next_launch_;
   }
@@ -156,10 +188,11 @@ void ParamPrefetcher::Progress() {
 }
 
 bool ParamPrefetcher::Claim(int u, tensor::Tensor* f16_out,
-                            std::vector<float>* f32_out) {
+                            std::vector<float>* f32_out, bool local) {
   Progress();
   if (mode_ != Mode::kReplaying) return false;
-  if (cursor_ >= schedule_.size() || schedule_[cursor_] != u) {
+  if (cursor_ >= schedule_.size() || schedule_[cursor_].unit != u ||
+      schedule_[cursor_].local != local) {
     // Off-schedule acquire: cancel everything (all ranks see the same
     // divergence at the same claim) and fall back to blocking.
     Derail();
@@ -180,7 +213,7 @@ bool ParamPrefetcher::Claim(int u, tensor::Tensor* f16_out,
     // gather it now — still through the nonblocking machines, so tag
     // order matches the ranks that did launch ahead. Fully exposed.
     MissCounter().Add();
-    inf = Launch(u, pos);
+    inf = Launch(Entry{u, local}, pos);
     next_launch_ = std::max(next_launch_, pos + 1);
   }
 
@@ -202,8 +235,8 @@ bool ParamPrefetcher::Claim(int u, tensor::Tensor* f16_out,
   return true;
 }
 
-void ParamPrefetcher::Record(int u) {
-  if (mode_ == Mode::kRecording) recording_.push_back(u);
+void ParamPrefetcher::Record(int u, bool local) {
+  if (mode_ == Mode::kRecording) recording_.push_back(Entry{u, local});
 }
 
 void ParamPrefetcher::Derail() {

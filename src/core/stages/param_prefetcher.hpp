@@ -52,8 +52,13 @@ namespace zero::core {
 class ParamPrefetcher {
  public:
   // `own_params` is the strategy's 1/Nd parameter partition (the local
-  // contribution to every gather); must outlive this object.
-  ParamPrefetcher(StageContext& ctx, const tensor::Tensor* own_params);
+  // contribution to every gather); must outlive this object. With hpZ,
+  // `secondary` / `hpz_part` describe the strategy's intra-node
+  // secondary shard, the source of kLocal launches (both null
+  // otherwise; also must outlive this object).
+  ParamPrefetcher(StageContext& ctx, const tensor::Tensor* own_params,
+                  const tensor::Tensor* secondary = nullptr,
+                  const Partitioner* hpz_part = nullptr);
   ~ParamPrefetcher();
   ParamPrefetcher(const ParamPrefetcher&) = delete;
   ParamPrefetcher& operator=(const ParamPrefetcher&) = delete;
@@ -69,10 +74,15 @@ class ParamPrefetcher {
   // mode) with the fully gathered unit and returns true. Returns false
   // when the caller must materialize blocking — prefetch off-step,
   // recording, or the model derailed from the recorded schedule.
-  bool Claim(int u, tensor::Tensor* f16_out, std::vector<float>* f32_out);
+  // `local` is the caller's gather-kind decision for this
+  // materialization (hpZ backward gathers resolve intra-node); a kind
+  // mismatch against the recorded schedule derails like a unit mismatch
+  // — the launch already happened the recorded way on every rank.
+  bool Claim(int u, tensor::Tensor* f16_out, std::vector<float>* f32_out,
+             bool local = false);
 
   // Records a blocking materialization (the schedule being learned).
-  void Record(int u);
+  void Record(int u, bool local = false);
 
   // Drives in-flight gathers without blocking. Called from the compute
   // hooks (acquire/release/grad emission) so intermediate ring ranks
@@ -90,6 +100,15 @@ class ParamPrefetcher {
  private:
   enum class Mode : unsigned char { kIdle, kRecording, kReplaying };
 
+  // One learned materialization: the unit plus the gather kind used
+  // when it was recorded. Replay launches must reproduce the kind —
+  // SPMD-consistent because the kind is a pure function of state that
+  // is identical on all ranks (phase + per-unit capture flags).
+  struct Entry {
+    int unit = -1;
+    bool local = false;  // hpZ intra-node gather from the secondary shard
+  };
+
   struct InFlight {
     int unit = -1;
     std::size_t schedule_pos = 0;
@@ -102,17 +121,19 @@ class ParamPrefetcher {
 
   void EnsureBudget();
   void TopUp();
-  [[nodiscard]] InFlight Launch(int u, std::size_t pos);
+  [[nodiscard]] InFlight Launch(Entry e, std::size_t pos);
   [[nodiscard]] std::size_t UnitBytes(int u) const;
   void Derail();
 
   StageContext* ctx_;
   const tensor::Tensor* own_params_;
+  const tensor::Tensor* secondary_;  // hpZ intra-node shard (may be null)
+  const Partitioner* hpz_part_;      // partitioning of the above
   int lookahead_;
 
   Mode mode_ = Mode::kIdle;
-  std::vector<int> schedule_;   // learned materialization order
-  std::vector<int> recording_;  // being learned this step
+  std::vector<Entry> schedule_;   // learned materialization order
+  std::vector<Entry> recording_;  // being learned this step
   std::size_t cursor_ = 0;      // next schedule position to be claimed
   std::size_t next_launch_ = 0; // next schedule position to launch
   std::deque<InFlight> inflight_;

@@ -4,8 +4,23 @@
 // before use and discarded at release (Sec 7.2.2) — the extra parameter
 // all-gather makes total volume 3Ψ. The gradient path reuses the
 // stage-2 bucketized nonblocking reduce.
+//
+// ZeRO++ hooks (arXiv:2306.10209), engaged via StageContext:
+//   qwZ — forward/backward unit broadcasts carry blockwise-int8
+//         payloads (comm::IQuantBroadcast) instead of fp16. Lossy but
+//         rank-identical: every rank dequantizes the same wire bytes.
+//   hpZ — a secondary fp16 parameter copy sharded across the intra-node
+//         group. Forward gathers stay global and *refresh* the copy
+//         (CaptureSecondary); once a unit is captured, its backward
+//         re-gather resolves entirely inside the node group over the
+//         local communicator — zero cross-node bytes on the backward
+//         half of stage 3's 3Ψ. An optimizer update staleness-clears
+//         all captures. hpZ alone is bit-exact vs plain stage 3: the
+//         captured bytes are exact copies of what the global gather
+//         delivered.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <vector>
@@ -42,7 +57,13 @@ class PosGPStrategy final : public StageStrategy {
   // The stored partition is exactly what the optimizer updates.
   std::span<Half> UpdateTargetF16() override { return params_.f16(); }
   std::span<float> UpdateTargetF32() override { return params_.f32(); }
-  void OnUpdateApplied() override { grads_.FillZero(); }
+  void OnUpdateApplied() override {
+    grads_.FillZero();
+    // The update changed params_: every hpZ secondary copy is stale
+    // until the next forward refreshes it.
+    if (!unit_captured_.empty())
+      unit_captured_.assign(unit_captured_.size(), 0);
+  }
   void ImportMasterParams(std::span<const float> padded_master) override;
   void ResetInFlight() override;
   void GatherFullParams(std::span<float> out) override;
@@ -55,6 +76,9 @@ class PosGPStrategy final : public StageStrategy {
 
  private:
   void WriteParams(const float* padded_src);
+  // Copies this rank's hpz_part_ slice of the freshly materialized unit
+  // into the secondary shard and marks the unit locally gatherable.
+  void CaptureSecondary(int u, const tensor::Tensor& f16);
 
   struct MaterializedUnit {
     tensor::Tensor f16;      // gathered fp16 unit (device-accounted)
@@ -69,6 +93,18 @@ class PosGPStrategy final : public StageStrategy {
   // bit-exact vs the blocking materialization below.
   std::optional<ParamPrefetcher> prefetcher_;
   std::map<int, MaterializedUnit> units_;
+
+  // hpZ secondary parameter copy: the full fp16 parameter space sharded
+  // across the *intra-node* group (1/s per rank, s = node_size) — the
+  // paper's "memory for communication" trade. Empty unless
+  // StageContext::hpz survived the budget check.
+  tensor::Tensor secondary_;
+  std::optional<Partitioner> hpz_part_;
+  // Per-unit: 1 while the node group collectively holds a fresh copy of
+  // the unit (set at forward materialization, cleared on update/import).
+  // SPMD-identical by construction — every rank materializes the same
+  // units in the same order and applies updates collectively.
+  std::vector<std::uint8_t> unit_captured_;
 };
 
 }  // namespace zero::core

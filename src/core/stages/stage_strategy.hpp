@@ -66,6 +66,18 @@ struct StageContext {
   // local-rank-0 members only. Null when hierarchical comm is off.
   comm::Communicator* local = nullptr;
   comm::Communicator* leaders = nullptr;
+  // Route the stage-0/1 full-gradient all-reduce through the two-level
+  // node-aware schedule (EngineConfig::hierarchical_comm). `local` alone
+  // no longer implies this: hpZ/qgZ also build node slices.
+  bool hierarchical_allreduce = false;
+  // ---- ZeRO++ compression, resolved by the engine (fp16 && !exact
+  // reductions && the topology requirements hold; see engine_config) ----
+  bool qwz = false;  // int8-quantized parameter gathers/broadcasts
+  bool hpz = false;  // secondary intra-node shard for backward gathers
+  bool qgz = false;  // hierarchical quantized gradient reduce
+  std::int64_t quant_block = 64;
+  // Equal node size backing hpz/qgz (== local->size() when they are on).
+  int node_size = 1;
   alloc::CachingAllocator* device = nullptr;  // null => heap-backed state
   const Partitioner* part = nullptr;
   // Loss scale applied to fp16 gradient emission; the orchestrator
@@ -108,7 +120,7 @@ struct StageContext {
   // taken when exactness vs flat is not required).
   template <typename T>
   void AllReduceGradSum(std::span<T> data) {
-    if (local != nullptr) {
+    if (local != nullptr && hierarchical_allreduce) {
       comm::HierarchicalAllReduce(*local, leaders, data,
                                   comm::ReduceOp::kSum);
     } else {

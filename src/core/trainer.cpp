@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <mutex>
 
@@ -77,6 +78,24 @@ TrainResult TrainGpt(const TrainOptions& options) {
     }
   }
 
+  // ZeRO++ compression paths and the node size they shard over: explicit
+  // config wins over the ZERO_QWZ / ZERO_HPZ / ZERO_QGZ /
+  // ZERO_RANKS_PER_NODE knobs. The engine still downgrades any flag
+  // whose fp16/exactness/topology preconditions don't hold.
+  const auto env_flag = [](const char* name) {
+    const char* env = std::getenv(name);
+    return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+  };
+  if (!engine_cfg.qwz) engine_cfg.qwz = env_flag("ZERO_QWZ");
+  if (!engine_cfg.hpz) engine_cfg.hpz = env_flag("ZERO_HPZ");
+  if (!engine_cfg.qgz) engine_cfg.qgz = env_flag("ZERO_QGZ");
+  if (engine_cfg.ranks_per_node == 1) {
+    if (const char* env = std::getenv("ZERO_RANKS_PER_NODE")) {
+      engine_cfg.ranks_per_node =
+          static_cast<int>(std::strtol(env, nullptr, 10));
+    }
+  }
+
   // Optimizer-state offload tier: explicit config wins over ZERO_OFFLOAD
   // (host | nvme | 1 | 0). ZERO_OFFLOAD_BW sets the simulated link
   // bandwidth in bytes/second when the config leaves it at 0 (instant).
@@ -117,6 +136,10 @@ TrainResult TrainGpt(const TrainOptions& options) {
   // Rank-0 measurements feeding the step report, captured inside Run.
   double measured_state_bytes = 0;
   double measured_comm_bytes = 0;
+  double measured_local_comm_bytes = 0;  // intra-node ledger (hpZ/qgZ)
+  double measured_wire_int8 = 0;         // comm.wire.* counter deltas
+  double measured_wire_scales = 0;
+  bool measured_qwz = false, measured_hpz = false, measured_qgz = false;
   double measured_overlap_frac = -1.0;  // -1 = prefetch off
   std::string measured_offload_tier;    // empty = device-resident
   double measured_host_in_use = 0;
@@ -198,6 +221,14 @@ TrainResult TrainGpt(const TrainOptions& options) {
       // step materializes cold caches), so the delta is rebased after it
       // and the report divides by the remaining steps.
       comm::CommDelta dp_delta(dp);
+      std::optional<comm::CommDelta> local_delta;
+      if (engine.local_comm() != nullptr) {
+        local_delta.emplace(*engine.local_comm());
+      }
+      double wire_int8_base =
+          obs::Metrics().counter("comm.wire.int8_bytes").value();
+      double wire_scale_base =
+          obs::Metrics().counter("comm.wire.scale_bytes").value();
       int steps_measured = 0;
       std::vector<std::string> local_snapshots;
       for (int s = 0; s < options.steps; ++s) {
@@ -206,6 +237,11 @@ TrainResult TrainGpt(const TrainOptions& options) {
         local_losses[static_cast<std::size_t>(s)] = engine.TrainStep(batch);
         if (s == 0 && options.steps > 1) {
           dp_delta.Rebase();
+          if (local_delta.has_value()) local_delta->Rebase();
+          wire_int8_base =
+              obs::Metrics().counter("comm.wire.int8_bytes").value();
+          wire_scale_base =
+              obs::Metrics().counter("comm.wire.scale_bytes").value();
         } else {
           ++steps_measured;
         }
@@ -246,6 +282,19 @@ TrainResult TrainGpt(const TrainOptions& options) {
             static_cast<double>(metrics.model_states.total());
         measured_comm_bytes =
             static_cast<double>(dp_delta.Delta().bytes_sent);
+        if (local_delta.has_value()) {
+          measured_local_comm_bytes =
+              static_cast<double>(local_delta->Delta().bytes_sent);
+        }
+        measured_wire_int8 =
+            obs::Metrics().counter("comm.wire.int8_bytes").value() -
+            wire_int8_base;
+        measured_wire_scales =
+            obs::Metrics().counter("comm.wire.scale_bytes").value() -
+            wire_scale_base;
+        measured_qwz = engine.qwz_active();
+        measured_hpz = engine.hpz_active();
+        measured_qgz = engine.qgz_active();
         if (engine_cfg.prefetch_lookahead > 0) {
           measured_overlap_frac =
               obs::Metrics().gauge("comm.overlap_frac").value();
@@ -359,6 +408,15 @@ TrainResult TrainGpt(const TrainOptions& options) {
       in.offload_bytes_to_tier = measured_offload_to_tier;
       in.offload_bytes_to_device = measured_offload_to_device;
       in.offload_hidden_frac = measured_offload_hidden;
+      in.qwz = measured_qwz;
+      in.hpz = measured_hpz;
+      in.qgz = measured_qgz;
+      in.quant_block = engine_cfg.quant_block;
+      in.ranks_per_node = engine_cfg.ranks_per_node;
+      in.measured_local_comm_bytes = measured_local_comm_bytes;
+      in.wire_int8_bytes = measured_wire_int8;
+      in.wire_scale_bytes = measured_wire_scales;
+      in.world_size = world_size;
       obs::StepReport report = obs::BuildStepReport(in);
       if (telemetry.validate) {
         ZLOG_INFO << "step report: " << report.Summary();

@@ -16,8 +16,21 @@
 // with P = padded parameter elements, T = total (unpadded) elements and
 // e the low-precision element size. Relative to the stage-0 baseline
 // that is the paper's 1x / 1x / 1x / 1.5x comm-volume claim.
+//
+// ZeRO++ compression (arXiv:2306.10209) rewrites those wire volumes and
+// the report predicts the rewritten values, so a compressed run still
+// closes with ok=true:
+//   qwZ  parameter gathers ship int8 codes + one fp16 scale per
+//        quant_block elements: e -> 1 + 2/B bytes per element.
+//   hpZ  stage-3 backward gathers leave the DP ledger entirely (they
+//        ride the intra-node communicator, reported separately as
+//        local_bytes_per_step).
+//   qgZ  the gradient reduce-scatter sends only (nodes-1) quantized
+//        shards per rank across nodes; the fp16 intra-node folding
+//        traffic moves to the local ledger.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,12 +48,20 @@ struct MemoryCheck {
 };
 
 struct CommCheck {
-  double measured_bytes_per_step = 0;   // per-rank bytes sent
+  double measured_bytes_per_step = 0;   // per-rank bytes sent (DP ledger)
   double predicted_bytes_per_step = 0;  // formula above
   double measured_ratio = 0;   // measured / predicted stage-0 volume
   double predicted_ratio = 0;  // predicted / predicted stage-0 volume
   double rel_error = 0;
   bool ok = false;
+  // ---- wire-precision split (informational; never a divergence) ----
+  // Intra-node traffic the DP ledger no longer sees (hpZ backward
+  // gathers, qgZ fp16 folding); 0 when no node-aware path ran.
+  double local_bytes_per_step = 0;
+  // Of the bytes sent, how many were int8 payload vs fp16 block scales
+  // (comm.wire.* counters); both 0 in uncompressed runs.
+  double wire_int8_bytes_per_step = 0;
+  double wire_scale_bytes_per_step = 0;
 };
 
 struct StepReportInputs {
@@ -72,6 +93,20 @@ struct StepReportInputs {
   // Fraction of offload link time hidden behind compute; -1 when the
   // link was instant or the tier device-resident.
   double offload_hidden_frac = -1.0;
+  // ---- ZeRO++ compression, as resolved by the engine ----
+  bool qwz = false;
+  bool hpz = false;
+  bool qgz = false;
+  std::int64_t quant_block = 64;  // elements per int8 scale block
+  int ranks_per_node = 1;         // node size behind hpZ/qgZ
+  // Per-rank intra-node bytes over the same steady-state window (0 when
+  // no local communicator existed).
+  double measured_local_comm_bytes = 0;
+  // Process-wide comm.wire.* counter deltas over the window (divided by
+  // the world size for the per-rank figures in the report).
+  double wire_int8_bytes = 0;
+  double wire_scale_bytes = 0;
+  int world_size = 1;
 };
 
 struct StepReport {
@@ -92,6 +127,9 @@ struct StepReport {
 double PredictedStateBytes(int stage, int nd, bool fp16, double psi);
 double PredictedCommBytesPerStep(int stage, int nd, bool fp16, double psi,
                                  double padded_psi);
+// Compression-aware DP-ledger prediction: collapses to the plain
+// formula when no ZeRO++ path is flagged in `in`.
+double PredictedCommBytesPerStep(const StepReportInputs& in);
 
 StepReport BuildStepReport(const StepReportInputs& inputs);
 

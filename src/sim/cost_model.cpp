@@ -6,6 +6,76 @@
 
 namespace zero::sim {
 
+namespace {
+
+// Per-rank DP wire bytes per step, split by what hides it. Nominal
+// volumes (no (Nd-1)/Nd ring factor), matching the analytic model's
+// historical accounting.
+struct DpVolumeSplit {
+  double grads = 0;  // reduce path: hidden by the bucketizer
+  double fwd = 0;    // stage-3 forward gathers: prefetch-dependent
+  double bwd = 0;    // stage-3 backward gathers: hidden by the bucketizer
+  double ag = 0;     // stage-1/2 step-end all-gather
+  [[nodiscard]] double total() const { return grads + fwd + bwd + ag; }
+};
+
+DpVolumeSplit DpVolume(const JobConfig& job, bool compressed) {
+  using model::ZeroStage;
+  DpVolumeSplit v;
+  if (job.dp() <= 1) return v;
+  const double psi = job.psi_local();
+  if (job.stage == ZeroStage::kNone) {
+    v.grads = 2.0 * 4.0 * psi;  // fp32 all-reduce
+    return v;
+  }
+  const double e = 2.0;  // fp16 wire elements
+  // ZeRO++ gates, mirroring ZeroDpEngine::InitState.
+  const bool nodes_ok = job.ranks_per_node > 1 &&
+                        job.dp() % job.ranks_per_node == 0;
+  const bool qwz = compressed && job.qwz;
+  const bool hpz = compressed && job.hpz && nodes_ok &&
+                   job.stage == ZeroStage::kOsGP;
+  const bool qgz = compressed && job.qgz && nodes_ok &&
+                   (job.stage == ZeroStage::kOsG ||
+                    job.stage == ZeroStage::kOsGP);
+  const double qe =
+      1.0 + 2.0 / static_cast<double>(
+                      job.quant_block > 0 ? job.quant_block : 64);
+  v.grads = e * psi;
+  if (qgz) {
+    // Only the (nodes-1) quantized relay shards cross the DP fabric.
+    const double nodes = static_cast<double>(job.dp()) / job.ranks_per_node;
+    v.grads = (nodes - 1.0) / job.dp() * qe * psi;
+  }
+  if (job.stage == ZeroStage::kOsGP) {
+    v.fwd = (qwz ? qe : e) * psi;
+    v.bwd = hpz ? 0.0 : (qwz ? qe : e) * psi;
+  } else {
+    v.ag = (qwz ? qe : e) * psi;
+  }
+  return v;
+}
+
+}  // namespace
+
+double DpCompressionScale(const JobConfig& job) {
+  const double plain = DpVolume(job, /*compressed=*/false).total();
+  if (plain <= 0.0) return 1.0;
+  return DpVolume(job, /*compressed=*/true).total() / plain;
+}
+
+double DpOverlapCoefficient(const JobConfig& job) {
+  if (job.stage != model::ZeroStage::kOsGP || job.dp() <= 1) return 1.0;
+  const DpVolumeSplit v = DpVolume(job, /*compressed=*/true);
+  if (v.total() <= 0.0) return 1.0;
+  // Gradient traffic and backward gathers hide behind the bucketizer;
+  // forward gathers hide only as far as the prefetcher pipelines them
+  // (lookahead >= 2 pipelines fully, 0 exposes them cold).
+  const double hidden =
+      std::min(1.0, static_cast<double>(job.prefetch_lookahead) / 2.0);
+  return (v.grads + v.bwd + hidden * v.fwd) / v.total();
+}
+
 double Efficiency(const ClusterSpec& cluster, const JobConfig& job) {
   const double tokens = static_cast<double>(job.batch_per_gpu) *
                         static_cast<double>(job.model.seq);
@@ -94,26 +164,13 @@ ThroughputEstimate EstimateThroughput(const ClusterSpec& cluster,
   double dp_time = 0;
   double overlap = cluster.dp_overlap;
   if (job.dp() > 1) {
-    const double volume_factor =
-        job.stage == model::ZeroStage::kOsGP ? 3.0 : 2.0;  // Sec 7
-    // ZeRO moves fp16 gradients/parameters; the 2019 DDP baseline
-    // all-reduced fp32 gradients, and (without MP) without ZeRO's
-    // bucketized compute overlap.
-    double elem_bytes = 2.0;
-    if (job.stage == model::ZeroStage::kNone) {
-      elem_bytes = 4.0;
-      if (mp == 1) overlap = 0.0;
-    }
-    if (job.stage == model::ZeroStage::kOsGP) {
-      // Stage 3's 3 Psi splits into 2 Psi gradient traffic (hidden by
-      // the bucketizer) and 1 Psi parameter broadcasts, hidden only as
-      // far as the prefetcher keeps gathers in flight: lookahead >= 2
-      // pipelines them fully, 0 exposes them cold at every unit.
-      const double hidden =
-          std::min(1.0, static_cast<double>(job.prefetch_lookahead) / 2.0);
-      overlap *= (2.0 + hidden) / 3.0;
-    }
-    const double volume = volume_factor * elem_bytes * job.psi_local();
+    // ZeRO moves fp16 gradients/parameters (2 Psi for stages 0-2,
+    // 3 Psi for stage 3, Sec 7, rewritten by any active ZeRO++ path);
+    // the 2019 DDP baseline all-reduced fp32 gradients, and (without
+    // MP) without ZeRO's bucketized compute overlap.
+    if (job.stage == model::ZeroStage::kNone && mp == 1) overlap = 0.0;
+    overlap *= DpOverlapCoefficient(job);
+    const double volume = DpVolume(job, /*compressed=*/true).total();
     dp_time = volume / cluster.DpBandwidth();
   }
   out.dp_comm_s = std::max(0.0, dp_time - overlap * out.compute_s);

@@ -49,6 +49,20 @@ double OptimizerOffloadBytesPerStep(const JobConfig& job);
 double ExposedOffloadSeconds(const ClusterSpec& cluster, const JobConfig& job,
                              double compute_s);
 
+// ZeRO++ rewrite of the per-rank DP wire volume: the ratio of the job's
+// compressed volume to the same job with qwz/hpz/qgz cleared (1.0 when
+// no flag engages — the gates mirror ZeroDpEngine::InitState). Shared by
+// the analytic model and the packet-level bridge so both price
+// compression identically.
+double DpCompressionScale(const JobConfig& job);
+
+// Multiplier on cluster.dp_overlap: 1.0 for stages 0-2; for stage 3 the
+// volume-weighted overlap split — gradient traffic and backward gathers
+// hide behind the bucketizer/compute, forward gathers hide only as far
+// as prefetch_lookahead pipelines them. Collapses to the historical
+// (2 + min(1, lookahead/2)) / 3 when no ZeRO++ flag engages.
+double DpOverlapCoefficient(const JobConfig& job);
+
 ThroughputEstimate EstimateThroughput(const ClusterSpec& cluster,
                                       const JobConfig& job);
 

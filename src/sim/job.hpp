@@ -36,6 +36,15 @@ struct JobConfig {
   // K*Psi/Nd moves off the device in exchange for 4 B/param/step of
   // fp16 wire traffic (plus the 24 B/param fp32 state stream for NVMe).
   OffloadTier optimizer_tier = OffloadTier::kNone;
+  // ZeRO++ communication compression (arXiv:2306.10209). Mirrors the
+  // EngineConfig knobs of the same names; the cost model rewrites the
+  // DP wire volume exactly as the runtime does. ranks_per_node must
+  // divide dp() for hpz/qgz to engage (the engine's own gate).
+  bool qwz = false;              // int8 parameter gathers
+  bool hpz = false;              // intra-node secondary param shard (stage 3)
+  bool qgz = false;              // hierarchical int8 gradient reduce
+  std::int64_t quant_block = 64;
+  int ranks_per_node = 1;
 
   [[nodiscard]] int dp() const { return gpus / mp; }
   [[nodiscard]] std::int64_t psi() const { return model.NumParameters(); }

@@ -63,13 +63,15 @@ ThroughputEstimate EstimateThroughputSimulatedNetwork(
     if (job.stage == model::ZeroStage::kOsGP) {
       dp_time *= 1.5;  // Sec 7.2.2: 3 Psi instead of 2 Psi
     }
+    // ZeRO++ compression shrinks the wire volume linearly; reuse the
+    // analytic model's ratio so both models price it identically.
+    dp_time *= DpCompressionScale(job);
   }
   double dp_overlap = cluster.dp_overlap;
-  if (nd > 1 && job.stage == model::ZeroStage::kOsGP) {
-    // Same prefetch-depth split as the analytic model (cost_model.cpp).
-    const double hidden =
-        std::min(1.0, static_cast<double>(job.prefetch_lookahead) / 2.0);
-    dp_overlap *= (2.0 + hidden) / 3.0;
+  if (nd > 1) {
+    // Same prefetch-depth split as the analytic model (cost_model.cpp);
+    // 1.0 outside stage 3.
+    dp_overlap *= DpOverlapCoefficient(job);
   }
   out.dp_comm_s = std::max(0.0, dp_time - dp_overlap * out.compute_s);
 

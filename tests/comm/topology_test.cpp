@@ -79,11 +79,54 @@ TEST(NodeTopologyTest, ShapesAndMembership) {
   });
 }
 
-TEST(NodeTopologyTest, RejectsIndivisibleNodeSize) {
+TEST(NodeTopologyTest, UnevenWorldDegradesToRaggedTailNode) {
+  // 4 ranks at 3 per node: node 0 = {0,1,2}, node 1 = {3} (single-rank
+  // tail). No longer an error — node-aware schedules must consult
+  // uniform() before assuming equal shards.
   World world(4);
   world.Run([&](RankContext& ctx) {
     Communicator dp = Communicator::WholeWorld(ctx);
-    EXPECT_THROW(NodeTopology(dp, 3), Error);
+    NodeTopology topo(dp, 3);
+    EXPECT_EQ(topo.nodes, 2);
+    EXPECT_FALSE(topo.uniform());
+    EXPECT_EQ(topo.NodeIndex(3), 1);
+    EXPECT_EQ(topo.LocalRank(3), 0);
+    EXPECT_EQ(topo.LocalSize(1), 3);
+    EXPECT_EQ(topo.LocalSize(3), 1);
+    EXPECT_EQ(topo.LocalMembers(1), (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(topo.LocalMembers(3), (std::vector<int>{3}));
+    EXPECT_TRUE(topo.IsLeader(3));
+    EXPECT_EQ(topo.LeaderMembers(), (std::vector<int>{0, 3}));
+    // Sliced communicators still function over the ragged shape: the
+    // tail node's "local" collective is a self-group no-op and the
+    // leaders' group carries the cross-node combine.
+    Communicator local = topo.MakeLocalComm(ctx);
+    EXPECT_EQ(local.size(), ctx.rank < 3 ? 3 : 1);
+    std::optional<Communicator> leaders;
+    if (topo.IsLeader(dp.rank())) leaders.emplace(topo.MakeLeadersComm(ctx));
+    std::vector<float> v{static_cast<float>(ctx.rank + 1)};
+    local.AllReduce(std::span<float>(v), ReduceOp::kSum);
+    EXPECT_EQ(v[0], ctx.rank < 3 ? 6.0f : 4.0f);
+  });
+}
+
+TEST(NodeTopologyTest, SingleRankNodesAndOversizedNodes) {
+  World world(4);
+  world.Run([&](RankContext& ctx) {
+    Communicator dp = Communicator::WholeWorld(ctx);
+    // ranks_per_node = 1: every rank is its own (leader) node.
+    NodeTopology fine(dp, 1);
+    EXPECT_EQ(fine.nodes, 4);
+    EXPECT_TRUE(fine.uniform());
+    EXPECT_TRUE(fine.IsLeader(ctx.rank));
+    EXPECT_EQ(fine.LocalMembers(ctx.rank), (std::vector<int>{ctx.rank}));
+    // ranks_per_node > world: one node holds everyone; clipping keeps
+    // membership inside the group.
+    NodeTopology coarse(dp, 8);
+    EXPECT_EQ(coarse.nodes, 1);
+    EXPECT_FALSE(coarse.uniform());
+    EXPECT_EQ(coarse.LocalSize(ctx.rank), 4);
+    EXPECT_EQ(coarse.LocalMembers(ctx.rank), (std::vector<int>{0, 1, 2, 3}));
     EXPECT_THROW(NodeTopology(dp, 0), Error);
   });
 }

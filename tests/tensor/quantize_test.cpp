@@ -1,0 +1,211 @@
+// Blockwise int8 quantizer (ZeRO++ qwZ/qgZ wire format): round-trip
+// error bounds, edge-case policy (NaN/Inf poison blocks, absmax == 0),
+// and bit-equality between the vectorized and scalar reference paths.
+#include "tensor/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "common/half.hpp"
+#include "tensor/kernels.hpp"
+
+namespace zero::tensor {
+namespace {
+
+std::vector<std::byte> Wire(std::int64_t n, std::int64_t block) {
+  return std::vector<std::byte>(QuantWireBytes(n, block));
+}
+
+TEST(QuantizeTest, WireBytesLayout) {
+  // 2 bytes of fp16 scale per block + 1 byte per element.
+  EXPECT_EQ(QuantBlocks(0, 64), 0);
+  EXPECT_EQ(QuantBlocks(1, 64), 1);
+  EXPECT_EQ(QuantBlocks(64, 64), 1);
+  EXPECT_EQ(QuantBlocks(65, 64), 2);
+  EXPECT_EQ(QuantWireBytes(0, 64), 0u);
+  EXPECT_EQ(QuantWireBytes(130, 64), 2u * 3u + 130u);
+}
+
+TEST(QuantizeTest, RoundTripErrorBound) {
+  // |x - dq(q(x))| <= scale/2 + |x|*eps_fp16-ish slack per element, with
+  // scale = fp16(absmax/127). Use the loose but sufficient bound
+  // scale * 0.51 (0.5 for rounding + fp16 scale representation slack).
+  std::mt19937 rng(7);
+  for (const std::int64_t block : {1L, 3L, 64L, 256L}) {
+    for (const std::int64_t n : {1L, 5L, 64L, 257L, 1000L}) {
+      std::uniform_real_distribution<float> dist(-3.0f, 3.0f);
+      std::vector<float> x(static_cast<std::size_t>(n));
+      for (float& v : x) v = dist(rng);
+      auto wire = Wire(n, block);
+      QuantizeF32(x.data(), n, block, wire.data());
+      std::vector<float> y(static_cast<std::size_t>(n), -1.0f);
+      DequantizeF32(wire.data(), n, block, y.data());
+      const std::int64_t blocks = QuantBlocks(n, block);
+      for (std::int64_t b = 0; b < blocks; ++b) {
+        const std::int64_t off = b * block;
+        const std::int64_t len = std::min(block, n - off);
+        float amax = 0.0f;
+        for (std::int64_t i = 0; i < len; ++i) {
+          amax = std::max(amax, std::fabs(x[static_cast<std::size_t>(off + i)]));
+        }
+        const float scale = Half(amax / 127.0f).ToFloat();
+        for (std::int64_t i = 0; i < len; ++i) {
+          const auto k = static_cast<std::size_t>(off + i);
+          EXPECT_NEAR(y[k], x[k], scale * 0.51f + 1e-7f)
+              << "block=" << block << " n=" << n << " i=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(QuantizeTest, ExhaustiveHalfRoundTripBound) {
+  // Every finite fp16 magnitude round-trips within half a code step of
+  // its block scale, exhaustively over the positive half-line.
+  const std::int64_t block = 64;
+  std::vector<Half> x;
+  for (std::uint32_t bits = 0; bits < 0x7C00u; ++bits) {
+    x.push_back(Half::FromBits(static_cast<std::uint16_t>(bits)));
+  }
+  const auto n = static_cast<std::int64_t>(x.size());
+  auto wire = Wire(n, block);
+  QuantizeHalf(x.data(), n, block, wire.data());
+  std::vector<Half> y(x.size());
+  DequantizeHalf(wire.data(), n, block, y.data());
+  for (std::int64_t b = 0; b < QuantBlocks(n, block); ++b) {
+    const std::int64_t off = b * block;
+    const std::int64_t len = std::min(block, n - off);
+    float amax = 0.0f;
+    for (std::int64_t i = 0; i < len; ++i) {
+      amax = std::max(amax,
+                      std::fabs(x[static_cast<std::size_t>(off + i)].ToFloat()));
+    }
+    const float scale = Half(amax / 127.0f).ToFloat();
+    for (std::int64_t i = 0; i < len; ++i) {
+      const auto k = static_cast<std::size_t>(off + i);
+      // fp16 narrowing on the way out adds at most half an fp16 ulp, and
+      // blocks whose amax/127 underflows the fp16 scale snap to exact 0
+      // (error up to the subnormal range, < 6.2e-5 — the policy above).
+      const float tol =
+          scale * 0.51f + std::fabs(x[k].ToFloat()) * 1e-3f + 6.2e-5f;
+      EXPECT_NEAR(y[k].ToFloat(), x[k].ToFloat(), tol) << "bits index " << k;
+    }
+  }
+}
+
+TEST(QuantizeTest, ZeroAndTinyBlocks) {
+  // absmax == 0 encodes scale 0 / codes 0 and round-trips to exact 0;
+  // subnormal-tiny values whose amax/127 underflows fp16 also land in
+  // the zero class (the values are below fp16 resolution anyway).
+  const std::int64_t n = 128;
+  std::vector<float> x(static_cast<std::size_t>(n), 0.0f);
+  x[70] = 1e-9f;  // amax/127 ~ 8e-12 underflows fp16 -> zero scale
+  auto wire = Wire(n, 64);
+  QuantizeF32(x.data(), n, 64, wire.data());
+  std::vector<float> y(static_cast<std::size_t>(n), 42.0f);
+  DequantizeF32(wire.data(), n, 64, y.data());
+  for (float v : y) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(QuantizeTest, NonFinitePoisonsWholeBlockOnly) {
+  // A NaN (or Inf) anywhere in a block turns the whole block non-finite
+  // after dequantize — overflow detection must survive the wire — while
+  // neighbouring blocks stay exact.
+  const std::int64_t n = 192;  // 3 blocks of 64
+  std::vector<float> x(static_cast<std::size_t>(n), 1.0f);
+  x[70] = std::numeric_limits<float>::quiet_NaN();
+  x[130] = -std::numeric_limits<float>::infinity();
+  auto wire = Wire(n, 64);
+  QuantizeF32(x.data(), n, 64, wire.data());
+  std::vector<float> y(static_cast<std::size_t>(n));
+  DequantizeF32(wire.data(), n, 64, y.data());
+  for (std::int64_t i = 0; i < 64; ++i) {
+    EXPECT_TRUE(std::isfinite(y[static_cast<std::size_t>(i)]));
+  }
+  for (std::int64_t i = 64; i < 128; ++i) {
+    EXPECT_TRUE(std::isnan(y[static_cast<std::size_t>(i)])) << i;
+  }
+  for (std::int64_t i = 128; i < 192; ++i) {
+    EXPECT_TRUE(std::isinf(y[static_cast<std::size_t>(i)])) << i;
+  }
+}
+
+TEST(QuantizeTest, HalfPayloadPoisonAndSaturation) {
+  // fp16 payloads: Inf/NaN inputs poison their block; max-magnitude
+  // finite fp16 values saturate to the +-127 codes and round-trip.
+  const std::int64_t n = 128;
+  std::vector<Half> x(static_cast<std::size_t>(n), Half(0.5f));
+  x[3] = Half::FromBits(0x7C00);   // +Inf in block 0
+  x[64] = Half(65504.0f);          // fp16 max in block 1
+  x[65] = Half(-65504.0f);
+  auto wire = Wire(n, 64);
+  QuantizeHalf(x.data(), n, 64, wire.data());
+  std::vector<Half> y(static_cast<std::size_t>(n));
+  DequantizeHalf(wire.data(), n, 64, y.data());
+  for (std::int64_t i = 0; i < 64; ++i) {
+    EXPECT_FALSE(std::isfinite(y[static_cast<std::size_t>(i)].ToFloat())) << i;
+  }
+  EXPECT_NEAR(y[64].ToFloat(), 65504.0f, 65504.0f * 0.01f);
+  EXPECT_NEAR(y[65].ToFloat(), -65504.0f, 65504.0f * 0.01f);
+}
+
+TEST(QuantizeTest, VectorizedMatchesScalarBitExactly) {
+  // The AVX-512 and scalar paths must produce byte-identical wire and
+  // bit-identical dequantized floats: SPMD ranks on heterogeneous
+  // hardware must agree on the lossy values.
+  std::mt19937 rng(123);
+  std::uniform_real_distribution<float> dist(-10.0f, 10.0f);
+  for (const std::int64_t n : {1L, 16L, 17L, 63L, 64L, 65L, 1000L, 4096L}) {
+    std::vector<float> x(static_cast<std::size_t>(n));
+    for (float& v : x) v = dist(rng);
+    // Sprinkle in edge values.
+    if (n >= 16) {
+      x[1] = 0.0f;
+      x[2] = std::numeric_limits<float>::quiet_NaN();
+      x[15] = std::numeric_limits<float>::infinity();
+    }
+    for (const std::int64_t block : {1L, 7L, 64L, 512L}) {
+      auto wire_v = Wire(n, block);
+      auto wire_s = Wire(n, block);
+      QuantizeF32(x.data(), n, block, wire_v.data());
+      QuantizeF32Scalar(x.data(), n, block, wire_s.data());
+      ASSERT_EQ(std::memcmp(wire_v.data(), wire_s.data(), wire_v.size()), 0)
+          << "wire differs n=" << n << " block=" << block;
+      std::vector<float> dq_v(static_cast<std::size_t>(n));
+      std::vector<float> dq_s(static_cast<std::size_t>(n));
+      DequantizeF32(wire_v.data(), n, block, dq_v.data());
+      DequantizeF32Scalar(wire_s.data(), n, block, dq_s.data());
+      ASSERT_EQ(std::memcmp(dq_v.data(), dq_s.data(),
+                            dq_v.size() * sizeof(float)),
+                0)
+          << "dequant differs n=" << n << " block=" << block;
+      std::vector<float> acc_v(static_cast<std::size_t>(n), 0.25f);
+      std::vector<float> acc_s(static_cast<std::size_t>(n), 0.25f);
+      DequantizeAddF32(wire_v.data(), n, block, acc_v.data());
+      DequantizeAddF32Scalar(wire_s.data(), n, block, acc_s.data());
+      ASSERT_EQ(std::memcmp(acc_v.data(), acc_s.data(),
+                            acc_v.size() * sizeof(float)),
+                0)
+          << "dequant-add differs n=" << n << " block=" << block;
+    }
+  }
+}
+
+TEST(QuantizeTest, DequantizeAddAccumulates) {
+  const std::int64_t n = 100;
+  std::vector<float> x(static_cast<std::size_t>(n), 2.0f);
+  auto wire = Wire(n, 64);
+  QuantizeF32(x.data(), n, 64, wire.data());
+  std::vector<float> acc(static_cast<std::size_t>(n), 1.0f);
+  DequantizeAddF32(wire.data(), n, 64, acc.data());
+  DequantizeAddF32(wire.data(), n, 64, acc.data());
+  for (float v : acc) EXPECT_NEAR(v, 5.0f, 0.05f);
+}
+
+}  // namespace
+}  // namespace zero::tensor
