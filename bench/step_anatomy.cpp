@@ -1,0 +1,177 @@
+// Step-anatomy gate: the cross-rank critical-path analyzer must blame
+// the rank a seeded straggler fault was injected into, and a crashed
+// run must leave a validating flight-recorder bundle.
+//
+// Part 1 injects `slow@RANK:collective=2ms` into a stage-3 DP-4 run:
+// every collective on that rank sleeps 2 ms inside the collective span,
+// which is exactly the signature of a slow NIC / thermally-throttled
+// device. The merged timeline is rebuilt from the run's trace rings and
+// AnalyzeSteps must attribute every measured step (step 0 is warm-up)
+// to the injected rank; the trainer's own report anatomy must agree.
+//
+// Part 2 injects `crash@1:step#2` with the heartbeat detector armed and
+// the flight recorder pointed at a bundle directory: the run must fail,
+// TrainResult::postmortem_dir must name the bundle, and the bundle must
+// pass the strict post-mortem validator.
+//
+// Writes BENCH_anatomy.json; exit 1 on failure unless ZERO_BENCH_RELAX=1.
+//
+// Usage: step_anatomy [out.json] [postmortem-dir]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace zero;
+
+constexpr int kSlowRank = 2;
+constexpr int kDp = 4;
+constexpr int kSteps = 5;
+
+core::TrainOptions BaseOptions() {
+  core::TrainOptions options;
+  options.model.vocab = 48;
+  options.model.seq = 16;
+  options.model.hidden = 32;
+  options.model.layers = 3;
+  options.model.heads = 4;
+  options.engine.stage = model::ZeroStage::kOsGP;
+  options.cluster.dp_degree = kDp;
+  options.cluster.mp_degree = 1;
+  options.batch_per_rank = 2;
+  options.steps = kSteps;
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_anatomy.json";
+  const std::string bundle_root =
+      argc > 2 ? argv[2] : "BENCH_anatomy_postmortem";
+  bool ok = true;
+
+  // ---- part 1: seeded straggler must be blamed on every step ----------
+  core::TrainOptions slow = BaseOptions();
+  slow.engine.fault_spec =
+      "slow@" + std::to_string(kSlowRank) + ":collective=2ms";
+  slow.engine.telemetry.enabled = true;  // no paths: artifacts in memory
+  slow.engine.telemetry.validate = false;
+  slow.engine.telemetry.trace_buffer_events = 65536;
+  std::printf("straggler run: stage 3, dp=%d, %d steps, %s\n", kDp, kSteps,
+              slow.engine.fault_spec.c_str());
+  const core::TrainResult result = core::TrainGpt(slow);
+  if (result.failed || result.oom) {
+    std::printf("FAIL: straggler run did not complete (%s)\n",
+                (result.failed ? result.failure_message : result.oom_message)
+                    .c_str());
+    ok = false;
+  }
+
+  // Rebuild the merged timeline from the run's rings (the trainer left
+  // them intact) and check the per-step attribution directly.
+  const obs::Timeline timeline = obs::BuildTimeline(obs::CollectEvents());
+  const std::vector<obs::StepAnatomy> steps = obs::AnalyzeSteps(timeline);
+  int measured = 0;
+  int blamed = 0;
+  std::vector<int> per_step;
+  for (std::size_t k = 0; k < steps.size(); ++k) {
+    per_step.push_back(steps[k].straggler_rank);
+    if (k == 0 && steps.size() > 1) continue;  // warm-up step
+    ++measured;
+    if (steps[k].straggler_rank == kSlowRank) ++blamed;
+  }
+  std::printf("  analyzer: %d/%d measured steps blamed on rank %d\n", blamed,
+              measured, kSlowRank);
+  for (std::size_t k = 0; k < steps.size(); ++k) {
+    const obs::StepAnatomy& sa = steps[k];
+    std::printf("    step %zu -> straggler rank %d\n", k, sa.straggler_rank);
+  }
+  if (measured == 0) {
+    std::printf("FAIL: analyzer measured no steps\n");
+    ok = false;
+  } else if (blamed != measured) {
+    std::printf("FAIL: straggler blamed on %d/%d steps (want all)\n", blamed,
+                measured);
+    ok = false;
+  }
+
+  // The trainer's report must carry the same verdict in its anatomy
+  // section (this is what users actually read).
+  int report_straggler = -2;
+  int report_steps = 0;
+  int report_straggler_steps = 0;
+  if (result.report.has_value()) {
+    const obs::StepReportInputs& in = result.report->inputs;
+    report_straggler = in.straggler_rank;
+    report_steps = in.anatomy_steps;
+    report_straggler_steps = in.straggler_steps;
+  }
+  if (report_straggler != kSlowRank || report_steps == 0 ||
+      report_straggler_steps != report_steps) {
+    std::printf(
+        "FAIL: report anatomy disagrees (straggler %d on %d/%d steps)\n",
+        report_straggler, report_straggler_steps, report_steps);
+    ok = false;
+  }
+
+  // ---- part 2: crash must leave a validating post-mortem bundle -------
+  obs::DisableTracing();
+  obs::ResetTrace();  // clean bundle: only the crash run's events
+  core::TrainOptions crash = BaseOptions();
+  crash.engine.fault_spec = "crash@1:step#2";
+  crash.engine.comm_deadline_ms = 200;
+  crash.engine.telemetry.postmortem_dir = bundle_root;
+  std::printf("crash run: %s, flight recorder -> %s\n",
+              crash.engine.fault_spec.c_str(), bundle_root.c_str());
+  const core::TrainResult crashed = core::TrainGpt(crash);
+  bool bundle_valid = false;
+  std::string bundle_error;
+  if (!crashed.failed) {
+    std::printf("FAIL: crash run did not fail\n");
+    ok = false;
+  } else if (crashed.postmortem_dir.empty()) {
+    std::printf("FAIL: crash run left no post-mortem bundle\n");
+    ok = false;
+  } else {
+    bundle_valid =
+        obs::ValidatePostmortemBundle(crashed.postmortem_dir, &bundle_error);
+    if (!bundle_valid) {
+      std::printf("FAIL: bundle %s invalid: %s\n",
+                  crashed.postmortem_dir.c_str(), bundle_error.c_str());
+      ok = false;
+    } else {
+      std::printf("  bundle %s validates\n", crashed.postmortem_dir.c_str());
+    }
+  }
+
+  std::ofstream f(out_path, std::ios::trunc);
+  f << "{\n  \"slow_rank\": " << kSlowRank << ",\n  \"per_step_straggler\": [";
+  for (std::size_t k = 0; k < per_step.size(); ++k) {
+    f << per_step[k] << (k + 1 < per_step.size() ? ", " : "");
+  }
+  f << "],\n  \"measured_steps\": " << measured
+    << ",\n  \"blamed_steps\": " << blamed
+    << ",\n  \"report_straggler_rank\": " << report_straggler
+    << ",\n  \"crash\": {\"failed\": " << (crashed.failed ? "true" : "false")
+    << ", \"postmortem_dir\": \"" << crashed.postmortem_dir
+    << "\", \"bundle_valid\": " << (bundle_valid ? "true" : "false")
+    << "},\n  \"ok\": " << (ok ? "true" : "false") << "\n}\n";
+  f.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!ok && std::getenv("ZERO_BENCH_RELAX") != nullptr) {
+    std::printf("WARN: gate failed but ZERO_BENCH_RELAX is set\n");
+    return 0;
+  }
+  return ok ? 0 : 1;
+}

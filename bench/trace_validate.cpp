@@ -1,18 +1,40 @@
-// Validates a Chrome trace_event JSON artifact with the repo's strict
-// parser — the CI smoke gate runs this over the trace the stage-3 run
-// emits, and it works on any ZERO_TRACE output.
+// Validates observability artifacts with the repo's strict parsers —
+// the CI smoke gates run this over the trace / merged timeline the
+// stage-3 run emits and over the flight-recorder bundle a faulted run
+// leaves behind. Works on any ZERO_TRACE / ZERO_POSTMORTEM output.
 //
 // Usage: trace_validate <trace.json> [more.json...]
+//        trace_validate --postmortem <bundle-dir> [more dirs...]
 #include <cstdio>
+#include <cstring>
 
 #include "obs/chrome_trace.hpp"
+#include "obs/flight_recorder.hpp"
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: trace_validate <trace.json>...\n");
+    std::fprintf(stderr,
+                 "usage: trace_validate <trace.json>...\n"
+                 "       trace_validate --postmortem <bundle-dir>...\n");
     return 2;
   }
   int failures = 0;
+  if (std::strcmp(argv[1], "--postmortem") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: trace_validate --postmortem <dir>...\n");
+      return 2;
+    }
+    for (int i = 2; i < argc; ++i) {
+      std::string error;
+      if (zero::obs::ValidatePostmortemBundle(argv[i], &error)) {
+        std::printf("%s: valid post-mortem bundle\n", argv[i]);
+      } else {
+        std::printf("%s: INVALID: %s\n", argv[i], error.c_str());
+        ++failures;
+      }
+    }
+    return failures == 0 ? 0 : 1;
+  }
   for (int i = 1; i < argc; ++i) {
     std::string error;
     if (zero::obs::ValidateChromeTraceFile(argv[i], &error)) {

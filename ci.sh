@@ -55,18 +55,29 @@ echo "==> bench: ZeRO++ communication-compression gate (release build)"
 # escape hatch.
 ./build/bench/comm_volume_analysis BENCH_zeropp.json
 
+echo "==> bench: step anatomy + flight recorder gate (release build)"
+# A seeded slow@rank:collective fault must be blamed on exactly that
+# rank by the cross-rank critical-path analyzer on every measured step,
+# and a crashed run must leave a post-mortem bundle that passes the
+# strict validator; writes BENCH_anatomy.json. Same ZERO_BENCH_RELAX=1
+# escape hatch.
+rm -rf build/anatomy_postmortem
+./build/bench/step_anatomy BENCH_anatomy.json build/anatomy_postmortem
+
 echo "==> smoke: 2-rank stage-3 run with telemetry artifacts"
 # End-to-end telemetry check: the run must produce a valid Chrome trace,
-# per-step metrics, and a step report whose measured memory/comm match
-# the paper equations (the trainer logs divergences; the report JSON's
-# "ok" field is asserted below).
+# a valid merged cross-rank timeline, per-step metrics, and a step
+# report whose measured memory/comm match the paper equations (the
+# trainer logs divergences; the report JSON's "ok" field is asserted
+# below).
 rm -f build/smoke_trace.json build/smoke_trace.json.metrics.json \
-  build/smoke_trace.json.report.json
+  build/smoke_trace.json.report.json build/smoke_trace.json.timeline.json
 # ZERO_PREFETCH=2 exercises the stage-3 prefetch pipeline end to end;
 # the report's paper-equation checks must still pass with it on.
 ZERO_TRACE=build/smoke_trace.json ZERO_PREFETCH=2 \
   ./build/examples/train_gpt_mini 3 2 1 3
-./build/bench/trace_validate build/smoke_trace.json
+./build/bench/trace_validate build/smoke_trace.json \
+  build/smoke_trace.json.timeline.json
 test -s build/smoke_trace.json.metrics.json
 # Top-level "ok" (indent 2) — the per-check ok fields are indented deeper.
 grep -q '^  "ok": true' build/smoke_trace.json.report.json
@@ -91,6 +102,18 @@ exact_bytes=$(sed -n 's/.*"measured_bytes_per_step": \([0-9]*\).*/\1/p' \
 zpp_bytes=$(sed -n 's/.*"measured_bytes_per_step": \([0-9]*\).*/\1/p' \
   build/smoke_zpp.json.report.json)
 test "${zpp_bytes}" -lt "${exact_bytes}"
+
+echo "==> smoke: fault-killed run must leave a post-mortem bundle"
+# A crash on rank 1 with the heartbeat detector armed must kill the run
+# (train_gpt_mini exits 1) and the flight recorder must leave a bundle
+# that passes the strict post-mortem validator.
+rm -rf build/smoke_postmortem
+if ZERO_POSTMORTEM=build/smoke_postmortem ZERO_FAULT='crash@1:step#2' \
+  ZERO_COMM_DEADLINE_MS=200 ./build/examples/train_gpt_mini 3 2 1 4; then
+  echo "FAIL: faulted smoke run exited 0 (expected failure)"
+  exit 1
+fi
+./build/bench/trace_validate --postmortem build/smoke_postmortem
 
 echo "==> tsan: configure + build + ctest"
 cmake --preset tsan >/dev/null

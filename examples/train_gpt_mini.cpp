@@ -49,6 +49,10 @@ int main(int argc, char** argv) {
   }
   if (result.failed) {
     std::printf("run killed by fault: %s\n", result.failure_message.c_str());
+    if (!result.postmortem_dir.empty()) {
+      std::printf("post-mortem bundle: %s (see manifest.json)\n",
+                  result.postmortem_dir.c_str());
+    }
     return 1;
   }
 
@@ -81,8 +85,15 @@ int main(int argc, char** argv) {
                 telemetry.trace_path.c_str());
     std::printf("  metrics %s\n", telemetry.metrics_path.c_str());
     std::printf("  report  %s\n", telemetry.report_path.c_str());
+    std::printf("  merged  %s  (cross-rank timeline, multi-pid)\n",
+                telemetry.timeline_path.c_str());
     if (result.report.has_value()) {
       std::printf("  %s\n", result.report->Summary().c_str());
+      const obs::StepReportInputs& in = result.report->inputs;
+      if (in.anatomy_steps > 0 && in.straggler_rank >= 0) {
+        std::printf("  anatomy: straggler rank %d on %d/%d measured steps\n",
+                    in.straggler_rank, in.straggler_steps, in.anatomy_steps);
+      }
     }
   } else {
     std::printf("\n(set ZERO_TRACE=/tmp/trace.json to record a Chrome trace "

@@ -86,6 +86,10 @@ std::vector<std::byte> Communicator::RecvBytes(int peer, std::uint64_t tag) {
   const std::uint64_t wait_start = deadline_ns != 0 ? obs::TraceNowNs() : 0;
   std::vector<std::byte> msg;
 
+  // The whole take loop is blocked time: the span makes mailbox waits
+  // inside ring collectives visible as a stall class to the step
+  // critical-path analyzer (a message already queued costs ~nothing).
+  TRACE_SPAN("comm/recv_wait");
   for (;;) {
     // A queued message wins over failure state (checked inside TakeFor's
     // predicate too): drain what was delivered before unwinding, so a

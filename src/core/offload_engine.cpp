@@ -114,7 +114,10 @@ void OffloadEngine::TryLaunchEager() {
       stops.Add();
       return;
     }
-    slice_req_[su] = tier_->SubmitToTier(bytes);
+    {
+      TRACE_SPAN("offload/slice_launch");
+      slice_req_[su] = tier_->SubmitToTier(bytes);
+    }
     staged_[su] = true;
     staged_bytes_ += bytes;
     ++launch_pos_;
@@ -197,6 +200,7 @@ void OffloadEngine::RunUpdate(std::span<Half> params_f16,
   const float* lut = HalfDecodeTable();
 
   auto prepare = [&](std::int64_t idx) {
+    TRACE_SPAN("offload/slice_launch");
     const std::int32_t s = order[static_cast<std::size_t>(idx)];
     const std::int64_t begin = slice_begin(s);
     const std::int64_t len = slice_len(s);
@@ -234,9 +238,12 @@ void OffloadEngine::RunUpdate(std::span<Half> params_f16,
     // Next slice's transfers ride the link while this slice computes.
     if (idx + 1 < num) prepare(idx + 1);
 
-    slice_req_[static_cast<std::size_t>(s)].Wait();
-    for (auto& r : slot.in_reqs) r.Wait();
-    slot.in_reqs.clear();
+    {
+      TRACE_SPAN("offload/slice_wait");
+      slice_req_[static_cast<std::size_t>(s)].Wait();
+      for (auto& r : slot.in_reqs) r.Wait();
+      slot.in_reqs.clear();
+    }
 
     std::span<float> master, m, v;
     if (resident_) {
@@ -296,9 +303,12 @@ void OffloadEngine::RunUpdate(std::span<Half> params_f16,
           tier_->StoreAsync(v_rg_, off, std::as_bytes(std::span(v))));
     }
   }
-  for (Slot& slot : slots_) {
-    for (auto& r : slot.out_reqs) r.Wait();
-    slot.out_reqs.clear();
+  {
+    TRACE_SPAN("offload/slice_wait");
+    for (Slot& slot : slots_) {
+      for (auto& r : slot.out_reqs) r.Wait();
+      slot.out_reqs.clear();
+    }
   }
 
   if (static_cast<std::int64_t>(recording_.size()) == num) {

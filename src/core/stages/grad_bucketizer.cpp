@@ -283,8 +283,11 @@ void GradBucketizer::ProgressHier(bool block) {
         const Half* peer =
             reinterpret_cast<const Half*>(h.intra_staging[idx].data());
         float* acc = h.acc32.data() + off;
-        for (std::int64_t i = 0; i < len; ++i) {
-          acc[i] += peer[i].ToFloat();
+        {
+          TRACE_SPAN("grads/qgz_fold");
+          for (std::int64_t i = 0; i < len; ++i) {
+            acc[i] += peer[i].ToFloat();
+          }
         }
         h.intra_staging[idx] = std::vector<std::byte>();
         if (++h.intra_next[ci] == npeers) {
@@ -318,8 +321,12 @@ void GradBucketizer::ProgressHier(bool block) {
           } else if (!req.Test()) {
             break;
           }
-          tensor::DequantizeAddF32(h.inter_staging[idx].data(), len,
-                                   ctx_->quant_block, h.acc32.data() + off);
+          {
+            TRACE_SPAN("grads/qgz_fold");
+            tensor::DequantizeAddF32(h.inter_staging[idx].data(), len,
+                                     ctx_->quant_block,
+                                     h.acc32.data() + off);
+          }
           h.inter_staging[idx] = std::vector<std::byte>();
           ++h.inter_next[ci];
         }

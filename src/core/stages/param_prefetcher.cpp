@@ -62,10 +62,16 @@ void ParamPrefetcher::OnStepEnd() {
       // shape between steps): abandon the tail and re-learn.
       Derail();
     } else {
+      const double overlap =
+          active_ns_ > 0.0 ? std::max(0.0, 1.0 - exposed_ns_ / active_ns_)
+                           : 0.0;
       static obs::Gauge& frac = obs::Metrics().gauge("comm.overlap_frac");
-      frac.Set(active_ns_ > 0.0
-                   ? std::max(0.0, 1.0 - exposed_ns_ / active_ns_)
-                   : 0.0);
+      frac.Set(overlap);
+      // Per-rank figure for the step report's anatomy section (the
+      // process-wide gauge above is last-writer-wins across ranks).
+      obs::Metrics()
+          .gauge("comm.overlap_frac.rank" + std::to_string(ctx_->rank()))
+          .Set(overlap);
     }
   }
   mode_ = Mode::kIdle;

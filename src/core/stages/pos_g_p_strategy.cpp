@@ -52,6 +52,7 @@ void PosGPStrategy::InitParams(std::span<const float> padded_init) {
 }
 
 void PosGPStrategy::CaptureSecondary(int u, const tensor::Tensor& f16) {
+  TRACE_SPAN("params/hpz_capture");
   const auto [ub, ue] = ctx_->model->layout().UnitRange(u);
   const Range own2 = hpz_part_->PartitionRange(ctx_->local->rank());
   const Range overlap = Intersect(Range{ub, ue}, own2);
@@ -59,6 +60,9 @@ void PosGPStrategy::CaptureSecondary(int u, const tensor::Tensor& f16) {
     std::memcpy(secondary_.f16().data() + (overlap.begin - own2.begin),
                 f16.f16().data() + (overlap.begin - ub),
                 static_cast<std::size_t>(overlap.size()) * sizeof(Half));
+    static obs::Counter& captured =
+        obs::Metrics().counter("hpz.secondary_bytes_captured");
+    captured.Add(static_cast<double>(overlap.size()) * sizeof(Half));
   }
   // Even a rank whose slice misses this unit marks it: the flag means
   // "the node group collectively holds unit u", which became true the

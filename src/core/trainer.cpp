@@ -12,7 +12,10 @@
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 
 namespace zero::core {
@@ -133,6 +136,21 @@ TrainResult TrainGpt(const TrainOptions& options) {
     obs::Metrics().ResetValues();
     obs::EnableTracing();
   }
+  // Flight recorder: config wins, ZERO_POSTMORTEM arms it even when full
+  // telemetry is off (small bounded ring, flushed only on a fault).
+  std::string postmortem_dir = telemetry.postmortem_dir;
+  if (postmortem_dir.empty()) {
+    if (const char* env = std::getenv("ZERO_POSTMORTEM")) {
+      postmortem_dir = env;
+    }
+  }
+  const bool flight_armed = !postmortem_dir.empty();
+  const bool flight_owns_tracing = flight_armed && !obs::TracingEnabled();
+  if (flight_armed) {
+    obs::FlightRecorderOptions fr;
+    fr.dir = postmortem_dir;
+    obs::EnableFlightRecorder(fr);
+  }
   // Rank-0 measurements feeding the step report, captured inside Run.
   double measured_state_bytes = 0;
   double measured_comm_bytes = 0;
@@ -245,8 +263,12 @@ TrainResult TrainGpt(const TrainOptions& options) {
         } else {
           ++steps_measured;
         }
-        if (telemetry.enabled && ctx.rank == 0) {
-          local_snapshots.push_back(obs::Metrics().SnapshotJson());
+        if (ctx.rank == 0 && (telemetry.enabled || flight_armed)) {
+          std::string snapshot = obs::Metrics().SnapshotJson();
+          if (flight_armed) obs::FlightRecorderStepSnapshot(s, snapshot);
+          if (telemetry.enabled) {
+            local_snapshots.push_back(std::move(snapshot));
+          }
         }
         if (options.engine.checkpoint_every_n_steps > 0 &&
             (s + 1) % options.engine.checkpoint_every_n_steps == 0) {
@@ -363,11 +385,22 @@ TrainResult TrainGpt(const TrainOptions& options) {
       message = e.what();
     } catch (...) {
     }
-    if (!fault_like) std::rethrow_exception(root);
+    if (!fault_like) {
+      if (flight_armed) obs::DisableFlightRecorder();
+      if (flight_owns_tracing) obs::DisableTracing();
+      std::rethrow_exception(root);
+    }
     result.failed = true;
     result.failure_message = message;
     result.losses.clear();
+    // Abort cascade epilogue: all rank threads have joined, so the rings
+    // are stable — flush the black box before anything resets it.
+    if (flight_armed) {
+      result.postmortem_dir = obs::FlushFlightRecorder(message);
+    }
   }
+  if (flight_armed) obs::DisableFlightRecorder();
+  if (flight_owns_tracing) obs::DisableTracing();
 
   if (result.oom) result.losses.clear();
 
@@ -375,6 +408,19 @@ TrainResult TrainGpt(const TrainOptions& options) {
     obs::DisableTracing();
     if (!telemetry.trace_path.empty()) {
       obs::WriteChromeTraceFile(telemetry.trace_path);
+    }
+    // Merged cross-rank view: built once, feeds both the timeline
+    // artifact and the critical-path anatomy in the report.
+    const obs::Timeline timeline = obs::BuildTimeline(obs::CollectEvents());
+    if (!telemetry.timeline_path.empty()) {
+      std::ofstream f(telemetry.timeline_path,
+                      std::ios::binary | std::ios::trunc);
+      if (f) {
+        f << obs::TimelineChromeJson(timeline);
+      } else {
+        ZLOG_ERROR << "cannot open timeline output "
+                   << telemetry.timeline_path;
+      }
     }
     if (!telemetry.metrics_path.empty() && !step_metric_snapshots.empty()) {
       std::ofstream f(telemetry.metrics_path,
@@ -417,6 +463,34 @@ TrainResult TrainGpt(const TrainOptions& options) {
       in.wire_int8_bytes = measured_wire_int8;
       in.wire_scale_bytes = measured_wire_scales;
       in.world_size = world_size;
+      in.trace_dropped_events =
+          static_cast<double>(timeline.dropped_events);
+      // Step anatomy: same warm-up convention as the comm ledger — drop
+      // step 0 from the averages when more than one step was traced.
+      const std::vector<obs::StepAnatomy> anatomy =
+          obs::AnalyzeSteps(timeline);
+      const obs::AnatomySummary summary =
+          obs::SummarizeAnatomy(anatomy, anatomy.size() > 1 ? 1 : 0);
+      in.anatomy_steps = summary.steps;
+      in.straggler_rank = summary.straggler_rank;
+      in.straggler_steps = summary.straggler_steps;
+      for (const obs::RankAggregate& ra : summary.ranks) {
+        obs::StepReportInputs::RankAnatomy a;
+        a.rank = ra.rank;
+        a.step_ms = ra.step_ms;
+        a.compute_ms = ra.compute_ms;
+        a.comm_ms = ra.comm_ms;
+        a.stall_ms = ra.stall_ms;
+        a.offload_ms = ra.offload_ms;
+        a.critical_ms = ra.critical_ms;
+        if (engine_cfg.prefetch_lookahead > 0) {
+          a.overlap_frac =
+              obs::Metrics()
+                  .gauge("comm.overlap_frac.rank" + std::to_string(ra.rank))
+                  .value();
+        }
+        in.anatomy_ranks.push_back(a);
+      }
       obs::StepReport report = obs::BuildStepReport(in);
       if (telemetry.validate) {
         ZLOG_INFO << "step report: " << report.Summary();

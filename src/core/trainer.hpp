@@ -77,6 +77,9 @@ struct TrainResult {
   // anything that is not an InjectedFaultError/CommError — still throw).
   bool failed = false;
   std::string failure_message;
+  // Flight-recorder post-mortem bundle written for this failure ("" when
+  // the recorder was disarmed, the run was healthy, or the flush failed).
+  std::string postmortem_dir;
   // Flat parameter space of the per-engine model (after any MP split):
   // logical and partition-padded element counts.
   std::int64_t psi = 0;

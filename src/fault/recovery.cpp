@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace zero::fault {
@@ -91,6 +92,13 @@ RecoveryReport RecoveryCoordinator::Train(const RankBody& body) {
       } catch (...) {
         info.error = "unknown error";
       }
+    }
+    // The attempt's world has joined, so the trace rings are stable:
+    // flush the black box into a per-attempt bundle before the next
+    // world starts recording over it.
+    if (obs::FlightRecorderEnabled()) {
+      info.postmortem_dir = obs::FlushFlightRecorder(
+          info.error, "attempt-" + std::to_string(attempt));
     }
     ZLOG_WARN << "attempt " << attempt << " failed (" << info.error
               << "), resuming from step "

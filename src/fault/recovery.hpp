@@ -84,6 +84,9 @@ struct AttemptInfo {
   bool ok = false;
   std::string error;
   std::vector<int> failed_ranks;
+  // Flight-recorder bundle for this attempt (under attempt-<k>/ below
+  // the recorder's root); "" when the recorder was disarmed.
+  std::string postmortem_dir;
 };
 
 struct RecoveryReport {

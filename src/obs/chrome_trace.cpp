@@ -63,7 +63,20 @@ std::string ChromeTraceJson(const std::vector<ThreadEvents>& threads) {
   out.reserve(flat.size() * 96 + 1024);
   out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":";
   out += std::to_string(dropped);
-  out += "},\"traceEvents\":[";
+  // Per-lane drop counts (nonzero lanes only): a truncated ring must be
+  // visible in the artifact, not silently absorbed into the total.
+  out += ",\"droppedByLane\":{";
+  bool dropped_first = true;
+  for (const ThreadEvents& te : threads) {
+    if (te.dropped == 0) continue;
+    if (!dropped_first) out += ',';
+    dropped_first = false;
+    out += '"';
+    out += std::to_string(te.tid);
+    out += "\":";
+    out += std::to_string(te.dropped);
+  }
+  out += "}},\"traceEvents\":[";
   bool first = true;
   auto comma = [&] {
     if (!first) out += ',';

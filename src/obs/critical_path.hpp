@@ -1,0 +1,103 @@
+// Step critical-path analysis over a merged Timeline.
+//
+// Per step (the k-th "engine/step" span on every rank):
+//
+//   * Segment decomposition. Each rank's step time is split into
+//     compute / exposed-comm / stall / offload by sweeping the rank's
+//     classified spans: at every instant the highest-priority active
+//     class wins (stall > offload > comm), and time under no classified
+//     span is compute. Stall is a blocked wait (mailbox recv, p2p wait,
+//     collective wait, prefetch acquire, bucket drain); comm is active
+//     wire work (collectives, bucket flushes, quantize codecs); offload
+//     is the optimizer-state tier pipeline.
+//
+//   * Critical path. Blocking collectives induce cross-rank dependency
+//     edges: instance k of a collective on rank r matches instance k on
+//     every other rank (SPMD lockstep), and the instance cannot end
+//     before its *gating* rank — the member that finished contributing
+//     last — is done. The walk starts at the step's latest rank end and
+//     moves backward; at each matched collective it jumps to the gating
+//     rank, identified as the member maximizing span_start +
+//     (span_dur - stall_within): the arrival-adjusted busy end. A late
+//     arriver wins on start; a rank slowed inside the collective wins
+//     on busy time; a member that merely sat in recv-wait never wins.
+//     The chain of segments from step start to step end is the critical
+//     path, and the rank holding most of it is the step's straggler.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "obs/timeline.hpp"
+
+namespace zero::obs {
+
+enum class SegClass : int { kCompute = 0, kComm = 1, kStall = 2, kOffload = 3 };
+inline constexpr int kSegClassCount = 4;
+
+const char* SegClassName(SegClass c);
+
+// Name-prefix classification; unlisted names are compute.
+SegClass ClassifySpanName(std::string_view name);
+
+struct RankStepAnatomy {
+  int rank = -1;
+  std::uint64_t begin_ns = 0;  // this rank's engine/step window
+  std::uint64_t end_ns = 0;
+  double class_ns[kSegClassCount] = {0, 0, 0, 0};
+  double critical_ns = 0;  // time attributed to this rank on the path
+
+  [[nodiscard]] double step_ns() const {
+    return static_cast<double>(end_ns - begin_ns);
+  }
+  // Fraction of the step this rank spent NOT blocked or on the wire —
+  // the per-rank analogue of the prefetcher's overlap gauge.
+  [[nodiscard]] double busy_frac() const {
+    const double s = step_ns();
+    if (s <= 0) return 0;
+    return class_ns[static_cast<int>(SegClass::kCompute)] / s;
+  }
+};
+
+struct CriticalSegment {
+  int rank = -1;
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+struct StepAnatomy {
+  int step = -1;
+  std::vector<RankStepAnatomy> ranks;   // one per tagged rank, rank order
+  std::vector<CriticalSegment> path;    // step start -> step end
+  int straggler_rank = -1;              // argmax critical_ns
+};
+
+// One StepAnatomy per matched engine/step instance (the count is the
+// minimum across ranks, so a crashed rank truncates the analysis
+// instead of corrupting it). Empty when no rank recorded a step.
+std::vector<StepAnatomy> AnalyzeSteps(const Timeline& timeline);
+
+// Aggregate over steps for the step report.
+struct RankAggregate {
+  int rank = -1;
+  double step_ms = 0;
+  double compute_ms = 0;
+  double comm_ms = 0;
+  double stall_ms = 0;
+  double offload_ms = 0;
+  double critical_ms = 0;  // mean time on the critical path
+};
+
+struct AnatomySummary {
+  int steps = 0;            // steps analyzed (after skip)
+  int straggler_rank = -1;  // plurality winner across steps
+  int straggler_steps = 0;  // steps won by that rank
+  std::vector<RankAggregate> ranks;  // per-step means
+};
+
+// Skips the first `skip_first` steps (warm-up) before averaging.
+AnatomySummary SummarizeAnatomy(const std::vector<StepAnatomy>& steps,
+                                int skip_first = 0);
+
+}  // namespace zero::obs

@@ -1,0 +1,65 @@
+// Flight recorder: a bounded always-on telemetry ring plus rolling
+// metrics snapshots that the fault abort cascade flushes to a
+// deterministic post-mortem bundle.
+//
+// The PR-3 recorder is off by default because full tracing is a
+// per-run opt-in; the flight recorder arms the same per-thread rings
+// (small and bounded, so the steady-state cost is the ~1ns disabled
+// span check plus one 64-byte ring write per span) and keeps the last
+// few per-step metrics snapshots in memory. Nothing is written during
+// healthy operation. When a run dies — injected fault, missed
+// heartbeat, comm timeout — FlushFlightRecorder writes:
+//
+//   <dir>[/<label>]/manifest.json        reason, ranks, snapshots, skew
+//   <dir>[/<label>]/rank-<r>.trace.json  per-rank Chrome trace
+//   <dir>[/<label>]/timeline.json        merged skew-corrected timeline
+//
+// The layout is deterministic (file set is a function of the ranks that
+// recorded), so CI can assert a crashed run left an analyzable bundle.
+// Wired through the trainer (TrainResult::postmortem_dir) and
+// RecoveryCoordinator (per-attempt bundles under attempt-<k>/).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace zero::obs {
+
+struct FlightRecorderOptions {
+  // Bundle root. Flushes land here (or in <dir>/<label>).
+  std::string dir;
+  // Per-thread span ring capacity to arm tracing with when the full
+  // telemetry recorder is not already on.
+  std::size_t ring_events = 8192;
+  // Rolling metrics snapshots kept (oldest evicted first).
+  std::size_t max_snapshots = 16;
+};
+
+// Arms the recorder. If tracing is off it is enabled with a ring of
+// ring_events (no reset: an armed recorder never discards history it
+// could keep). Idempotent; a second call replaces the options.
+void EnableFlightRecorder(const FlightRecorderOptions& options);
+
+// Disarms without flushing and clears the snapshot buffer. Does not
+// touch the tracing enable flag (the owner of the run decides that).
+void DisableFlightRecorder();
+
+bool FlightRecorderEnabled();
+std::string FlightRecorderDir();
+
+// Appends a metrics snapshot (MetricsRegistry::SnapshotJson) to the
+// rolling buffer. No-op when disarmed. Thread-safe.
+void FlightRecorderStepSnapshot(std::int64_t step, std::string metrics_json);
+
+// Flushes the bundle. Collection contract: no thread may be recording
+// (call after World::TryRun has joined). Returns the bundle directory,
+// or "" when disarmed or on I/O failure.
+std::string FlushFlightRecorder(const std::string& reason,
+                                const std::string& label = "");
+
+// Post-mortem bundle validator: the manifest must parse under the
+// strict RFC 8259 parser and every rank trace plus the merged timeline
+// it lists must pass the Chrome-trace validator.
+bool ValidatePostmortemBundle(const std::string& dir, std::string* error);
+
+}  // namespace zero::obs

@@ -177,6 +177,7 @@ std::string StepReport::ToJson() const {
   in.Set("steps", json::Value(static_cast<std::int64_t>(inputs.steps)));
   in.Set("tolerance", json::Value(inputs.tolerance));
   in.Set("overlap_frac", json::Value(inputs.overlap_frac));
+  in.Set("trace_dropped_events", json::Value(inputs.trace_dropped_events));
   if (inputs.qwz || inputs.hpz || inputs.qgz) {
     json::Value zpp = json::Value::MakeObject();
     zpp.Set("qwz", json::Value(inputs.qwz));
@@ -230,6 +231,30 @@ std::string StepReport::ToJson() const {
     off.Set("bytes_to_device", json::Value(inputs.offload_bytes_to_device));
     off.Set("hidden_frac", json::Value(inputs.offload_hidden_frac));
     root.Set("offload", std::move(off));
+  }
+  if (inputs.anatomy_steps > 0) {
+    json::Value an = json::Value::MakeObject();
+    an.Set("steps",
+           json::Value(static_cast<std::int64_t>(inputs.anatomy_steps)));
+    an.Set("straggler_rank",
+           json::Value(static_cast<std::int64_t>(inputs.straggler_rank)));
+    an.Set("straggler_steps",
+           json::Value(static_cast<std::int64_t>(inputs.straggler_steps)));
+    json::Value ranks = json::Value::MakeArray();
+    for (const StepReportInputs::RankAnatomy& ra : inputs.anatomy_ranks) {
+      json::Value v = json::Value::MakeObject();
+      v.Set("rank", json::Value(static_cast<std::int64_t>(ra.rank)));
+      v.Set("step_ms", json::Value(ra.step_ms));
+      v.Set("compute_ms", json::Value(ra.compute_ms));
+      v.Set("comm_ms", json::Value(ra.comm_ms));
+      v.Set("stall_ms", json::Value(ra.stall_ms));
+      v.Set("offload_ms", json::Value(ra.offload_ms));
+      v.Set("critical_ms", json::Value(ra.critical_ms));
+      v.Set("overlap_frac", json::Value(ra.overlap_frac));
+      ranks.Append(std::move(v));
+    }
+    an.Set("ranks", std::move(ranks));
+    root.Set("anatomy", std::move(an));
   }
   root.Set("divergences", std::move(div));
   root.Set("ok", json::Value(ok()));

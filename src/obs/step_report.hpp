@@ -107,6 +107,29 @@ struct StepReportInputs {
   double wire_int8_bytes = 0;
   double wire_scale_bytes = 0;
   int world_size = 1;
+  // ---- step anatomy (informational; never a divergence) ----
+  // Cross-rank critical-path decomposition from obs/critical_path over
+  // the merged timeline: per-rank per-step means, and the plurality
+  // straggler across the measured steps. Replaces the old rank-0-only
+  // overlap gauge with a per-rank figure.
+  struct RankAnatomy {
+    int rank = -1;
+    double step_ms = 0;
+    double compute_ms = 0;
+    double comm_ms = 0;      // active wire work (exposed)
+    double stall_ms = 0;     // blocked waits (mailbox/prefetch/drain)
+    double offload_ms = 0;   // optimizer-state tier pipeline
+    double critical_ms = 0;  // mean time on the step's critical path
+    double overlap_frac = -1.0;  // per-rank comm.overlap_frac.rank<r>
+  };
+  std::vector<RankAnatomy> anatomy_ranks;
+  int anatomy_steps = 0;    // steps the analyzer measured (0 = no data)
+  int straggler_rank = -1;  // plurality critical-path winner
+  int straggler_steps = 0;  // measured steps attributed to that rank
+  // Trace-ring overflow across all lanes for the run (obs/trace
+  // per-thread drop counters); a nonzero value means the trace and the
+  // anatomy above describe a truncated window.
+  double trace_dropped_events = 0;
 };
 
 struct StepReport {

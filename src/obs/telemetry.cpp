@@ -8,6 +8,7 @@ TelemetryOptions& TelemetryOptions::ResolvePaths() {
   if (!trace_path.empty()) {
     if (metrics_path.empty()) metrics_path = trace_path + ".metrics.json";
     if (report_path.empty()) report_path = trace_path + ".report.json";
+    if (timeline_path.empty()) timeline_path = trace_path + ".timeline.json";
   }
   return *this;
 }
@@ -20,6 +21,9 @@ TelemetryOptions TelemetryOptions::FromEnv() {
       opts.trace_path = env;
       opts.ResolvePaths();
     }
+  }
+  if (const char* env = std::getenv("ZERO_POSTMORTEM")) {
+    if (env[0] != '\0') opts.postmortem_dir = env;
   }
   return opts;
 }

@@ -4,10 +4,14 @@
 //
 // Environment activation: setting ZERO_TRACE=/path/to/trace.json turns
 // telemetry on for any binary that consults FromEnv (the trainer and the
-// examples do). The metrics snapshot and step report derive their paths
-// from the trace path unless overridden:
-//   <trace>.metrics.json   per-step metrics registry snapshots
-//   <trace>.report.json    paper-equation step report
+// examples do). The metrics snapshot, step report and merged timeline
+// derive their paths from the trace path unless overridden:
+//   <trace>.metrics.json    per-step metrics registry snapshots
+//   <trace>.report.json     paper-equation step report
+//   <trace>.timeline.json   skew-corrected cross-rank timeline
+// ZERO_POSTMORTEM=/path/to/dir independently arms the flight recorder
+// (obs/flight_recorder.hpp): a faulted run flushes a post-mortem bundle
+// there even when ZERO_TRACE is unset.
 #pragma once
 
 #include <string>
@@ -27,6 +31,16 @@ struct TelemetryOptions {
 
   // Step report JSON with measured-vs-analytic checks ("" = derive).
   std::string report_path;
+
+  // Merged multi-pid cross-rank timeline ("" = derive from trace_path).
+  std::string timeline_path;
+
+  // Flight-recorder post-mortem bundle root ("" = disarmed). Unlike the
+  // artifacts above this is independent of `enabled`: the recorder arms
+  // a small bounded ring even when full telemetry is off, and only
+  // writes when a fault kills the run. Set via EngineConfig::telemetry
+  // or the ZERO_POSTMORTEM env var.
+  std::string postmortem_dir;
 
   // Run the paper-equation validation (memory 4x/8x/Nd, comm 1x/1x/1.5x)
   // and log divergences. Independent of whether a report file is written.

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 #include "tensor/kernels.hpp"
 
 #if defined(__AVX512F__) && defined(__AVX512BW__)
@@ -214,21 +215,25 @@ void DequantizeF32Impl(const std::byte* wire, std::int64_t n,
 
 void QuantizeF32(const float* src, std::int64_t n, std::int64_t block,
                  std::byte* wire) {
+  TRACE_SPAN("tensor/quantize");
   QuantizeF32Impl(src, n, block, wire);
 }
 
 void DequantizeF32(const std::byte* wire, std::int64_t n, std::int64_t block,
                    float* dst) {
+  TRACE_SPAN("tensor/dequantize");
   DequantizeF32Impl<false>(wire, n, block, dst);
 }
 
 void DequantizeAddF32(const std::byte* wire, std::int64_t n,
                       std::int64_t block, float* dst) {
+  TRACE_SPAN("tensor/dequantize");
   DequantizeF32Impl<true>(wire, n, block, dst);
 }
 
 void QuantizeHalf(const Half* src, std::int64_t n, std::int64_t block,
                   std::byte* wire) {
+  TRACE_SPAN("tensor/quantize");
   CheckShape(n, block);
   alignas(64) float buf[kMaxQuantBlock];
   WireView w = ViewWire(wire, n, block);
@@ -255,6 +260,7 @@ void QuantizeHalf(const Half* src, std::int64_t n, std::int64_t block,
 
 void DequantizeHalf(const std::byte* wire, std::int64_t n, std::int64_t block,
                     Half* dst) {
+  TRACE_SPAN("tensor/dequantize");
   CheckShape(n, block);
   alignas(64) float buf[kMaxQuantBlock];
   ConstWireView w = ViewWire(wire, n, block);

@@ -1,0 +1,190 @@
+// Step anatomy: span classification, the per-rank segment sweep, the
+// cross-rank critical-path walk on a hand-built timeline with known
+// answers, and an end-to-end straggler attribution on a real stage-3
+// run with a seeded slow-rank fault.
+#include "obs/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "core/trainer.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
+
+namespace zero::obs {
+namespace {
+
+class CriticalPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DisableTracing();
+    SetTraceBufferCapacity(16384);
+    ResetTrace();
+  }
+  void TearDown() override {
+    DisableTracing();
+    ResetTrace();
+    SetThreadLogRank(-1);
+  }
+};
+
+TraceEvent Ev(const char* name, int rank, std::uint64_t start,
+              std::uint64_t dur) {
+  TraceEvent e{};
+  std::strncpy(e.name, name, TraceEvent::kNameCap - 1);
+  e.rank = rank;
+  e.start_ns = start;
+  e.dur_ns = dur;
+  return e;
+}
+
+TEST_F(CriticalPathTest, ClassifiesSpanNamesByPriority) {
+  EXPECT_EQ(ClassifySpanName("comm/recv_wait"), SegClass::kStall);
+  EXPECT_EQ(ClassifySpanName("comm/p2p_wait"), SegClass::kStall);
+  EXPECT_EQ(ClassifySpanName("params/prefetch_wait"), SegClass::kStall);
+  EXPECT_EQ(ClassifySpanName("grads/bucket_drain"), SegClass::kStall);
+  EXPECT_EQ(ClassifySpanName("offload/slice_wait"), SegClass::kOffload);
+  EXPECT_EQ(ClassifySpanName("optim/offload_step"), SegClass::kOffload);
+  EXPECT_EQ(ClassifySpanName("comm/all_reduce"), SegClass::kComm);
+  EXPECT_EQ(ClassifySpanName("grads/qgz_fold"), SegClass::kComm);
+  EXPECT_EQ(ClassifySpanName("params/hpz_capture"), SegClass::kComm);
+  EXPECT_EQ(ClassifySpanName("tensor/quantize"), SegClass::kComm);
+  EXPECT_EQ(ClassifySpanName("tensor/dequantize"), SegClass::kComm);
+  EXPECT_EQ(ClassifySpanName("engine/step"), SegClass::kCompute);
+  EXPECT_EQ(ClassifySpanName("model/forward"), SegClass::kCompute);
+}
+
+// Two ranks, one step [0, 1000]ns, one matched all-reduce:
+//
+//   rank 0: all_reduce [100, 900] with recv_wait [150, 850] nested —
+//           it arrives early and sits blocked on the slow peer.
+//   rank 1: all_reduce [600, 900], fully busy — the actual straggler.
+//
+// Decomposition (rank 0): stall 700, comm 100 (the wait span must win
+// the overlap), compute 200. Walk: rank 1 gates the collective (busy
+// end 900 vs rank 0's arrival-adjusted 200), so the path is rank 1's
+// [0, 900] plus rank 0's tail [900, 1000] -> straggler rank 1.
+TEST_F(CriticalPathTest, WalkBlamesTheBusyRankNotTheWaiter) {
+  std::vector<ThreadEvents> threads(2);
+  threads[0].tid = 0;
+  threads[0].name = "rank 0";
+  threads[0].events = {
+      Ev("engine/step", 0, 0, 1000),
+      Ev("comm/all_reduce", 0, 100, 800),
+      Ev("comm/recv_wait", 0, 150, 700),
+  };
+  threads[1].tid = 1;
+  threads[1].name = "rank 1";
+  threads[1].events = {
+      Ev("engine/step", 1, 0, 1000),
+      Ev("comm/all_reduce", 1, 600, 300),
+  };
+
+  const std::vector<StepAnatomy> steps = AnalyzeSteps(BuildTimeline(threads));
+  ASSERT_EQ(steps.size(), 1u);
+  const StepAnatomy& s = steps[0];
+  ASSERT_EQ(s.ranks.size(), 2u);
+
+  const RankStepAnatomy& r0 = s.ranks[0];
+  EXPECT_EQ(r0.rank, 0);
+  EXPECT_DOUBLE_EQ(r0.class_ns[static_cast<int>(SegClass::kStall)], 700);
+  EXPECT_DOUBLE_EQ(r0.class_ns[static_cast<int>(SegClass::kComm)], 100);
+  EXPECT_DOUBLE_EQ(r0.class_ns[static_cast<int>(SegClass::kCompute)], 200);
+  EXPECT_DOUBLE_EQ(r0.busy_frac(), 0.2);
+
+  const RankStepAnatomy& r1 = s.ranks[1];
+  EXPECT_EQ(r1.rank, 1);
+  EXPECT_DOUBLE_EQ(r1.class_ns[static_cast<int>(SegClass::kComm)], 300);
+  EXPECT_DOUBLE_EQ(r1.class_ns[static_cast<int>(SegClass::kCompute)], 700);
+  EXPECT_DOUBLE_EQ(r1.class_ns[static_cast<int>(SegClass::kStall)], 0);
+
+  EXPECT_DOUBLE_EQ(r0.critical_ns, 100);
+  EXPECT_DOUBLE_EQ(r1.critical_ns, 900);
+  EXPECT_EQ(s.straggler_rank, 1);
+
+  // The path tiles the step exactly: [0,600]+[600,900] on rank 1,
+  // [900,1000] on rank 0.
+  ASSERT_EQ(s.path.size(), 3u);
+  EXPECT_EQ(s.path.front().begin_ns, 0u);
+  EXPECT_EQ(s.path.back().end_ns, 1000u);
+  for (std::size_t i = 0; i + 1 < s.path.size(); ++i) {
+    EXPECT_EQ(s.path[i].end_ns, s.path[i + 1].begin_ns);
+  }
+  EXPECT_EQ(s.path[0].rank, 1);
+  EXPECT_EQ(s.path[1].rank, 1);
+  EXPECT_EQ(s.path[2].rank, 0);
+}
+
+TEST_F(CriticalPathTest, NoStepSpansMeansNoAnatomy) {
+  std::vector<ThreadEvents> threads(1);
+  threads[0].tid = 0;
+  threads[0].events = {Ev("comm/all_reduce", 0, 0, 100)};
+  EXPECT_TRUE(AnalyzeSteps(BuildTimeline(threads)).empty());
+}
+
+TEST_F(CriticalPathTest, SummarySkipsWarmupAndVotesPlurality) {
+  std::vector<StepAnatomy> steps(3);
+  for (int k = 0; k < 3; ++k) {
+    steps[k].step = k;
+    RankStepAnatomy ra;
+    ra.rank = 0;
+    ra.begin_ns = 0;
+    ra.end_ns = 2'000'000;  // 2 ms
+    ra.class_ns[static_cast<int>(SegClass::kCompute)] = 1'500'000;
+    ra.class_ns[static_cast<int>(SegClass::kComm)] = 500'000;
+    ra.critical_ns = 1'000'000;
+    steps[k].ranks.push_back(ra);
+  }
+  steps[0].straggler_rank = 0;  // warm-up outlier, must be skipped
+  steps[1].straggler_rank = 1;
+  steps[2].straggler_rank = 1;
+
+  const AnatomySummary sum = SummarizeAnatomy(steps, /*skip_first=*/1);
+  EXPECT_EQ(sum.steps, 2);
+  EXPECT_EQ(sum.straggler_rank, 1);
+  EXPECT_EQ(sum.straggler_steps, 2);
+  ASSERT_EQ(sum.ranks.size(), 1u);
+  EXPECT_DOUBLE_EQ(sum.ranks[0].step_ms, 2.0);
+  EXPECT_DOUBLE_EQ(sum.ranks[0].compute_ms, 1.5);
+  EXPECT_DOUBLE_EQ(sum.ranks[0].comm_ms, 0.5);
+  EXPECT_DOUBLE_EQ(sum.ranks[0].critical_ms, 1.0);
+}
+
+// End to end: a stage-3 run with every collective on rank 1 slowed by
+// 2 ms must land in the step report's anatomy section blaming rank 1.
+TEST_F(CriticalPathTest, ReportAnatomyBlamesSeededSlowRank) {
+  core::TrainOptions options;
+  options.model.vocab = 48;
+  options.model.seq = 16;
+  options.model.hidden = 32;
+  options.model.layers = 3;
+  options.model.heads = 4;
+  options.engine.stage = model::ZeroStage::kOsGP;
+  options.cluster.dp_degree = 2;
+  options.batch_per_rank = 2;
+  options.steps = 3;
+  options.engine.fault_spec = "slow@1:collective=2ms";
+  options.engine.telemetry.enabled = true;  // no paths: stays in memory
+  options.engine.telemetry.validate = false;
+  options.engine.telemetry.trace_buffer_events = 65536;
+
+  const core::TrainResult result = core::TrainGpt(options);
+  ASSERT_FALSE(result.failed) << result.failure_message;
+  ASSERT_TRUE(result.report.has_value());
+  const StepReportInputs& in = result.report->inputs;
+  EXPECT_GT(in.anatomy_steps, 0);
+  EXPECT_EQ(in.straggler_rank, 1);
+  EXPECT_EQ(in.straggler_steps, in.anatomy_steps);
+  ASSERT_EQ(in.anatomy_ranks.size(), 2u);
+  // The slowed rank shows the comm time; its peer shows the stall.
+  EXPECT_GT(in.anatomy_ranks[1].comm_ms, in.anatomy_ranks[0].comm_ms);
+  EXPECT_GT(in.anatomy_ranks[0].stall_ms, 0.0);
+  EXPECT_GT(in.anatomy_ranks[1].critical_ms, in.anatomy_ranks[0].critical_ms);
+}
+
+}  // namespace
+}  // namespace zero::obs
