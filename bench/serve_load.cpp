@@ -1,0 +1,197 @@
+// Serving load bench: continuous batching vs batch-of-1 on the same
+// trainer checkpoint, under seeded overload traffic.
+//
+// The engine loads weights through the checkpoint path (TrainingState →
+// file → LoadCheckpointFile), then two serve configs replay identical
+// open-loop traffic whose offered rate exceeds capacity:
+//
+//   continuous — iteration-level batching: up to kMaxRunning sequences
+//     share every forward, prefills pack next to decode tokens;
+//   batch-of-1 — max_running = 1: one sequence occupies the engine
+//     end-to-end, the classic request-level serving baseline.
+//
+// The serve loop runs on a deterministic virtual clock (step cost =
+// base + per_token * packed), so the gated metric — saturation decode
+// throughput, tokens per virtual second — is a pure function of the
+// traffic seed and the config, reproducible on any machine. Wall time
+// is also measured, informationally. Latency percentiles (TTFT and
+// end-to-end p50/p99) and KV utilization come from the same summaries.
+//
+// Writes BENCH_serve.json; fails (exit 1) unless both configs complete
+// every admitted request and continuous batching's saturation
+// throughput is strictly higher than batch-of-1's. ZERO_BENCH_RELAX=1
+// downgrades failures to warnings.
+//
+// Usage: serve_load [out.json]   (ZERO_SERVE_SEED reseeds the traffic)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/state_checkpoint.hpp"
+#include "serve/engine.hpp"
+#include "serve/server.hpp"
+#include "serve/traffic_gen.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace zero;
+
+constexpr std::int64_t kMaxRunning = 8;
+constexpr std::int64_t kStepTokens = 32;
+
+model::GptConfig BenchModel() {
+  model::GptConfig c;
+  c.vocab = 64;
+  c.seq = 32;
+  c.hidden = 32;
+  c.layers = 2;
+  c.heads = 2;
+  return c;
+}
+
+struct RunResult {
+  std::string name;
+  serve::ServeSummary summary;
+  double wall_ms = 0.0;
+  double kv_util = 0.0;  // peak blocks / pool blocks
+};
+
+RunResult RunConfig(const std::string& name, const std::string& ckpt,
+                    std::span<const serve::ServeRequest> traffic,
+                    std::int64_t max_running) {
+  serve::InferenceOptions io;
+  io.model = BenchModel();
+  io.kv_block_tokens = 8;
+  io.kv_max_blocks = 128;
+  io.record_metrics = false;
+  serve::InferenceEngine engine(io, {});
+  engine.LoadCheckpointFile(ckpt);
+
+  serve::ServeOptions so;
+  so.scheduler.max_running = max_running;
+  so.scheduler.max_step_tokens = kStepTokens;
+  so.scheduler.max_seq = io.model.seq;
+  so.scheduler.record_metrics = false;
+  so.admission.record_metrics = false;
+  so.admission.max_queue_requests = 1 << 20;  // measure service, not drops
+
+  RunResult r;
+  r.name = name;
+  const auto t0 = Clock::now();
+  r.summary = serve::ServeLoop(engine, traffic, so);
+  r.wall_ms = static_cast<double>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - t0)
+                      .count()) /
+              1e3;
+  if (r.summary.kv_blocks_total > 0) {
+    r.kv_util = r.summary.kv_blocks_peak / r.summary.kv_blocks_total;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+
+  // Checkpoint → engine: the bench exercises the same load path the
+  // serving example and the regression tests use.
+  const model::GptConfig cfg = BenchModel();
+  const std::string ckpt = "/tmp/zero_serve_bench_ckpt.bin";
+  {
+    model::GptModel m(cfg, {});
+    core::TrainingState st;
+    st.total_numel = m.layout().total_numel();
+    st.step_count = 1;
+    st.loss_scale = 1024.0f;
+    st.master.resize(static_cast<std::size_t>(st.total_numel));
+    m.InitParameters(st.master, 0x5E12D);
+    st.momentum.assign(st.master.size(), 0.0f);
+    st.variance.assign(st.master.size(), 0.0f);
+    st.SaveToFile(ckpt);
+  }
+
+  serve::TrafficConfig tc;
+  tc.qps = 4000.0;  // well past capacity: measures saturation throughput
+  tc.duration_s = 0.05;
+  tc.tenants = 3;
+  tc.prompt_min = 4;
+  tc.prompt_max = 12;
+  tc.out_min = 2;
+  tc.out_max = 8;
+  tc.vocab = cfg.vocab;
+  tc.seed = serve::ServeSeedFromEnv(42);
+  const auto traffic = serve::GenerateOpenLoopTraffic(tc);
+
+  std::printf(
+      "serve load: %zu requests @ %.0f QPS offered, model v=%lld h=%lld "
+      "L=%lld (seed %llu)\n",
+      traffic.size(), tc.qps, static_cast<long long>(cfg.vocab),
+      static_cast<long long>(cfg.hidden), static_cast<long long>(cfg.layers),
+      static_cast<unsigned long long>(tc.seed));
+
+  const RunResult cont =
+      RunConfig("continuous", ckpt, traffic, kMaxRunning);
+  const RunResult solo = RunConfig("batch_of_1", ckpt, traffic, 1);
+  std::remove(ckpt.c_str());
+
+  for (const RunResult* r : {&cont, &solo}) {
+    std::printf(
+        "  %-11s %5lld done in %7.1f virtual ms (%7.1f wall ms): %8.1f "
+        "tok/s, ttft p50/p99 %6.1f/%6.1f ms, e2e p50/p99 %6.1f/%6.1f ms, "
+        "kv util %.2f\n",
+        r->name.c_str(), static_cast<long long>(r->summary.completed),
+        r->summary.virtual_duration_s * 1e3, r->wall_ms,
+        r->summary.decode_tokens_per_s(), r->summary.ttft_p50_ms,
+        r->summary.ttft_p99_ms, r->summary.e2e_p50_ms,
+        r->summary.e2e_p99_ms, r->kv_util);
+  }
+
+  bool ok = true;
+  const auto want = static_cast<std::int64_t>(traffic.size());
+  if (cont.summary.completed != want || solo.summary.completed != want) {
+    std::printf("FAIL: not every request completed (%lld/%lld vs %lld)\n",
+                static_cast<long long>(cont.summary.completed),
+                static_cast<long long>(solo.summary.completed),
+                static_cast<long long>(want));
+    ok = false;
+  }
+  const double speedup = solo.summary.decode_tokens_per_s() > 0
+                             ? cont.summary.decode_tokens_per_s() /
+                                   solo.summary.decode_tokens_per_s()
+                             : 0.0;
+  if (cont.summary.decode_tokens_per_s() <=
+      solo.summary.decode_tokens_per_s()) {
+    std::printf("FAIL: continuous batching (%.1f tok/s) not faster than "
+                "batch-of-1 (%.1f tok/s)\n",
+                cont.summary.decode_tokens_per_s(),
+                solo.summary.decode_tokens_per_s());
+    ok = false;
+  }
+  std::printf("  continuous batching saturation speedup: %.2fx\n", speedup);
+
+  std::ofstream f(out_path, std::ios::trunc);
+  f << "{\n  \"offered_qps\": " << tc.qps
+    << ",\n  \"requests\": " << traffic.size()
+    << ",\n  \"seed\": " << tc.seed << ",\n  \"continuous\": "
+    << cont.summary.ToJson() << ",\n  \"continuous_wall_ms\": "
+    << cont.wall_ms << ",\n  \"continuous_kv_util\": " << cont.kv_util
+    << ",\n  \"batch_of_1\": " << solo.summary.ToJson()
+    << ",\n  \"batch_of_1_wall_ms\": " << solo.wall_ms
+    << ",\n  \"batch_of_1_kv_util\": " << solo.kv_util
+    << ",\n  \"saturation_speedup\": " << speedup
+    << ",\n  \"ok\": " << (ok ? "true" : "false") << "\n}\n";
+  f.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!ok && std::getenv("ZERO_BENCH_RELAX") != nullptr) {
+    std::printf("WARN: gate failed but ZERO_BENCH_RELAX is set\n");
+    return 0;
+  }
+  return ok ? 0 : 1;
+}

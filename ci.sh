@@ -64,6 +64,15 @@ echo "==> bench: step anatomy + flight recorder gate (release build)"
 rm -rf build/anatomy_postmortem
 ./build/bench/step_anatomy BENCH_anatomy.json build/anatomy_postmortem
 
+echo "==> bench: serving load gate (release build)"
+# Continuous batching vs batch-of-1 on the same trainer checkpoint
+# under seeded overload traffic: every request must complete and the
+# continuous config's saturation throughput (tokens per virtual second,
+# deterministic) must be strictly higher; writes BENCH_serve.json with
+# p50/p99 latency and KV utilization. Same ZERO_BENCH_RELAX=1 escape
+# hatch.
+./build/bench/serve_load BENCH_serve.json
+
 echo "==> smoke: 2-rank stage-3 run with telemetry artifacts"
 # End-to-end telemetry check: the run must produce a valid Chrome trace,
 # a valid merged cross-rank timeline, per-step metrics, and a step
@@ -114,6 +123,25 @@ if ZERO_POSTMORTEM=build/smoke_postmortem ZERO_FAULT='crash@1:step#2' \
   exit 1
 fi
 ./build/bench/trace_validate --postmortem build/smoke_postmortem
+
+echo "==> smoke: train -> checkpoint -> serve -> trace"
+# The full deployment chain: train_gpt_mini writes a checkpoint via
+# ZERO_CKPT, serve_gpt_mini loads it into the continuous-batching
+# engine under seeded traffic, and the recorded serve trace must pass
+# the strict Chrome-trace validator.
+rm -f build/smoke_ckpt.bin build/smoke_serve.json
+ZERO_CKPT=build/smoke_ckpt.bin ./build/examples/train_gpt_mini 2 2 1 12
+test -s build/smoke_ckpt.bin
+ZERO_TRACE=build/smoke_serve.json ZERO_SERVE_SEED=7 \
+  ./build/examples/serve_gpt_mini build/smoke_ckpt.bin 2000 0.1 1
+./build/bench/trace_validate build/smoke_serve.json
+# Every offered request must complete (python-free integer compare).
+serve_offered=$(sed -n 's/.*"offered": \([0-9]*\).*/\1/p' \
+  build/smoke_serve.json.report.json)
+serve_completed=$(sed -n 's/.*"completed": \([0-9]*\).*/\1/p' \
+  build/smoke_serve.json.report.json)
+test "${serve_offered}" -gt 100
+test "${serve_completed}" -eq "${serve_offered}"
 
 echo "==> tsan: configure + build + ctest"
 cmake --preset tsan >/dev/null

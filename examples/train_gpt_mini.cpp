@@ -39,6 +39,13 @@ int main(int argc, char** argv) {
   options.corpus_branching = 2;
   options.zero_r.activation_checkpointing = true;
   options.zero_r.partition_activations = mp > 1;
+  // ZERO_CKPT=/path/ckpt.bin writes a full-state checkpoint at the end
+  // of the run (and every 10 steps) that serve_gpt_mini loads directly.
+  if (const char* ckpt = std::getenv("ZERO_CKPT");
+      ckpt != nullptr && ckpt[0] != '\0') {
+    options.engine.checkpoint_path = ckpt;
+    options.engine.checkpoint_every_n_steps = steps < 10 ? steps : 10;
+  }
 
   std::printf("training GPT-mini: stage %d, dp=%d, mp=%d, %d steps\n",
               stage_arg, dp, mp, steps);

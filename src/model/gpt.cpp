@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstring>
+#include <vector>
 
+#include "comm/nonblocking_collectives.hpp"
 #include "common/error.hpp"
 #include "tensor/kernels.hpp"
 
@@ -492,6 +494,399 @@ void GptModel::BlockBackward(std::span<const float> up, const LayerStash& st,
     const float* dxtp = dxt.f32().data();
     for (std::int64_t i = 0; i < bs * h; ++i) d_in[i] = dx_mid[i] + dxtp[i];
   }
+}
+
+float GptModel::EvalForwardLogits(const Batch& batch, ParamProvider& params,
+                                  std::span<float> logits_out) {
+  namespace K = tensor;
+  const std::int64_t b_count = batch.rows;
+  const std::int64_t s_count = batch.cols;
+  ZERO_CHECK(s_count == config_.seq, "batch seq length must match config");
+  const std::int64_t bs = b_count * s_count;
+  const std::int64_t h = config_.hidden;
+  const std::int64_t v = config_.vocab;
+  const int layers = static_cast<int>(config_.layers);
+  ZERO_CHECK(batch.inputs.size() == static_cast<std::size_t>(bs),
+             "batch token count mismatch");
+  ZERO_CHECK(logits_out.size() >= static_cast<std::size_t>(bs * v),
+             "logits buffer too small");
+
+  Tensor x = NewAct({bs, h});
+  {
+    std::span<const float> u0 = params.AcquireUnit(0, Phase::kForward);
+    const float* wte = u0.data() + off_wte_;
+    const float* wpe = u0.data() + off_wpe_;
+    float* xp = x.f32().data();
+    for (std::int64_t i = 0; i < bs; ++i) {
+      const std::int64_t id = batch.inputs[static_cast<std::size_t>(i)];
+      ZERO_CHECK(id >= 0 && id < v, "token id out of range");
+      const std::int64_t pos = i % s_count;
+      const float* te = wte + id * h;
+      const float* pe = wpe + pos * h;
+      float* row = xp + i * h;
+      for (std::int64_t c = 0; c < h; ++c) row[c] = te[c] + pe[c];
+    }
+    params.ReleaseUnit(0, Phase::kForward);
+  }
+
+  LayerStash st;
+  for (int l = 0; l < layers; ++l) {
+    std::span<const float> up = params.AcquireUnit(l + 1, Phase::kForward);
+    Tensor x_next = NewAct({bs, h});
+    BlockForward(up, x.f32().data(), x_next.f32().data(), bs, st);
+    params.ReleaseUnit(l + 1, Phase::kForward);
+    st.DropAll();
+    x = std::move(x_next);
+  }
+
+  const int unit_f = layers + 1;
+  Tensor lnf_mean = NewAct({bs});
+  Tensor lnf_rstd = NewAct({bs});
+  Tensor y = NewAct({bs, h});
+  {
+    std::span<const float> uf = params.AcquireUnit(unit_f, Phase::kForward);
+    K::LayerNormForward(x.f32().data(), uf.data() + off_lnf_g_,
+                        uf.data() + off_lnf_b_, y.f32().data(),
+                        lnf_mean.f32().data(), lnf_rstd.f32().data(), bs, h,
+                        config_.ln_eps);
+    params.ReleaseUnit(unit_f, Phase::kForward);
+  }
+
+  float loss = 0.0f;
+  {
+    std::span<const float> u0 = params.AcquireUnit(0, Phase::kForward);
+    K::Gemm(false, true, bs, v, h, 1.0f, y.f32().data(),
+            u0.data() + off_wte_, 0.0f, logits_out.data());
+    if (batch.targets.size() == static_cast<std::size_t>(bs)) {
+      Tensor dlogits = NewAct({bs, v});
+      loss = K::CrossEntropyLoss(logits_out.data(), batch.targets.data(), bs,
+                                 v, dlogits.f32().data());
+    }
+    params.ReleaseUnit(0, Phase::kForward);
+  }
+  return loss;
+}
+
+int GptModel::DecodeForward(std::span<const DecodeToken> tokens,
+                            ParamProvider& params, KvCache& kv,
+                            std::span<float> logits_out) {
+  namespace K = tensor;
+  const std::int64_t n = static_cast<std::int64_t>(tokens.size());
+  ZERO_CHECK(n > 0, "empty decode step");
+  const std::int64_t h = config_.hidden;
+  const std::int64_t v = config_.vocab;
+  const std::int64_t hm = h / mp_size();
+  const std::int64_t im = config_.inner() / mp_size();
+  const std::int64_t lh = LocalHeads();
+  const std::int64_t hd = h / config_.heads;
+  const int layers = static_cast<int>(config_.layers);
+
+  // Group boundaries: contiguous runs of one slot, consecutive positions.
+  struct Group {
+    std::int64_t begin, end;
+  };
+  std::vector<Group> groups;
+  for (std::int64_t i = 0; i < n; ++i) {
+    ZERO_CHECK(tokens[static_cast<std::size_t>(i)].pos >= 0 &&
+                   tokens[static_cast<std::size_t>(i)].pos < config_.seq,
+               "decode position out of range");
+    if (i == 0 ||
+        tokens[static_cast<std::size_t>(i)].slot !=
+            tokens[static_cast<std::size_t>(i - 1)].slot) {
+      groups.push_back({i, i + 1});
+    } else {
+      ZERO_CHECK(tokens[static_cast<std::size_t>(i)].pos ==
+                     tokens[static_cast<std::size_t>(i - 1)].pos + 1,
+                 "group positions must be consecutive");
+      groups.back().end = i + 1;
+    }
+  }
+  ZERO_CHECK(logits_out.size() >=
+                 groups.size() * static_cast<std::size_t>(v),
+             "logits buffer too small");
+
+  // ---- embedding ----
+  Tensor x = NewAct({n, h});
+  {
+    std::span<const float> u0 = params.AcquireUnit(0, Phase::kForward);
+    const float* wte = u0.data() + off_wte_;
+    const float* wpe = u0.data() + off_wpe_;
+    float* xp = x.f32().data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const DecodeToken& t = tokens[static_cast<std::size_t>(i)];
+      ZERO_CHECK(t.token >= 0 && t.token < v, "token id out of range");
+      const float* te = wte + static_cast<std::int64_t>(t.token) * h;
+      const float* pe = wpe + t.pos * h;
+      float* row = xp + i * h;
+      for (std::int64_t c = 0; c < h; ++c) row[c] = te[c] + pe[c];
+    }
+    params.ReleaseUnit(0, Phase::kForward);
+  }
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+  // Per-(group, head) scratch, packed contiguous so attention runs
+  // through the same Gemm kernel as BlockForward (see the bit-exactness
+  // note below).
+  std::vector<float> q_pack, k_pack, v_pack, scores, att_pad, ctx_head;
+
+  for (int l = 0; l < layers; ++l) {
+    std::span<const float> up = params.AcquireUnit(l + 1, Phase::kForward);
+
+    Tensor ln1_mean = NewAct({n});
+    Tensor ln1_rstd = NewAct({n});
+    Tensor a = NewAct({n, h});
+    K::LayerNormForward(x.f32().data(), up.data() + lo_.ln1_g,
+                        up.data() + lo_.ln1_b, a.f32().data(),
+                        ln1_mean.f32().data(), ln1_rstd.f32().data(), n, h,
+                        config_.ln_eps);
+
+    Tensor qkv = NewAct({n, 3 * hm});
+    K::Gemm(false, true, n, 3 * hm, h, 1.0f, a.f32().data(),
+            up.data() + lo_.w_qkv, 0.0f, qkv.f32().data());
+    K::AddBiasRows(qkv.f32().data(), up.data() + lo_.b_qkv, n, 3 * hm);
+
+    // Append this step's K/V rows to the cache before attending, so
+    // tokens later in a prefill chunk see earlier ones.
+    const float* qkvp = qkv.f32().data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const DecodeToken& t = tokens[static_cast<std::size_t>(i)];
+      std::memcpy(kv.KRow(t.slot, l, t.pos), qkvp + i * 3 * hm + hm,
+                  static_cast<std::size_t>(hm) * sizeof(float));
+      std::memcpy(kv.VRow(t.slot, l, t.pos), qkvp + i * 3 * hm + 2 * hm,
+                  static_cast<std::size_t>(hm) * sizeof(float));
+    }
+
+    // Paged causal attention against the cached prefix. Q and the
+    // cached K/V prefix are packed contiguous per (group, head) and fed
+    // through K::Gemm — the same compiled kernel BlockForward's
+    // attention uses. The context GEMM is zero-padded out to k = seq so
+    // its reduction length matches the full forward exactly: with
+    // -ffp-contract the kernel's unrolled body and remainder path can
+    // round mul+add differently, so the same values summed over k_len
+    // versus seq terms may differ in the last bit. Padded terms multiply
+    // a +0 attention weight and leave the accumulator bitwise unchanged,
+    // which keeps decode logits bit-exact vs the full forward.
+    const std::int64_t s_full = config_.seq;
+    Tensor ctx = NewAct({n, hm});
+    float* ctxp = ctx.f32().data();
+    for (const Group& g : groups) {
+      const std::int64_t q_len = g.end - g.begin;
+      const DecodeToken& first = tokens[static_cast<std::size_t>(g.begin)];
+      const std::int64_t k_len =
+          tokens[static_cast<std::size_t>(g.end - 1)].pos + 1;
+      const std::int32_t slot = first.slot;
+      for (std::int64_t head = 0; head < lh; ++head) {
+        q_pack.resize(static_cast<std::size_t>(q_len * hd));
+        k_pack.resize(static_cast<std::size_t>(k_len * hd));
+        v_pack.assign(static_cast<std::size_t>(s_full * hd), 0.0f);
+        for (std::int64_t qi = 0; qi < q_len; ++qi) {
+          std::memcpy(q_pack.data() + qi * hd,
+                      qkvp + (g.begin + qi) * 3 * hm + head * hd,
+                      static_cast<std::size_t>(hd) * sizeof(float));
+        }
+        for (std::int64_t j = 0; j < k_len; ++j) {
+          std::memcpy(k_pack.data() + j * hd,
+                      kv.KRow(slot, l, j) + head * hd,
+                      static_cast<std::size_t>(hd) * sizeof(float));
+          std::memcpy(v_pack.data() + j * hd,
+                      kv.VRow(slot, l, j) + head * hd,
+                      static_cast<std::size_t>(hd) * sizeof(float));
+        }
+        // Scores reduce over hd (a fixed length), so no padding needed.
+        scores.resize(static_cast<std::size_t>(q_len * k_len));
+        K::Gemm(false, true, q_len, k_len, hd, scale, q_pack.data(),
+                k_pack.data(), 0.0f, scores.data());
+        K::CausalMaskedSoftmax(scores.data(), 1, q_len, k_len);
+        att_pad.assign(static_cast<std::size_t>(q_len * s_full), 0.0f);
+        for (std::int64_t qi = 0; qi < q_len; ++qi) {
+          std::memcpy(att_pad.data() + qi * s_full,
+                      scores.data() + qi * k_len,
+                      static_cast<std::size_t>(k_len) * sizeof(float));
+        }
+        ctx_head.resize(static_cast<std::size_t>(q_len * hd));
+        K::Gemm(false, false, q_len, hd, s_full, 1.0f, att_pad.data(),
+                v_pack.data(), 0.0f, ctx_head.data());
+        for (std::int64_t qi = 0; qi < q_len; ++qi) {
+          std::memcpy(ctxp + (g.begin + qi) * hm + head * hd,
+                      ctx_head.data() + qi * hd,
+                      static_cast<std::size_t>(hd) * sizeof(float));
+        }
+      }
+    }
+
+    // Attention output projection (row-parallel) + MP all-reduce #1. The
+    // nonblocking launcher is bit-identical to the blocking twin.
+    Tensor x_mid = NewAct({n, h});
+    {
+      Tensor o = NewAct({n, h});
+      K::Gemm(false, true, n, h, hm, 1.0f, ctxp, up.data() + lo_.w_o, 0.0f,
+              o.f32().data());
+      if (session_.mp != nullptr && session_.mp->size() > 1) {
+        comm::IAllReduce(*session_.mp, o.f32(), comm::ReduceOp::kSum).Wait();
+      }
+      K::AddBiasRows(o.f32().data(), up.data() + lo_.b_o, n, h);
+      const float* ov = o.f32().data();
+      const float* xp = x.f32().data();
+      float* xm = x_mid.f32().data();
+      for (std::int64_t i = 0; i < n * h; ++i) xm[i] = xp[i] + ov[i];
+    }
+
+    Tensor ln2_mean = NewAct({n});
+    Tensor ln2_rstd = NewAct({n});
+    Tensor b2 = NewAct({n, h});
+    K::LayerNormForward(x_mid.f32().data(), up.data() + lo_.ln2_g,
+                        up.data() + lo_.ln2_b, b2.f32().data(),
+                        ln2_mean.f32().data(), ln2_rstd.f32().data(), n, h,
+                        config_.ln_eps);
+
+    Tensor h1 = NewAct({n, im});
+    K::Gemm(false, true, n, im, h, 1.0f, b2.f32().data(),
+            up.data() + lo_.w_fc, 0.0f, h1.f32().data());
+    Tensor f = NewAct({n, im});
+    K::BiasGeluForward(h1.f32().data(), up.data() + lo_.b_fc,
+                       h1.f32().data(), f.f32().data(), n, im);
+
+    // MLP output projection (row-parallel) + MP all-reduce #2.
+    Tensor x_next = NewAct({n, h});
+    {
+      Tensor p = NewAct({n, h});
+      K::Gemm(false, true, n, h, im, 1.0f, f.f32().data(),
+              up.data() + lo_.w_pr, 0.0f, p.f32().data());
+      if (session_.mp != nullptr && session_.mp->size() > 1) {
+        comm::IAllReduce(*session_.mp, p.f32(), comm::ReduceOp::kSum).Wait();
+      }
+      K::AddBiasRows(p.f32().data(), up.data() + lo_.b_pr, n, h);
+      const float* pv = p.f32().data();
+      const float* xm = x_mid.f32().data();
+      float* xo = x_next.f32().data();
+      for (std::int64_t i = 0; i < n * h; ++i) xo[i] = xm[i] + pv[i];
+    }
+    params.ReleaseUnit(l + 1, Phase::kForward);
+    x = std::move(x_next);
+  }
+
+  // ---- final norm + logits for each group's last row ----
+  const std::int64_t n_groups = static_cast<std::int64_t>(groups.size());
+  Tensor last = NewAct({n_groups, h});
+  {
+    float* lp = last.f32().data();
+    const float* xp = x.f32().data();
+    for (std::int64_t g = 0; g < n_groups; ++g) {
+      std::memcpy(lp + g * h,
+                  xp + (groups[static_cast<std::size_t>(g)].end - 1) * h,
+                  static_cast<std::size_t>(h) * sizeof(float));
+    }
+  }
+  const int unit_f = layers + 1;
+  Tensor lnf_mean = NewAct({n_groups});
+  Tensor lnf_rstd = NewAct({n_groups});
+  Tensor y = NewAct({n_groups, h});
+  {
+    std::span<const float> uf = params.AcquireUnit(unit_f, Phase::kForward);
+    K::LayerNormForward(last.f32().data(), uf.data() + off_lnf_g_,
+                        uf.data() + off_lnf_b_, y.f32().data(),
+                        lnf_mean.f32().data(), lnf_rstd.f32().data(),
+                        n_groups, h, config_.ln_eps);
+    params.ReleaseUnit(unit_f, Phase::kForward);
+  }
+  {
+    std::span<const float> u0 = params.AcquireUnit(0, Phase::kForward);
+    K::Gemm(false, true, n_groups, v, h, 1.0f, y.f32().data(),
+            u0.data() + off_wte_, 0.0f, logits_out.data());
+    params.ReleaseUnit(0, Phase::kForward);
+  }
+  return static_cast<int>(n_groups);
+}
+
+std::int64_t GptModel::FullParamNumel(const GptConfig& c) {
+  const std::int64_t h = c.hidden;
+  const std::int64_t i = c.inner();
+  const std::int64_t block =
+      2 * h + (3 * h * h + 3 * h) + (h * h + h) + 2 * h + (i * h + i) +
+      (h * i + h);
+  return (c.vocab + c.seq) * h + c.layers * block + 2 * h;
+}
+
+void GptModel::ImportFullParams(std::span<const float> full,
+                                std::span<float> local) const {
+  const std::int64_t h = config_.hidden;
+  const std::int64_t i_total = config_.inner();
+  const std::int64_t hm = h / mp_size();
+  const std::int64_t im = i_total / mp_size();
+  const std::int64_t r = mp_rank();
+  ZERO_CHECK(full.size() ==
+                 static_cast<std::size_t>(FullParamNumel(config_)),
+             "full parameter vector size mismatch");
+  ZERO_CHECK(local.size() == static_cast<std::size_t>(layout_.total_numel()),
+             "local parameter vector size mismatch");
+
+  // Full (mp=1) layout offsets, mirroring the constructor's Add order.
+  struct FullOffsets {
+    std::int64_t ln1_g, ln1_b, w_qkv, b_qkv, w_o, b_o;
+    std::int64_t ln2_g, ln2_b, w_fc, b_fc, w_pr, b_pr, block;
+  } fo;
+  fo.ln1_g = 0;
+  fo.ln1_b = fo.ln1_g + h;
+  fo.w_qkv = fo.ln1_b + h;
+  fo.b_qkv = fo.w_qkv + 3 * h * h;
+  fo.w_o = fo.b_qkv + 3 * h;
+  fo.b_o = fo.w_o + h * h;
+  fo.ln2_g = fo.b_o + h;
+  fo.ln2_b = fo.ln2_g + h;
+  fo.w_fc = fo.ln2_b + h;
+  fo.b_fc = fo.w_fc + i_total * h;
+  fo.w_pr = fo.b_fc + i_total;
+  fo.b_pr = fo.w_pr + h * i_total;
+  fo.block = fo.b_pr + h;
+
+  auto copy = [](std::span<float> dst, std::int64_t dst_off,
+                 std::span<const float> src, std::int64_t src_off,
+                 std::int64_t count) {
+    std::memcpy(dst.data() + dst_off, src.data() + src_off,
+                static_cast<std::size_t>(count) * sizeof(float));
+  };
+
+  // Unit 0 (embeddings) is replicated: identical layout, straight copy.
+  copy(local, 0, full, 0, (config_.vocab + config_.seq) * h);
+
+  const std::int64_t full_blocks_base = (config_.vocab + config_.seq) * h;
+  for (std::int64_t l = 0; l < config_.layers; ++l) {
+    auto [ub, ue] = layout_.UnitRange(static_cast<int>(l) + 1);
+    std::span<float> lu = local.subspan(static_cast<std::size_t>(ub),
+                                        static_cast<std::size_t>(ue - ub));
+    std::span<const float> fu = full.subspan(
+        static_cast<std::size_t>(full_blocks_base + l * fo.block),
+        static_cast<std::size_t>(fo.block));
+
+    copy(lu, lo_.ln1_g, fu, fo.ln1_g, h);
+    copy(lu, lo_.ln1_b, fu, fo.ln1_b, h);
+    // Column-parallel qkv: local q/k/v segments are global row slices
+    // [r*hm, (r+1)*hm) of each [h, h] segment (row width h on both sides).
+    for (std::int64_t seg = 0; seg < 3; ++seg) {
+      copy(lu, lo_.w_qkv + seg * hm * h, fu,
+           fo.w_qkv + (seg * h + r * hm) * h, hm * h);
+      copy(lu, lo_.b_qkv + seg * hm, fu, fo.b_qkv + seg * h + r * hm, hm);
+    }
+    // Row-parallel attn out: keep columns [r*hm, ...) of every global row.
+    for (std::int64_t row = 0; row < h; ++row) {
+      copy(lu, lo_.w_o + row * hm, fu, fo.w_o + row * h + r * hm, hm);
+    }
+    copy(lu, lo_.b_o, fu, fo.b_o, h);
+    copy(lu, lo_.ln2_g, fu, fo.ln2_g, h);
+    copy(lu, lo_.ln2_b, fu, fo.ln2_b, h);
+    // Column-parallel fc: global row slice [r*im, ...), full row width.
+    copy(lu, lo_.w_fc, fu, fo.w_fc + r * im * h, im * h);
+    copy(lu, lo_.b_fc, fu, fo.b_fc + r * im, im);
+    // Row-parallel proj: keep columns [r*im, ...) of every global row.
+    for (std::int64_t row = 0; row < h; ++row) {
+      copy(lu, lo_.w_pr + row * im, fu, fo.w_pr + row * i_total + r * im, im);
+    }
+    copy(lu, lo_.b_pr, fu, fo.b_pr, h);
+  }
+
+  auto [fb, fe] = layout_.UnitRange(static_cast<int>(config_.layers) + 1);
+  copy(local, fb, full, full_blocks_base + config_.layers * fo.block,
+       fe - fb);
 }
 
 float GptModel::Step(const Batch& batch, ParamProvider& params,

@@ -51,6 +51,30 @@ struct GptSession {
   comm::Communicator* mp = nullptr;
 };
 
+// One token of a packed serving step. Tokens for the same sequence must
+// be contiguous in the span with consecutive positions; the serve
+// scheduler packs any mix of prefill chunks (many tokens per sequence)
+// and decode steps (one token per sequence) into a single span.
+struct DecodeToken {
+  std::int32_t token = 0;
+  std::int32_t slot = 0;    // KV-cache sequence slot (serve-layer handle)
+  std::int64_t pos = 0;     // absolute position within the sequence
+};
+
+// Paged per-sequence K/V storage, provided by the serve layer. Rows hold
+// this rank's local heads only (hidden / mp floats, head-major — the
+// same column order as a qkv projection row), so an MP-sharded engine
+// caches exactly its slice. Row pointers need not be contiguous across
+// positions: the serve pool hands out block-granular storage.
+class KvCache {
+ public:
+  virtual ~KvCache() = default;
+  virtual float* KRow(std::int32_t slot, std::int64_t layer,
+                      std::int64_t pos) = 0;
+  virtual float* VRow(std::int32_t slot, std::int64_t layer,
+                      std::int64_t pos) = 0;
+};
+
 class GptModel final : public FlatParamModel {
  public:
   GptModel(GptConfig config, GptSession session);
@@ -68,6 +92,40 @@ class GptModel final : public FlatParamModel {
 
   float Step(const Batch& batch, ParamProvider& params,
              GradSink& grads) override;
+
+  // Forward-only pass over full sequences: fills `logits_out` ([rows*seq,
+  // vocab]) and returns the mean cross-entropy loss when targets are
+  // present (0 otherwise). Runs the exact same kernel sequence as Step's
+  // forward half, so its logits are the bitwise reference the serving
+  // regression tests compare incremental decode against.
+  float EvalForwardLogits(const Batch& batch, ParamProvider& params,
+                          std::span<float> logits_out);
+
+  // Packed incremental decode: one batched block forward over all tokens
+  // of a serving step. Appends every token's K/V rows to `kv`, attends
+  // against the cached prefix, and writes logits for the *last* token of
+  // each sequence group into consecutive rows of `logits_out` (group
+  // order). Returns the number of groups. Attention uses serial
+  // accumulation in cached-key order, which keeps greedy-decode logits
+  // bit-exact vs EvalForwardLogits whenever the projection GEMMs take
+  // per-element-identical paths (see DESIGN.md §16).
+  int DecodeForward(std::span<const DecodeToken> tokens,
+                    ParamProvider& params, KvCache& kv,
+                    std::span<float> logits_out);
+
+  // Floats per cached K (or V) row on this rank: hidden / mp.
+  [[nodiscard]] std::int64_t kv_row_floats() const {
+    return config_.hidden / mp_size();
+  }
+
+  // Maps a full (MP-degree-1 layout) flat parameter vector — what the
+  // trainer checkpoints under mp=1 — onto this rank's local shard,
+  // applying the Megatron column/row slicing rules per matrix.
+  void ImportFullParams(std::span<const float> full,
+                        std::span<float> local) const;
+
+  // Parameter count of the mp=1 layout for `config` (checkpoint size).
+  [[nodiscard]] static std::int64_t FullParamNumel(const GptConfig& config);
 
   [[nodiscard]] const GptConfig& config() const { return config_; }
   [[nodiscard]] int mp_size() const;

@@ -1,0 +1,97 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace zero::serve {
+
+namespace {
+std::int64_t RequestTokens(const ServeRequest& r) {
+  return static_cast<std::int64_t>(r.prompt.size()) + r.max_new_tokens;
+}
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(std::move(config)) {
+  ZERO_CHECK(config_.max_queue_requests > 0, "queue cap must be positive");
+  ZERO_CHECK(config_.est_tokens_per_s > 0, "service-rate model must be > 0");
+}
+
+AdmissionController::TenantState& AdmissionController::Tenant(
+    std::int32_t id) {
+  ZERO_CHECK(id >= 0, "negative tenant id");
+  while (tenants_.size() <= static_cast<std::size_t>(id)) {
+    TenantState t;
+    const std::size_t i = tenants_.size();
+    if (i < config_.tenants.size()) t.policy = config_.tenants[i];
+    t.bucket = t.policy.burst_tokens;
+    tenants_.push_back(std::move(t));
+  }
+  return tenants_[static_cast<std::size_t>(id)];
+}
+
+RejectReason AdmissionController::Offer(ServeRequest request, double now_s) {
+  auto& m = obs::Metrics();
+  if (config_.record_metrics) m.counter("serve.requests.offered").Add();
+
+  if (queued_requests_ >= config_.max_queue_requests) {
+    if (config_.record_metrics) m.counter("serve.requests.rejected_queue").Add();
+    return RejectReason::kQueueFull;
+  }
+  const std::int64_t cost = RequestTokens(request);
+  if (config_.max_expected_wait_s > 0.0) {
+    const double wait = static_cast<double>(queued_tokens_ + cost) /
+                        config_.est_tokens_per_s;
+    if (wait > config_.max_expected_wait_s) {
+      if (config_.record_metrics) {
+        m.counter("serve.requests.rejected_latency").Add();
+      }
+      return RejectReason::kLatencyBound;
+    }
+  }
+  TenantState& t = Tenant(request.tenant);
+  t.bucket = std::min(t.policy.burst_tokens,
+                      t.bucket + (now_s - t.refilled_s) *
+                                     t.policy.rate_tokens_per_s);
+  t.refilled_s = now_s;
+  if (t.bucket < static_cast<double>(cost)) {
+    if (config_.record_metrics) {
+      m.counter("serve.requests.rejected_throttle").Add();
+    }
+    return RejectReason::kThrottled;
+  }
+  t.bucket -= static_cast<double>(cost);
+  t.queue.push_back(std::move(request));
+  ++queued_requests_;
+  queued_tokens_ += cost;
+  if (config_.record_metrics) {
+    m.counter("serve.requests.admitted").Add();
+    m.gauge("serve.queue_depth").Set(static_cast<double>(queued_requests_));
+  }
+  return RejectReason::kNone;
+}
+
+std::optional<ServeRequest> AdmissionController::Next() {
+  if (queued_requests_ == 0 || tenants_.empty()) return std::nullopt;
+  // Round-robin over tenants starting after the last one served.
+  for (std::size_t step = 0; step < tenants_.size(); ++step) {
+    const std::size_t i = (rr_cursor_ + step) % tenants_.size();
+    TenantState& t = tenants_[i];
+    if (t.queue.empty()) continue;
+    ServeRequest r = std::move(t.queue.front());
+    t.queue.pop_front();
+    --queued_requests_;
+    queued_tokens_ -= RequestTokens(r);
+    rr_cursor_ = i + 1;
+    if (config_.record_metrics) {
+      obs::Metrics().gauge("serve.queue_depth")
+          .Set(static_cast<double>(queued_requests_));
+    }
+    return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace zero::serve

@@ -1,0 +1,72 @@
+// Multi-tenant admission control in front of the batching scheduler:
+//
+//   1. Queue-depth backpressure — a global cap on queued requests; past
+//      it, arrivals bounce immediately (kQueueFull).
+//   2. Bounded-latency rejection — the expected wait of the queue
+//      (queued tokens / modeled service rate) must stay under the SLO,
+//      otherwise admitting the request would only breach its own
+//      deadline (kLatencyBound).
+//   3. Per-tenant token buckets — each tenant refills at its contracted
+//      tokens/s with a burst allowance; a request costs prompt +
+//      max_new_tokens. An empty bucket throttles that tenant without
+//      touching the others (kThrottled).
+//
+// Admitted requests land in per-tenant FIFO queues; the scheduler drains
+// them with a round-robin cursor across tenants, so a tenant flooding
+// the system cannot starve a sparse one — fairness is enforced at
+// dequeue, rate at enqueue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace zero::serve {
+
+struct TenantPolicy {
+  double rate_tokens_per_s = 1e12;  // effectively unlimited by default
+  double burst_tokens = 1e12;
+};
+
+struct AdmissionConfig {
+  std::vector<TenantPolicy> tenants;  // indexed by tenant id; short = default
+  std::int64_t max_queue_requests = 1024;
+  double max_expected_wait_s = 0.0;   // 0 disables the latency bound
+  double est_tokens_per_s = 100000;   // service-rate model for the bound
+  bool record_metrics = true;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  // Admits into the tenant's queue or returns the rejection reason.
+  RejectReason Offer(ServeRequest request, double now_s);
+
+  // Next request under round-robin tenant fairness; nullopt when empty.
+  [[nodiscard]] std::optional<ServeRequest> Next();
+
+  [[nodiscard]] bool HasQueued() const { return queued_requests_ > 0; }
+  [[nodiscard]] std::int64_t queue_depth() const { return queued_requests_; }
+  [[nodiscard]] std::int64_t queued_tokens() const { return queued_tokens_; }
+
+ private:
+  struct TenantState {
+    TenantPolicy policy;
+    double bucket = 0.0;
+    double refilled_s = 0.0;
+    std::deque<ServeRequest> queue;
+  };
+  TenantState& Tenant(std::int32_t id);
+
+  AdmissionConfig config_;
+  std::vector<TenantState> tenants_;
+  std::int64_t queued_requests_ = 0;
+  std::int64_t queued_tokens_ = 0;
+  std::size_t rr_cursor_ = 0;
+};
+
+}  // namespace zero::serve

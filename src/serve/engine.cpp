@@ -1,0 +1,44 @@
+#include "serve/engine.hpp"
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace zero::serve {
+
+InferenceEngine::InferenceEngine(InferenceOptions options,
+                                 model::GptSession session)
+    : options_(options),
+      model_(options.model, session),
+      params_(static_cast<std::size_t>(model_.layout().total_numel()), 0.0f),
+      provider_(model_.layout(), params_),
+      pool_(KvGeometry{options.model.layers, model_.kv_row_floats(),
+                       options.kv_block_tokens},
+            options.kv_max_blocks, session.device, options.record_metrics),
+      kv_(&pool_) {}
+
+void InferenceEngine::LoadFullWeights(std::span<const float> full) {
+  TRACE_SPAN("serve/load_weights");
+  model_.ImportFullParams(full, params_);
+  loaded_ = true;
+}
+
+void InferenceEngine::LoadState(const core::TrainingState& state) {
+  ZERO_CHECK(state.total_numel ==
+                 model::GptModel::FullParamNumel(options_.model),
+             "checkpoint numel does not match the serving config (serving "
+             "requires an mp=1-layout checkpoint)");
+  LoadFullWeights(state.master);
+}
+
+void InferenceEngine::LoadCheckpointFile(const std::string& path) {
+  LoadState(core::TrainingState::LoadFromFile(path));
+}
+
+int InferenceEngine::Decode(std::span<const model::DecodeToken> tokens,
+                            std::span<float> logits_out) {
+  TRACE_SPAN("serve/decode");
+  ZERO_CHECK(loaded_, "Decode before weights were loaded");
+  return model_.DecodeForward(tokens, provider_, kv_, logits_out);
+}
+
+}  // namespace zero::serve

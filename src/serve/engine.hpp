@@ -1,0 +1,64 @@
+// Forward-only inference engine: loads a trainer checkpoint (v1 or v2
+// header) into GptModel weights and runs batched incremental decode
+// against a paged KV cache. Checkpoints store the mp=1 (full) parameter
+// layout; an MP-sharded engine re-slices that vector per rank with the
+// Megatron column/row rules (GptModel::ImportFullParams), so every MP
+// degree serves the same global model — and, for configs inside the
+// small-GEMM envelope (DESIGN.md §16), bit-exactly the logits of the
+// same-degree eval forward.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/state_checkpoint.hpp"
+#include "model/flat_model.hpp"
+#include "model/gpt.hpp"
+#include "serve/kv_cache.hpp"
+
+namespace zero::serve {
+
+struct InferenceOptions {
+  model::GptConfig model;
+  std::int64_t kv_block_tokens = 8;
+  std::int64_t kv_max_blocks = 256;
+  bool record_metrics = true;
+};
+
+class InferenceEngine {
+ public:
+  // `session.mp` non-null gives MP-sharded serving; `session.device`
+  // non-null carves weights' KV blocks from that caching allocator.
+  InferenceEngine(InferenceOptions options, model::GptSession session);
+
+  // Full (mp=1 layout) fp32 weights; resharded for this rank.
+  void LoadFullWeights(std::span<const float> full);
+  // The master fp32 array of a trainer checkpoint is the full weight
+  // vector. Rejects checkpoints whose numel does not match the config
+  // (e.g. shards exported by an mp>1 training run).
+  void LoadState(const core::TrainingState& state);
+  void LoadCheckpointFile(const std::string& path);
+
+  // One packed serving step over `tokens`; logits_out must hold
+  // [groups x vocab]. Returns the group count.
+  int Decode(std::span<const model::DecodeToken> tokens,
+             std::span<float> logits_out);
+
+  [[nodiscard]] model::GptModel& model() { return model_; }
+  [[nodiscard]] SlotKvCache& kv() { return kv_; }
+  [[nodiscard]] KvBlockPool& pool() { return pool_; }
+  [[nodiscard]] bool loaded() const { return loaded_; }
+  [[nodiscard]] const InferenceOptions& options() const { return options_; }
+
+ private:
+  InferenceOptions options_;
+  model::GptModel model_;
+  std::vector<float> params_;  // this rank's local shard
+  model::DirectParamProvider provider_;
+  KvBlockPool pool_;
+  SlotKvCache kv_;
+  bool loaded_ = false;
+};
+
+}  // namespace zero::serve

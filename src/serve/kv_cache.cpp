@@ -1,0 +1,132 @@
+#include "serve/kv_cache.hpp"
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace zero::serve {
+
+KvBlockPool::KvBlockPool(KvGeometry geom, std::int64_t max_blocks,
+                         alloc::CachingAllocator* device, bool record_metrics)
+    : geom_(geom),
+      max_blocks_(max_blocks),
+      device_(device),
+      record_metrics_(record_metrics) {
+  ZERO_CHECK(max_blocks_ > 0, "KV pool needs at least one block");
+  PublishGauges();
+}
+
+float* KvBlockPool::Acquire() {
+  float* block = nullptr;
+  if (!free_list_.empty()) {
+    block = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    const std::int64_t allocated =
+        static_cast<std::int64_t>(device_blocks_.size() + heap_blocks_.size());
+    if (allocated >= max_blocks_) return nullptr;
+    if (device_ != nullptr) {
+      try {
+        device_blocks_.push_back(device_->Malloc(geom_.block_bytes()));
+      } catch (const DeviceOomError&) {
+        return nullptr;  // treated as pool pressure, not a crash
+      }
+      block = reinterpret_cast<float*>(device_blocks_.back().data());
+    } else {
+      heap_blocks_.emplace_back(
+          static_cast<std::size_t>(geom_.block_floats()), 0.0f);
+      block = heap_blocks_.back().data();
+    }
+  }
+  ++used_;
+  if (used_ > peak_used_) peak_used_ = used_;
+  PublishGauges();
+  return block;
+}
+
+void KvBlockPool::Release(float* block) {
+  ZERO_CHECK(block != nullptr && used_ > 0, "KV pool double free");
+  free_list_.push_back(block);
+  --used_;
+  PublishGauges();
+}
+
+void KvBlockPool::SetUsedTokens(std::int64_t tokens) {
+  used_tokens_ = tokens;
+  PublishGauges();
+}
+
+void KvBlockPool::PublishGauges() const {
+  if (!record_metrics_) return;
+  auto& m = obs::Metrics();
+  m.gauge("alloc.kv.blocks_total").Set(static_cast<double>(max_blocks_));
+  m.gauge("alloc.kv.blocks_used").Set(static_cast<double>(used_));
+  m.gauge("alloc.kv.blocks_peak").Set(static_cast<double>(peak_used_));
+  const std::int64_t held_tokens = used_ * geom_.block_tokens;
+  const double frag =
+      held_tokens > 0
+          ? 1.0 - static_cast<double>(used_tokens_) /
+                      static_cast<double>(held_tokens)
+          : 0.0;
+  m.gauge("alloc.kv.fragmentation").Set(frag);
+}
+
+std::int32_t SlotKvCache::AllocSlot() {
+  if (!free_slots_.empty()) {
+    const std::int32_t s = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[static_cast<std::size_t>(s)].live = true;
+    return s;
+  }
+  slots_.push_back(Slot{{}, true});
+  return static_cast<std::int32_t>(slots_.size() - 1);
+}
+
+bool SlotKvCache::EnsureCapacity(std::int32_t slot, std::int64_t tokens) {
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  ZERO_CHECK(s.live, "EnsureCapacity on a retired slot");
+  const std::int64_t need = pool_->geometry().blocks_for(tokens);
+  while (static_cast<std::int64_t>(s.blocks.size()) < need) {
+    float* b = pool_->Acquire();
+    if (b == nullptr) return false;
+    s.blocks.push_back(b);
+  }
+  return true;
+}
+
+void SlotKvCache::FreeSlot(std::int32_t slot) {
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  ZERO_CHECK(s.live, "FreeSlot on a retired slot");
+  for (float* b : s.blocks) pool_->Release(b);
+  s.blocks.clear();
+  s.live = false;
+  free_slots_.push_back(slot);
+}
+
+std::int64_t SlotKvCache::slot_blocks(std::int32_t slot) const {
+  const Slot& s = slots_[static_cast<std::size_t>(slot)];
+  return static_cast<std::int64_t>(s.blocks.size());
+}
+
+float* SlotKvCache::Row(std::int32_t slot, std::int64_t layer,
+                        std::int64_t pos, std::int64_t which) {
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  const KvGeometry& g = pool_->geometry();
+  const std::size_t block_idx = static_cast<std::size_t>(pos / g.block_tokens);
+  ZERO_CHECK(s.live && block_idx < s.blocks.size(),
+             "KV row access outside reserved blocks");
+  const std::int64_t within = pos % g.block_tokens;
+  return s.blocks[block_idx] +
+         ((layer * 2 + which) * g.block_tokens + within) * g.row_floats;
+}
+
+float* SlotKvCache::KRow(std::int32_t slot, std::int64_t layer,
+                         std::int64_t pos) {
+  return Row(slot, layer, pos, 0);
+}
+
+float* SlotKvCache::VRow(std::int32_t slot, std::int64_t layer,
+                         std::int64_t pos) {
+  return Row(slot, layer, pos, 1);
+}
+
+}  // namespace zero::serve

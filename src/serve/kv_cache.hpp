@@ -1,0 +1,113 @@
+// Paged KV cache for incremental decode, carved from the caching
+// allocator in fixed-size blocks (the inference-time analogue of the
+// paper's residual-state analysis: KV rows are what bound serving batch
+// size, so they get block-granular alloc/free and finished sequences
+// return their blocks to the pool immediately).
+//
+// Layout: one block holds `block_tokens` positions for every layer,
+//   [layer 0..L) × [K|V] × [token 0..block_tokens) × [row_floats],
+// so a sequence needs ceil(len / block_tokens) blocks regardless of
+// depth, and a row pointer is one multiply away from the block base.
+// Rows hold only this MP rank's local heads (row_floats = hidden / mp).
+//
+// Pool pressure is exported through `alloc.kv.*` gauges: blocks
+// total/used/peak plus internal fragmentation (the fraction of token
+// capacity in held blocks that no cached row occupies yet).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/caching_allocator.hpp"
+#include "model/gpt.hpp"
+
+namespace zero::serve {
+
+struct KvGeometry {
+  std::int64_t layers = 1;
+  std::int64_t row_floats = 1;    // hidden / mp on the owning rank
+  std::int64_t block_tokens = 8;  // positions per block
+
+  [[nodiscard]] std::int64_t block_floats() const {
+    return layers * 2 * block_tokens * row_floats;
+  }
+  [[nodiscard]] std::size_t block_bytes() const {
+    return static_cast<std::size_t>(block_floats()) * sizeof(float);
+  }
+  [[nodiscard]] std::int64_t blocks_for(std::int64_t tokens) const {
+    return (tokens + block_tokens - 1) / block_tokens;
+  }
+};
+
+// Fixed-capacity pool of KV blocks. Backed by the caching allocator when
+// a device is present (each block is one CachedBlock, so Fig-7-style
+// cache accounting sees serving pressure too); heap otherwise. Released
+// blocks go to an internal freelist for exact reuse.
+class KvBlockPool {
+ public:
+  KvBlockPool(KvGeometry geom, std::int64_t max_blocks,
+              alloc::CachingAllocator* device, bool record_metrics);
+
+  // Returns a block base pointer, or nullptr when the pool is exhausted
+  // (capacity reached, or the device allocator is out of memory).
+  [[nodiscard]] float* Acquire();
+  void Release(float* block);
+
+  [[nodiscard]] const KvGeometry& geometry() const { return geom_; }
+  [[nodiscard]] std::int64_t capacity() const { return max_blocks_; }
+  [[nodiscard]] std::int64_t used() const { return used_; }
+  [[nodiscard]] std::int64_t peak_used() const { return peak_used_; }
+
+  // Fragmentation gauge input: tokens actually cached in held blocks.
+  void SetUsedTokens(std::int64_t tokens);
+
+ private:
+  void PublishGauges() const;
+
+  KvGeometry geom_;
+  std::int64_t max_blocks_ = 0;
+  alloc::CachingAllocator* device_ = nullptr;
+  bool record_metrics_ = true;
+  std::vector<alloc::CachedBlock> device_blocks_;
+  std::vector<std::vector<float>> heap_blocks_;
+  std::vector<float*> free_list_;
+  std::int64_t used_ = 0;
+  std::int64_t peak_used_ = 0;
+  std::int64_t used_tokens_ = 0;
+};
+
+// Slot table mapping sequence handles to block lists; the KvCache the
+// model's DecodeForward reads and appends through.
+class SlotKvCache final : public model::KvCache {
+ public:
+  explicit SlotKvCache(KvBlockPool* pool) : pool_(pool) {}
+
+  [[nodiscard]] std::int32_t AllocSlot();
+  // Acquires blocks until the slot covers `tokens` positions. Returns
+  // false (leaving already-held blocks in place) if the pool runs dry.
+  [[nodiscard]] bool EnsureCapacity(std::int32_t slot, std::int64_t tokens);
+  // Returns every block of the slot to the pool and retires the slot.
+  void FreeSlot(std::int32_t slot);
+
+  [[nodiscard]] std::int64_t slot_blocks(std::int32_t slot) const;
+  [[nodiscard]] KvBlockPool& pool() { return *pool_; }
+
+  float* KRow(std::int32_t slot, std::int64_t layer,
+              std::int64_t pos) override;
+  float* VRow(std::int32_t slot, std::int64_t layer,
+              std::int64_t pos) override;
+
+ private:
+  struct Slot {
+    std::vector<float*> blocks;
+    bool live = false;
+  };
+  float* Row(std::int32_t slot, std::int64_t layer, std::int64_t pos,
+             std::int64_t which);
+
+  KvBlockPool* pool_;
+  std::vector<Slot> slots_;
+  std::vector<std::int32_t> free_slots_;
+};
+
+}  // namespace zero::serve

@@ -1,0 +1,42 @@
+// Request/response types shared across the serving subsystem: what the
+// traffic generator emits, what the admission layer accepts or rejects,
+// and what the continuous-batching scheduler hands back when a sequence
+// finishes. All timestamps are *virtual* seconds — the serve loop
+// advances a deterministic clock per step so seeded runs replay
+// bit-identically regardless of host speed (wall-clock throughput is
+// measured separately by the bench harness).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace zero::serve {
+
+struct ServeRequest {
+  std::uint64_t id = 0;
+  std::int32_t tenant = 0;
+  double arrival_s = 0.0;  // open-loop arrival instant (virtual)
+  std::vector<std::int32_t> prompt;
+  std::int32_t max_new_tokens = 1;
+};
+
+enum class RejectReason {
+  kNone = 0,
+  kThrottled,     // tenant token bucket empty
+  kQueueFull,     // global queue-depth backpressure
+  kLatencyBound,  // expected wait exceeds the latency SLO
+};
+
+struct RequestOutcome {
+  std::uint64_t id = 0;
+  std::int32_t tenant = 0;
+  bool completed = false;
+  RejectReason rejected = RejectReason::kNone;
+  std::vector<std::int32_t> output;  // greedy-decoded tokens
+  double arrival_s = 0.0;
+  double first_token_s = -1.0;  // virtual TTFT instant, -1 if none
+  double done_s = -1.0;
+  std::int64_t evictions = 0;  // times this sequence lost its KV blocks
+};
+
+}  // namespace zero::serve

@@ -1,0 +1,236 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace zero::serve {
+
+ContinuousBatchScheduler::ContinuousBatchScheduler(
+    SchedulerConfig config, SlotKvCache* kv, AdmissionController* admission)
+    : config_(config), kv_(kv), admission_(admission) {
+  ZERO_CHECK(config_.max_running > 0 && config_.max_step_tokens > 0,
+             "scheduler needs positive batch and token budgets");
+  ZERO_CHECK(config_.max_seq > 0, "scheduler needs the model context length");
+}
+
+bool ContinuousBatchScheduler::Idle() const {
+  return running_.empty() && preempted_.empty() && !admission_->HasQueued();
+}
+
+ContinuousBatchScheduler::SeqState* ContinuousBatchScheduler::FindRunning(
+    std::uint64_t request_id) {
+  for (SeqState& s : running_) {
+    if (s.req.id == request_id) return &s;
+  }
+  return nullptr;
+}
+
+void ContinuousBatchScheduler::Evict(std::size_t running_idx) {
+  SeqState victim = std::move(running_[running_idx]);
+  running_.erase(running_.begin() +
+                 static_cast<std::ptrdiff_t>(running_idx));
+  kv_->FreeSlot(victim.slot);
+  victim.slot = -1;
+  victim.processed = 0;  // re-prefills prompt + generated on readmission
+  ++victim.evictions;
+  preempted_.push_back(std::move(victim));
+  if (config_.record_metrics) obs::Metrics().counter("serve.seq.evicted").Add();
+}
+
+bool ContinuousBatchScheduler::ReserveBlocks(SeqState& target,
+                                             std::int64_t tokens) {
+  while (!kv_->EnsureCapacity(target.slot, tokens)) {
+    // Preempt the youngest sequence that is younger than the target.
+    std::size_t victim = running_.size();
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+      if (running_[i].admit_stamp <= target.admit_stamp) continue;
+      if (victim == running_.size() ||
+          running_[i].admit_stamp > running_[victim].admit_stamp) {
+        victim = i;
+      }
+    }
+    if (victim == running_.size()) return false;
+    Evict(victim);
+  }
+  return true;
+}
+
+void ContinuousBatchScheduler::AppendGroup(StepPlan& plan, SeqState& seq,
+                                           std::int64_t chunk) {
+  const std::int64_t plen = static_cast<std::int64_t>(seq.req.prompt.size());
+  plan.group_request.push_back(seq.req.id);
+  plan.group_chunk.push_back(chunk);
+  plan.group_samples.push_back(seq.processed + chunk == StreamLen(seq));
+  std::int64_t prefill = 0;
+  for (std::int64_t i = seq.processed; i < seq.processed + chunk; ++i) {
+    plan.tokens.push_back(model::DecodeToken{StreamToken(seq, i), seq.slot, i});
+    if (i < plen) ++prefill;
+  }
+  if (config_.record_metrics) {
+    auto& m = obs::Metrics();
+    if (prefill > 0) {
+      m.counter("serve.tokens.prefill")
+          .Add(static_cast<std::uint64_t>(prefill));
+    }
+    if (chunk - prefill > 0) {
+      m.counter("serve.tokens.decode")
+          .Add(static_cast<std::uint64_t>(chunk - prefill));
+    }
+  }
+}
+
+StepPlan ContinuousBatchScheduler::PlanStep() {
+  TRACE_SPAN("serve/plan");
+  StepPlan plan;
+  std::int64_t budget = config_.max_step_tokens;
+
+  // Phase 1: running sequences, oldest first. Iterate over a stamp-sorted
+  // id snapshot — eviction only ever removes sequences younger than the
+  // one being planned, so planned groups are never invalidated.
+  {
+    std::vector<std::uint64_t> order;
+    order.reserve(running_.size());
+    for (const SeqState& s : running_) order.push_back(s.req.id);
+    std::sort(order.begin(), order.end(),
+              [this](std::uint64_t a, std::uint64_t b) {
+                // running_ ids are unique; find is O(n) but batches are
+                // small by construction (max_running).
+                auto stamp = [this](std::uint64_t id) {
+                  for (const SeqState& s : running_)
+                    if (s.req.id == id) return s.admit_stamp;
+                  return std::uint64_t{0};
+                };
+                return stamp(a) < stamp(b);
+              });
+    for (std::uint64_t id : order) {
+      if (budget <= 0) break;
+      SeqState* seq = FindRunning(id);
+      if (seq == nullptr) continue;  // evicted by an older sequence
+      const std::int64_t remaining = StreamLen(*seq) - seq->processed;
+      const std::int64_t chunk = std::min(remaining, budget);
+      if (chunk <= 0) continue;
+      if (!ReserveBlocks(*seq, seq->processed + chunk)) continue;
+      AppendGroup(plan, *seq, chunk);
+      budget -= chunk;
+    }
+  }
+
+  // Phase 2: admissions — preempted sequences first (they keep their
+  // original age stamp), then fresh requests under tenant round-robin.
+  // Admissions never evict; they stop at the first sign of pool pressure.
+  while (budget > 0 &&
+         static_cast<std::int64_t>(running_.size()) < config_.max_running) {
+    SeqState seq;
+    bool from_preempted = false;
+    if (!preempted_.empty()) {
+      seq = std::move(preempted_.front());
+      preempted_.pop_front();
+      from_preempted = true;
+    } else {
+      std::optional<ServeRequest> r = admission_->Next();
+      if (!r.has_value()) break;
+      seq.req = std::move(*r);
+      seq.admit_stamp = next_stamp_++;
+      const std::int64_t plen =
+          static_cast<std::int64_t>(seq.req.prompt.size());
+      ZERO_CHECK(plen < config_.max_seq, "prompt exceeds model context");
+      seq.req.max_new_tokens = static_cast<std::int32_t>(std::min<std::int64_t>(
+          seq.req.max_new_tokens, config_.max_seq - plen));
+      const std::int64_t total = plen + seq.req.max_new_tokens;
+      ZERO_CHECK(total <= kv_->pool().capacity() *
+                              kv_->pool().geometry().block_tokens,
+                 "request exceeds total KV pool capacity");
+    }
+    seq.slot = kv_->AllocSlot();
+    const std::int64_t chunk = std::min(StreamLen(seq) - seq.processed,
+                                        budget);
+    if (!kv_->EnsureCapacity(seq.slot, seq.processed + chunk)) {
+      kv_->FreeSlot(seq.slot);
+      seq.slot = -1;
+      preempted_.push_front(std::move(seq));  // retains priority
+      break;
+    }
+    if (from_preempted && config_.record_metrics) {
+      obs::Metrics().counter("serve.seq.readmitted").Add();
+    }
+    AppendGroup(plan, seq, chunk);
+    budget -= chunk;
+    running_.push_back(std::move(seq));
+  }
+
+  if (config_.record_metrics && !plan.empty()) {
+    auto& m = obs::Metrics();
+    m.counter("serve.steps").Add();
+    m.histogram("serve.step_tokens")
+        .Observe(static_cast<double>(plan.tokens.size()));
+  }
+  return plan;
+}
+
+void ContinuousBatchScheduler::CommitStep(const StepPlan& plan,
+                                          const float* logits,
+                                          std::int64_t vocab, double now_s,
+                                          std::vector<RequestOutcome>& done) {
+  TRACE_SPAN("serve/commit");
+  for (std::size_t g = 0; g < plan.groups(); ++g) {
+    SeqState* seq = FindRunning(plan.group_request[g]);
+    ZERO_CHECK(seq != nullptr, "committed group lost its sequence");
+    seq->processed += plan.group_chunk[g];
+    if (!plan.group_samples[g]) continue;
+
+    // Greedy sample: first-max argmax, deterministic across ranks since
+    // MP all-reduced logits are replicated bitwise.
+    const float* row = logits + static_cast<std::int64_t>(g) * vocab;
+    std::int32_t best = 0;
+    for (std::int64_t t = 1; t < vocab; ++t) {
+      if (row[t] > row[best]) best = static_cast<std::int32_t>(t);
+    }
+    if (seq->first_token_s < 0.0) seq->first_token_s = now_s;
+    seq->generated.push_back(best);
+
+    if (static_cast<std::int32_t>(seq->generated.size()) >=
+        seq->req.max_new_tokens) {
+      RequestOutcome out;
+      out.id = seq->req.id;
+      out.tenant = seq->req.tenant;
+      out.completed = true;
+      out.output = seq->generated;
+      out.arrival_s = seq->req.arrival_s;
+      out.first_token_s = seq->first_token_s;
+      out.done_s = now_s;
+      out.evictions = seq->evictions;
+      done.push_back(std::move(out));
+      kv_->FreeSlot(seq->slot);
+      if (config_.record_metrics) {
+        auto& m = obs::Metrics();
+        m.counter("serve.requests.completed").Add();
+        m.histogram("serve.ttft_ms")
+            .Observe((seq->first_token_s - seq->req.arrival_s) * 1e3);
+        m.histogram("serve.e2e_ms")
+            .Observe((now_s - seq->req.arrival_s) * 1e3);
+      }
+      for (std::size_t i = 0; i < running_.size(); ++i) {
+        if (running_[i].req.id == plan.group_request[g]) {
+          running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+  }
+  PublishTokenGauge();
+}
+
+void ContinuousBatchScheduler::PublishTokenGauge() {
+  std::int64_t cached = 0;
+  for (const SeqState& s : running_) cached += s.processed;
+  kv_->pool().SetUsedTokens(cached);
+  if (config_.record_metrics) {
+    obs::Metrics().gauge("serve.running")
+        .Set(static_cast<double>(running_.size()));
+  }
+}
+
+}  // namespace zero::serve

@@ -1,0 +1,116 @@
+// Continuous-batching scheduler (the vLLM-style iteration-level loop):
+// every step it packs a mixed batch of prefill chunks and single decode
+// tokens into one model forward, bounded by a token budget, and commits
+// the sampled results before planning the next step — no sequence waits
+// for a batch-mate to finish.
+//
+// Sequence state machine:
+//
+//   queued (admission layer) ──admit──> running ──last token──> finished
+//        ^                                 │
+//        └──────── preempted <──evict──────┘   (KV-block pressure)
+//
+// A sequence's input stream is prompt ++ generated-so-far; `processed`
+// counts how many of those tokens have K/V rows cached. Prefill feeds
+// chunks of the stream (budget permitting), decode feeds exactly the
+// last generated token, and a preempted sequence simply restarts with
+// processed = 0 — deterministic greedy decode re-derives the same
+// tokens, so eviction costs time, never correctness.
+//
+// Eviction policy: when an older sequence cannot get a KV block, the
+// *youngest* running sequence (largest first-admission stamp) is
+// preempted and its blocks freed. Preempted sequences keep their
+// original stamp and readmit ahead of fresh arrivals, so age ranking is
+// stable and the oldest sequence always makes progress — no starvation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "model/gpt.hpp"
+#include "serve/admission.hpp"
+#include "serve/kv_cache.hpp"
+#include "serve/request.hpp"
+
+namespace zero::serve {
+
+struct SchedulerConfig {
+  std::int64_t max_running = 8;      // concurrent sequences in the batch
+  std::int64_t max_step_tokens = 64; // prefill+decode budget per step
+  std::int64_t max_seq = 0;          // model context length (required)
+  bool record_metrics = true;
+};
+
+// One planned forward: tokens grouped per sequence, in plan order.
+struct StepPlan {
+  std::vector<model::DecodeToken> tokens;
+  std::vector<std::uint64_t> group_request;  // request id per group
+  std::vector<std::int64_t> group_chunk;     // tokens fed per group
+  std::vector<bool> group_samples;  // group reached its stream end →
+                                    // its logits row samples a token
+  [[nodiscard]] bool empty() const { return tokens.empty(); }
+  [[nodiscard]] std::size_t groups() const { return group_request.size(); }
+};
+
+class ContinuousBatchScheduler {
+ public:
+  ContinuousBatchScheduler(SchedulerConfig config, SlotKvCache* kv,
+                           AdmissionController* admission);
+
+  // True when nothing is running, preempted, or queued.
+  [[nodiscard]] bool Idle() const;
+
+  [[nodiscard]] StepPlan PlanStep();
+
+  // Applies one executed plan: advances prefill progress, greedy-samples
+  // from `logits` ([groups() x vocab], group order), finishes sequences
+  // (returning their KV blocks immediately) and appends their outcomes.
+  void CommitStep(const StepPlan& plan, const float* logits,
+                  std::int64_t vocab, double now_s,
+                  std::vector<RequestOutcome>& done);
+
+  [[nodiscard]] std::int64_t running() const {
+    return static_cast<std::int64_t>(running_.size());
+  }
+  [[nodiscard]] std::int64_t preempted() const {
+    return static_cast<std::int64_t>(preempted_.size());
+  }
+
+ private:
+  struct SeqState {
+    ServeRequest req;
+    std::int32_t slot = -1;
+    std::uint64_t admit_stamp = 0;  // first admission; kept on readmit
+    std::int64_t processed = 0;     // stream tokens with cached K/V
+    std::vector<std::int32_t> generated;
+    double first_token_s = -1.0;
+    std::int64_t evictions = 0;
+  };
+
+  [[nodiscard]] static std::int64_t StreamLen(const SeqState& s) {
+    return static_cast<std::int64_t>(s.req.prompt.size() + s.generated.size());
+  }
+  [[nodiscard]] static std::int32_t StreamToken(const SeqState& s,
+                                                std::int64_t i) {
+    const std::int64_t plen = static_cast<std::int64_t>(s.req.prompt.size());
+    return i < plen ? s.req.prompt[static_cast<std::size_t>(i)]
+                    : s.generated[static_cast<std::size_t>(i - plen)];
+  }
+  SeqState* FindRunning(std::uint64_t request_id);
+  // Reserve KV blocks for `tokens` positions of `target`, evicting
+  // younger sequences as needed. False if capacity cannot be found.
+  bool ReserveBlocks(SeqState& target, std::int64_t tokens);
+  void Evict(std::size_t running_idx);
+  void AppendGroup(StepPlan& plan, SeqState& seq, std::int64_t chunk);
+  void PublishTokenGauge();
+
+  SchedulerConfig config_;
+  SlotKvCache* kv_;
+  AdmissionController* admission_;
+  std::vector<SeqState> running_;   // unordered; age = admit_stamp
+  std::deque<SeqState> preempted_;  // readmitted before fresh requests
+  std::uint64_t next_stamp_ = 0;
+};
+
+}  // namespace zero::serve

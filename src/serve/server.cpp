@@ -1,0 +1,150 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace zero::serve {
+
+namespace {
+
+double Percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+}  // namespace
+
+double ServeSummary::decode_tokens_per_s() const {
+  if (virtual_duration_s <= 0.0) return 0.0;
+  std::int64_t generated = 0;
+  for (const RequestOutcome& o : outcomes) {
+    generated += static_cast<std::int64_t>(o.output.size());
+  }
+  return static_cast<double>(generated) / virtual_duration_s;
+}
+
+std::string ServeSummary::ToJson() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"offered\": " << offered << ",\n";
+  os << "  \"admitted\": " << admitted << ",\n";
+  os << "  \"rejected_throttled\": " << rejected_throttled << ",\n";
+  os << "  \"rejected_queue\": " << rejected_queue << ",\n";
+  os << "  \"rejected_latency\": " << rejected_latency << ",\n";
+  os << "  \"completed\": " << completed << ",\n";
+  os << "  \"evictions\": " << evictions << ",\n";
+  os << "  \"steps\": " << steps << ",\n";
+  os << "  \"packed_tokens\": " << packed_tokens << ",\n";
+  os << "  \"virtual_duration_s\": " << virtual_duration_s << ",\n";
+  os << "  \"decode_tokens_per_s\": " << decode_tokens_per_s() << ",\n";
+  os << "  \"ttft_p50_ms\": " << ttft_p50_ms << ",\n";
+  os << "  \"ttft_p99_ms\": " << ttft_p99_ms << ",\n";
+  os << "  \"e2e_p50_ms\": " << e2e_p50_ms << ",\n";
+  os << "  \"e2e_p99_ms\": " << e2e_p99_ms << ",\n";
+  os << "  \"kv_blocks_total\": " << kv_blocks_total << ",\n";
+  os << "  \"kv_blocks_peak\": " << kv_blocks_peak << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+ServeSummary ServeLoop(InferenceEngine& engine,
+                       std::span<const ServeRequest> traffic,
+                       const ServeOptions& options) {
+  AdmissionController admission(options.admission);
+  ContinuousBatchScheduler scheduler(options.scheduler, &engine.kv(),
+                                     &admission);
+  const std::int64_t vocab = engine.options().model.vocab;
+
+  ServeSummary sum;
+  sum.offered = static_cast<std::int64_t>(traffic.size());
+  std::vector<float> logits;
+  double vt = 0.0;
+  std::size_t next = 0;
+  std::int64_t stalls = 0;
+
+  while (true) {
+    // Deliver every arrival up to the current virtual instant. Bucket
+    // refill uses the arrival instant itself so admission decisions do
+    // not depend on step granularity.
+    while (next < traffic.size() && traffic[next].arrival_s <= vt) {
+      const ServeRequest& r = traffic[next];
+      const RejectReason rej = admission.Offer(r, r.arrival_s);
+      if (rej != RejectReason::kNone) {
+        RequestOutcome out;
+        out.id = r.id;
+        out.tenant = r.tenant;
+        out.rejected = rej;
+        out.arrival_s = r.arrival_s;
+        sum.outcomes.push_back(std::move(out));
+      }
+      ++next;
+    }
+
+    if (scheduler.Idle()) {
+      if (next >= traffic.size()) break;
+      vt = std::max(vt, traffic[next].arrival_s);
+      continue;
+    }
+
+    TRACE_SPAN("serve/step");
+    StepPlan plan = scheduler.PlanStep();
+    if (plan.empty()) {
+      // Transient pool pressure; nudge the clock so arrivals drain.
+      vt += options.step_base_s;
+      ZERO_CHECK(++stalls < 1000000, "serve loop stalled: no schedulable "
+                                     "work but sequences remain");
+      continue;
+    }
+    stalls = 0;
+    logits.resize(plan.groups() * static_cast<std::size_t>(vocab));
+    engine.Decode(plan.tokens, logits);
+    vt += options.step_base_s +
+          options.step_per_token_s * static_cast<double>(plan.tokens.size());
+    scheduler.CommitStep(plan, logits.data(), vocab, vt, sum.outcomes);
+    ++sum.steps;
+    sum.packed_tokens += static_cast<std::int64_t>(plan.tokens.size());
+  }
+
+  sum.virtual_duration_s = vt;
+  std::vector<double> ttft, e2e;
+  for (const RequestOutcome& o : sum.outcomes) {
+    switch (o.rejected) {
+      case RejectReason::kNone:
+        break;
+      case RejectReason::kThrottled:
+        ++sum.rejected_throttled;
+        continue;
+      case RejectReason::kQueueFull:
+        ++sum.rejected_queue;
+        continue;
+      case RejectReason::kLatencyBound:
+        ++sum.rejected_latency;
+        continue;
+    }
+    ++sum.admitted;
+    if (o.completed) {
+      ++sum.completed;
+      sum.evictions += o.evictions;
+      ttft.push_back((o.first_token_s - o.arrival_s) * 1e3);
+      e2e.push_back((o.done_s - o.arrival_s) * 1e3);
+    }
+  }
+  sum.ttft_p50_ms = Percentile(ttft, 0.50);
+  sum.ttft_p99_ms = Percentile(ttft, 0.99);
+  sum.e2e_p50_ms = Percentile(e2e, 0.50);
+  sum.e2e_p99_ms = Percentile(e2e, 0.99);
+  sum.kv_blocks_total = static_cast<double>(engine.pool().capacity());
+  sum.kv_blocks_peak = static_cast<double>(engine.pool().peak_used());
+  return sum;
+}
+
+}  // namespace zero::serve

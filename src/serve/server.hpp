@@ -1,0 +1,60 @@
+// The serve loop: wires traffic → admission → continuous batching →
+// engine, on a deterministic virtual clock. Each executed step costs
+//   step_base_s + step_per_token_s * packed_tokens
+// virtual seconds, so latency percentiles are a pure function of the
+// traffic seed and the config — seeded benches replay bit-identically —
+// while wall-clock throughput is measured around the loop by callers.
+//
+// Under MP-sharded serving every rank runs the same loop on the same
+// traffic: all scheduler decisions are deterministic, and greedy
+// sampling reads MP-all-reduced (replicated) logits, so the ranks stay
+// in lockstep without a control channel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/admission.hpp"
+#include "serve/engine.hpp"
+#include "serve/request.hpp"
+#include "serve/scheduler.hpp"
+
+namespace zero::serve {
+
+struct ServeOptions {
+  SchedulerConfig scheduler;
+  AdmissionConfig admission;
+  double step_base_s = 1e-3;      // per-step virtual overhead
+  double step_per_token_s = 5e-6; // per packed token
+};
+
+struct ServeSummary {
+  std::int64_t offered = 0;
+  std::int64_t admitted = 0;
+  std::int64_t rejected_throttled = 0;
+  std::int64_t rejected_queue = 0;
+  std::int64_t rejected_latency = 0;
+  std::int64_t completed = 0;
+  std::int64_t evictions = 0;
+  std::int64_t steps = 0;
+  std::int64_t packed_tokens = 0;  // total prefill+decode tokens fed
+  double virtual_duration_s = 0.0;
+  double ttft_p50_ms = 0.0, ttft_p99_ms = 0.0;
+  double e2e_p50_ms = 0.0, e2e_p99_ms = 0.0;
+  double kv_blocks_total = 0.0, kv_blocks_peak = 0.0;
+  std::vector<RequestOutcome> outcomes;  // completions + rejections
+
+  // Tokens generated per virtual second (saturation throughput when the
+  // offered load exceeds capacity).
+  [[nodiscard]] double decode_tokens_per_s() const;
+  [[nodiscard]] std::string ToJson() const;  // scalar fields only
+};
+
+// Runs until every request in `traffic` is completed or rejected.
+ServeSummary ServeLoop(InferenceEngine& engine,
+                       std::span<const ServeRequest> traffic,
+                       const ServeOptions& options);
+
+}  // namespace zero::serve

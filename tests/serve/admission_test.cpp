@@ -1,0 +1,99 @@
+#include "serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zero::serve {
+namespace {
+
+ServeRequest Req(std::uint64_t id, std::int32_t tenant, std::size_t prompt,
+                 std::int32_t max_new, double arrival) {
+  ServeRequest r;
+  r.id = id;
+  r.tenant = tenant;
+  r.prompt.assign(prompt, 1);
+  r.max_new_tokens = max_new;
+  r.arrival_s = arrival;
+  return r;
+}
+
+AdmissionConfig Open() {
+  AdmissionConfig c;
+  c.record_metrics = false;
+  return c;
+}
+
+TEST(Admission, FifoWithinOneTenant) {
+  AdmissionController adm(Open());
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(adm.Offer(Req(i, 0, 4, 2, 0.0), 0.0), RejectReason::kNone);
+  }
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    auto r = adm.Next();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->id, i);
+  }
+  EXPECT_FALSE(adm.Next().has_value());
+}
+
+TEST(Admission, RoundRobinAcrossTenantsUnderSkew) {
+  AdmissionController adm(Open());
+  // Tenant 0 floods with 10 requests; tenant 1 has 2.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(adm.Offer(Req(i, 0, 4, 2, 0.0), 0.0), RejectReason::kNone);
+  }
+  EXPECT_EQ(adm.Offer(Req(100, 1, 4, 2, 0.0), 0.0), RejectReason::kNone);
+  EXPECT_EQ(adm.Offer(Req(101, 1, 4, 2, 0.0), 0.0), RejectReason::kNone);
+
+  // The sparse tenant is served every other dequeue, not after the flood.
+  std::vector<std::uint64_t> order;
+  for (int i = 0; i < 4; ++i) order.push_back(adm.Next()->id);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 100u);
+  EXPECT_EQ(order[2], 1u);
+  EXPECT_EQ(order[3], 101u);
+}
+
+TEST(Admission, QueueDepthBackpressure) {
+  AdmissionConfig c = Open();
+  c.max_queue_requests = 3;
+  AdmissionController adm(c);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(adm.Offer(Req(i, 0, 4, 2, 0.0), 0.0), RejectReason::kNone);
+  }
+  EXPECT_EQ(adm.Offer(Req(3, 0, 4, 2, 0.0), 0.0), RejectReason::kQueueFull);
+  // Draining one makes room again.
+  (void)adm.Next();
+  EXPECT_EQ(adm.Offer(Req(4, 0, 4, 2, 0.0), 0.0), RejectReason::kNone);
+}
+
+TEST(Admission, BoundedLatencyRejection) {
+  AdmissionConfig c = Open();
+  c.max_expected_wait_s = 0.1;
+  c.est_tokens_per_s = 100.0;  // 10 queued tokens = the whole budget
+  AdmissionController adm(c);
+  EXPECT_EQ(adm.Offer(Req(0, 0, 6, 4, 0.0), 0.0), RejectReason::kNone);
+  // 10 queued + 10 more = 0.2s expected wait > 0.1s bound.
+  EXPECT_EQ(adm.Offer(Req(1, 0, 6, 4, 0.0), 0.0),
+            RejectReason::kLatencyBound);
+  (void)adm.Next();
+  EXPECT_EQ(adm.Offer(Req(2, 0, 6, 4, 0.0), 0.0), RejectReason::kNone);
+}
+
+TEST(Admission, TokenBucketThrottlesPerTenant) {
+  AdmissionConfig c = Open();
+  c.tenants = {TenantPolicy{100.0, 20.0},   // tenant 0: 100 tok/s, burst 20
+               TenantPolicy{1e12, 1e12}};   // tenant 1: unlimited
+  AdmissionController adm(c);
+  // Two 10-token requests drain tenant 0's burst; the third throttles.
+  EXPECT_EQ(adm.Offer(Req(0, 0, 6, 4, 0.0), 0.0), RejectReason::kNone);
+  EXPECT_EQ(adm.Offer(Req(1, 0, 6, 4, 0.0), 0.0), RejectReason::kNone);
+  EXPECT_EQ(adm.Offer(Req(2, 0, 6, 4, 0.0), 0.0), RejectReason::kThrottled);
+  // Tenant 1 is unaffected by tenant 0's throttle.
+  EXPECT_EQ(adm.Offer(Req(3, 1, 6, 4, 0.0), 0.0), RejectReason::kNone);
+  // After 0.1s tenant 0 has refilled 10 tokens — exactly one request.
+  EXPECT_EQ(adm.Offer(Req(4, 0, 6, 4, 0.1), 0.1), RejectReason::kNone);
+  EXPECT_EQ(adm.Offer(Req(5, 0, 6, 4, 0.1), 0.1), RejectReason::kThrottled);
+}
+
+}  // namespace
+}  // namespace zero::serve

@@ -1,0 +1,127 @@
+#include "serve/kv_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "alloc/caching_allocator.hpp"
+#include "alloc/device_memory.hpp"
+#include "obs/metrics.hpp"
+
+namespace zero::serve {
+namespace {
+
+KvGeometry SmallGeom() {
+  KvGeometry g;
+  g.layers = 2;
+  g.row_floats = 4;
+  g.block_tokens = 4;
+  return g;
+}
+
+TEST(KvBlockPool, AcquireReleaseReuse) {
+  KvBlockPool pool(SmallGeom(), 3, nullptr, false);
+  float* a = pool.Acquire();
+  float* b = pool.Acquire();
+  float* c = pool.Acquire();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.Acquire(), nullptr);  // capacity reached
+  EXPECT_EQ(pool.used(), 3);
+  EXPECT_EQ(pool.peak_used(), 3);
+
+  pool.Release(b);
+  EXPECT_EQ(pool.used(), 2);
+  EXPECT_EQ(pool.Acquire(), b);  // freelist reuse, block-granular
+  EXPECT_EQ(pool.peak_used(), 3);
+}
+
+TEST(KvBlockPool, PublishesKvGauges) {
+  KvBlockPool pool(SmallGeom(), 4, nullptr, true);
+  float* a = pool.Acquire();
+  float* b = pool.Acquire();
+  (void)b;
+  auto& m = obs::Metrics();
+  EXPECT_EQ(m.gauge("alloc.kv.blocks_total").value(), 4.0);
+  EXPECT_EQ(m.gauge("alloc.kv.blocks_used").value(), 2.0);
+  EXPECT_EQ(m.gauge("alloc.kv.blocks_peak").value(), 2.0);
+  // 2 blocks hold 8 token slots; 6 cached tokens -> 25% fragmentation.
+  pool.SetUsedTokens(6);
+  EXPECT_NEAR(m.gauge("alloc.kv.fragmentation").value(), 0.25, 1e-12);
+  pool.Release(a);
+  EXPECT_EQ(m.gauge("alloc.kv.blocks_used").value(), 1.0);
+}
+
+TEST(KvBlockPool, DeviceBackedStopsAtOomInsteadOfThrowing) {
+  const KvGeometry g = SmallGeom();
+  // Capacity for exactly two blocks (DeviceMemory rounds capacity up to
+  // its 256-byte alignment, so any slack would admit a third block).
+  alloc::DeviceMemory device(2 * g.block_bytes(), "kv-test");
+  alloc::CachingAllocator cache(device);
+  KvBlockPool pool(g, 100, &cache, false);
+  EXPECT_NE(pool.Acquire(), nullptr);
+  EXPECT_NE(pool.Acquire(), nullptr);
+  EXPECT_EQ(pool.Acquire(), nullptr);  // device OOM surfaces as pressure
+  EXPECT_EQ(pool.used(), 2);
+}
+
+TEST(SlotKvCache, RowAddressingAcrossBlocks) {
+  const KvGeometry g = SmallGeom();
+  KvBlockPool pool(g, 8, nullptr, false);
+  SlotKvCache kv(&pool);
+  const std::int32_t slot = kv.AllocSlot();
+  ASSERT_TRUE(kv.EnsureCapacity(slot, 6));  // 2 blocks of 4 tokens
+  EXPECT_EQ(kv.slot_blocks(slot), 2);
+  EXPECT_EQ(pool.used(), 2);
+
+  // Distinct rows; K and V never alias; values round-trip.
+  for (std::int64_t layer = 0; layer < g.layers; ++layer) {
+    for (std::int64_t pos = 0; pos < 6; ++pos) {
+      float* k = kv.KRow(slot, layer, pos);
+      float* v = kv.VRow(slot, layer, pos);
+      ASSERT_NE(k, v);
+      for (std::int64_t c = 0; c < g.row_floats; ++c) {
+        k[c] = static_cast<float>(1000 * layer + 10 * pos + c);
+        v[c] = -k[c];
+      }
+    }
+  }
+  EXPECT_EQ(kv.KRow(slot, 1, 5)[3], 1053.0f);
+  EXPECT_EQ(kv.VRow(slot, 1, 5)[3], -1053.0f);
+
+  // Growing within the reserved blocks needs no new acquisition.
+  ASSERT_TRUE(kv.EnsureCapacity(slot, 8));
+  EXPECT_EQ(kv.slot_blocks(slot), 2);
+  ASSERT_TRUE(kv.EnsureCapacity(slot, 9));
+  EXPECT_EQ(kv.slot_blocks(slot), 3);
+}
+
+TEST(SlotKvCache, FreeSlotReturnsBlocksImmediately) {
+  KvBlockPool pool(SmallGeom(), 2, nullptr, false);
+  SlotKvCache kv(&pool);
+  const std::int32_t a = kv.AllocSlot();
+  ASSERT_TRUE(kv.EnsureCapacity(a, 8));
+  EXPECT_EQ(pool.used(), 2);
+
+  const std::int32_t b = kv.AllocSlot();
+  EXPECT_FALSE(kv.EnsureCapacity(b, 1));  // pool exhausted
+
+  kv.FreeSlot(a);
+  EXPECT_EQ(pool.used(), 0);
+  EXPECT_TRUE(kv.EnsureCapacity(b, 8));  // freed blocks available at once
+  kv.FreeSlot(b);
+  EXPECT_EQ(pool.used(), 0);
+}
+
+TEST(SlotKvCache, SlotIdsAreRecycled) {
+  KvBlockPool pool(SmallGeom(), 4, nullptr, false);
+  SlotKvCache kv(&pool);
+  const std::int32_t a = kv.AllocSlot();
+  kv.FreeSlot(a);
+  EXPECT_EQ(kv.AllocSlot(), a);
+}
+
+}  // namespace
+}  // namespace zero::serve

@@ -1,0 +1,92 @@
+#include "serve/traffic_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace zero::serve {
+namespace {
+
+TrafficConfig BaseConfig() {
+  TrafficConfig c;
+  c.qps = 2000.0;
+  c.duration_s = 0.5;
+  c.tenants = 3;
+  c.prompt_min = 2;
+  c.prompt_max = 6;
+  c.out_min = 1;
+  c.out_max = 4;
+  c.vocab = 48;
+  c.seed = 7;
+  return c;
+}
+
+TEST(TrafficGen, SeededRunsReplayBitIdentically) {
+  const TrafficConfig c = BaseConfig();
+  const auto a = GenerateOpenLoopTraffic(c);
+  const auto b = GenerateOpenLoopTraffic(c);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 500u);  // thousands-of-QPS scale
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].tenant, b[i].tenant);
+    EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);  // bitwise: same doubles
+    EXPECT_EQ(a[i].prompt, b[i].prompt);
+    EXPECT_EQ(a[i].max_new_tokens, b[i].max_new_tokens);
+  }
+}
+
+TEST(TrafficGen, DifferentSeedsDiffer) {
+  TrafficConfig c = BaseConfig();
+  const auto a = GenerateOpenLoopTraffic(c);
+  c.seed = 8;
+  const auto b = GenerateOpenLoopTraffic(c);
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  EXPECT_NE(a[0].arrival_s, b[0].arrival_s);
+}
+
+TEST(TrafficGen, ArrivalsSortedAndBounded) {
+  const TrafficConfig c = BaseConfig();
+  const auto reqs = GenerateOpenLoopTraffic(c);
+  double last = 0.0;
+  for (const auto& r : reqs) {
+    EXPECT_GE(r.arrival_s, last);
+    EXPECT_LT(r.arrival_s, c.duration_s);
+    last = r.arrival_s;
+    EXPECT_GE(static_cast<std::int32_t>(r.prompt.size()), c.prompt_min);
+    EXPECT_LE(static_cast<std::int32_t>(r.prompt.size()), c.prompt_max);
+    EXPECT_GE(r.max_new_tokens, c.out_min);
+    EXPECT_LE(r.max_new_tokens, c.out_max);
+    EXPECT_GE(r.tenant, 0);
+    EXPECT_LT(r.tenant, c.tenants);
+    for (auto t : r.prompt) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, static_cast<std::int32_t>(c.vocab));
+    }
+  }
+}
+
+TEST(TrafficGen, TenantWeightsSkewTheMix) {
+  TrafficConfig c = BaseConfig();
+  c.tenants = 2;
+  c.tenant_weights = {9.0, 1.0};
+  const auto reqs = GenerateOpenLoopTraffic(c);
+  std::size_t tenant0 = 0;
+  for (const auto& r : reqs) tenant0 += r.tenant == 0 ? 1 : 0;
+  // ~90% of a 1000-request draw; loose bound avoids seed sensitivity.
+  EXPECT_GT(tenant0 * 10, reqs.size() * 8);
+}
+
+TEST(TrafficGen, ServeSeedEnvKnobWins) {
+  unsetenv("ZERO_SERVE_SEED");
+  EXPECT_EQ(ServeSeedFromEnv(5), 5u);
+  setenv("ZERO_SERVE_SEED", "1234", 1);
+  EXPECT_EQ(ServeSeedFromEnv(5), 1234u);
+  setenv("ZERO_SERVE_SEED", "not-a-number", 1);
+  EXPECT_EQ(ServeSeedFromEnv(5), 5u);
+  unsetenv("ZERO_SERVE_SEED");
+}
+
+}  // namespace
+}  // namespace zero::serve
