@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "gate.hpp"
 #include "comm/world.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -224,9 +225,5 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", argv[1]);
   }
 
-  if (!ok && std::getenv("ZERO_BENCH_RELAX") != nullptr) {
-    std::printf("WARN: gate failed but ZERO_BENCH_RELAX is set\n");
-    return 0;
-  }
-  return ok ? 0 : 1;
+  return zero::bench::GateExit(ok);
 }

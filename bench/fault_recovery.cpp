@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "gate.hpp"
 #include "comm/communicator.hpp"
 #include "comm/world.hpp"
 #include "core/dp_engine.hpp"
@@ -236,9 +237,5 @@ int main(int argc, char** argv) {
       ok = false;
     }
   }
-  if (!ok && std::getenv("ZERO_BENCH_RELAX") != nullptr) {
-    std::printf("WARN: gate failed but ZERO_BENCH_RELAX is set\n");
-    return 0;
-  }
-  return ok ? 0 : 1;
+  return zero::bench::GateExit(ok);
 }

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "gate.hpp"
 #include "common/half.hpp"
 #include "common/rng.hpp"
 #include "tensor/kernels.hpp"
@@ -155,8 +156,6 @@ int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_kernels.json";
   const std::string baseline_path =
       argc > 2 ? argv[2] : "bench/kernels_baseline.json";
-  const bool relax = std::getenv("ZERO_BENCH_RELAX") != nullptr;
-
   Report rep;
 
   // ---- GEMM 512^3, all against the seed scalar kernel ----
@@ -297,21 +296,17 @@ int main(int argc, char** argv) {
   }
 
   // ---- gates ----
-  int failures = 0;
-  auto fail = [&](const std::string& msg) {
-    std::printf("%s: %s\n", relax ? "WARN (relaxed)" : "FAIL", msg.c_str());
-    if (!relax) ++failures;
-  };
+  zero::bench::GateSet gates;
 
   if (gemm_speedup < 3.0) {
     std::ostringstream os;
     os << "packed GEMM speedup " << gemm_speedup << "x < 3x floor";
-    fail(os.str());
+    gates.Fail(os.str());
   }
   if (h2f_speedup < 5.0) {
     std::ostringstream os;
     os << "bulk HalfToFloat speedup " << h2f_speedup << "x < 5x floor";
-    fail(os.str());
+    gates.Fail(os.str());
   }
 
   const auto baseline = LoadBaseline(baseline_path);
@@ -326,14 +321,15 @@ int main(int argc, char** argv) {
       std::ostringstream os;
       os << k << " regressed: " << it->second << " < 75% of baseline "
          << base;
-      fail(os.str());
+      gates.Fail(os.str());
     }
   }
 
-  if (failures > 0) {
-    std::printf("kernel perf gate: %d failure(s)\n", failures);
-    return 1;
+  if (gates.ok()) {
+    std::printf("kernel perf gate: OK\n");
+  } else {
+    std::printf("kernel perf gate: %d failure(s)%s\n", gates.failures(),
+                gates.relaxed() ? " (relaxed)" : "");
   }
-  std::printf("kernel perf gate: OK\n");
-  return 0;
+  return gates.ExitCode();
 }

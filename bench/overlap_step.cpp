@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "gate.hpp"
 #include "comm/communicator.hpp"
 #include "comm/world.hpp"
 #include "core/dp_engine.hpp"
@@ -290,9 +291,5 @@ int main(int argc, char** argv) {
   f.close();
   std::printf("wrote %s\n", out_path.c_str());
 
-  if (!ok && std::getenv("ZERO_BENCH_RELAX") != nullptr) {
-    std::printf("WARN: gate failed but ZERO_BENCH_RELAX is set\n");
-    return 0;
-  }
-  return ok ? 0 : 1;
+  return zero::bench::GateExit(ok);
 }

@@ -18,8 +18,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 
+#include "gate.hpp"
 #include "core/trainer.hpp"
 #include "obs/trace.hpp"
 
@@ -58,8 +60,6 @@ zero::core::TrainOptions BenchOptions() {
 int main(int argc, char** argv) {
   using namespace zero;
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_telemetry.json";
-  const bool relax = std::getenv("ZERO_BENCH_RELAX") != nullptr;
-
   // 1) Per-span costs. Warm up first so the lazy ring registration and
   // branch predictors settle before the measured loops.
   obs::DisableTracing();
@@ -119,10 +119,12 @@ int main(int argc, char** argv) {
   f.close();
   std::printf("wrote %s\n", out_path.c_str());
 
+  zero::bench::GateSet gates;
   if (overhead_pct >= 2.0) {
-    std::printf("%s: disabled-telemetry overhead %.4f%% exceeds 2%% gate\n",
-                relax ? "WARNING (relaxed)" : "FAIL", overhead_pct);
-    return relax ? 0 : 1;
+    std::ostringstream os;
+    os << "disabled-telemetry overhead " << overhead_pct
+       << "% exceeds 2% gate";
+    gates.Fail(os.str());
   }
-  return 0;
+  return gates.ExitCode();
 }

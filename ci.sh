@@ -65,12 +65,23 @@ rm -rf build/anatomy_postmortem
 ./build/bench/step_anatomy BENCH_anatomy.json build/anatomy_postmortem
 
 echo "==> bench: serving load gate (release build)"
-# Continuous batching vs batch-of-1 on the same trainer checkpoint
-# under seeded overload traffic: every request must complete and the
-# continuous config's saturation throughput (tokens per virtual second,
-# deterministic) must be strictly higher; writes BENCH_serve.json with
-# p50/p99 latency and KV utilization. Same ZERO_BENCH_RELAX=1 escape
-# hatch.
+# Three gates in one binary, all on seeded deterministic traffic:
+#   1. Continuous batching vs batch-of-1 on the same trainer
+#      checkpoint: every request completes and the continuous config's
+#      saturation throughput (tokens per virtual second) is strictly
+#      higher.
+#   2. Weight-precision sweep (fp32/fp16/int8 GEMM backends, serving-
+#      scale model): fp16 decode throughput strictly above fp32 — the
+#      pre-packed fp16 panel path must actually pay on real wall clock
+#      (int8 is informational); greedy tokens per precision are
+#      reported.
+#   3. Prefix-cache sweep (shared tenant prompt prefixes, cache off vs
+#      on): prefix-hit prefill compute strictly below cold prefill,
+#      with exact token conservation (cold prefill == shared prefill +
+#      adopted prefix positions, identical decode counts).
+# Writes BENCH_serve.json with latency percentiles, per-precision
+# decode throughput, and prefix savings. Same ZERO_BENCH_RELAX=1
+# escape hatch.
 ./build/bench/serve_load BENCH_serve.json
 
 echo "==> smoke: 2-rank stage-3 run with telemetry artifacts"

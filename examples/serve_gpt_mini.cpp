@@ -10,11 +10,15 @@
 // example seeds fresh weights — useful for trying the scheduler alone.
 //
 // ZERO_SERVE_SEED reseeds the traffic (arrivals, tenants, prompts);
-// the same seed replays the identical run. With ZERO_TRACE set the run
-// records serve/step, serve/plan, serve/commit and serve/decode spans
-// into a Chrome trace. With mp > 1 the engine shards every projection
-// across `mp` ranks Megatron-style and each rank runs the same serve
-// loop in lockstep.
+// the same seed replays the identical run. ZERO_SERVE_WEIGHTS selects
+// the serving weight precision (fp32 default, fp16, int8) behind the
+// dispatched GEMM backend; ZERO_SERVE_PREFIX_CACHE=1 turns on the
+// copy-on-write prefix KV cache and gives each tenant a shared
+// system-prompt prefix so the index actually gets hits. With
+// ZERO_TRACE set the run records serve/step, serve/plan, serve/commit
+// and serve/decode spans into a Chrome trace. With mp > 1 the engine
+// shards every projection across `mp` ranks Megatron-style and each
+// rank runs the same serve loop in lockstep.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +50,13 @@ int main(int argc, char** argv) {
   io.model.heads = 4;
   io.kv_block_tokens = 8;
   io.kv_max_blocks = 64;
+  if (const char* w = std::getenv("ZERO_SERVE_WEIGHTS");
+      w != nullptr && *w != '\0') {
+    io.weights = w;
+  }
+  const char* pc = std::getenv("ZERO_SERVE_PREFIX_CACHE");
+  const bool prefix_cache = pc != nullptr && *pc != '\0' && *pc != '0';
+  io.prefix_cache = prefix_cache;
 
   serve::TrafficConfig tc;
   tc.qps = qps;
@@ -57,6 +68,8 @@ int main(int argc, char** argv) {
   tc.out_max = 6;
   tc.vocab = io.model.vocab;
   tc.seed = serve::ServeSeedFromEnv(42);
+  // Shared per-tenant system prompts make the prefix index earn hits.
+  if (prefix_cache) tc.prefix_len = 4;
   const auto traffic = serve::GenerateOpenLoopTraffic(tc);
 
   serve::ServeOptions so;
@@ -74,9 +87,10 @@ int main(int argc, char** argv) {
 
   const bool from_ckpt = std::strcmp(ckpt, "-") != 0;
   std::printf("serving GPT-mini: %s, %zu requests @ %.0f QPS, mp=%d, "
-              "seed %llu\n",
+              "seed %llu, weights %s, prefix cache %s\n",
               from_ckpt ? ckpt : "(fresh weights)", traffic.size(), qps,
-              mp, static_cast<unsigned long long>(tc.seed));
+              mp, static_cast<unsigned long long>(tc.seed),
+              io.weights.c_str(), prefix_cache ? "on" : "off");
 
   auto load = [&](serve::InferenceEngine& engine) {
     if (from_ckpt) {
@@ -125,10 +139,20 @@ int main(int argc, char** argv) {
       static_cast<long long>(summary.rejected_throttled),
       static_cast<long long>(summary.rejected_queue),
       static_cast<long long>(summary.rejected_latency));
-  std::printf("  %lld steps packed %lld tokens, %lld evictions\n",
+  std::printf("  %lld steps packed %lld tokens (%lld prefill, %lld "
+              "decode), %lld evictions\n",
               static_cast<long long>(summary.steps),
               static_cast<long long>(summary.packed_tokens),
+              static_cast<long long>(summary.prefill_tokens),
+              static_cast<long long>(summary.decode_tokens),
               static_cast<long long>(summary.evictions));
+  if (prefix_cache) {
+    std::printf("  prefix cache: %lld hits / %lld misses, %lld KV "
+                "positions adopted\n",
+                static_cast<long long>(summary.prefix_hits),
+                static_cast<long long>(summary.prefix_misses),
+                static_cast<long long>(summary.prefix_hit_tokens));
+  }
   std::printf("  throughput %.1f tok/s, ttft p50/p99 %.1f/%.1f ms, "
               "e2e p50/p99 %.1f/%.1f ms, kv peak %.0f/%.0f blocks\n",
               summary.decode_tokens_per_s(), summary.ttft_p50_ms,

@@ -5,9 +5,12 @@
 namespace zero::model {
 
 std::int64_t ParamLayout::Add(std::string name, std::int64_t numel,
-                              int unit) {
+                              int unit, std::int64_t rows,
+                              std::int64_t cols) {
   ZERO_CHECK(numel > 0, "parameter must have positive size");
   ZERO_CHECK(unit >= 0, "unit must be nonnegative");
+  ZERO_CHECK(rows == 0 ? cols == 0 : rows * cols == numel,
+             "parameter shape must multiply out to numel");
   const int current = num_units();
   ZERO_CHECK(unit == current - 1 || unit == current,
              "units must be appended contiguously");
@@ -15,7 +18,8 @@ std::int64_t ParamLayout::Add(std::string name, std::int64_t numel,
   if (unit == current) {
     unit_ranges_.emplace_back(offset, offset);
   }
-  entries_.push_back(ParamEntry{std::move(name), offset, numel, unit});
+  entries_.push_back(
+      ParamEntry{std::move(name), offset, numel, unit, rows, cols});
   unit_ranges_[static_cast<std::size_t>(unit)].second = offset + numel;
   total_ += numel;
   return offset;

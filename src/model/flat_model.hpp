@@ -33,13 +33,22 @@ struct ParamEntry {
   std::int64_t offset = 0;  // into the flat vector
   std::int64_t numel = 0;
   int unit = 0;
+  // Matrix shape ([rows, cols] row-major, rows * cols == numel) for
+  // parameters consumed as GEMM operands; 0/0 for everything else.
+  // Serving uses this to re-encode weight matrices into layouts that
+  // need the shape at pack time (pre-packed fp16 GEMM panels).
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
 };
 
 class ParamLayout {
  public:
   // Registers a parameter in `unit`; units must be appended in
-  // nondecreasing order so each unit is one contiguous range.
-  std::int64_t Add(std::string name, std::int64_t numel, int unit);
+  // nondecreasing order so each unit is one contiguous range. Matrix
+  // parameters pass their row-major [rows, cols] shape; vectors leave
+  // the defaults.
+  std::int64_t Add(std::string name, std::int64_t numel, int unit,
+                   std::int64_t rows = 0, std::int64_t cols = 0);
 
   [[nodiscard]] std::int64_t total_numel() const { return total_; }
   [[nodiscard]] int num_units() const {

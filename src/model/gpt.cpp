@@ -6,11 +6,35 @@
 
 #include "comm/nonblocking_collectives.hpp"
 #include "common/error.hpp"
+#include "model/serving_weights.hpp"
 #include "tensor/kernels.hpp"
 
 namespace zero::model {
 
 using tensor::Tensor;
+
+// Parameter-access seam the two DecodeForward overloads share (declared
+// in gpt.hpp, implemented below for the provider and the packed store).
+// Offsets are unit-relative — the same coordinates LayerOffsets holds.
+class DecodeParamAccess {
+ public:
+  virtual ~DecodeParamAccess() = default;
+  // Bracket every parameter touch of `unit`; Vec pointers stay valid
+  // until the matching EndUnit.
+  virtual void BeginUnit(int unit) = 0;
+  virtual void EndUnit(int unit) = 0;
+  // fp32 pointer to the start of a vector-class entry (bias, LN, wpe).
+  virtual const float* Vec(int unit, std::int64_t off) = 0;
+  // C[m,n] = alpha * A[m,k] * W[n,k]^T + beta * C for the weight matrix
+  // entry at (unit, off).
+  virtual void WeightGemm(int unit, std::int64_t off, std::int64_t m,
+                          std::int64_t n, std::int64_t k, float alpha,
+                          const float* a, float beta, float* c) = 0;
+  // dst[0..cols) = fp32 row `row` of the [rows, cols] matrix at
+  // (unit, off) — embedding gathers.
+  virtual void WeightRow(int unit, std::int64_t off, std::int64_t row,
+                         std::int64_t cols, float* dst) = 0;
+};
 
 namespace {
 
@@ -110,7 +134,7 @@ GptModel::GptModel(GptConfig config, GptSession session)
 
   // Unit 0: embeddings (replicated across MP). Unit 0 starts at flat
   // offset 0, so absolute offsets are already unit-relative.
-  off_wte_ = layout_.Add("wte", config_.vocab * h, 0);
+  off_wte_ = layout_.Add("wte", config_.vocab * h, 0, config_.vocab, h);
   off_wpe_ = layout_.Add("wpe", config_.seq * h, 0);
 
   // Units 1..L: one per transformer block. Offsets are identical for all
@@ -123,15 +147,16 @@ GptModel::GptModel(GptConfig config, GptSession session)
     LayerOffsets off;
     off.ln1_g = layout_.Add(p + "ln1.g", h, unit) - base;
     off.ln1_b = layout_.Add(p + "ln1.b", h, unit) - base;
-    off.w_qkv = layout_.Add(p + "attn.w_qkv", 3 * hm * h, unit) - base;
+    off.w_qkv =
+        layout_.Add(p + "attn.w_qkv", 3 * hm * h, unit, 3 * hm, h) - base;
     off.b_qkv = layout_.Add(p + "attn.b_qkv", 3 * hm, unit) - base;
-    off.w_o = layout_.Add(p + "attn.w_o", h * hm, unit) - base;
+    off.w_o = layout_.Add(p + "attn.w_o", h * hm, unit, h, hm) - base;
     off.b_o = layout_.Add(p + "attn.b_o", h, unit) - base;
     off.ln2_g = layout_.Add(p + "ln2.g", h, unit) - base;
     off.ln2_b = layout_.Add(p + "ln2.b", h, unit) - base;
-    off.w_fc = layout_.Add(p + "mlp.w_fc", im * h, unit) - base;
+    off.w_fc = layout_.Add(p + "mlp.w_fc", im * h, unit, im, h) - base;
     off.b_fc = layout_.Add(p + "mlp.b_fc", im, unit) - base;
-    off.w_pr = layout_.Add(p + "mlp.w_pr", h * im, unit) - base;
+    off.w_pr = layout_.Add(p + "mlp.w_pr", h * im, unit, h, im) - base;
     off.b_pr = layout_.Add(p + "mlp.b_pr", h, unit) - base;
     if (!offsets_done) {
       lo_ = off;
@@ -567,9 +592,84 @@ float GptModel::EvalForwardLogits(const Batch& batch, ParamProvider& params,
   return loss;
 }
 
+namespace {
+
+// Provider-backed access: identical pointers through the identical
+// tensor::Gemm calls the pre-seam DecodeForward made, so this path is
+// bitwise what it always was.
+class ProviderDecodeAccess final : public DecodeParamAccess {
+ public:
+  explicit ProviderDecodeAccess(ParamProvider& params) : params_(params) {}
+  void BeginUnit(int unit) override {
+    cur_ = params_.AcquireUnit(unit, Phase::kForward);
+  }
+  void EndUnit(int unit) override {
+    params_.ReleaseUnit(unit, Phase::kForward);
+    cur_ = {};
+  }
+  const float* Vec(int, std::int64_t off) override {
+    return cur_.data() + off;
+  }
+  void WeightGemm(int, std::int64_t off, std::int64_t m, std::int64_t n,
+                  std::int64_t k, float alpha, const float* a, float beta,
+                  float* c) override {
+    tensor::Gemm(false, true, m, n, k, alpha, a, cur_.data() + off, beta, c);
+  }
+  void WeightRow(int, std::int64_t off, std::int64_t row, std::int64_t cols,
+                 float* dst) override {
+    std::memcpy(dst, cur_.data() + off + row * cols,
+                static_cast<std::size_t>(cols) * sizeof(float));
+  }
+
+ private:
+  ParamProvider& params_;
+  std::span<const float> cur_;
+};
+
+// Packed-store access: weights live engine-side in a GEMM backend's
+// native precision; units are always resident, so Begin/End are no-ops.
+class PackedDecodeAccess final : public DecodeParamAccess {
+ public:
+  explicit PackedDecodeAccess(const ServingWeights& weights)
+      : weights_(weights) {}
+  void BeginUnit(int) override {}
+  void EndUnit(int) override {}
+  const float* Vec(int unit, std::int64_t off) override {
+    return weights_.Vec(unit, off);
+  }
+  void WeightGemm(int unit, std::int64_t off, std::int64_t m, std::int64_t n,
+                  std::int64_t k, float alpha, const float* a, float beta,
+                  float* c) override {
+    weights_.GemmWeightT(unit, off, m, n, k, alpha, a, beta, c);
+  }
+  void WeightRow(int unit, std::int64_t off, std::int64_t row,
+                 std::int64_t cols, float* dst) override {
+    weights_.DecodeRow(unit, off, row, cols, dst);
+  }
+
+ private:
+  const ServingWeights& weights_;
+};
+
+}  // namespace
+
 int GptModel::DecodeForward(std::span<const DecodeToken> tokens,
                             ParamProvider& params, KvCache& kv,
                             std::span<float> logits_out) {
+  ProviderDecodeAccess access(params);
+  return DecodeForwardImpl(tokens, access, kv, logits_out);
+}
+
+int GptModel::DecodeForward(std::span<const DecodeToken> tokens,
+                            const ServingWeights& weights, KvCache& kv,
+                            std::span<float> logits_out) {
+  PackedDecodeAccess access(weights);
+  return DecodeForwardImpl(tokens, access, kv, logits_out);
+}
+
+int GptModel::DecodeForwardImpl(std::span<const DecodeToken> tokens,
+                                DecodeParamAccess& access, KvCache& kv,
+                                std::span<float> logits_out) {
   namespace K = tensor;
   const std::int64_t n = static_cast<std::int64_t>(tokens.size());
   ZERO_CHECK(n > 0, "empty decode step");
@@ -608,19 +708,19 @@ int GptModel::DecodeForward(std::span<const DecodeToken> tokens,
   // ---- embedding ----
   Tensor x = NewAct({n, h});
   {
-    std::span<const float> u0 = params.AcquireUnit(0, Phase::kForward);
-    const float* wte = u0.data() + off_wte_;
-    const float* wpe = u0.data() + off_wpe_;
+    access.BeginUnit(0);
+    const float* wpe = access.Vec(0, off_wpe_);
+    std::vector<float> te(static_cast<std::size_t>(h));
     float* xp = x.f32().data();
     for (std::int64_t i = 0; i < n; ++i) {
       const DecodeToken& t = tokens[static_cast<std::size_t>(i)];
       ZERO_CHECK(t.token >= 0 && t.token < v, "token id out of range");
-      const float* te = wte + static_cast<std::int64_t>(t.token) * h;
+      access.WeightRow(0, off_wte_, t.token, h, te.data());
       const float* pe = wpe + t.pos * h;
       float* row = xp + i * h;
       for (std::int64_t c = 0; c < h; ++c) row[c] = te[c] + pe[c];
     }
-    params.ReleaseUnit(0, Phase::kForward);
+    access.EndUnit(0);
   }
 
   const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
@@ -630,20 +730,21 @@ int GptModel::DecodeForward(std::span<const DecodeToken> tokens,
   std::vector<float> q_pack, k_pack, v_pack, scores, att_pad, ctx_head;
 
   for (int l = 0; l < layers; ++l) {
-    std::span<const float> up = params.AcquireUnit(l + 1, Phase::kForward);
+    const int unit = l + 1;
+    access.BeginUnit(unit);
 
     Tensor ln1_mean = NewAct({n});
     Tensor ln1_rstd = NewAct({n});
     Tensor a = NewAct({n, h});
-    K::LayerNormForward(x.f32().data(), up.data() + lo_.ln1_g,
-                        up.data() + lo_.ln1_b, a.f32().data(),
+    K::LayerNormForward(x.f32().data(), access.Vec(unit, lo_.ln1_g),
+                        access.Vec(unit, lo_.ln1_b), a.f32().data(),
                         ln1_mean.f32().data(), ln1_rstd.f32().data(), n, h,
                         config_.ln_eps);
 
     Tensor qkv = NewAct({n, 3 * hm});
-    K::Gemm(false, true, n, 3 * hm, h, 1.0f, a.f32().data(),
-            up.data() + lo_.w_qkv, 0.0f, qkv.f32().data());
-    K::AddBiasRows(qkv.f32().data(), up.data() + lo_.b_qkv, n, 3 * hm);
+    access.WeightGemm(unit, lo_.w_qkv, n, 3 * hm, h, 1.0f, a.f32().data(),
+                      0.0f, qkv.f32().data());
+    K::AddBiasRows(qkv.f32().data(), access.Vec(unit, lo_.b_qkv), n, 3 * hm);
 
     // Append this step's K/V rows to the cache before attending, so
     // tokens later in a prefill chunk see earlier ones.
@@ -719,12 +820,12 @@ int GptModel::DecodeForward(std::span<const DecodeToken> tokens,
     Tensor x_mid = NewAct({n, h});
     {
       Tensor o = NewAct({n, h});
-      K::Gemm(false, true, n, h, hm, 1.0f, ctxp, up.data() + lo_.w_o, 0.0f,
-              o.f32().data());
+      access.WeightGemm(unit, lo_.w_o, n, h, hm, 1.0f, ctxp, 0.0f,
+                        o.f32().data());
       if (session_.mp != nullptr && session_.mp->size() > 1) {
         comm::IAllReduce(*session_.mp, o.f32(), comm::ReduceOp::kSum).Wait();
       }
-      K::AddBiasRows(o.f32().data(), up.data() + lo_.b_o, n, h);
+      K::AddBiasRows(o.f32().data(), access.Vec(unit, lo_.b_o), n, h);
       const float* ov = o.f32().data();
       const float* xp = x.f32().data();
       float* xm = x_mid.f32().data();
@@ -734,34 +835,34 @@ int GptModel::DecodeForward(std::span<const DecodeToken> tokens,
     Tensor ln2_mean = NewAct({n});
     Tensor ln2_rstd = NewAct({n});
     Tensor b2 = NewAct({n, h});
-    K::LayerNormForward(x_mid.f32().data(), up.data() + lo_.ln2_g,
-                        up.data() + lo_.ln2_b, b2.f32().data(),
+    K::LayerNormForward(x_mid.f32().data(), access.Vec(unit, lo_.ln2_g),
+                        access.Vec(unit, lo_.ln2_b), b2.f32().data(),
                         ln2_mean.f32().data(), ln2_rstd.f32().data(), n, h,
                         config_.ln_eps);
 
     Tensor h1 = NewAct({n, im});
-    K::Gemm(false, true, n, im, h, 1.0f, b2.f32().data(),
-            up.data() + lo_.w_fc, 0.0f, h1.f32().data());
+    access.WeightGemm(unit, lo_.w_fc, n, im, h, 1.0f, b2.f32().data(), 0.0f,
+                      h1.f32().data());
     Tensor f = NewAct({n, im});
-    K::BiasGeluForward(h1.f32().data(), up.data() + lo_.b_fc,
+    K::BiasGeluForward(h1.f32().data(), access.Vec(unit, lo_.b_fc),
                        h1.f32().data(), f.f32().data(), n, im);
 
     // MLP output projection (row-parallel) + MP all-reduce #2.
     Tensor x_next = NewAct({n, h});
     {
       Tensor p = NewAct({n, h});
-      K::Gemm(false, true, n, h, im, 1.0f, f.f32().data(),
-              up.data() + lo_.w_pr, 0.0f, p.f32().data());
+      access.WeightGemm(unit, lo_.w_pr, n, h, im, 1.0f, f.f32().data(), 0.0f,
+                        p.f32().data());
       if (session_.mp != nullptr && session_.mp->size() > 1) {
         comm::IAllReduce(*session_.mp, p.f32(), comm::ReduceOp::kSum).Wait();
       }
-      K::AddBiasRows(p.f32().data(), up.data() + lo_.b_pr, n, h);
+      K::AddBiasRows(p.f32().data(), access.Vec(unit, lo_.b_pr), n, h);
       const float* pv = p.f32().data();
       const float* xm = x_mid.f32().data();
       float* xo = x_next.f32().data();
       for (std::int64_t i = 0; i < n * h; ++i) xo[i] = xm[i] + pv[i];
     }
-    params.ReleaseUnit(l + 1, Phase::kForward);
+    access.EndUnit(unit);
     x = std::move(x_next);
   }
 
@@ -782,18 +883,18 @@ int GptModel::DecodeForward(std::span<const DecodeToken> tokens,
   Tensor lnf_rstd = NewAct({n_groups});
   Tensor y = NewAct({n_groups, h});
   {
-    std::span<const float> uf = params.AcquireUnit(unit_f, Phase::kForward);
-    K::LayerNormForward(last.f32().data(), uf.data() + off_lnf_g_,
-                        uf.data() + off_lnf_b_, y.f32().data(),
+    access.BeginUnit(unit_f);
+    K::LayerNormForward(last.f32().data(), access.Vec(unit_f, off_lnf_g_),
+                        access.Vec(unit_f, off_lnf_b_), y.f32().data(),
                         lnf_mean.f32().data(), lnf_rstd.f32().data(),
                         n_groups, h, config_.ln_eps);
-    params.ReleaseUnit(unit_f, Phase::kForward);
+    access.EndUnit(unit_f);
   }
   {
-    std::span<const float> u0 = params.AcquireUnit(0, Phase::kForward);
-    K::Gemm(false, true, n_groups, v, h, 1.0f, y.f32().data(),
-            u0.data() + off_wte_, 0.0f, logits_out.data());
-    params.ReleaseUnit(0, Phase::kForward);
+    access.BeginUnit(0);
+    access.WeightGemm(0, off_wte_, n_groups, v, h, 1.0f, y.f32().data(),
+                      0.0f, logits_out.data());
+    access.EndUnit(0);
   }
   return static_cast<int>(n_groups);
 }

@@ -30,6 +30,9 @@
 
 namespace zero::model {
 
+class ServingWeights;   // model/serving_weights.hpp
+class DecodeParamAccess;  // internal decode parameter seam (gpt.cpp)
+
 struct GptConfig {
   std::int64_t vocab = 64;
   std::int64_t seq = 16;
@@ -113,6 +116,15 @@ class GptModel final : public FlatParamModel {
                     ParamProvider& params, KvCache& kv,
                     std::span<float> logits_out);
 
+  // Same forward over engine-resident packed weights (a GEMM-backend
+  // encoding of the local shard). The "fp32" backend runs the identical
+  // kernels on identical floats, so this overload is memcmp-bit-exact
+  // with the provider one; reduced-precision backends keep greedy decode
+  // equivalent within the bounded logit error DESIGN.md §16 documents.
+  int DecodeForward(std::span<const DecodeToken> tokens,
+                    const ServingWeights& weights, KvCache& kv,
+                    std::span<float> logits_out);
+
   // Floats per cached K (or V) row on this rank: hidden / mp.
   [[nodiscard]] std::int64_t kv_row_floats() const {
     return config_.hidden / mp_size();
@@ -132,6 +144,14 @@ class GptModel final : public FlatParamModel {
   [[nodiscard]] int mp_rank() const;
 
  private:
+  // Internal seam the two DecodeForward overloads share: parameter
+  // access abstracted to vector pointers, weight GEMMs and embedding-row
+  // decodes, so the forward body is written once and the provider path
+  // stays bitwise what it was before packed weights existed.
+  int DecodeForwardImpl(std::span<const DecodeToken> tokens,
+                        DecodeParamAccess& access, KvCache& kv,
+                        std::span<float> logits_out);
+
   struct LayerOffsets {
     std::int64_t ln1_g, ln1_b;
     std::int64_t w_qkv, b_qkv;  // column-parallel: [3*H/m, H], [3*H/m]

@@ -1,7 +1,11 @@
 #include "serve/engine.hpp"
 
+#include <vector>
+
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "tensor/gemm_backend.hpp"
 
 namespace zero::serve {
 
@@ -9,16 +13,25 @@ InferenceEngine::InferenceEngine(InferenceOptions options,
                                  model::GptSession session)
     : options_(options),
       model_(options.model, session),
-      params_(static_cast<std::size_t>(model_.layout().total_numel()), 0.0f),
-      provider_(model_.layout(), params_),
       pool_(KvGeometry{options.model.layers, model_.kv_row_floats(),
                        options.kv_block_tokens},
             options.kv_max_blocks, session.device, options.record_metrics),
-      kv_(&pool_) {}
+      kv_(&pool_, options.prefix_cache) {}
 
 void InferenceEngine::LoadFullWeights(std::span<const float> full) {
   TRACE_SPAN("serve/load_weights");
-  model_.ImportFullParams(full, params_);
+  // Reshard into a staging shard, pack it into the configured backend's
+  // precision, then let the staging copy die with scope.
+  std::vector<float> local(
+      static_cast<std::size_t>(model_.layout().total_numel()));
+  model_.ImportFullParams(full, local);
+  weights_ = model::ServingWeights(
+      model_.layout(), local, tensor::GemmBackendByName(options_.weights));
+  if (options_.record_metrics) {
+    obs::Metrics()
+        .gauge("serve.weight_bytes")
+        .Set(static_cast<double>(weights_.weight_bytes()));
+  }
   loaded_ = true;
 }
 
@@ -38,7 +51,7 @@ int InferenceEngine::Decode(std::span<const model::DecodeToken> tokens,
                             std::span<float> logits_out) {
   TRACE_SPAN("serve/decode");
   ZERO_CHECK(loaded_, "Decode before weights were loaded");
-  return model_.DecodeForward(tokens, provider_, kv_, logits_out);
+  return model_.DecodeForward(tokens, weights_, kv_, logits_out);
 }
 
 }  // namespace zero::serve

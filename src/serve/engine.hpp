@@ -15,6 +15,7 @@
 #include "core/state_checkpoint.hpp"
 #include "model/flat_model.hpp"
 #include "model/gpt.hpp"
+#include "model/serving_weights.hpp"
 #include "serve/kv_cache.hpp"
 
 namespace zero::serve {
@@ -24,6 +25,13 @@ struct InferenceOptions {
   std::int64_t kv_block_tokens = 8;
   std::int64_t kv_max_blocks = 256;
   bool record_metrics = true;
+  // GEMM backend for engine-resident weights ("fp32", "fp16", "int8" —
+  // tensor/gemm_backend.hpp). fp32 serves bit-exact vs trainer eval;
+  // fp16/int8 halve/quarter weight bytes with bounded logit error.
+  std::string weights = "fp32";
+  // Copy-on-write prefix sharing: requests whose token prefix matches a
+  // published sequence adopt its full KV blocks and skip that prefill.
+  bool prefix_cache = false;
 };
 
 class InferenceEngine {
@@ -32,7 +40,10 @@ class InferenceEngine {
   // non-null carves weights' KV blocks from that caching allocator.
   InferenceEngine(InferenceOptions options, model::GptSession session);
 
-  // Full (mp=1 layout) fp32 weights; resharded for this rank.
+  // Full (mp=1 layout) fp32 weights; resharded for this rank, then
+  // packed into the configured GEMM backend's precision. The fp32
+  // staging copy is dropped after packing, so steady-state weight
+  // memory is exactly the packed footprint.
   void LoadFullWeights(std::span<const float> full);
   // The master fp32 array of a trainer checkpoint is the full weight
   // vector. Rejects checkpoints whose numel does not match the config
@@ -50,12 +61,14 @@ class InferenceEngine {
   [[nodiscard]] KvBlockPool& pool() { return pool_; }
   [[nodiscard]] bool loaded() const { return loaded_; }
   [[nodiscard]] const InferenceOptions& options() const { return options_; }
+  [[nodiscard]] const model::ServingWeights& weights() const {
+    return weights_;
+  }
 
  private:
   InferenceOptions options_;
   model::GptModel model_;
-  std::vector<float> params_;  // this rank's local shard
-  model::DirectParamProvider provider_;
+  model::ServingWeights weights_;  // this rank's shard, backend-packed
   KvBlockPool pool_;
   SlotKvCache kv_;
   bool loaded_ = false;

@@ -1,9 +1,36 @@
 #include "serve/kv_cache.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 
 namespace zero::serve {
+
+namespace {
+
+// splitmix64 finalizer — the chained prefix hash below folds each token
+// through it, so equal token prefixes hash equal on every rank (the
+// hash sees token ids only, never rank-local K/V bytes).
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t ChainTokens(std::uint64_t h,
+                          std::span<const std::int32_t> tokens) {
+  for (std::int32_t t : tokens) {
+    h = Mix64(h ^ static_cast<std::uint32_t>(t));
+  }
+  return h;
+}
+
+constexpr std::uint64_t kPrefixHashSeed = 0x5eedf00dcafe17ull;
+
+}  // namespace
 
 KvBlockPool::KvBlockPool(KvGeometry geom, std::int64_t max_blocks,
                          alloc::CachingAllocator* device, bool record_metrics)
@@ -37,17 +64,33 @@ float* KvBlockPool::Acquire() {
       block = heap_blocks_.back().data();
     }
   }
+  refs_[block] = 1;
   ++used_;
   if (used_ > peak_used_) peak_used_ = used_;
   PublishGauges();
   return block;
 }
 
+void KvBlockPool::AddRef(float* block) {
+  auto it = refs_.find(block);
+  ZERO_CHECK(it != refs_.end(), "AddRef on a block the pool does not hold");
+  ++it->second;
+}
+
 void KvBlockPool::Release(float* block) {
   ZERO_CHECK(block != nullptr && used_ > 0, "KV pool double free");
+  auto it = refs_.find(block);
+  ZERO_CHECK(it != refs_.end() && it->second > 0, "KV pool double free");
+  if (--it->second > 0) return;  // other holders keep the block alive
+  refs_.erase(it);
   free_list_.push_back(block);
   --used_;
   PublishGauges();
+}
+
+std::int64_t KvBlockPool::RefCount(float* block) const {
+  auto it = refs_.find(block);
+  return it == refs_.end() ? 0 : it->second;
 }
 
 void KvBlockPool::SetUsedTokens(std::int64_t tokens) {
@@ -62,10 +105,12 @@ void KvBlockPool::PublishGauges() const {
   m.gauge("alloc.kv.blocks_used").Set(static_cast<double>(used_));
   m.gauge("alloc.kv.blocks_peak").Set(static_cast<double>(peak_used_));
   const std::int64_t held_tokens = used_ * geom_.block_tokens;
+  // Sharing can push cached tokens past physically held capacity, so
+  // the starvation-side gauge clamps at zero.
   const double frag =
       held_tokens > 0
-          ? 1.0 - static_cast<double>(used_tokens_) /
-                      static_cast<double>(held_tokens)
+          ? std::max(0.0, 1.0 - static_cast<double>(used_tokens_) /
+                                    static_cast<double>(held_tokens))
           : 0.0;
   m.gauge("alloc.kv.fragmentation").Set(frag);
 }
@@ -81,14 +126,47 @@ std::int32_t SlotKvCache::AllocSlot() {
   return static_cast<std::int32_t>(slots_.size() - 1);
 }
 
+float* SlotKvCache::AcquireBlock() {
+  for (;;) {
+    float* b = pool_->Acquire();
+    if (b != nullptr) return b;
+    if (!TryEvictIndexBlock()) return nullptr;
+  }
+}
+
 bool SlotKvCache::EnsureCapacity(std::int32_t slot, std::int64_t tokens) {
   Slot& s = slots_[static_cast<std::size_t>(slot)];
   ZERO_CHECK(s.live, "EnsureCapacity on a retired slot");
   const std::int64_t need = pool_->geometry().blocks_for(tokens);
   while (static_cast<std::int64_t>(s.blocks.size()) < need) {
-    float* b = pool_->Acquire();
+    float* b = AcquireBlock();
     if (b == nullptr) return false;
     s.blocks.push_back(b);
+  }
+  return true;
+}
+
+bool SlotKvCache::EnsureAppendable(std::int32_t slot, std::int64_t from_pos,
+                                   std::int64_t new_tokens) {
+  if (new_tokens <= 0) return true;
+  if (!EnsureCapacity(slot, from_pos + new_tokens)) return false;
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  const KvGeometry& g = pool_->geometry();
+  const std::int64_t first = from_pos / g.block_tokens;
+  const std::int64_t last = (from_pos + new_tokens - 1) / g.block_tokens;
+  for (std::int64_t b = first; b <= last; ++b) {
+    float* old = s.blocks[static_cast<std::size_t>(b)];
+    if (pool_->RefCount(old) <= 1) continue;
+    // Copy-on-write fork: the block is shared (other slots or the
+    // prefix index read it), so appending into it must not be visible
+    // to them. Whole-block copy keeps already-cached positions of this
+    // partially-filled block bitwise intact.
+    float* fresh = AcquireBlock();
+    if (fresh == nullptr) return false;
+    std::memcpy(fresh, old,
+                static_cast<std::size_t>(g.block_floats()) * sizeof(float));
+    pool_->Release(old);
+    s.blocks[static_cast<std::size_t>(b)] = fresh;
   }
   return true;
 }
@@ -102,9 +180,129 @@ void SlotKvCache::FreeSlot(std::int32_t slot) {
   free_slots_.push_back(slot);
 }
 
+std::int64_t SlotKvCache::AdoptPrefix(std::int32_t slot,
+                                      std::span<const std::int32_t> tokens) {
+  if (!prefix_index_) return 0;
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  ZERO_CHECK(s.live && s.blocks.empty(),
+             "prefix adoption needs a fresh slot");
+  const std::int64_t bt = pool_->geometry().block_tokens;
+  // Cap: leave at least one token to prefill so the sequence still
+  // produces a logits row (and a first sampled token).
+  const std::int64_t limit = static_cast<std::int64_t>(tokens.size()) - 1;
+  std::uint64_t h = kPrefixHashSeed;
+  std::int64_t depth = 0;  // full blocks adopted
+  while ((depth + 1) * bt <= limit) {
+    const auto chunk = tokens.subspan(static_cast<std::size_t>(depth * bt),
+                                      static_cast<std::size_t>(bt));
+    const std::uint64_t hn = ChainTokens(h, chunk);
+    auto it = index_.find(hn);
+    if (it == index_.end()) break;
+    if (!std::equal(it->second.tokens.begin(), it->second.tokens.end(),
+                    chunk.begin(), chunk.end())) {
+      break;  // 64-bit hash collision: treat as a miss
+    }
+    pool_->AddRef(it->second.block);
+    s.blocks.push_back(it->second.block);
+    h = hn;
+    ++depth;
+  }
+  std::int64_t adopted = depth * bt;
+  // Partial tail published under the parent (block-aligned) prefix:
+  // share it for the common run of its tokens. The adopter's first
+  // append then lands inside this shared block, which is exactly the
+  // copy-on-write fork EnsureAppendable performs.
+  auto tit = tail_index_.find(h);
+  if (tit != tail_index_.end()) {
+    const std::int64_t tail_cap =
+        std::min<std::int64_t>(
+            static_cast<std::int64_t>(tit->second.tokens.size()),
+            limit - adopted);
+    std::int64_t lcp = 0;
+    while (lcp < tail_cap &&
+           tit->second.tokens[static_cast<std::size_t>(lcp)] ==
+               tokens[static_cast<std::size_t>(adopted + lcp)]) {
+      ++lcp;
+    }
+    if (lcp > 0) {
+      pool_->AddRef(tit->second.block);
+      s.blocks.push_back(tit->second.block);
+      adopted += lcp;
+    }
+  }
+  return adopted;
+}
+
+void SlotKvCache::PublishPrefix(std::int32_t slot,
+                                std::span<const std::int32_t> tokens) {
+  if (!prefix_index_) return;
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  ZERO_CHECK(s.live, "PublishPrefix on a retired slot");
+  const std::int64_t bt = pool_->geometry().block_tokens;
+  const std::int64_t len = static_cast<std::int64_t>(tokens.size());
+  std::uint64_t h = kPrefixHashSeed;
+  std::int64_t depth = 0;
+  for (; (depth + 1) * bt <= len; ++depth) {
+    const auto chunk = tokens.subspan(static_cast<std::size_t>(depth * bt),
+                                      static_cast<std::size_t>(bt));
+    h = ChainTokens(h, chunk);
+    if (index_.find(h) != index_.end()) continue;  // first publication wins
+    ZERO_CHECK(depth < static_cast<std::int64_t>(s.blocks.size()),
+               "PublishPrefix past the slot's blocks");
+    float* block = s.blocks[static_cast<std::size_t>(depth)];
+    pool_->AddRef(block);
+    index_.emplace(
+        h, PrefixEntry{block, std::vector<std::int32_t>(chunk.begin(),
+                                                        chunk.end())});
+    index_fifo_.push_back(IndexRef{h, false});
+  }
+  const std::int64_t tail_len = len - depth * bt;
+  if (tail_len > 0 && tail_index_.find(h) == tail_index_.end()) {
+    ZERO_CHECK(depth < static_cast<std::int64_t>(s.blocks.size()),
+               "PublishPrefix past the slot's blocks");
+    float* block = s.blocks[static_cast<std::size_t>(depth)];
+    pool_->AddRef(block);
+    const auto tail = tokens.subspan(static_cast<std::size_t>(depth * bt));
+    tail_index_.emplace(
+        h, PrefixEntry{block, std::vector<std::int32_t>(tail.begin(),
+                                                        tail.end())});
+    index_fifo_.push_back(IndexRef{h, true});
+  }
+  PublishIndexGauge();
+}
+
+bool SlotKvCache::TryEvictIndexBlock() {
+  for (auto fit = index_fifo_.begin(); fit != index_fifo_.end(); ++fit) {
+    auto& map = fit->tail ? tail_index_ : index_;
+    auto it = map.find(fit->key);
+    ZERO_CHECK(it != map.end(), "prefix index fifo out of sync");
+    // Only blocks with no live readers may be dropped — freeing a block
+    // other slots still attend against would corrupt their sequences.
+    if (pool_->RefCount(it->second.block) != 1) continue;
+    pool_->Release(it->second.block);
+    map.erase(it);
+    index_fifo_.erase(fit);
+    PublishIndexGauge();
+    return true;
+  }
+  return false;
+}
+
+void SlotKvCache::PublishIndexGauge() const {
+  if (!pool_->record_metrics()) return;
+  obs::Metrics()
+      .gauge("serve.kv.prefix_index_blocks")
+      .Set(static_cast<double>(index_.size()));
+}
+
 std::int64_t SlotKvCache::slot_blocks(std::int32_t slot) const {
   const Slot& s = slots_[static_cast<std::size_t>(slot)];
   return static_cast<std::int64_t>(s.blocks.size());
+}
+
+float* SlotKvCache::block_at(std::int32_t slot, std::int64_t i) const {
+  const Slot& s = slots_[static_cast<std::size_t>(slot)];
+  return s.blocks.at(static_cast<std::size_t>(i));
 }
 
 float* SlotKvCache::Row(std::int32_t slot, std::int64_t layer,

@@ -42,7 +42,11 @@ void ContinuousBatchScheduler::Evict(std::size_t running_idx) {
 
 bool ContinuousBatchScheduler::ReserveBlocks(SeqState& target,
                                              std::int64_t tokens) {
-  while (!kv_->EnsureCapacity(target.slot, tokens)) {
+  // EnsureAppendable = capacity for [0, tokens) plus copy-on-write
+  // exclusivity of the blocks about to be written (positions
+  // [processed, tokens) — shared prefix blocks fork here).
+  while (!kv_->EnsureAppendable(target.slot, target.processed,
+                                tokens - target.processed)) {
     // Preempt the youngest sequence that is younger than the target.
     std::size_t victim = running_.size();
     for (std::size_t i = 0; i < running_.size(); ++i) {
@@ -69,14 +73,16 @@ void ContinuousBatchScheduler::AppendGroup(StepPlan& plan, SeqState& seq,
     plan.tokens.push_back(model::DecodeToken{StreamToken(seq, i), seq.slot, i});
     if (i < plen) ++prefill;
   }
+  prefill_tokens_ += prefill;
+  decode_tokens_ += chunk - prefill;
   if (config_.record_metrics) {
     auto& m = obs::Metrics();
     if (prefill > 0) {
-      m.counter("serve.tokens.prefill")
+      m.counter("serve.prefill_tokens")
           .Add(static_cast<std::uint64_t>(prefill));
     }
     if (chunk - prefill > 0) {
-      m.counter("serve.tokens.decode")
+      m.counter("serve.decode_tokens")
           .Add(static_cast<std::uint64_t>(chunk - prefill));
     }
   }
@@ -145,11 +151,40 @@ StepPlan ContinuousBatchScheduler::PlanStep() {
                  "request exceeds total KV pool capacity");
     }
     seq.slot = kv_->AllocSlot();
+    if (kv_->prefix_index_enabled()) {
+      // Adopt published KV blocks over the replay stream (prompt plus
+      // any generated tokens a preempted sequence re-derives — the
+      // stream is deterministic, so adoption is too, on every rank).
+      std::vector<std::int32_t> stream(
+          static_cast<std::size_t>(StreamLen(seq)));
+      for (std::int64_t i = 0; i < StreamLen(seq); ++i) {
+        stream[static_cast<std::size_t>(i)] = StreamToken(seq, i);
+      }
+      const std::int64_t adopted = kv_->AdoptPrefix(seq.slot, stream);
+      seq.processed = adopted;
+      prefix_hit_tokens_ += adopted;
+      if (adopted > 0) {
+        ++prefix_hits_;
+      } else {
+        ++prefix_misses_;
+      }
+      if (config_.record_metrics) {
+        auto& m = obs::Metrics();
+        if (adopted > 0) {
+          m.counter("serve.kv.prefix_hit_tokens")
+              .Add(static_cast<std::uint64_t>(adopted));
+          m.counter("serve.kv.prefix_hits").Add();
+        } else {
+          m.counter("serve.kv.prefix_misses").Add();
+        }
+      }
+    }
     const std::int64_t chunk = std::min(StreamLen(seq) - seq.processed,
                                         budget);
-    if (!kv_->EnsureCapacity(seq.slot, seq.processed + chunk)) {
+    if (!kv_->EnsureAppendable(seq.slot, seq.processed, chunk)) {
       kv_->FreeSlot(seq.slot);
       seq.slot = -1;
+      seq.processed = 0;  // adopted blocks were released with the slot
       preempted_.push_front(std::move(seq));  // retains priority
       break;
     }
@@ -178,7 +213,18 @@ void ContinuousBatchScheduler::CommitStep(const StepPlan& plan,
   for (std::size_t g = 0; g < plan.groups(); ++g) {
     SeqState* seq = FindRunning(plan.group_request[g]);
     ZERO_CHECK(seq != nullptr, "committed group lost its sequence");
+    const std::int64_t plen =
+        static_cast<std::int64_t>(seq->req.prompt.size());
+    const std::int64_t before = seq->processed;
     seq->processed += plan.group_chunk[g];
+    if (kv_->prefix_index_enabled() && before < plen &&
+        seq->processed >= plen) {
+      // Prompt fully prefilled: publish its KV blocks for prefix reuse
+      // (the index holds its own references, so publication survives
+      // this sequence finishing or being evicted).
+      kv_->PublishPrefix(seq->slot,
+                         std::span<const std::int32_t>(seq->req.prompt));
+    }
     if (!plan.group_samples[g]) continue;
 
     // Greedy sample: first-max argmax, deterministic across ranks since

@@ -77,6 +77,18 @@ class ContinuousBatchScheduler {
     return static_cast<std::int64_t>(preempted_.size());
   }
 
+  // Cumulative token accounting (also exported as serve.prefill_tokens
+  // / serve.decode_tokens counters when metrics are on).
+  [[nodiscard]] std::int64_t prefill_tokens() const { return prefill_tokens_; }
+  [[nodiscard]] std::int64_t decode_tokens() const { return decode_tokens_; }
+  // Prefix-cache outcome per (re)admission: a hit adopted at least one
+  // published KV position.
+  [[nodiscard]] std::int64_t prefix_hit_tokens() const {
+    return prefix_hit_tokens_;
+  }
+  [[nodiscard]] std::int64_t prefix_hits() const { return prefix_hits_; }
+  [[nodiscard]] std::int64_t prefix_misses() const { return prefix_misses_; }
+
  private:
   struct SeqState {
     ServeRequest req;
@@ -111,6 +123,11 @@ class ContinuousBatchScheduler {
   std::vector<SeqState> running_;   // unordered; age = admit_stamp
   std::deque<SeqState> preempted_;  // readmitted before fresh requests
   std::uint64_t next_stamp_ = 0;
+  std::int64_t prefill_tokens_ = 0;
+  std::int64_t decode_tokens_ = 0;
+  std::int64_t prefix_hit_tokens_ = 0;
+  std::int64_t prefix_hits_ = 0;
+  std::int64_t prefix_misses_ = 0;
 };
 
 }  // namespace zero::serve

@@ -44,6 +44,11 @@ std::string ServeSummary::ToJson() const {
   os << "  \"evictions\": " << evictions << ",\n";
   os << "  \"steps\": " << steps << ",\n";
   os << "  \"packed_tokens\": " << packed_tokens << ",\n";
+  os << "  \"prefill_tokens\": " << prefill_tokens << ",\n";
+  os << "  \"decode_tokens\": " << decode_tokens << ",\n";
+  os << "  \"prefix_hit_tokens\": " << prefix_hit_tokens << ",\n";
+  os << "  \"prefix_hits\": " << prefix_hits << ",\n";
+  os << "  \"prefix_misses\": " << prefix_misses << ",\n";
   os << "  \"virtual_duration_s\": " << virtual_duration_s << ",\n";
   os << "  \"decode_tokens_per_s\": " << decode_tokens_per_s() << ",\n";
   os << "  \"ttft_p50_ms\": " << ttft_p50_ms << ",\n";
@@ -115,6 +120,11 @@ ServeSummary ServeLoop(InferenceEngine& engine,
   }
 
   sum.virtual_duration_s = vt;
+  sum.prefill_tokens = scheduler.prefill_tokens();
+  sum.decode_tokens = scheduler.decode_tokens();
+  sum.prefix_hit_tokens = scheduler.prefix_hit_tokens();
+  sum.prefix_hits = scheduler.prefix_hits();
+  sum.prefix_misses = scheduler.prefix_misses();
   std::vector<double> ttft, e2e;
   for (const RequestOutcome& o : sum.outcomes) {
     switch (o.rejected) {

@@ -40,6 +40,14 @@ struct ServeSummary {
   std::int64_t evictions = 0;
   std::int64_t steps = 0;
   std::int64_t packed_tokens = 0;  // total prefill+decode tokens fed
+  // packed_tokens split by phase: prefill positions carry prompt (or
+  // replayed) tokens, decode positions carry one sampled token each.
+  std::int64_t prefill_tokens = 0;
+  std::int64_t decode_tokens = 0;
+  // Prefix-cache outcomes (all zero when the prefix index is off).
+  std::int64_t prefix_hit_tokens = 0;  // KV positions adopted, not computed
+  std::int64_t prefix_hits = 0;        // admissions that adopted >= 1 token
+  std::int64_t prefix_misses = 0;
   double virtual_duration_s = 0.0;
   double ttft_p50_ms = 0.0, ttft_p99_ms = 0.0;
   double e2e_p50_ms = 0.0, e2e_p99_ms = 0.0;

@@ -14,6 +14,9 @@ namespace {
 // depend on how many arrival samples preceded it.
 constexpr std::uint64_t kArrivalStream = 1;
 constexpr std::uint64_t kRequestStreamBase = 1000;
+// Tenant system-prompt streams sit between the arrival stream and the
+// per-request streams, keyed by tenant id.
+constexpr std::uint64_t kTenantPrefixStreamBase = 500;
 }  // namespace
 
 std::uint64_t ServeSeedFromEnv(std::uint64_t fallback) {
@@ -45,6 +48,22 @@ std::vector<ServeRequest> GenerateOpenLoopTraffic(
   const Rng root(config.seed);
   Rng arrivals = root.Split(kArrivalStream);
 
+  // Per-tenant shared system-prompt prefixes (empty when disabled).
+  std::vector<std::vector<std::int32_t>> prefixes(
+      static_cast<std::size_t>(config.tenants));
+  if (config.prefix_len > 0) {
+    for (std::int32_t ten = 0; ten < config.tenants; ++ten) {
+      Rng p = root.Split(kTenantPrefixStreamBase +
+                         static_cast<std::uint64_t>(ten));
+      auto& pre = prefixes[static_cast<std::size_t>(ten)];
+      pre.resize(static_cast<std::size_t>(config.prefix_len));
+      for (auto& tok : pre) {
+        tok = static_cast<std::int32_t>(
+            p.NextBelow(static_cast<std::uint64_t>(config.vocab)));
+      }
+    }
+  }
+
   std::vector<ServeRequest> out;
   double t = 0.0;
   for (std::uint64_t i = 0;; ++i) {
@@ -75,9 +94,13 @@ std::vector<ServeRequest> GenerateOpenLoopTraffic(
         config.prompt_min +
         static_cast<std::int64_t>(req.NextBelow(static_cast<std::uint64_t>(
             config.prompt_max - config.prompt_min + 1)));
-    r.prompt.resize(static_cast<std::size_t>(plen));
-    for (auto& tok : r.prompt) {
-      tok = static_cast<std::int32_t>(
+    // Tenant system prompt first, then the request's random tail. The
+    // tail draws are identical with sharing on or off.
+    const auto& pre = prefixes[static_cast<std::size_t>(r.tenant)];
+    r.prompt = pre;
+    r.prompt.resize(pre.size() + static_cast<std::size_t>(plen));
+    for (std::size_t k = pre.size(); k < r.prompt.size(); ++k) {
+      r.prompt[k] = static_cast<std::int32_t>(
           req.NextBelow(static_cast<std::uint64_t>(config.vocab)));
     }
     r.max_new_tokens =

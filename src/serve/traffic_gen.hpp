@@ -29,6 +29,12 @@ struct TrafficConfig {
   std::int32_t out_max = 8;
   std::int64_t vocab = 64;
   std::uint64_t seed = 42;
+  // Shared-prefix mode: each tenant gets `prefix_len` common
+  // system-prompt tokens (seeded per tenant) prepended ahead of every
+  // request's random tail — realistic hit traffic for the KV prefix
+  // cache. 0 (default) reproduces the previous traces bit-identically;
+  // the tail draws consume the same stream positions either way.
+  std::int32_t prefix_len = 0;
 };
 
 // ZERO_SERVE_SEED when set and parseable, else `fallback`.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <vector>
 
 #include "alloc/scratch.hpp"
 #include "common/error.hpp"
@@ -194,6 +195,230 @@ void PackedGemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Mixed-precision weight operands. A reader maps a flat element index of
+// the [n, k] weight matrix to fp32; Decode() handles a contiguous run
+// (one weight row's k-slice) so the blocked path can use the bulk
+// AVX-512 half decoder inside PackB instead of a per-element gather.
+struct HalfWeightReader {
+  const Half* w;
+  const float* lut;
+  float operator()(std::int64_t idx) const { return lut[w[idx].bits()]; }
+  void Decode(std::int64_t idx, std::int64_t len, float* dst) const {
+    HalfToFloat(w + idx, dst, static_cast<std::size_t>(len));
+  }
+};
+
+struct QuantWeightReader {
+  const std::int8_t* codes;
+  const float* scales;
+  std::int64_t qblock;
+  float operator()(std::int64_t idx) const {
+    return static_cast<float>(codes[idx]) * scales[idx / qblock];
+  }
+  void Decode(std::int64_t idx, std::int64_t len, float* dst) const {
+    // Split the run at quant-block boundaries so the inner loop is a
+    // contiguous int8->fp32 convert against one broadcast scale — the
+    // form the compiler vectorizes — instead of a per-element division
+    // for the scale index. Same expression per element, bitwise equal
+    // to the scalar reader.
+    std::int64_t i = idx;
+    std::int64_t o = 0;
+    while (o < len) {
+      const float s = scales[i / qblock];
+      const std::int64_t run = std::min(len - o, qblock - i % qblock);
+      const std::int8_t* cp = codes + i;
+      float* dp = dst + o;
+      for (std::int64_t j = 0; j < run; ++j) {
+        dp[j] = static_cast<float>(cp[j]) * s;
+      }
+      i += run;
+      o += run;
+    }
+  }
+};
+
+// Direct path: the small regime bounds the weight tile (n * k <=
+// kSmallGemmFlops elements), so it is bulk-decoded into thread scratch
+// and fed to the *same* SmallGemm that fp32 callers reach — bitwise the
+// decoded-fp32 result by construction. (A separate reader-based dot
+// product is not equivalent in practice: the compiler contracts the two
+// loop bodies into FMAs differently, and the last-ulp drift would break
+// the §16 envelope the serving tests pin.)
+template <class Reader>
+void SmallGemmWeightT(std::int64_t m, std::int64_t n, std::int64_t k,
+                      float alpha, const float* a, const Reader& w,
+                      float* c) {
+  alloc::ScratchArena& scratch = alloc::ThreadScratch();
+  alloc::ScratchGuard guard(scratch);
+  float* wf = scratch.AllocateT<float>(static_cast<std::size_t>(n * k));
+  w.Decode(0, n * k, wf);
+  SmallGemm(false, true, m, n, k, alpha, a, wf, c);
+}
+
+// PackB twin for a transposed reduced-precision weight operand: panel
+// column j is weight row (j0 + ...), whose k-range [p0, p0+kc) is
+// contiguous in W — decoded in one bulk call, then scattered into the
+// kNr-interleaved panel. This is where the fp16 decode fuses into the
+// pack step.
+template <class Reader>
+void PackWeightT(const Reader& w, std::int64_t k, std::int64_t p0,
+                 std::int64_t kc, std::int64_t j0, std::int64_t nc,
+                 float* dst) {
+  float tmp[kKc];
+  const std::int64_t panels = (nc + kNr - 1) / kNr;
+  for (std::int64_t p = 0; p < panels; ++p) {
+    float* dp = dst + p * kc * kNr;
+    const std::int64_t cbase = j0 + p * kNr;
+    const std::int64_t cvalid = std::min<std::int64_t>(kNr, j0 + nc - cbase);
+    for (std::int64_t j = 0; j < cvalid; ++j) {
+      w.Decode((cbase + j) * k + p0, kc, tmp);
+      for (std::int64_t kk = 0; kk < kc; ++kk) dp[kk * kNr + j] = tmp[kk];
+    }
+    for (std::int64_t j = cvalid; j < kNr; ++j) {
+      for (std::int64_t kk = 0; kk < kc; ++kk) dp[kk * kNr + j] = 0.0f;
+    }
+  }
+}
+
+// PackedGemm twin with the B pack swapped for PackWeightT; the blocking
+// loops, A packing and micro-kernel are shared, so the float pipeline is
+// element-for-element the fp32 one.
+template <class Reader>
+void PackedGemmWeightT(std::int64_t m, std::int64_t n, std::int64_t k,
+                       float alpha, const float* a, const Reader& w,
+                       float* c) {
+  alloc::ScratchArena& scratch = alloc::ThreadScratch();
+  alloc::ScratchGuard guard(scratch);
+  const std::int64_t nc_max = std::min(n, kNc);
+  const std::int64_t b_panels = (nc_max + kNr - 1) / kNr;
+  float* pb = scratch.AllocateT<float>(
+      static_cast<std::size_t>(b_panels * kKc * kNr));
+  const std::int64_t n_iblocks = (m + kMc - 1) / kMc;
+
+  for (std::int64_t jc = 0; jc < n; jc += kNc) {
+    const std::int64_t nc = std::min(kNc, n - jc);
+    const std::int64_t jr_panels = (nc + kNr - 1) / kNr;
+    for (std::int64_t pc = 0; pc < k; pc += kKc) {
+      const std::int64_t kc = std::min(kKc, k - pc);
+      PackWeightT(w, k, pc, kc, jc, nc, pb);
+      ParallelFor(0, n_iblocks, 1, [&](std::int64_t ib0, std::int64_t ib1) {
+        alloc::ScratchArena& task_scratch = alloc::ThreadScratch();
+        alloc::ScratchGuard task_guard(task_scratch);
+        float* pa = task_scratch.AllocateT<float>(
+            static_cast<std::size_t>(((kMc + kMr - 1) / kMr) * kMr * kKc));
+        for (std::int64_t ib = ib0; ib < ib1; ++ib) {
+          const std::int64_t i0 = ib * kMc;
+          const std::int64_t mc = std::min(kMc, m - i0);
+          PackA(a, false, m, k, i0, mc, pc, kc, alpha, pa);
+          const std::int64_t ir_panels = (mc + kMr - 1) / kMr;
+          for (std::int64_t jr = 0; jr < jr_panels; ++jr) {
+            const float* pbp = pb + jr * kc * kNr;
+            const std::int64_t j0 = jc + jr * kNr;
+            const std::int64_t nr_e = std::min<std::int64_t>(kNr, n - j0);
+            for (std::int64_t ir = 0; ir < ir_panels; ++ir) {
+              const std::int64_t r0 = i0 + ir * kMr;
+              const std::int64_t mr_e = std::min<std::int64_t>(kMr, m - r0);
+              MicroKernel(kc, pa + ir * kc * kMr, pbp, c + r0 * n + j0, n,
+                          mr_e, nr_e);
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-packed fp16 panels: the tile walk below is the B-side blocking of
+// PackedGemm verbatim (jc outer over kNc column blocks, pc inner over
+// kKc k-blocks), so a matrix encoded in this order can be consumed by
+// the packed GEMM with a single contiguous bulk decode per tile in
+// place of the strided per-call pack. `fn(jc, nc, pc, kc, base)` sees
+// each tile's geometry and its element offset into the panel stream;
+// returns the total panel element count.
+template <class Fn>
+std::int64_t ForEachPanelTile(std::int64_t n, std::int64_t k, Fn&& fn) {
+  std::int64_t base = 0;
+  for (std::int64_t jc = 0; jc < n; jc += kNc) {
+    const std::int64_t nc = std::min(kNc, n - jc);
+    const std::int64_t panels = (nc + kNr - 1) / kNr;
+    for (std::int64_t pc = 0; pc < k; pc += kKc) {
+      const std::int64_t kc = std::min(kKc, k - pc);
+      fn(jc, nc, pc, kc, base);
+      base += panels * kc * kNr;
+    }
+  }
+  return base;
+}
+
+// PackedGemmWeightT with the per-call B pack replaced by a bulk decode
+// of the pre-packed tile: pb receives bitwise the floats PackWeightT
+// would have produced (padding included — padded lanes are stored as
+// fp16 zero), and everything downstream is shared.
+void PackedGemmHalfPanelsT(std::int64_t m, std::int64_t n, std::int64_t k,
+                           float alpha, const float* a, const Half* panels,
+                           float* c) {
+  alloc::ScratchArena& scratch = alloc::ThreadScratch();
+  alloc::ScratchGuard guard(scratch);
+  const std::int64_t nc_max = std::min(n, kNc);
+  const std::int64_t b_panels = (nc_max + kNr - 1) / kNr;
+  float* pb = scratch.AllocateT<float>(
+      static_cast<std::size_t>(b_panels * kKc * kNr));
+  const std::int64_t n_iblocks = (m + kMc - 1) / kMc;
+
+  ForEachPanelTile(n, k, [&](std::int64_t jc, std::int64_t nc,
+                             std::int64_t pc, std::int64_t kc,
+                             std::int64_t base) {
+    const std::int64_t jr_panels = (nc + kNr - 1) / kNr;
+    HalfToFloat(panels + base, pb,
+                static_cast<std::size_t>(jr_panels * kc * kNr));
+    ParallelFor(0, n_iblocks, 1, [&](std::int64_t ib0, std::int64_t ib1) {
+      alloc::ScratchArena& task_scratch = alloc::ThreadScratch();
+      alloc::ScratchGuard task_guard(task_scratch);
+      float* pa = task_scratch.AllocateT<float>(
+          static_cast<std::size_t>(((kMc + kMr - 1) / kMr) * kMr * kKc));
+      for (std::int64_t ib = ib0; ib < ib1; ++ib) {
+        const std::int64_t i0 = ib * kMc;
+        const std::int64_t mc = std::min(kMc, m - i0);
+        PackA(a, false, m, k, i0, mc, pc, kc, alpha, pa);
+        const std::int64_t ir_panels = (mc + kMr - 1) / kMr;
+        for (std::int64_t jr = 0; jr < jr_panels; ++jr) {
+          const float* pbp = pb + jr * kc * kNr;
+          const std::int64_t j0 = jc + jr * kNr;
+          const std::int64_t nr_e = std::min<std::int64_t>(kNr, n - j0);
+          for (std::int64_t ir = 0; ir < ir_panels; ++ir) {
+            const std::int64_t r0 = i0 + ir * kMr;
+            const std::int64_t mr_e = std::min<std::int64_t>(kMr, m - r0);
+            MicroKernel(kc, pa + ir * kc * kMr, pbp, c + r0 * n + j0, n,
+                        mr_e, nr_e);
+          }
+        }
+      }
+    });
+  });
+}
+
+template <class Reader>
+void GemmWeightTImpl(std::int64_t m, std::int64_t n, std::int64_t k,
+                     float alpha, const float* a, const Reader& w, float beta,
+                     float* c) {
+  if (beta == 0.0f) {
+    ParallelFor(0, m * n, kElemChunk, [&](std::int64_t b0, std::int64_t e0) {
+      std::memset(c + b0, 0, static_cast<std::size_t>(e0 - b0) * sizeof(float));
+    });
+  } else if (beta != 1.0f) {
+    Scale(c, beta, m * n);
+  }
+  if (m <= 0 || n <= 0 || k <= 0) return;
+
+  if (m * n * k <= kSmallGemmFlops) {
+    SmallGemmWeightT(m, n, k, alpha, a, w, c);
+  } else {
+    PackedGemmWeightT(m, n, k, alpha, a, w, c);
+  }
+}
+
 }  // namespace
 
 void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
@@ -212,6 +437,99 @@ void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
     SmallGemm(trans_a, trans_b, m, n, k, alpha, a, b, c);
   } else {
     PackedGemm(trans_a, trans_b, m, n, k, alpha, a, b, c);
+  }
+}
+
+void GemmHalfWeightT(std::int64_t m, std::int64_t n, std::int64_t k,
+                     float alpha, const float* a, const Half* w, float beta,
+                     float* c) {
+  GemmWeightTImpl(m, n, k, alpha, a,
+                  HalfWeightReader{w, HalfDecodeTable()}, beta, c);
+}
+
+void GemmQuantWeightT(std::int64_t m, std::int64_t n, std::int64_t k,
+                      float alpha, const float* a, const std::int8_t* codes,
+                      const float* scales, std::int64_t qblock, float beta,
+                      float* c) {
+  GemmWeightTImpl(m, n, k, alpha, a, QuantWeightReader{codes, scales, qblock},
+                  beta, c);
+}
+
+std::int64_t HalfPanelElems(std::int64_t n, std::int64_t k) {
+  return ForEachPanelTile(n, k,
+                          [](std::int64_t, std::int64_t, std::int64_t,
+                             std::int64_t, std::int64_t) {});
+}
+
+void PackHalfPanelsT(const float* w, std::int64_t n, std::int64_t k,
+                     Half* dst) {
+  // Encode every row with the same bulk round-to-nearest-even converter
+  // the flat fp16 encoding uses, then scatter once into panel slots —
+  // load-time only, so clarity beats cleverness here.
+  std::vector<Half> rows(static_cast<std::size_t>(n * k));
+  FloatToHalf(w, rows.data(), rows.size());
+  ForEachPanelTile(n, k, [&](std::int64_t jc, std::int64_t nc,
+                             std::int64_t pc, std::int64_t kc,
+                             std::int64_t base) {
+    const std::int64_t panels = (nc + kNr - 1) / kNr;
+    for (std::int64_t p = 0; p < panels; ++p) {
+      Half* dp = dst + base + p * kc * kNr;
+      const std::int64_t cbase = jc + p * kNr;
+      const std::int64_t cvalid = std::min<std::int64_t>(kNr, jc + nc - cbase);
+      for (std::int64_t kk = 0; kk < kc; ++kk) {
+        Half* drow = dp + kk * kNr;
+        for (std::int64_t j = 0; j < cvalid; ++j) {
+          drow[j] = rows[static_cast<std::size_t>((cbase + j) * k + pc + kk)];
+        }
+        for (std::int64_t j = cvalid; j < kNr; ++j) {
+          drow[j] = Half::FromBits(0);
+        }
+      }
+    }
+  });
+}
+
+void DecodeHalfPanelRow(const Half* panels, std::int64_t n, std::int64_t k,
+                        std::int64_t row, float* dst) {
+  const float* lut = HalfDecodeTable();
+  ForEachPanelTile(n, k, [&](std::int64_t jc, std::int64_t nc,
+                             std::int64_t pc, std::int64_t kc,
+                             std::int64_t base) {
+    if (row < jc || row >= jc + nc) return;
+    const std::int64_t p = (row - jc) / kNr;
+    const std::int64_t j = (row - jc) % kNr;
+    const Half* dp = panels + base + p * kc * kNr + j;
+    for (std::int64_t kk = 0; kk < kc; ++kk) {
+      dst[pc + kk] = lut[dp[kk * kNr].bits()];
+    }
+  });
+}
+
+void GemmHalfPanelsT(std::int64_t m, std::int64_t n, std::int64_t k,
+                     float alpha, const float* a, const Half* panels,
+                     float beta, float* c) {
+  if (beta == 0.0f) {
+    ParallelFor(0, m * n, kElemChunk, [&](std::int64_t b0, std::int64_t e0) {
+      std::memset(c + b0, 0, static_cast<std::size_t>(e0 - b0) * sizeof(float));
+    });
+  } else if (beta != 1.0f) {
+    Scale(c, beta, m * n);
+  }
+  if (m <= 0 || n <= 0 || k <= 0) return;
+
+  if (m * n * k <= kSmallGemmFlops) {
+    // Same policy as SmallGemmWeightT: materialize the bounded tile
+    // row-major and run the identical SmallGemm (bitwise the fp32
+    // result; see the FMA-contraction note there).
+    alloc::ScratchArena& scratch = alloc::ThreadScratch();
+    alloc::ScratchGuard guard(scratch);
+    float* wf = scratch.AllocateT<float>(static_cast<std::size_t>(n * k));
+    for (std::int64_t row = 0; row < n; ++row) {
+      DecodeHalfPanelRow(panels, n, k, row, wf + row * k);
+    }
+    SmallGemm(false, true, m, n, k, alpha, a, wf, c);
+  } else {
+    PackedGemmHalfPanelsT(m, n, k, alpha, a, panels, c);
   }
 }
 

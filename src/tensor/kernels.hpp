@@ -32,6 +32,51 @@ void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, float alpha, const float* a, const float* b,
           float beta, float* c);
 
+// Mixed-precision GEMMs for reduced-precision serving weights. The
+// weight operand W is stored [n, k] row-major and used transposed (the
+// shape every projection in the model keeps), so
+//   C[m,n] = alpha * A[m,k] * W[n,k]^T + beta * C[m,n]
+// with A fp32 activations. No persistent fp32 copy of W exists: the
+// blocked path decodes each weight row's k-slice in bulk (the AVX-512
+// LUT decoder) inside the B pack step, and the small path bulk-decodes
+// the (bounded) weight tile into thread scratch. Both paths produce
+// bitwise the result of decoding W to fp32 and calling
+// Gemm(false, true, ...) — same dispatch threshold, same kernels, same
+// summation order.
+void GemmHalfWeightT(std::int64_t m, std::int64_t n, std::int64_t k,
+                     float alpha, const float* a, const Half* w, float beta,
+                     float* c);
+// Blockwise-int8 weight operand: element i of W decodes to
+// codes[i] * scales[i / qblock] (scales pre-decoded to fp32, matching
+// tensor/quantize's dequantization bitwise).
+void GemmQuantWeightT(std::int64_t m, std::int64_t n, std::int64_t k,
+                      float alpha, const float* a, const std::int8_t* codes,
+                      const float* scales, std::int64_t qblock, float beta,
+                      float* c);
+
+// Pre-packed fp16 weight panels. Weights are static across a serving
+// run, so re-packing the B operand on every GEMM call is pure waste:
+// these entry points encode a [n, k] weight matrix ONCE into the exact
+// micro-panel layout the packed GEMM's B-pack produces (kNr-column
+// panels per (column-block, k-block) tile, zero-padded past n), stored
+// as fp16. The per-call GEMM then replaces the strided pack walk with
+// one contiguous bulk AVX-512 decode of the current tile straight into
+// the panel buffer — identical fp32 panel contents through the
+// identical micro-kernel (and the identical small-GEMM dispatch), so
+// results stay bitwise equal to GemmHalfWeightT on the row-major
+// encoding while the per-step weight traffic halves and the pack
+// becomes a linear fp16 stream.
+[[nodiscard]] std::int64_t HalfPanelElems(std::int64_t n, std::int64_t k);
+void PackHalfPanelsT(const float* w, std::int64_t n, std::int64_t k,
+                     Half* dst);
+// Decodes row `row` of the panel-packed [n, k] matrix to fp32 —
+// embedding gathers and the small-GEMM tile materialization.
+void DecodeHalfPanelRow(const Half* panels, std::int64_t n, std::int64_t k,
+                        std::int64_t row, float* dst);
+void GemmHalfPanelsT(std::int64_t m, std::int64_t n, std::int64_t k,
+                     float alpha, const float* a, const Half* panels,
+                     float beta, float* c);
+
 // x[rows, cols] += bias[cols] broadcast over rows.
 void AddBiasRows(float* x, const float* bias, std::int64_t rows,
                  std::int64_t cols);

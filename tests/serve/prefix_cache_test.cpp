@@ -1,0 +1,343 @@
+// Copy-on-write prefix KV cache: refcount lifecycle, adoption and
+// publication, CoW forks at full and partially-filled blocks, and
+// index eviction honoring live readers — plus scheduler-level checks
+// that sharing changes only the work done, never the tokens produced.
+#include "serve/kv_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "serve/server.hpp"
+#include "serve/traffic_gen.hpp"
+
+namespace zero::serve {
+namespace {
+
+KvGeometry SmallGeom() {
+  KvGeometry g;
+  g.layers = 2;
+  g.row_floats = 4;
+  g.block_tokens = 4;
+  return g;
+}
+
+std::vector<std::int32_t> Tokens(std::int64_t n, std::int32_t base = 100) {
+  std::vector<std::int32_t> t(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    t[static_cast<std::size_t>(i)] = base + static_cast<std::int32_t>(i);
+  }
+  return t;
+}
+
+TEST(PrefixIndex, PublishTakesRefsAndSurvivesDonorFree) {
+  KvBlockPool pool(SmallGeom(), 8, nullptr, false);
+  SlotKvCache kv(&pool, true);
+  const std::int32_t a = kv.AllocSlot();
+  ASSERT_TRUE(kv.EnsureCapacity(a, 8));
+  const auto prompt = Tokens(8);
+  kv.PublishPrefix(a, prompt);
+  EXPECT_EQ(kv.index_blocks(), 2);  // two full blocks, no tail
+  float* b0 = kv.block_at(a, 0);
+  float* b1 = kv.block_at(a, 1);
+  EXPECT_EQ(pool.RefCount(b0), 2);  // slot + index
+  EXPECT_EQ(pool.RefCount(b1), 2);
+
+  kv.FreeSlot(a);
+  EXPECT_EQ(pool.used(), 2);  // the index keeps the blocks alive
+  EXPECT_EQ(pool.RefCount(b0), 1);
+
+  EXPECT_TRUE(kv.TryEvictIndexBlock());
+  EXPECT_TRUE(kv.TryEvictIndexBlock());
+  EXPECT_FALSE(kv.TryEvictIndexBlock());
+  EXPECT_EQ(pool.used(), 0);
+  EXPECT_EQ(kv.index_blocks(), 0);
+}
+
+TEST(PrefixIndex, AdoptionSharesPublishedBlocksByPointer) {
+  const KvGeometry g = SmallGeom();
+  KvBlockPool pool(g, 8, nullptr, false);
+  SlotKvCache kv(&pool, true);
+  const std::int32_t a = kv.AllocSlot();
+  ASSERT_TRUE(kv.EnsureCapacity(a, 8));
+  // Mark the donor's cached rows so shared reads are observable.
+  kv.KRow(a, 1, 3)[2] = 1234.5f;
+  const auto prompt = Tokens(8);
+  kv.PublishPrefix(a, prompt);
+  float* b0 = kv.block_at(a, 0);
+  float* b1 = kv.block_at(a, 1);
+
+  // A fresh request whose stream extends the published prompt adopts
+  // both full blocks — prefill restarts at position 8.
+  const std::int32_t b = kv.AllocSlot();
+  auto stream = prompt;
+  stream.push_back(9);
+  stream.push_back(10);
+  EXPECT_EQ(kv.AdoptPrefix(b, stream), 8);
+  EXPECT_EQ(kv.slot_blocks(b), 2);
+  EXPECT_EQ(kv.block_at(b, 0), b0);
+  EXPECT_EQ(kv.block_at(b, 1), b1);
+  EXPECT_EQ(pool.RefCount(b0), 3);  // donor + index + adopter
+  EXPECT_EQ(kv.KRow(b, 1, 3)[2], 1234.5f);
+  EXPECT_EQ(pool.used(), 2);  // adoption acquired nothing
+
+  kv.FreeSlot(a);
+  EXPECT_EQ(pool.RefCount(b0), 2);
+  EXPECT_EQ(kv.KRow(b, 1, 3)[2], 1234.5f);  // reader unaffected
+}
+
+TEST(PrefixIndex, AdoptionLeavesAtLeastOneTokenToPrefill) {
+  KvBlockPool pool(SmallGeom(), 8, nullptr, false);
+  SlotKvCache kv(&pool, true);
+  const std::int32_t a = kv.AllocSlot();
+  ASSERT_TRUE(kv.EnsureCapacity(a, 4));
+  const auto prompt = Tokens(4);
+  kv.PublishPrefix(a, prompt);
+
+  // Identical stream: adopting the whole block would leave nothing to
+  // feed the model, so nothing is adopted.
+  const std::int32_t b = kv.AllocSlot();
+  EXPECT_EQ(kv.AdoptPrefix(b, prompt), 0);
+  EXPECT_EQ(kv.slot_blocks(b), 0);
+
+  // One extra token makes the full block adoptable.
+  auto longer = prompt;
+  longer.push_back(77);
+  const std::int32_t c = kv.AllocSlot();
+  EXPECT_EQ(kv.AdoptPrefix(c, longer), 4);
+}
+
+TEST(PrefixIndex, MismatchedTokensAreNotAdopted) {
+  KvBlockPool pool(SmallGeom(), 8, nullptr, false);
+  SlotKvCache kv(&pool, true);
+  const std::int32_t a = kv.AllocSlot();
+  ASSERT_TRUE(kv.EnsureCapacity(a, 8));
+  kv.PublishPrefix(a, Tokens(8));
+
+  // Diverges inside the first block: no positions are shared.
+  auto other = Tokens(8, 500);
+  const std::int32_t b = kv.AllocSlot();
+  EXPECT_EQ(kv.AdoptPrefix(b, other), 0);
+
+  // Diverges in the second block: only the first block is shared.
+  auto half = Tokens(8);
+  half[5] = 999;
+  const std::int32_t c = kv.AllocSlot();
+  EXPECT_EQ(kv.AdoptPrefix(c, half), 4);
+  EXPECT_EQ(kv.block_at(c, 0), kv.block_at(a, 0));
+}
+
+TEST(PrefixIndex, DonorForksItsOwnPublishedTailOnNextAppend) {
+  const KvGeometry g = SmallGeom();
+  KvBlockPool pool(g, 8, nullptr, false);
+  SlotKvCache kv(&pool, true);
+  const std::int32_t a = kv.AllocSlot();
+  ASSERT_TRUE(kv.EnsureCapacity(a, 6));  // 1 full block + 2-token tail
+  kv.KRow(a, 0, 4)[0] = 42.0f;  // marker inside the tail block
+  const auto prompt = Tokens(6);
+  kv.PublishPrefix(a, prompt);
+  EXPECT_EQ(kv.index_blocks(), 2);  // full block + partial tail
+  float* tail = kv.block_at(a, 1);
+  EXPECT_EQ(pool.RefCount(tail), 2);  // donor + tail index
+
+  // The donor keeps decoding into position 6, which lands in the shared
+  // tail block — EnsureAppendable must fork it first.
+  ASSERT_TRUE(kv.EnsureAppendable(a, 6, 1));
+  float* forked = kv.block_at(a, 1);
+  EXPECT_NE(forked, tail);
+  EXPECT_EQ(kv.KRow(a, 0, 4)[0], 42.0f);  // contents copied on fork
+  EXPECT_EQ(pool.RefCount(tail), 1);      // index keeps the original
+  EXPECT_EQ(pool.RefCount(forked), 1);
+}
+
+TEST(PrefixIndex, AdopterSharesTailByLcpAndForksOnWrite) {
+  const KvGeometry g = SmallGeom();
+  KvBlockPool pool(g, 8, nullptr, false);
+  SlotKvCache kv(&pool, true);
+  const std::int32_t a = kv.AllocSlot();
+  ASSERT_TRUE(kv.EnsureCapacity(a, 6));
+  kv.KRow(a, 1, 5)[1] = 7.0f;
+  const auto prompt = Tokens(6);  // tokens 100..105
+  kv.PublishPrefix(a, prompt);
+  float* tail = kv.block_at(a, 1);
+  kv.FreeSlot(a);
+
+  // Full 6-token match (plus new tokens): the adopter takes the full
+  // block and the whole published tail.
+  const std::int32_t b = kv.AllocSlot();
+  auto stream = prompt;
+  stream.push_back(7);
+  stream.push_back(8);
+  EXPECT_EQ(kv.AdoptPrefix(b, stream), 6);
+  EXPECT_EQ(kv.block_at(b, 1), tail);
+  EXPECT_EQ(kv.KRow(b, 1, 5)[1], 7.0f);
+
+  // Appending position 6 writes inside the shared tail: CoW fork at a
+  // partially-filled block. The index copy stays intact for others.
+  ASSERT_TRUE(kv.EnsureAppendable(b, 6, 1));
+  EXPECT_NE(kv.block_at(b, 1), tail);
+  EXPECT_EQ(kv.KRow(b, 1, 5)[1], 7.0f);
+  EXPECT_EQ(pool.RefCount(tail), 1);  // back to index-only
+
+  // Partial tail match: stream diverges at position 5, so only the
+  // longest common run (position 4) of the tail is adopted.
+  const std::int32_t c = kv.AllocSlot();
+  auto partial = Tokens(8);
+  partial[5] = 999;
+  EXPECT_EQ(kv.AdoptPrefix(c, partial), 5);
+  EXPECT_EQ(kv.block_at(c, 1), tail);
+  // Prefill resumes at position 5, inside the shared tail → fork.
+  ASSERT_TRUE(kv.EnsureAppendable(c, 5, 2));
+  EXPECT_NE(kv.block_at(c, 1), tail);
+  EXPECT_EQ(kv.KRow(c, 0, 4)[0], kv.KRow(b, 0, 4)[0]);
+}
+
+TEST(PrefixIndex, EvictionSkipsBlocksWithLiveReaders) {
+  KvBlockPool pool(SmallGeom(), 4, nullptr, false);
+  SlotKvCache kv(&pool, true);
+  const std::int32_t a = kv.AllocSlot();
+  ASSERT_TRUE(kv.EnsureCapacity(a, 8));
+  const auto prompt = Tokens(8);
+  kv.PublishPrefix(a, prompt);
+  float* b0 = kv.block_at(a, 0);
+  kv.FreeSlot(a);
+  EXPECT_EQ(pool.used(), 2);  // index-held
+
+  // Adopter shares only the first block (streams diverge after it).
+  const std::int32_t b = kv.AllocSlot();
+  std::vector<std::int32_t> stream(prompt.begin(), prompt.begin() + 4);
+  stream.insert(stream.end(), {7, 8});
+  EXPECT_EQ(kv.AdoptPrefix(b, stream), 4);
+  EXPECT_EQ(pool.RefCount(b0), 2);
+
+  // A big reservation needs 3 of the 4 blocks: the pool is dry, and the
+  // oldest index block (b0) has a live reader — eviction must skip it
+  // and drop the second published block instead.
+  const std::int32_t c = kv.AllocSlot();
+  ASSERT_TRUE(kv.EnsureCapacity(c, 12));
+  EXPECT_EQ(kv.index_blocks(), 1);
+  EXPECT_EQ(kv.block_at(b, 0), b0);      // reader untouched
+  EXPECT_EQ(pool.RefCount(b0), 2);       // adopter + index
+
+  // Nothing evictable remains: every index block has live readers.
+  const std::int32_t d = kv.AllocSlot();
+  EXPECT_FALSE(kv.EnsureCapacity(d, 4));
+  EXPECT_FALSE(kv.TryEvictIndexBlock());
+}
+
+// --- scheduler-level: sharing changes work, never results ---
+
+model::GptConfig MiniConfig() {
+  model::GptConfig c;
+  c.vocab = 64;
+  c.seq = 16;
+  c.hidden = 16;
+  c.layers = 2;
+  c.heads = 2;
+  return c;
+}
+
+std::vector<float> MiniWeights(const model::GptConfig& cfg) {
+  model::GptModel m(cfg, {});
+  std::vector<float> full(
+      static_cast<std::size_t>(m.layout().total_numel()), 0.0f);
+  m.InitParameters(full, 0xABBA);
+  return full;
+}
+
+ServeSummary RunShared(const std::vector<float>& full, bool prefix_cache,
+                       std::span<const ServeRequest> traffic) {
+  InferenceOptions io;
+  io.model = MiniConfig();
+  io.kv_block_tokens = 4;
+  io.kv_max_blocks = 64;
+  io.record_metrics = false;
+  io.prefix_cache = prefix_cache;
+  InferenceEngine eng(io, {});
+  eng.LoadFullWeights(full);
+
+  ServeOptions so;
+  so.scheduler.max_running = 4;
+  so.scheduler.max_step_tokens = 16;
+  so.scheduler.max_seq = io.model.seq;
+  so.scheduler.record_metrics = false;
+  so.admission.record_metrics = false;
+  return ServeLoop(eng, traffic, so);
+}
+
+TEST(PrefixCacheServe, SharingKeepsOutputsAndSavesPrefill) {
+  const auto full = MiniWeights(MiniConfig());
+
+  TrafficConfig tc;
+  tc.qps = 2000.0;
+  tc.duration_s = 0.02;
+  tc.tenants = 2;
+  tc.prompt_min = 2;
+  tc.prompt_max = 4;
+  tc.out_min = 1;
+  tc.out_max = 4;
+  tc.vocab = 64;
+  tc.seed = 97;
+  tc.prefix_len = 6;  // shared per-tenant system prompt
+  const auto traffic = GenerateOpenLoopTraffic(tc);
+  ASSERT_GT(traffic.size(), 10u);
+
+  const ServeSummary off = RunShared(full, false, traffic);
+  const ServeSummary on = RunShared(full, true, traffic);
+
+  // Identical results: same completions, same tokens, same timings.
+  ASSERT_EQ(on.outcomes.size(), off.outcomes.size());
+  std::map<std::uint64_t, const RequestOutcome*> by_id;
+  for (const RequestOutcome& o : off.outcomes) by_id[o.id] = &o;
+  for (const RequestOutcome& o : on.outcomes) {
+    const RequestOutcome* ref = by_id.at(o.id);
+    EXPECT_EQ(o.completed, ref->completed);
+    EXPECT_EQ(o.output, ref->output) << "request " << o.id;
+  }
+  EXPECT_EQ(on.completed, off.completed);
+  EXPECT_EQ(on.decode_tokens, off.decode_tokens);
+
+  // Less prefill compute, accounted as prefix hits.
+  EXPECT_LT(on.prefill_tokens, off.prefill_tokens);
+  EXPECT_GT(on.prefix_hits, 0);
+  EXPECT_GT(on.prefix_hit_tokens, 0);
+  EXPECT_EQ(off.prefix_hits, 0);
+  EXPECT_EQ(off.prefix_hit_tokens, 0);
+  EXPECT_EQ(on.prefill_tokens + on.prefix_hit_tokens, off.prefill_tokens);
+}
+
+TEST(PrefixCacheServe, SharingReplaysBitIdentically) {
+  const auto full = MiniWeights(MiniConfig());
+
+  TrafficConfig tc;
+  tc.qps = 3000.0;
+  tc.duration_s = 0.02;
+  tc.tenants = 2;
+  tc.prompt_min = 2;
+  tc.prompt_max = 4;
+  tc.out_min = 1;
+  tc.out_max = 4;
+  tc.vocab = 64;
+  tc.seed = 11;
+  tc.prefix_len = 6;
+  const auto traffic = GenerateOpenLoopTraffic(tc);
+
+  const ServeSummary a = RunShared(full, true, traffic);
+  const ServeSummary b = RunShared(full, true, traffic);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].id, b.outcomes[i].id);
+    EXPECT_EQ(a.outcomes[i].output, b.outcomes[i].output);
+    EXPECT_EQ(a.outcomes[i].done_s, b.outcomes[i].done_s);  // bitwise
+  }
+  EXPECT_EQ(a.prefill_tokens, b.prefill_tokens);
+  EXPECT_EQ(a.prefix_hit_tokens, b.prefix_hit_tokens);
+  EXPECT_EQ(a.steps, b.steps);
+}
+
+}  // namespace
+}  // namespace zero::serve

@@ -78,6 +78,55 @@ TEST(TrafficGen, TenantWeightsSkewTheMix) {
   EXPECT_GT(tenant0 * 10, reqs.size() * 8);
 }
 
+TEST(TrafficGen, PrefixModePrependsWithoutDisturbingTheTrace) {
+  TrafficConfig c = BaseConfig();
+  const auto plain = GenerateOpenLoopTraffic(c);
+  c.prefix_len = 8;
+  const auto shared = GenerateOpenLoopTraffic(c);
+
+  // Same arrivals, tenants, output budgets and random tails: the prefix
+  // draws come from their own streams, so everything else replays
+  // bit-identically.
+  ASSERT_EQ(shared.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(shared[i].arrival_s, plain[i].arrival_s);
+    EXPECT_EQ(shared[i].tenant, plain[i].tenant);
+    EXPECT_EQ(shared[i].max_new_tokens, plain[i].max_new_tokens);
+    ASSERT_EQ(shared[i].prompt.size(), plain[i].prompt.size() + 8u);
+    for (std::size_t k = 0; k < plain[i].prompt.size(); ++k) {
+      EXPECT_EQ(shared[i].prompt[k + 8], plain[i].prompt[k]);
+    }
+  }
+}
+
+TEST(TrafficGen, PrefixIsSharedPerTenantAndDiffersAcrossTenants) {
+  TrafficConfig c = BaseConfig();
+  c.prefix_len = 6;
+  const auto reqs = GenerateOpenLoopTraffic(c);
+
+  std::vector<std::vector<std::int32_t>> seen(
+      static_cast<std::size_t>(c.tenants));
+  for (const auto& r : reqs) {
+    ASSERT_GE(r.prompt.size(), 6u);
+    const std::vector<std::int32_t> pre(r.prompt.begin(),
+                                        r.prompt.begin() + 6);
+    auto& want = seen[static_cast<std::size_t>(r.tenant)];
+    if (want.empty()) {
+      want = pre;
+    } else {
+      EXPECT_EQ(pre, want) << "tenant " << r.tenant
+                           << " prefix drifted at request " << r.id;
+    }
+  }
+  // Distinct tenants draw from distinct streams; identical 6-token
+  // prefixes would be a one-in-48^6 accident.
+  for (std::int32_t t = 1; t < c.tenants; ++t) {
+    if (!seen[0].empty() && !seen[static_cast<std::size_t>(t)].empty()) {
+      EXPECT_NE(seen[0], seen[static_cast<std::size_t>(t)]);
+    }
+  }
+}
+
 TEST(TrafficGen, ServeSeedEnvKnobWins) {
   unsetenv("ZERO_SERVE_SEED");
   EXPECT_EQ(ServeSeedFromEnv(5), 5u);
